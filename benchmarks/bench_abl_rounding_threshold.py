@@ -1,0 +1,74 @@
+"""ABL1 — ablation of Algorithm 1's 1/2 emission threshold.
+
+Design choice probed: the paper rounds at every 1/2 of fractional mass.
+A smaller threshold emits more calibrations (worse objective); a larger
+threshold emits fewer but voids the Corollary 6 feasibility argument (the
+carryover bound becomes > 1/2, so the 2x write-back no longer covers a
+discarded job in the worst case).
+
+Measured here: calibrations and EDF success rate per threshold across a
+seed sweep — quantifying what the provable 1/2 costs versus aggressive
+(unsafe) thresholds on benign inputs.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import Table
+from repro.core import InfeasibleScheduleError, validate_tise
+from repro.instances import long_window_instance
+from repro.longwindow import LongWindowConfig, LongWindowSolver
+
+THRESHOLDS = [0.25, 0.4, 0.5, 0.6, 0.75, 1.0]
+SEEDS = range(8)
+
+
+def bench_abl_rounding_threshold(benchmark, report):
+    table = Table(
+        title="ABL1: Algorithm 1 threshold ablation (paper: 0.5)",
+        columns=[
+            "threshold", "EDF success", "mean cals (ok runs)",
+            "mean unpruned", "mean machines",
+        ],
+    )
+    outcomes: dict[float, dict] = {}
+    for threshold in THRESHOLDS:
+        solver = LongWindowSolver(
+            LongWindowConfig(rounding_threshold=threshold)
+        )
+        ok = 0
+        cals: list[int] = []
+        unpruned: list[int] = []
+        machines: list[int] = []
+        for seed in SEEDS:
+            gen = long_window_instance(12, 2, 10.0, seed)
+            try:
+                result = solver.solve(gen.instance)
+            except InfeasibleScheduleError:
+                continue
+            if not validate_tise(gen.instance, result.schedule).ok:
+                continue
+            ok += 1
+            cals.append(result.num_calibrations)
+            unpruned.append(result.unpruned_calibrations)
+            machines.append(result.machines_used)
+        outcomes[threshold] = {"ok": ok}
+        table.add_row(
+            threshold,
+            f"{ok}/{len(list(SEEDS))}",
+            sum(cals) / ok if ok else float("nan"),
+            sum(unpruned) / ok if ok else float("nan"),
+            sum(machines) / ok if ok else float("nan"),
+        )
+    table.add_note(
+        "thresholds <= 0.5 are the provably safe regime (Cor. 6's feasibility "
+        "argument needs them); larger thresholds void the guarantee — they "
+        "may succeed on benign instances (as here) but lose the worst-case "
+        "proof while buying only slightly fewer calibrations"
+    )
+    report(table, "abl_rounding_threshold")
+    assert outcomes[0.5]["ok"] == len(list(SEEDS))
+    assert outcomes[0.25]["ok"] == len(list(SEEDS))
+
+    gen = long_window_instance(12, 2, 10.0, 0)
+    solver = LongWindowSolver()
+    benchmark(lambda: solver.solve(gen.instance))

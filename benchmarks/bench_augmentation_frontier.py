@@ -1,0 +1,65 @@
+"""AUG — the machines-versus-speed feasibility frontier.
+
+Paper hook (Section 1): ISE feasibility is NP-hard, so the paper's results
+live in the `w`-machine `s`-speed augmentation model, and its reduction
+shows speed and machines are fungible (Lemma 13 trades 18x machines for 36x
+speed on the algorithm side).  This bench measures the *instance-side*
+frontier: for NP-hard Partition gadgets and regular workloads, the minimal
+speed at which m machines suffice, with the preemptive relaxation as a
+lower bound.
+
+Expected shape: the partition gadget needs speed ~2 on one machine and
+speed 1 at m = 2 (the hidden perfect split); regular feasible instances sit
+at speed 1 for their stated m; preemptive and exact speeds coincide except
+where nonpreemptive packing genuinely binds.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import augmentation_frontier, minimum_speed
+from repro.analysis import Table
+from repro.instances import partition_instance, short_window_instance
+
+
+def bench_augmentation_frontier(benchmark, report):
+    table = Table(
+        title="AUG: minimal feasible speed by machine count",
+        columns=[
+            "instance", "m", "speed LB (preemptive)", "speed (exact)",
+            "np-gap",
+        ],
+    )
+    cases = [
+        ("partition(k=4)", partition_instance(4, seed=1).instance, 3),
+        ("partition(k=6)", partition_instance(6, seed=2).instance, 3),
+        ("short(n=10,m=2)", short_window_instance(10, 2, 10.0, 0).instance, 3),
+        ("short(n=14,m=2)", short_window_instance(14, 2, 10.0, 1).instance, 3),
+    ]
+    for name, instance, max_m in cases:
+        points = augmentation_frontier(
+            instance, max_machines=max_m, precision=1e-3
+        )
+        for point in points:
+            gap = (
+                point.speed_achievable / point.speed_preemptive
+                if point.speed_preemptive > 0
+                else float("inf")
+            )
+            table.add_row(
+                name, point.machines, point.speed_preemptive,
+                point.speed_achievable, gap,
+            )
+            assert point.speed_preemptive <= point.speed_achievable + 1e-3
+        # The stated machine count never needs meaningful augmentation for
+        # witness-backed instances; the m=2 partition gadget hides a perfect
+        # split, so it is feasible at speed ~1 there too.
+        at_stated = next(p for p in points if p.machines == instance.machines)
+        assert at_stated.speed_achievable <= 1.0 + 1e-2
+    table.add_note(
+        "speed LB is the preemptive max-flow relaxation; np-gap > 1 marks "
+        "instances where nonpreemptive packing itself forces augmentation"
+    )
+    report(table, "augmentation_frontier")
+
+    instance = cases[0][1]
+    benchmark(lambda: minimum_speed(instance.jobs, 1, method="exact"))

@@ -1,0 +1,59 @@
+"""L7 — empirical verification of Lemma 7 (rounding quality).
+
+Paper claim: Algorithm 1's output is a valid calibration calendar on 3m'
+machines with at most 2 C* calibrations, where C* upper-bounds the LP value.
+
+Measured here: the integer/fractional inflation factor across a sweep —
+always <= 2 (tight when the mass is a multiple of 1/2, looser otherwise) —
+and the calendar's max concurrency vs the 3m' machine pool (Lemma 4).
+"""
+
+from __future__ import annotations
+
+from repro.analysis import Table
+from repro.instances import long_window_instance
+from repro.longwindow import round_calibrations, solve_tise_lp
+
+SWEEP = [
+    (8, 1, 0), (8, 1, 1), (12, 2, 2), (16, 2, 3), (20, 3, 4), (24, 2, 5),
+]
+
+
+def bench_lem7_rounding_quality(benchmark, report):
+    T = 10.0
+    table = Table(
+        title="L7: Algorithm 1 rounding quality",
+        columns=[
+            "n", "m", "seed", "LP mass", "rounded", "inflation (<=2)",
+            "max concurrent", "pool 3m'", "overlaps",
+        ],
+    )
+    sample = None
+    for n, m, seed in SWEEP:
+        gen = long_window_instance(n, m, T, seed)
+        m_prime = 3 * m
+        lp = solve_tise_lp(gen.instance.jobs, T, m_prime)
+        result = round_calibrations(lp.calibrations, m_prime, T)
+        if sample is None:
+            sample = (lp, m_prime)
+        overlaps = len(result.schedule.overlap_violations())
+        table.add_row(
+            n, m, seed,
+            result.fractional_mass,
+            result.num_calibrations,
+            result.inflation,
+            result.schedule.max_concurrent(),
+            3 * m_prime,
+            overlaps,
+        )
+        assert overlaps == 0
+        assert result.inflation <= 2.0 + 1e-6
+        assert result.schedule.max_concurrent() <= 3 * m_prime
+    table.add_note(
+        "inflation = integer calibrations / fractional LP mass; Lemma 7 "
+        "bounds it by 2 and Lemma 4 bounds concurrency by the 3m' pool"
+    )
+    report(table, "lem7_rounding_quality")
+
+    lp, m_prime = sample
+    benchmark(lambda: round_calibrations(lp.calibrations, m_prime, T))

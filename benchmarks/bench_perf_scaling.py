@@ -1,0 +1,77 @@
+"""PERF — running-time scaling of every pipeline stage.
+
+Paper claim (Theorem 1): the algorithm runs in time polynomial in the input
+length times the MM black box's time.  Measured here: wall time per stage
+(calibration points, LP, rounding, EDF, validation; MM + lifting on the
+short side) as n grows.  Expected shape: LP solve dominates the long side
+and grows polynomially (the LP has O(n^2) points / O(n^3) variables);
+everything else is near-linear.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.analysis import Table
+from repro.instances import long_window_instance, short_window_instance
+from repro.longwindow import LongWindowSolver
+from repro.shortwindow import ShortWindowSolver
+
+LONG_SIZES = [8, 16, 24, 32]
+SHORT_SIZES = [10, 20, 40, 60]
+
+
+def bench_perf_scaling_long(benchmark, report):
+    solver = LongWindowSolver()
+    table = Table(
+        title="PERF (long side): per-stage wall time vs n",
+        columns=["n", "points ms", "lp ms", "rounding ms", "edf ms", "validate ms", "total ms"],
+    )
+    for n in LONG_SIZES:
+        gen = long_window_instance(n, 2, 10.0, seed=n)
+        tic = time.perf_counter()
+        result = solver.solve(gen.instance)
+        total = (time.perf_counter() - tic) * 1e3
+        wt = result.wall_times
+        table.add_row(
+            n,
+            wt["points"] * 1e3,
+            wt["lp"] * 1e3,
+            wt["rounding"] * 1e3,
+            wt["edf"] * 1e3,
+            wt.get("validate", 0.0) * 1e3,
+            total,
+        )
+    table.add_note("LP dominates and scales with the O(n^2)-point model size")
+    report(table, "perf_scaling_long")
+
+    gen = long_window_instance(16, 2, 10.0, seed=16)
+    benchmark(lambda: solver.solve(gen.instance))
+
+
+def bench_perf_scaling_short(benchmark, report):
+    solver = ShortWindowSolver()
+    table = Table(
+        title="PERF (short side): per-stage wall time vs n",
+        columns=["n", "partition ms", "mm ms", "lift ms", "validate ms", "intervals"],
+    )
+    for n in SHORT_SIZES:
+        gen = short_window_instance(n, 2, 10.0, seed=n)
+        result = solver.solve(gen.instance)
+        wt = result.wall_times
+        table.add_row(
+            n,
+            wt["partition"] * 1e3,
+            wt["mm"] * 1e3,
+            wt["lift"] * 1e3,
+            wt.get("validate", 0.0) * 1e3,
+            len(result.intervals),
+        )
+    table.add_note(
+        "the MM black box dominates; its cost is per-interval, so the total "
+        "grows with the number of occupied intervals, not the horizon"
+    )
+    report(table, "perf_scaling_short")
+
+    gen = short_window_instance(20, 2, 10.0, seed=20)
+    benchmark(lambda: solver.solve(gen.instance))

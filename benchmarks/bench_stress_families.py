@@ -1,0 +1,77 @@
+"""STRESS — the combined solver across every workload family.
+
+Not a single paper artifact but the robustness sweep a release needs: every
+generator family (including the adversarially-shaped ones) through the full
+Theorem 1 stack, with validation, simulation, and ratio accounting.
+Expected shape: feasible everywhere; ratios highest on rigid/heavy-tail
+inputs (least scheduling freedom / hardest packing) and lowest on roomy
+long-window inputs.
+"""
+
+from __future__ import annotations
+
+from repro import solve_ise
+from repro.analysis import Table, ratio
+from repro.core import validate_ise
+from repro.instances import (
+    clustered_instance,
+    heavy_tail_instance,
+    long_window_instance,
+    mixed_instance,
+    rigid_instance,
+    short_window_instance,
+    staircase_instance,
+    unit_instance,
+)
+from repro.postopt import consolidate
+from repro.sim import simulate
+
+FAMILIES = [
+    ("long", lambda s: long_window_instance(16, 2, 10.0, s)),
+    ("short", lambda s: short_window_instance(16, 2, 10.0, s)),
+    ("mixed", lambda s: mixed_instance(16, 2, 10.0, s)),
+    ("clustered", lambda s: clustered_instance(16, 2, 10.0, s)),
+    ("rigid", lambda s: rigid_instance(16, 2, 10.0, s)),
+    ("staircase", lambda s: staircase_instance(16, 2, 10.0, s)),
+    ("heavy_tail", lambda s: heavy_tail_instance(16, 2, 10.0, s)),
+    ("unit", lambda s: unit_instance(16, 2, 4, s)),
+]
+SEEDS = [0, 1]
+
+
+def bench_stress_families(benchmark, report):
+    table = Table(
+        title="STRESS: combined solver across all workload families",
+        columns=[
+            "family", "seed", "cals", "after postopt", "LB", "ratio",
+            "machines", "valid", "sim ok",
+        ],
+    )
+    for name, make in FAMILIES:
+        for seed in SEEDS:
+            gen = make(seed)
+            result = solve_ise(gen.instance)
+            improved = consolidate(gen.instance, result.schedule)
+            valid = validate_ise(gen.instance, improved.schedule).ok
+            sim_ok = simulate(gen.instance, improved.schedule).ok
+            lb = result.lower_bound.best
+            table.add_row(
+                name, seed,
+                result.num_calibrations,
+                improved.final_calibrations,
+                lb,
+                ratio(improved.final_calibrations, lb),
+                result.machines_used,
+                valid,
+                sim_ok,
+            )
+            assert valid and sim_ok
+            assert improved.final_calibrations >= lb - 1e-6
+    table.add_note(
+        "every family feasible end-to-end (solver -> postopt -> validator "
+        "-> simulator); hardest ratios on the least-slack families"
+    )
+    report(table, "stress_families")
+
+    gen = FAMILIES[2][1](0)
+    benchmark(lambda: solve_ise(gen.instance))

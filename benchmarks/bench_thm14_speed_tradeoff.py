@@ -1,0 +1,61 @@
+"""T14 — empirical verification of Theorem 14 (machines-for-speed trade).
+
+Paper claim: the TISE solution on 18m speed-1 machines transforms into an
+ISE schedule on m machines at speed 36 with no more calibrations
+(Lemma 13 charges every target calibration to a source calibration).
+
+Measured here: machine count collapses to m, speed is exactly 36,
+calibration count never increases, and the result stays ISE-feasible — plus
+the intermediate trade-offs c = 2, 6 showing the full machines/speed curve.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import Table
+from repro.core import validate_ise
+from repro.instances import long_window_instance
+from repro.longwindow import LongWindowSolver, machines_to_speed
+
+SWEEP = [(10, 1, 0), (12, 2, 1), (16, 2, 2), (16, 3, 3)]
+GROUPS = [2, 6, 18]
+
+
+def bench_thm14_speed_tradeoff(benchmark, report):
+    solver = LongWindowSolver()
+    table = Table(
+        title="T14: Lemma 13 machines-for-speed curve",
+        columns=[
+            "n", "m", "seed", "c", "machines", "speed",
+            "cals src", "cals tgt (<=src)", "valid",
+        ],
+    )
+    prepared = []
+    for n, m, seed in SWEEP:
+        gen = long_window_instance(n, m, 10.0, seed)
+        base = solver.solve(gen.instance)
+        prepared.append((gen, base))
+        for c in GROUPS:
+            traded = machines_to_speed(gen.instance, base.schedule, c)
+            valid = validate_ise(gen.instance, traded.schedule).ok
+            table.add_row(
+                n, m, seed, c,
+                traded.schedule.num_machines,
+                traded.schedule.speed,
+                traded.source_calibrations,
+                traded.target_calibrations,
+                valid,
+            )
+            assert valid
+            assert traded.target_calibrations <= traded.source_calibrations
+            if c == 18:
+                # Theorem 14: m machines at speed 36.
+                assert traded.schedule.num_machines <= m
+                assert traded.schedule.speed == 36.0
+    table.add_note(
+        "c = 18 rows realize Theorem 14 exactly: m machines, speed 36, "
+        "calibrations <= the Theorem 12 count (hence <= 12 C*)"
+    )
+    report(table, "thm14_speed_tradeoff")
+
+    gen, base = prepared[1]
+    benchmark(lambda: machines_to_speed(gen.instance, base.schedule, 18))

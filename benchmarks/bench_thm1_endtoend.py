@@ -1,0 +1,67 @@
+"""T1 — the headline result: the combined solver on mixed workloads.
+
+Paper claim (Theorem 1): given an s-speed O(alpha)-approximate MM black box,
+the combined algorithm is an O(alpha)-machine s-speed O(alpha)-approximation
+for ISE.
+
+Measured here: end-to-end calibrations vs the certified combined lower
+bound, against the two naive baselines.  Expected shape ("who wins, by what
+factor"): the combined solver beats one-calibration-per-job by the sharing
+factor and beats the always-calibrated policy by a factor growing with the
+workload's idle gaps (dramatic on the clustered family).
+"""
+
+from __future__ import annotations
+
+from repro import solve_ise
+from repro.analysis import Table, ratio
+from repro.baselines import always_calibrated, one_calibration_per_job
+from repro.core import validate_ise
+from repro.instances import clustered_instance, mixed_instance
+
+SWEEP = [
+    ("mixed", lambda s: mixed_instance(20, 2, 10.0, s)),
+    ("mixed", lambda s: mixed_instance(30, 3, 10.0, s + 10)),
+    ("clustered", lambda s: clustered_instance(24, 2, 10.0, s)),
+    ("clustered", lambda s: clustered_instance(24, 2, 10.0, s, intercluster_gap_factor=12.0)),
+]
+SEEDS = [0, 1]
+
+
+def bench_thm1_endtoend(benchmark, report):
+    table = Table(
+        title="T1: combined solver vs baselines (calibrations)",
+        columns=[
+            "family", "seed", "LB", "ours", "ratio",
+            "per-job", "always-cal", "win vs per-job", "win vs always",
+        ],
+    )
+    wins_perjob = []
+    wins_always = []
+    for family, make in SWEEP:
+        for seed in SEEDS:
+            gen = make(seed)
+            result = solve_ise(gen.instance)
+            assert validate_ise(gen.instance, result.schedule).ok
+            perjob = one_calibration_per_job(gen.instance).num_calibrations
+            always = always_calibrated(gen.instance).num_calibrations
+            lb = result.lower_bound.best
+            ours = result.num_calibrations
+            table.add_row(
+                family, seed, lb, ours, ratio(ours, lb),
+                perjob, always,
+                ratio(perjob, ours), ratio(always, ours),
+            )
+            wins_perjob.append(perjob / max(ours, 1))
+            wins_always.append(always / max(ours, 1))
+    table.add_note(
+        f"mean win vs per-job {sum(wins_perjob)/len(wins_perjob):.2f}x, "
+        f"vs always-calibrated {sum(wins_always)/len(wins_always):.2f}x "
+        "(always-calibrated pays for idle gaps -> largest on clustered)"
+    )
+    report(table, "thm1_endtoend")
+    # The combined solver should win on average against both baselines.
+    assert sum(wins_always) / len(wins_always) > 1.0
+
+    gen = mixed_instance(20, 2, 10.0, 0)
+    benchmark(lambda: solve_ise(gen.instance))

@@ -1,0 +1,28 @@
+"""Shared fixtures for the benchmark harness.
+
+Every bench prints a paper-style result table to stdout AND mirrors it into
+``benchmarks/results/<experiment>.txt`` so the regenerated "figures" survive
+the run.  The pytest-benchmark fixture times a representative kernel of each
+experiment; the table contents are the reproduction artifact.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import Table, write_report
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def report():
+    """Return a function that prints a Table and mirrors it to results/."""
+
+    def _report(table: Table, name: str) -> None:
+        table.print()
+        write_report(table, RESULTS_DIR, name)
+
+    return _report

@@ -1,0 +1,80 @@
+"""Plugging your own machine-minimization algorithm into Theorem 1.
+
+The paper's main theorem is a *black-box reduction*: any s-speed
+alpha-approximate MM algorithm yields an O(alpha)-machine s-speed
+O(alpha)-approximate ISE algorithm.  The library mirrors that: anything
+implementing the two-method `MMAlgorithm` protocol can drive the
+short-window pipeline.
+
+This example implements a deliberately naive MM black box (one machine per
+job), plugs it into the combined solver, and compares it against the
+bundled boxes — making the alpha-dependence of Theorem 1 tangible.
+
+Run:  python examples/custom_mm_black_box.py
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro import ISEConfig, solve_ise
+from repro.analysis import Table
+from repro.core import Job, ScheduledJob, validate_ise
+from repro.instances import short_window_instance
+from repro.mm import MMSchedule, check_mm
+
+
+@dataclass
+class OneMachinePerJobMM:
+    """The worst reasonable MM black box: w = n, each job alone at r_j.
+
+    Its approximation factor alpha is as bad as n/w*; Theorem 1 then only
+    promises an O(n/w*) ISE approximation — watch the calibration count
+    inflate accordingly.
+    """
+
+    name: str = "one-machine-per-job"
+
+    def solve(self, jobs: Sequence[Job], speed: float = 1.0) -> MMSchedule:
+        placements = tuple(
+            ScheduledJob(start=job.release, machine=i, job_id=job.job_id)
+            for i, job in enumerate(jobs)
+        )
+        schedule = MMSchedule(
+            placements=placements, num_machines=len(jobs), speed=speed
+        )
+        check_mm(jobs, schedule, context=self.name)
+        return schedule
+
+
+def main() -> None:
+    gen = short_window_instance(n=20, machines=2, calibration_length=10.0, seed=5)
+    instance = gen.instance
+
+    table = Table(
+        title="Theorem 1 with different MM black boxes",
+        columns=["MM black box", "calibrations", "machines used", "valid"],
+    )
+    boxes = ["exact-ish (auto)", "best_greedy", "lp_rounding", "custom naive"]
+    configs = [
+        ISEConfig(mm_algorithm="auto"),
+        ISEConfig(mm_algorithm="best_greedy"),
+        ISEConfig(mm_algorithm="lp_rounding"),
+        ISEConfig(mm_algorithm=OneMachinePerJobMM()),
+    ]
+    for label, config in zip(boxes, configs):
+        result = solve_ise(instance, config)
+        ok = validate_ise(instance, result.schedule).ok
+        table.add_row(label, result.num_calibrations, result.machines_used, ok)
+        assert ok
+    table.add_note(
+        "feasibility is unconditional (the reduction never breaks), but the "
+        "objective degrades exactly with the black box's alpha — the "
+        "content of Theorem 1"
+    )
+    table.print()
+
+
+if __name__ == "__main__":
+    main()

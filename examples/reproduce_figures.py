@@ -1,0 +1,82 @@
+"""Reproduce the paper's three figures in the terminal.
+
+Runs the exact constructions behind Figures 1-3 of Fineman & Sheridan
+(SPAA 2015) on the reconstructed example data and renders them as ASCII —
+the fastest way to *see* the paper's machinery working.
+
+Run:  python examples/reproduce_figures.py
+"""
+
+from __future__ import annotations
+
+from repro.core import validate_ise, validate_tise
+from repro.instances import (
+    figure1_instance,
+    figure2_fractional_calibrations,
+    figure3_inputs,
+)
+from repro.longwindow import augmented_round, ise_to_tise, rounded_start_times
+from repro.viz import render_fractional_calibrations, render_schedule, render_windows
+
+
+def figure1() -> None:
+    print("=" * 72)
+    print("Figure 1 — Lemma 2: ISE schedule -> TISE schedule (3x machines)")
+    print("=" * 72)
+    instance, ise_schedule = figure1_instance()
+    assert validate_ise(instance, ise_schedule).ok
+
+    print("\n(A) job windows (lines are [r_j, d_j)):\n")
+    print(render_windows(instance.jobs))
+
+    print("\n(B) the feasible ISE schedule on machine i:\n")
+    print(render_schedule(instance, ise_schedule))
+
+    tise_schedule, traces = ise_to_tise(instance, ise_schedule)
+    assert validate_tise(instance, tise_schedule).ok
+    print("\n(C) the constructed TISE schedule on i' (m0), i+ (m1), i- (m2):\n")
+    print(render_schedule(instance, tise_schedule))
+    moved = {t.job_id: t.action for t in traces if t.action != "keep"}
+    print(f"\nmoves: {moved}  (paper: jobs 1, 5 advanced; job 7 delayed)")
+
+
+def figure2() -> None:
+    print("\n" + "=" * 72)
+    print("Figure 2 — Algorithm 1: rounding fractional calibrations")
+    print("=" * 72)
+    fractional = figure2_fractional_calibrations()
+    emitted = rounded_start_times(fractional)
+    print("\nbars = fractional mass C_t; '*' = emitted integer calibrations:\n")
+    print(render_fractional_calibrations(fractional, emitted))
+    print(
+        f"\nemitted at t={emitted}: one calibration when the running total "
+        "crosses 1/2 (after the 2nd point), two at the 4th (crossing 1 and 3/2)"
+    )
+
+
+def figure3() -> None:
+    print("\n" + "=" * 72)
+    print("Figure 3 — Algorithm 3: fractional write-back and the discard")
+    print("=" * 72)
+    jobs, calibrations, assignments = figure3_inputs()
+    result = augmented_round(jobs, calibrations, assignments, 10.0)
+    print()
+    for job in jobs:
+        assigned = sum(x for (j, _), x in assignments.items() if j == job.job_id)
+        written = result.assignment.coverage(job.job_id)
+        discarded = result.discarded.get(job.job_id, 0.0)
+        print(
+            f"job {job.job_id}: assigned {assigned:.2f}, written (2x "
+            f"write-back) {written:.2f}, discarded tail {discarded:.2f}"
+        )
+    print(
+        "\njob 2's mass at t=5 is delayed past its TISE-latest point (t=6) "
+        "and discarded;\nLemma 5 bounds the discard by the carryover (<= 1/2) "
+        f"— observed max(y - carryover) = {result.max_y_minus_carryover:.2e}"
+    )
+
+
+if __name__ == "__main__":
+    figure1()
+    figure2()
+    figure3()

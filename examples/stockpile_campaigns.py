@@ -1,0 +1,65 @@
+"""Stockpile-evaluation campaigns: the workload that motivates the ISE problem.
+
+The ISE problem comes from Sandia's Integrated Stockpile Evaluation program:
+weapons tests arrive in campaigns (bursts), testing devices must be
+calibrated to be usable, and calibrations are the expensive resource.  The
+operational strawman is to keep devices calibrated continuously ("always
+ready"); the paper's algorithms instead place calibrations only where the
+workload needs them.
+
+This example quantifies that gap on bursty campaign workloads with growing
+idle periods between campaigns.
+
+Run:  python examples/stockpile_campaigns.py
+"""
+
+from __future__ import annotations
+
+from repro import solve_ise
+from repro.analysis import Table
+from repro.baselines import always_calibrated, one_calibration_per_job
+from repro.core import validate_ise
+from repro.instances import clustered_instance
+
+
+def main() -> None:
+    T = 10.0
+    table = Table(
+        title="campaign workloads: calibrations by policy",
+        columns=[
+            "gap between campaigns", "lower bound", "ISE solver",
+            "per-test calibration", "always calibrated", "saving vs always",
+        ],
+    )
+    for gap_factor in (2.0, 6.0, 12.0, 24.0):
+        gen = clustered_instance(
+            n=24,
+            machines=2,
+            calibration_length=T,
+            seed=7,
+            num_clusters=3,
+            intercluster_gap_factor=gap_factor,
+        )
+        result = solve_ise(gen.instance)
+        assert validate_ise(gen.instance, result.schedule).ok
+        per_job = one_calibration_per_job(gen.instance).num_calibrations
+        always = always_calibrated(gen.instance).num_calibrations
+        table.add_row(
+            f"{gap_factor:g} T",
+            result.lower_bound.best,
+            result.num_calibrations,
+            per_job,
+            always,
+            f"{always / result.num_calibrations:.1f}x",
+        )
+    table.add_note(
+        "the always-calibrated policy pays per unit of wall-clock time, so "
+        "its cost grows with the campaign gaps while the ISE solver's cost "
+        "tracks the workload — the core economic argument for calibration "
+        "scheduling"
+    )
+    table.print()
+
+
+if __name__ == "__main__":
+    main()

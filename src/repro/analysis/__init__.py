@@ -1,0 +1,56 @@
+"""Lower bounds, metrics, and report formatting."""
+
+from .lower_bounds import (
+    LowerBoundBreakdown,
+    combined_lower_bound,
+    long_window_lower_bound,
+    long_window_milp_lower_bound,
+    short_window_lower_bound,
+    work_lower_bound,
+)
+from .augmentation import (
+    AugmentationPoint,
+    augmentation_frontier,
+    frontier_table,
+    minimum_speed,
+)
+from .distributions import FamilyStats, aggregate_by_family, distribution_table
+from .html_report import render_html_report, save_html_report
+from .metrics import ScheduleMetrics, ratio, summarize_schedule
+from .report import Table, format_value, write_report
+from .sweep import (
+    FAMILY_GENERATORS,
+    SweepCase,
+    SweepOutcome,
+    run_sweep,
+    sweep_table,
+)
+
+__all__ = [
+    "work_lower_bound",
+    "long_window_lower_bound",
+    "long_window_milp_lower_bound",
+    "short_window_lower_bound",
+    "combined_lower_bound",
+    "LowerBoundBreakdown",
+    "ratio",
+    "ScheduleMetrics",
+    "summarize_schedule",
+    "Table",
+    "format_value",
+    "write_report",
+    "SweepCase",
+    "SweepOutcome",
+    "run_sweep",
+    "sweep_table",
+    "FAMILY_GENERATORS",
+    "render_html_report",
+    "save_html_report",
+    "FamilyStats",
+    "aggregate_by_family",
+    "distribution_table",
+    "AugmentationPoint",
+    "augmentation_frontier",
+    "frontier_table",
+    "minimum_speed",
+]

@@ -1,0 +1,164 @@
+"""Resource-augmentation explorer: how much speed does an instance need?
+
+The paper works in the `w`-machine `s`-speed augmentation model (Phillips et
+al.), motivated by ISE feasibility being NP-hard.  This module measures the
+model's central quantity on concrete instances: the minimal machine speed at
+which a job set becomes (nonpreemptively) schedulable on ``m`` machines —
+and the full machines-versus-speed feasibility frontier.
+
+Monotonicity makes both well-defined: raising the speed shrinks every
+execution, so feasibility at speed ``s`` implies feasibility at ``s' > s``
+(keep the same start times), and likewise for adding machines.
+
+The frontier answers the practical procurement question behind Theorem 14's
+trade: fewer, faster testers versus more, slower ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.errors import LimitExceededError
+from ..core.job import Instance, Job
+from ..mm.exact import feasible_on_machines
+from ..mm.greedy import ORDERINGS, try_schedule_on_w_machines
+from ..mm.preemptive_bound import preemptive_feasible
+from .report import Table
+
+__all__ = [
+    "minimum_speed",
+    "AugmentationPoint",
+    "augmentation_frontier",
+    "frontier_table",
+]
+
+
+def _feasible_at_speed(
+    jobs: Sequence[Job],
+    machines: int,
+    speed: float,
+    method: str,
+    node_budget: int,
+) -> bool:
+    if method == "preemptive":
+        return preemptive_feasible(jobs, machines, speed)
+    if method == "greedy":
+        return any(
+            try_schedule_on_w_machines(jobs, machines, speed, key) is not None
+            for key in ORDERINGS.values()
+        )
+    if method == "exact":
+        try:
+            return (
+                feasible_on_machines(
+                    jobs, machines, speed, node_budget=node_budget
+                )
+                is not None
+            )
+        except LimitExceededError:
+            # Fall back to the heuristic: feasibility found heuristically is
+            # sound; a heuristic "no" may overstate the needed speed, which
+            # only makes the reported frontier conservative.
+            return any(
+                try_schedule_on_w_machines(jobs, machines, speed, key)
+                is not None
+                for key in ORDERINGS.values()
+            )
+    raise ValueError(f"unknown method {method!r}")
+
+
+def minimum_speed(
+    jobs: Sequence[Job],
+    machines: int,
+    method: str = "exact",
+    precision: float = 1e-3,
+    max_speed: float = 64.0,
+    node_budget: int = 100_000,
+) -> float:
+    """Minimal speed making ``jobs`` schedulable on ``machines`` machines.
+
+    Binary search over speed; ``method`` selects the feasibility oracle:
+    ``"preemptive"`` (max-flow; a lower bound on the true requirement),
+    ``"greedy"`` (list scheduling; an upper bound), or ``"exact"``
+    (branch-and-bound, heuristic fallback on budget exhaustion).
+
+    Returns ``max_speed`` if even that is insufficient per the oracle (for
+    ``greedy`` this can happen on feasible instances; for ``exact`` it
+    certifies a pathological input).
+    """
+    if not jobs:
+        return 1.0
+    lo, hi = 0.0, 1.0
+    # Exponential search for a feasible upper end first.
+    while not _feasible_at_speed(jobs, machines, hi, method, node_budget):
+        lo = hi
+        hi *= 2.0
+        if hi > max_speed:
+            return max_speed
+    lo = max(lo, precision)
+    while hi - lo > precision:
+        mid = (lo + hi) / 2.0
+        if _feasible_at_speed(jobs, machines, mid, method, node_budget):
+            hi = mid
+        else:
+            lo = mid
+    return hi
+
+
+@dataclass(frozen=True)
+class AugmentationPoint:
+    """One point of the machines-versus-speed feasibility frontier."""
+
+    machines: int
+    speed_preemptive: float
+    """Lower bound on the required speed (preemptive relaxation)."""
+    speed_achievable: float
+    """Speed at which the chosen constructive oracle succeeds."""
+
+
+def augmentation_frontier(
+    instance: Instance,
+    max_machines: int | None = None,
+    method: str = "exact",
+    precision: float = 1e-3,
+) -> list[AugmentationPoint]:
+    """The full frontier for ``m = 1 .. max_machines`` (default: instance m + 2)."""
+    limit = max_machines if max_machines is not None else instance.machines + 2
+    out: list[AugmentationPoint] = []
+    for m in range(1, limit + 1):
+        out.append(
+            AugmentationPoint(
+                machines=m,
+                speed_preemptive=minimum_speed(
+                    instance.jobs, m, method="preemptive", precision=precision
+                ),
+                speed_achievable=minimum_speed(
+                    instance.jobs, m, method=method, precision=precision
+                ),
+            )
+        )
+    return out
+
+
+def frontier_table(
+    points: Sequence[AugmentationPoint], title: str = "augmentation frontier"
+) -> Table:
+    """Tabulate a frontier in the standard report format."""
+    table = Table(
+        title=title,
+        columns=["machines", "speed LB (preemptive)", "speed achievable", "gap"],
+    )
+    for point in points:
+        gap = (
+            point.speed_achievable / point.speed_preemptive
+            if point.speed_preemptive > 0
+            else float("inf")
+        )
+        table.add_row(
+            point.machines,
+            point.speed_preemptive,
+            point.speed_achievable,
+            gap,
+        )
+    return table

@@ -1,0 +1,90 @@
+"""Aggregate statistics over sweep outcomes.
+
+Turns a list of :class:`~repro.analysis.sweep.SweepOutcome` records into the
+distributional summary a paper's evaluation section would report: per-family
+mean/median/p95 of the quality ratio, mean post-optimization recovery, and
+solve-time statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from .report import Table
+from .sweep import SweepOutcome
+
+__all__ = ["FamilyStats", "aggregate_by_family", "distribution_table"]
+
+
+@dataclass(frozen=True)
+class FamilyStats:
+    """Distributional summary of one family's sweep outcomes."""
+
+    family: str
+    cases: int
+    ratio_mean: float
+    ratio_median: float
+    ratio_p95: float
+    ratio_max: float
+    postopt_recovery_mean: float
+    """Mean fraction of calibrations removed by post-optimization."""
+    wall_ms_mean: float
+    all_valid: bool
+
+
+def aggregate_by_family(outcomes: Sequence[SweepOutcome]) -> list[FamilyStats]:
+    """Group outcomes by family and summarize; sorted by family name."""
+    by_family: dict[str, list[SweepOutcome]] = {}
+    for outcome in outcomes:
+        by_family.setdefault(outcome.case.family, []).append(outcome)
+    stats: list[FamilyStats] = []
+    for family in sorted(by_family):
+        group = by_family[family]
+        ratios = np.array([o.quality_ratio for o in group], dtype=float)
+        recovery = np.array(
+            [
+                (o.calibrations - o.calibrations_postopt) / o.calibrations
+                if o.calibrations
+                else 0.0
+                for o in group
+            ],
+            dtype=float,
+        )
+        walls = np.array([o.wall_seconds for o in group], dtype=float)
+        stats.append(
+            FamilyStats(
+                family=family,
+                cases=len(group),
+                ratio_mean=float(ratios.mean()),
+                ratio_median=float(np.median(ratios)),
+                ratio_p95=float(np.percentile(ratios, 95)),
+                ratio_max=float(ratios.max()),
+                postopt_recovery_mean=float(recovery.mean()),
+                wall_ms_mean=float(walls.mean() * 1e3),
+                all_valid=all(o.valid for o in group),
+            )
+        )
+    return stats
+
+
+def distribution_table(
+    outcomes: Sequence[SweepOutcome], title: str = "quality distribution"
+) -> Table:
+    """Tabulate :func:`aggregate_by_family` in the standard report format."""
+    table = Table(
+        title=title,
+        columns=[
+            "family", "cases", "ratio mean", "median", "p95", "max",
+            "postopt recovery", "mean ms", "all valid",
+        ],
+    )
+    for s in aggregate_by_family(outcomes):
+        table.add_row(
+            s.family, s.cases, s.ratio_mean, s.ratio_median, s.ratio_p95,
+            s.ratio_max, f"{s.postopt_recovery_mean:.0%}", s.wall_ms_mean,
+            s.all_valid,
+        )
+    return table

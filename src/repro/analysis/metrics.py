@@ -1,0 +1,73 @@
+"""Solution-quality metrics shared by tests, benches, and examples."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.job import Instance
+from ..core.schedule import Schedule
+
+__all__ = ["ratio", "ScheduleMetrics", "summarize_schedule"]
+
+
+def ratio(value: float, lower_bound: float) -> float:
+    """``value / lower_bound`` with the 0/0 = 1 convention.
+
+    A ratio against a lower bound upper-bounds the true approximation ratio.
+    """
+    if lower_bound <= 0:
+        return 1.0 if value <= 0 else float("inf")
+    return value / lower_bound
+
+
+@dataclass(frozen=True)
+class ScheduleMetrics:
+    """Headline numbers for one schedule on one instance."""
+
+    num_calibrations: int
+    machines_used: int
+    speed: float
+    calibrated_time: float
+    """Total calibrated machine-time (``num_calibrations * T``)."""
+    busy_time: float
+    """Total executed work at the schedule's speed."""
+    utilization: float
+    """``busy_time / calibrated_time`` — how much calibrated time is used."""
+    horizon: tuple[float, float]
+
+    def row(self) -> dict[str, float | int | str]:
+        return {
+            "calibrations": self.num_calibrations,
+            "machines": self.machines_used,
+            "speed": self.speed,
+            "utilization": round(self.utilization, 4),
+        }
+
+
+def summarize_schedule(instance: Instance, schedule: Schedule) -> ScheduleMetrics:
+    """Compute :class:`ScheduleMetrics` for a schedule of ``instance``."""
+    T = schedule.calibration_length
+    job_map = instance.job_map()
+    busy = sum(
+        job_map[p.job_id].processing / schedule.speed
+        for p in schedule.placements
+        if p.job_id in job_map
+    )
+    calibrated = schedule.num_calibrations * T
+    machines_used = len(
+        {c.machine for c in schedule.calibrations}
+        | {p.machine for p in schedule.placements}
+    )
+    times = [c.start for c in schedule.calibrations]
+    horizon = (
+        (min(times), max(times) + T) if times else (0.0, 0.0)
+    )
+    return ScheduleMetrics(
+        num_calibrations=schedule.num_calibrations,
+        machines_used=machines_used,
+        speed=schedule.speed,
+        calibrated_time=calibrated,
+        busy_time=busy,
+        utilization=(busy / calibrated) if calibrated > 0 else 0.0,
+        horizon=horizon,
+    )

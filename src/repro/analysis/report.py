@@ -1,0 +1,85 @@
+"""Fixed-width table rendering for the benchmark harness.
+
+The benches print paper-style result tables to stdout and mirror them into
+``benchmarks/results/``; this module is the single formatter so every
+experiment reports in the same shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Sequence
+
+__all__ = ["Table", "format_value", "write_report"]
+
+
+def format_value(value: Any) -> str:
+    """Consistent scalar formatting: floats to 3 decimals, pass-through else."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if value in (float("inf"), float("-inf")):
+            return "inf" if value > 0 else "-inf"
+        if abs(value - round(value)) < 1e-9 and abs(value) < 1e12:
+            return str(int(round(value)))
+        return f"{value:.3f}"
+    return str(value)
+
+
+@dataclass
+class Table:
+    """A fixed-width text table with a title and aligned columns."""
+
+    title: str
+    columns: Sequence[str]
+    rows: list[list[str]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *values: Any, **named: Any) -> None:
+        """Append a row; positional values map to columns in order.
+
+        Keyword form ``add_row(col=value, ...)`` is also supported (all
+        columns must be provided).
+        """
+        if values and named:
+            raise ValueError("use either positional or named values, not both")
+        if named:
+            values = tuple(named[c] for c in self.columns)
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} values, got {len(values)}"
+            )
+        self.rows.append([format_value(v) for v in values])
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def render(self) -> str:
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        sep = "-+-".join("-" * w for w in widths)
+        header = " | ".join(c.ljust(w) for c, w in zip(self.columns, widths))
+        lines = [f"== {self.title} ==", header, sep]
+        for row in self.rows:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+    def print(self) -> None:
+        print()
+        print(self.render())
+
+
+def write_report(table: Table, directory: str | Path, name: str) -> Path:
+    """Mirror a rendered table into ``directory/name.txt``; returns the path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{name}.txt"
+    path.write_text(table.render() + "\n")
+    return path

@@ -1,0 +1,143 @@
+"""Parameter-sweep experiment runner.
+
+A light harness for "solve this family across these parameters and tabulate
+quality" studies — the programmatic form of what the benchmark files do,
+exposed so users can run their own sweeps (and via ``repro-ise sweep`` on
+the command line).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+from typing import TYPE_CHECKING
+
+from ..core.job import Instance
+from ..core.validate import validate_ise
+
+if TYPE_CHECKING:  # import at runtime inside run_sweep: core.solver imports
+    from ..core.solver import ISEConfig  # this package (cycle otherwise)
+from ..instances.generators import (
+    GeneratedInstance,
+    clustered_instance,
+    heavy_tail_instance,
+    long_window_instance,
+    mixed_instance,
+    rigid_instance,
+    short_window_instance,
+    staircase_instance,
+    unit_instance,
+)
+from ..postopt import consolidate
+from .metrics import ratio
+from .report import Table
+
+__all__ = ["SweepCase", "SweepOutcome", "run_sweep", "sweep_table", "FAMILY_GENERATORS"]
+
+FAMILY_GENERATORS: dict[str, Callable[..., GeneratedInstance]] = {
+    "long": long_window_instance,
+    "short": short_window_instance,
+    "mixed": mixed_instance,
+    "clustered": clustered_instance,
+    "rigid": rigid_instance,
+    "staircase": staircase_instance,
+    "heavy_tail": heavy_tail_instance,
+    "unit": unit_instance,
+}
+
+
+@dataclass(frozen=True)
+class SweepCase:
+    """One point of a sweep: a family plus its generator parameters."""
+
+    family: str
+    n: int
+    machines: int
+    calibration_length: float
+    seed: int
+
+    def generate(self) -> GeneratedInstance:
+        generator = FAMILY_GENERATORS[self.family]
+        T = self.calibration_length
+        if self.family == "unit":
+            T = int(T)
+        return generator(self.n, self.machines, T, self.seed)
+
+
+@dataclass(frozen=True)
+class SweepOutcome:
+    """Quality record for one solved case."""
+
+    case: SweepCase
+    calibrations: int
+    calibrations_postopt: int
+    lower_bound: float
+    machines_used: int
+    valid: bool
+    wall_seconds: float
+
+    @property
+    def quality_ratio(self) -> float:
+        return ratio(self.calibrations_postopt, self.lower_bound)
+
+
+def run_sweep(
+    cases: Iterable[SweepCase],
+    config: "ISEConfig | None" = None,
+    postopt: bool = True,
+) -> list[SweepOutcome]:
+    """Solve every case; returns outcomes in input order.
+
+    Each case is validated independently; an infeasible output surfaces as
+    ``valid=False`` rather than an exception so sweeps complete.
+    """
+    from ..core.solver import solve_ise  # deferred: avoids an import cycle
+
+    outcomes: list[SweepOutcome] = []
+    for case in cases:
+        generated = case.generate()
+        instance = generated.instance
+        tic = time.perf_counter()
+        result = solve_ise(instance, config)
+        schedule = result.schedule
+        after = result.num_calibrations
+        if postopt:
+            improved = consolidate(instance, schedule)
+            schedule = improved.schedule
+            after = improved.final_calibrations
+        wall = time.perf_counter() - tic
+        outcomes.append(
+            SweepOutcome(
+                case=case,
+                calibrations=result.num_calibrations,
+                calibrations_postopt=after,
+                lower_bound=result.lower_bound.best,
+                machines_used=result.machines_used,
+                valid=validate_ise(instance, schedule).ok,
+                wall_seconds=wall,
+            )
+        )
+    return outcomes
+
+
+def sweep_table(outcomes: Sequence[SweepOutcome], title: str = "sweep") -> Table:
+    """Tabulate sweep outcomes in the standard report format."""
+    table = Table(
+        title=title,
+        columns=[
+            "family", "n", "m", "T", "seed", "cals", "postopt", "LB",
+            "ratio", "machines", "valid", "ms",
+        ],
+    )
+    for outcome in outcomes:
+        case = outcome.case
+        table.add_row(
+            case.family, case.n, case.machines, case.calibration_length,
+            case.seed, outcome.calibrations, outcome.calibrations_postopt,
+            outcome.lower_bound, outcome.quality_ratio,
+            outcome.machines_used, outcome.valid,
+            outcome.wall_seconds * 1e3,
+        )
+    return table

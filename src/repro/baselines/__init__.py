@@ -1,0 +1,18 @@
+"""Baselines: naive policies, prior-work lazy binning, and exact solvers."""
+
+from .bender_unit import edf_feasible_from, lazy_binning, simulate_edf_from
+from .exact import exact_unit_calibrations, tise_milp_bound, unit_matching_feasible
+from .greedy_tise import lazy_tise_greedy
+from .naive import always_calibrated, one_calibration_per_job
+
+__all__ = [
+    "one_calibration_per_job",
+    "always_calibrated",
+    "lazy_tise_greedy",
+    "lazy_binning",
+    "edf_feasible_from",
+    "simulate_edf_from",
+    "tise_milp_bound",
+    "exact_unit_calibrations",
+    "unit_matching_feasible",
+]

@@ -1,0 +1,103 @@
+"""A direct lazy-greedy heuristic for long-window ISE (LP-free baseline).
+
+The Section 3 pipeline buys its worst-case guarantee with an LP solve and
+constant-factor machinery.  This baseline asks: how well does plain lazy
+greed do on the same inputs?
+
+Strategy (in the spirit of Bender et al.'s lazy binning, generalized to
+non-unit jobs through the TISE restriction):
+
+1. among unscheduled jobs, find the most urgent TISE-latest point
+   ``L = min_j (d_j - T)``;
+2. open one calibration at exactly ``L`` — as late as that job permits
+   (laziness maximizes how many other windows contain the calibration);
+3. fill it with eligible unscheduled jobs (TISE-feasible at ``L``) in EDF
+   order under the capacity ``T``, always including the urgent job first;
+4. repeat; finally pack the calibrations onto machines by interval coloring.
+
+Always succeeds on long-window instances (every job is eligible at its own
+latest point), uses no LP, and has no approximation guarantee — the BASE2
+bench measures where it beats the Theorem 12 pipeline and where it loses.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.calibration import Calibration, CalibrationSchedule
+from ..core.errors import InvalidInstanceError
+from ..core.job import Instance, Job
+from ..core.schedule import Schedule, ScheduledJob
+from ..core.tolerance import EPS, leq
+from ..longwindow.tise import tise_feasible_for
+from ..mm.base import color_intervals
+
+__all__ = ["lazy_tise_greedy"]
+
+
+def lazy_tise_greedy(instance: Instance) -> Schedule:
+    """Greedy lazy calibration placement for long-window jobs.
+
+    Raises :class:`InvalidInstanceError` if any job has a short window
+    (``d - r < 2T``): short jobs admit no TISE placement discipline and
+    belong to the Section 4 pipeline.
+    """
+    T = instance.calibration_length
+    for job in instance.jobs:
+        if not job.is_long(T):
+            raise InvalidInstanceError(
+                f"lazy_tise_greedy requires long-window jobs; job "
+                f"{job.job_id} has window {job.window} < 2T"
+            )
+
+    unscheduled: dict[int, Job] = {j.job_id: j for j in instance.jobs}
+    calibration_plan: list[tuple[float, list[tuple[Job, float]]]] = []
+
+    while unscheduled:
+        urgent = min(unscheduled.values(), key=lambda j: (j.deadline - T, j.job_id))
+        t = urgent.deadline - T  # as late as the urgent job permits
+        # Fill: urgent job first, then other eligible jobs EDF-first.
+        contents: list[tuple[Job, float]] = []
+        used = 0.0
+        eligible = [
+            j
+            for j in unscheduled.values()
+            if tise_feasible_for(j, t, T)
+        ]
+        eligible.sort(key=lambda j: (j.deadline, j.job_id))
+        assert eligible and eligible[0].job_id == urgent.job_id or any(
+            j.job_id == urgent.job_id for j in eligible
+        ), "the urgent job is always eligible at its own latest point"
+        # Guarantee the urgent job a slot by placing it first.
+        ordered = [urgent] + [j for j in eligible if j.job_id != urgent.job_id]
+        for job in ordered:
+            if leq(used + job.processing, T):
+                contents.append((job, t + used))
+                used += job.processing
+                del unscheduled[job.job_id]
+        calibration_plan.append((t, contents))
+
+    # Machine assignment: optimal interval coloring of the calibrations.
+    intervals = [
+        (idx, t, t + T) for idx, (t, _) in enumerate(calibration_plan)
+    ]
+    coloring = color_intervals(intervals)
+    machines = max(coloring.values(), default=-1) + 1
+
+    calibrations = tuple(
+        Calibration(start=t, machine=coloring[idx])
+        for idx, (t, _) in enumerate(calibration_plan)
+    )
+    placements = tuple(
+        ScheduledJob(start=start, machine=coloring[idx], job_id=job.job_id)
+        for idx, (_, contents) in enumerate(calibration_plan)
+        for job, start in contents
+    )
+    return Schedule(
+        calibrations=CalibrationSchedule(
+            calibrations=calibrations,
+            num_machines=max(machines, 1),
+            calibration_length=T,
+        ),
+        placements=placements,
+    )

@@ -1,0 +1,173 @@
+"""Naive ISE baselines.
+
+Two strawmen that bracket the solution space from above:
+
+* :func:`one_calibration_per_job` — calibrate once per job, at the job's
+  witness-free earliest start.  Always feasible, always ``n`` calibrations;
+  the paper's algorithms should beat it by the factor at which jobs can
+  share calibrations.
+* :func:`always_calibrated` — keep ``w`` machines calibrated back-to-back
+  over the whole horizon and schedule jobs greedily into that calendar
+  (growing ``w`` until the greedy succeeds).  This models the pre-ISE
+  operational policy ("never let a tester go uncalibrated"); its calibration
+  count scales with the *horizon*, not the workload, so bursty instances
+  make it arbitrarily bad (bench T1 shows the gap).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from ..core.calibration import Calibration, CalibrationSchedule
+from ..core.job import Instance, Job
+from ..core.schedule import Schedule, ScheduledJob
+from ..core.tolerance import EPS, leq
+from ..mm.base import color_intervals
+
+__all__ = ["one_calibration_per_job", "always_calibrated"]
+
+
+def one_calibration_per_job(instance: Instance) -> Schedule:
+    """One dedicated calibration (and execution) per job.
+
+    Each job runs at its release time inside a fresh calibration opened at
+    the same moment; the calibration intervals are packed onto machines with
+    an optimal interval coloring.  Always feasible because
+    ``d_j >= r_j + p_j`` and ``p_j <= T``.
+    """
+    T = instance.calibration_length
+    intervals = [
+        (job.job_id, job.release, job.release + T) for job in instance.jobs
+    ]
+    coloring = color_intervals(intervals)
+    machines = max(coloring.values(), default=-1) + 1
+    calibrations = tuple(
+        Calibration(start=job.release, machine=coloring[job.job_id])
+        for job in instance.jobs
+    )
+    placements = tuple(
+        ScheduledJob(
+            start=job.release, machine=coloring[job.job_id], job_id=job.job_id
+        )
+        for job in instance.jobs
+    )
+    return Schedule(
+        calibrations=CalibrationSchedule(
+            calibrations=calibrations,
+            num_machines=max(machines, 1),
+            calibration_length=T,
+        ),
+        placements=placements,
+    )
+
+
+def _greedy_into_calendar(
+    jobs: Sequence[Job], w: int, origin: float, horizon_end: float, T: float
+) -> list[ScheduledJob] | None:
+    """EDF list scheduling constrained to the back-to-back calendar.
+
+    Machines are calibrated at ``origin + k*T`` for all k; a job must fit
+    inside one calendar cell, so its start may need rounding up to the next
+    cell boundary.
+    """
+    free = [origin] * w
+    placements: list[ScheduledJob] = []
+    for job in sorted(jobs, key=lambda j: (j.deadline, j.release, j.job_id)):
+        best = None  # (start, machine)
+        for machine in range(w):
+            start = max(job.release, free[machine])
+            # Round up if the execution would cross a cell boundary.
+            cell = math.floor((start - origin) / T + EPS)
+            cell_end = origin + (cell + 1) * T
+            if start + job.processing > cell_end + EPS:
+                start = cell_end
+            if best is None or start < best[0] - EPS:
+                best = (start, machine)
+        assert best is not None
+        start, machine = best
+        if not leq(start + job.processing, job.deadline):
+            return None
+        placements.append(
+            ScheduledJob(start=start, machine=machine, job_id=job.job_id)
+        )
+        free[machine] = start + job.processing
+    return placements
+
+
+def _fits_calendar(job: Job, origin: float, T: float) -> bool:
+    """Can the job run inside *some* calendar cell on an empty machine?"""
+    cell = math.floor((job.release - origin) / T + EPS)
+    for b in (origin + cell * T, origin + (cell + 1) * T):
+        start = max(job.release, b)
+        if leq(start + job.processing, min(b + T, job.deadline)):
+            return True
+    return False
+
+
+def always_calibrated(instance: Instance, max_machines: int | None = None) -> Schedule:
+    """Calibrate ``w`` machines continuously over the horizon; grow ``w`` as needed.
+
+    The calendar spans ``[min r_j, max d_j)`` with back-to-back calibrations;
+    jobs are EDF-list-scheduled into it.  The returned schedule keeps every
+    calendar calibration (that is the point of this baseline — its cost is
+    ``w * ceil(horizon / T)``), even empty ones.
+
+    Rigid jobs whose window fits no calendar cell (e.g. ``r_j = 0.6 T``,
+    ``p_j = 0.8 T``) get dedicated off-grid calibrations on extra machines —
+    the policy's real-world escape hatch.
+    """
+    if not instance.jobs:
+        return Schedule(
+            calibrations=CalibrationSchedule(
+                calibrations=(),
+                num_machines=0,
+                calibration_length=instance.calibration_length,
+            ),
+            placements=(),
+        )
+    T = instance.calibration_length
+    origin, horizon_end = instance.horizon
+    num_cells = max(1, math.ceil((horizon_end - origin) / T - EPS))
+
+    gridable = [j for j in instance.jobs if _fits_calendar(j, origin, T)]
+    overflow = [j for j in instance.jobs if not _fits_calendar(j, origin, T)]
+
+    limit = max_machines if max_machines is not None else max(1, len(gridable))
+    placements: list[ScheduledJob] | None = []
+    w = 0
+    if gridable:
+        for w in range(1, limit + 1):
+            placements = _greedy_into_calendar(gridable, w, origin, horizon_end, T)
+            if placements is not None:
+                break
+        if placements is None:
+            raise RuntimeError(
+                f"always_calibrated failed with up to {limit} machines — "
+                "greedy calendar packing could not fit the jobs"
+            )
+    calibrations = [
+        Calibration(start=origin + k * T, machine=machine)
+        for machine in range(w)
+        for k in range(num_cells)
+    ]
+    # Off-grid overflow: dedicated calibrations, optimally colored.
+    if overflow:
+        intervals = [(j.job_id, j.release, j.release + T) for j in overflow]
+        coloring = color_intervals(intervals)
+        extra = max(coloring.values()) + 1
+        for job in overflow:
+            machine = w + coloring[job.job_id]
+            calibrations.append(Calibration(start=job.release, machine=machine))
+            placements.append(
+                ScheduledJob(start=job.release, machine=machine, job_id=job.job_id)
+            )
+        w += extra
+    return Schedule(
+        calibrations=CalibrationSchedule(
+            calibrations=tuple(calibrations),
+            num_machines=max(w, 1),
+            calibration_length=T,
+        ),
+        placements=tuple(placements),
+    )

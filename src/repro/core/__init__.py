@@ -1,0 +1,67 @@
+"""Core data model and validators for the ISE problem.
+
+Submodules:
+
+* :mod:`repro.core.job` — jobs and instances (Section 1 definitions).
+* :mod:`repro.core.calibration` — calibrations and calibration schedules.
+* :mod:`repro.core.schedule` — full schedules (calibrations + placements).
+* :mod:`repro.core.validate` — independent ISE/TISE feasibility validators.
+* :mod:`repro.core.partition` — Definition 1 long/short split.
+* :mod:`repro.core.solver` — the combined Theorem 1 solver.
+* :mod:`repro.core.tolerance` — float comparison policy.
+* :mod:`repro.core.errors` — exception hierarchy.
+"""
+
+from .calibration import Calibration, CalibrationSchedule, pack_round_robin
+from .errors import (
+    InfeasibleInstanceError,
+    InfeasibleScheduleError,
+    InvalidInstanceError,
+    InvalidScheduleError,
+    LimitExceededError,
+    ReproError,
+    SolverError,
+)
+from .job import LONG_WINDOW_FACTOR, Instance, Job, make_jobs
+from .partition import JobPartition, partition_jobs
+from .schedule import Schedule, ScheduledJob, empty_schedule
+from .tolerance import EPS
+from .validate import (
+    ValidationReport,
+    Violation,
+    ViolationKind,
+    check_ise,
+    check_tise,
+    validate_ise,
+    validate_tise,
+)
+
+__all__ = [
+    "Calibration",
+    "CalibrationSchedule",
+    "pack_round_robin",
+    "Instance",
+    "Job",
+    "make_jobs",
+    "LONG_WINDOW_FACTOR",
+    "JobPartition",
+    "partition_jobs",
+    "Schedule",
+    "ScheduledJob",
+    "empty_schedule",
+    "EPS",
+    "ValidationReport",
+    "Violation",
+    "ViolationKind",
+    "validate_ise",
+    "validate_tise",
+    "check_ise",
+    "check_tise",
+    "ReproError",
+    "InvalidInstanceError",
+    "InvalidScheduleError",
+    "InfeasibleScheduleError",
+    "InfeasibleInstanceError",
+    "SolverError",
+    "LimitExceededError",
+]

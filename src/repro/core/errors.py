@@ -1,0 +1,59 @@
+"""Exception hierarchy for the ISE reproduction library.
+
+Every error raised by the library derives from :class:`ReproError`, so callers
+can catch library failures without catching unrelated Python errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class InvalidInstanceError(ReproError, ValueError):
+    """An :class:`~repro.core.job.Instance` violates the problem definition.
+
+    Examples: a job with ``p_j > T``, a deadline before ``r_j + p_j``, a
+    non-positive calibration length, or a non-positive machine count.
+    """
+
+
+class InvalidScheduleError(ReproError, ValueError):
+    """A schedule object is structurally malformed.
+
+    This is distinct from :class:`InfeasibleScheduleError`: a malformed
+    schedule references unknown jobs or machines, while an infeasible one is
+    well-formed but violates a scheduling constraint.
+    """
+
+
+class InfeasibleScheduleError(ReproError):
+    """A produced schedule failed independent validation.
+
+    The library's algorithms carry proofs of correctness (Lemmas 4-19 of the
+    paper); this error firing on a feasible input instance indicates an
+    implementation bug, and the attached :class:`ValidationReport` pinpoints
+    the violated constraint.
+    """
+
+    def __init__(self, message: str, report: object | None = None) -> None:
+        super().__init__(message)
+        self.report = report
+
+
+class InfeasibleInstanceError(ReproError):
+    """No feasible schedule exists (or none was found) for the instance.
+
+    Raised e.g. when the TISE linear program of Section 3 is infeasible,
+    which under Lemma 2 certifies that the long-window instance is not
+    feasible on ``m`` machines.
+    """
+
+
+class SolverError(ReproError, RuntimeError):
+    """An underlying numeric solver (LP / MILP / flow) failed unexpectedly."""
+
+
+class LimitExceededError(ReproError, RuntimeError):
+    """An exact search exceeded its configured node or time budget."""

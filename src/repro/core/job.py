@@ -1,0 +1,222 @@
+"""Jobs and problem instances for the ISE problem.
+
+This module defines the input side of the problem exactly as stated in
+Section 1 of the paper: an instance is a set of ``n`` jobs, an integer number
+``m`` of identical machines, and a calibration length ``T``.  Each job ``j``
+has a processing time ``p_j <= T``, a release time ``r_j``, and a deadline
+``d_j >= r_j + p_j``.
+
+Times are floats: the paper explicitly does *not* require integral times
+(that is why Lemma 3 — polynomially many calibration points — must be proved
+rather than assumed).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from .errors import InvalidInstanceError
+from .tolerance import EPS, geq, leq
+
+__all__ = ["Job", "Instance", "LONG_WINDOW_FACTOR"]
+
+
+LONG_WINDOW_FACTOR: float = 2.0
+"""Definition 1 threshold: a job is *long* iff ``d_j - r_j >= 2 T``."""
+
+
+@dataclass(frozen=True, slots=True)
+class Job:
+    """A single nonpreemptive job.
+
+    Attributes:
+        job_id: Identifier, unique within an :class:`Instance`.
+        release: Release time ``r_j``; the job may not start earlier.
+        deadline: Deadline ``d_j``; the job must complete by this time.
+        processing: Processing time ``p_j`` at unit speed.
+    """
+
+    job_id: int
+    release: float
+    deadline: float
+    processing: float
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.release):
+            raise InvalidInstanceError(f"job {self.job_id}: release must be finite")
+        if not math.isfinite(self.deadline):
+            raise InvalidInstanceError(f"job {self.job_id}: deadline must be finite")
+        if not (math.isfinite(self.processing) and self.processing > 0):
+            raise InvalidInstanceError(
+                f"job {self.job_id}: processing time must be positive and finite, "
+                f"got {self.processing}"
+            )
+        if not geq(self.deadline, self.release + self.processing):
+            raise InvalidInstanceError(
+                f"job {self.job_id}: window [{self.release}, {self.deadline}) "
+                f"cannot fit processing time {self.processing}"
+            )
+
+    @property
+    def window(self) -> float:
+        """Window length ``d_j - r_j``."""
+        return self.deadline - self.release
+
+    @property
+    def slack(self) -> float:
+        """Scheduling slack ``d_j - r_j - p_j`` (zero means a rigid job)."""
+        return self.deadline - self.release - self.processing
+
+    @property
+    def latest_start(self) -> float:
+        """Latest feasible start time ``d_j - p_j`` at unit speed."""
+        return self.deadline - self.processing
+
+    def is_long(self, calibration_length: float) -> bool:
+        """Definition 1: True iff the window is at least ``2 T``."""
+        return geq(self.window, LONG_WINDOW_FACTOR * calibration_length)
+
+    def contains_interval(self, start: float, end: float, eps: float = EPS) -> bool:
+        """True iff ``[start, end)`` lies within the job's window."""
+        return geq(start, self.release, eps) and leq(end, self.deadline, eps)
+
+    def shifted(self, delta: float) -> "Job":
+        """A copy of this job with its window translated by ``delta``."""
+        return Job(
+            job_id=self.job_id,
+            release=self.release + delta,
+            deadline=self.deadline + delta,
+            processing=self.processing,
+        )
+
+
+@dataclass(frozen=True)
+class Instance:
+    """An ISE problem instance (Section 1 of the paper).
+
+    Attributes:
+        jobs: The job set ``J``; job ids must be unique.
+        machines: The number ``m`` of identical machines available to OPT.
+        calibration_length: The calibration length ``T``: a calibration at
+            time ``t`` keeps the machine usable during ``[t, t + T)``.
+        name: Optional human-readable label (used in reports).
+        metadata: Free-form generator metadata (e.g. the witness schedule of
+            a feasible-by-construction random instance).
+    """
+
+    jobs: tuple[Job, ...]
+    machines: int
+    calibration_length: float
+    name: str = ""
+    metadata: Mapping[str, object] = field(default_factory=dict, compare=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "jobs", tuple(self.jobs))
+        if self.machines < 1:
+            raise InvalidInstanceError(
+                f"machine count must be >= 1, got {self.machines}"
+            )
+        if not (
+            math.isfinite(self.calibration_length) and self.calibration_length > 0
+        ):
+            raise InvalidInstanceError(
+                f"calibration length must be positive, got {self.calibration_length}"
+            )
+        seen: set[int] = set()
+        for job in self.jobs:
+            if job.job_id in seen:
+                raise InvalidInstanceError(f"duplicate job id {job.job_id}")
+            seen.add(job.job_id)
+            if not leq(job.processing, self.calibration_length):
+                raise InvalidInstanceError(
+                    f"job {job.job_id}: processing time {job.processing} exceeds "
+                    f"calibration length {self.calibration_length} (p_j <= T is "
+                    "required by the problem statement)"
+                )
+
+    # ------------------------------------------------------------------
+    # Container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+    def __iter__(self) -> Iterator[Job]:
+        return iter(self.jobs)
+
+    def job_by_id(self, job_id: int) -> Job:
+        """Look up a job by id (O(n); cached mapping via :meth:`job_map`)."""
+        for job in self.jobs:
+            if job.job_id == job_id:
+                return job
+        raise KeyError(f"no job with id {job_id}")
+
+    def job_map(self) -> dict[int, Job]:
+        """A fresh ``{job_id: job}`` dictionary."""
+        return {job.job_id: job for job in self.jobs}
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of jobs ``n``."""
+        return len(self.jobs)
+
+    @property
+    def horizon(self) -> tuple[float, float]:
+        """``(min release, max deadline)``; ``(0.0, 0.0)`` when empty."""
+        if not self.jobs:
+            return (0.0, 0.0)
+        return (
+            min(job.release for job in self.jobs),
+            max(job.deadline for job in self.jobs),
+        )
+
+    @property
+    def total_work(self) -> float:
+        """Total processing requirement ``sum_j p_j``."""
+        return sum(job.processing for job in self.jobs)
+
+    def long_jobs(self) -> tuple[Job, ...]:
+        """Jobs with long windows per Definition 1 (``d_j - r_j >= 2T``)."""
+        return tuple(j for j in self.jobs if j.is_long(self.calibration_length))
+
+    def short_jobs(self) -> tuple[Job, ...]:
+        """Jobs with short windows per Definition 1 (``d_j - r_j < 2T``)."""
+        return tuple(j for j in self.jobs if not j.is_long(self.calibration_length))
+
+    def restricted_to(self, jobs: Iterable[Job], name_suffix: str = "") -> "Instance":
+        """A sub-instance over ``jobs`` with the same ``m`` and ``T``."""
+        return Instance(
+            jobs=tuple(jobs),
+            machines=self.machines,
+            calibration_length=self.calibration_length,
+            name=(self.name + name_suffix) if self.name else name_suffix,
+            metadata=dict(self.metadata),
+        )
+
+    def with_machines(self, machines: int) -> "Instance":
+        """A copy of this instance with a different machine budget."""
+        return Instance(
+            jobs=self.jobs,
+            machines=machines,
+            calibration_length=self.calibration_length,
+            name=self.name,
+            metadata=dict(self.metadata),
+        )
+
+
+def make_jobs(
+    triples: Sequence[tuple[float, float, float]], start_id: int = 0
+) -> tuple[Job, ...]:
+    """Build jobs from ``(release, deadline, processing)`` triples.
+
+    A convenience for tests and examples; ids are assigned sequentially from
+    ``start_id``.
+    """
+    return tuple(
+        Job(job_id=start_id + i, release=r, deadline=d, processing=p)
+        for i, (r, d, p) in enumerate(triples)
+    )

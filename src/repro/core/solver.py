@@ -1,0 +1,241 @@
+"""The combined ISE solver (Section 2, Theorem 1).
+
+Partition the jobs by Definition 1, solve the long-window jobs with the
+Section 3 pipeline and the short-window jobs with the Section 4 pipeline on
+disjoint machines, and take the union.  "The partitioning itself is trivial,
+and this process at most doubles the number of calibrations and machines
+beyond either of the algorithms."
+
+This module also computes the certified lower bound and measured
+approximation ratio the benches report.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..analysis.lower_bounds import (
+    LowerBoundBreakdown,
+    short_window_lower_bound,
+    work_lower_bound,
+)
+from ..longwindow.pipeline import LongWindowConfig, LongWindowResult, LongWindowSolver
+from ..mm.base import MMAlgorithm
+from ..shortwindow.pipeline import (
+    ShortWindowConfig,
+    ShortWindowResult,
+    ShortWindowSolver,
+)
+from .job import LONG_WINDOW_FACTOR, Instance
+from .partition import JobPartition, partition_jobs
+from .schedule import Schedule, empty_schedule
+from .validate import check_ise
+
+__all__ = ["ISEConfig", "ISEResult", "solve_ise", "ISESolver"]
+
+
+@dataclass(frozen=True)
+class ISEConfig:
+    """Configuration of the combined solver.
+
+    Attributes:
+        mm_algorithm: black-box MM algorithm for the short-window side
+            (registry name or instance) — the ``A`` of Theorem 1.
+        lp_backend: LP backend for the long-window side.
+        window_factor: Definition 1 threshold factor (2; ABL2 varies it).
+        rounding_threshold: Algorithm 1 threshold (1/2; ABL1 varies it).
+        rounding_scheme: ``"greedy"`` (Algorithm 1), ``"ceil"``, or
+            ``"best"`` (cheaper of the two; see ABL5).
+        prune_empty: drop job-less calibrations from delivered schedules.
+        validate: run independent validators on every produced schedule.
+        overlapping_calibrations: footnote-3 variant — calibrations may
+            overlap on a machine, so the short-window side needs no
+            crossing-job machines.
+        specialize_unit: route unit-processing integral instances to the
+            Bender et al. [5] lazy-binning algorithm (optimal on one
+            machine, 2-approximate flavor on several) instead of the
+            general reduction — the regime split the paper's introduction
+            recommends.  Non-unit instances are unaffected.
+    """
+
+    mm_algorithm: str | MMAlgorithm = "best_greedy"
+    lp_backend: str = "highs"
+    window_factor: float = LONG_WINDOW_FACTOR
+    rounding_threshold: float = 0.5
+    rounding_scheme: str = "greedy"
+    prune_empty: bool = True
+    validate: bool = True
+    overlapping_calibrations: bool = False
+    specialize_unit: bool = False
+
+    def long_config(self) -> LongWindowConfig:
+        return LongWindowConfig(
+            lp_backend=self.lp_backend,
+            rounding_threshold=self.rounding_threshold,
+            rounding_scheme=self.rounding_scheme,
+            prune_empty=self.prune_empty,
+            validate=self.validate,
+        )
+
+    def short_config(self) -> ShortWindowConfig:
+        return ShortWindowConfig(
+            mm_algorithm=self.mm_algorithm,
+            gamma=self.window_factor,
+            prune_empty=self.prune_empty,
+            validate=self.validate,
+            overlapping_calibrations=self.overlapping_calibrations,
+        )
+
+
+@dataclass(frozen=True)
+class ISEResult:
+    """Combined solve output: the schedule plus per-side telemetry."""
+
+    schedule: Schedule
+    partition: JobPartition
+    long_result: LongWindowResult | None
+    short_result: ShortWindowResult | None
+    lower_bound: LowerBoundBreakdown
+    wall_times: dict[str, float] = field(default_factory=dict, compare=False)
+
+    @property
+    def num_calibrations(self) -> int:
+        return self.schedule.num_calibrations
+
+    @property
+    def machines_used(self) -> int:
+        return len(
+            {c.machine for c in self.schedule.calibrations}
+            | {p.machine for p in self.schedule.placements}
+        )
+
+    @property
+    def approximation_ratio(self) -> float:
+        """Calibrations / certified lower bound (upper bound on true ratio)."""
+        lb = self.lower_bound.best
+        if lb <= 0:
+            return 1.0 if self.num_calibrations == 0 else float("inf")
+        return self.num_calibrations / lb
+
+
+def _is_unit_integral(instance: Instance) -> bool:
+    """True iff every job is unit with integral window and T is integral."""
+    if abs(instance.calibration_length - round(instance.calibration_length)) > 1e-9:
+        return False
+    for job in instance.jobs:
+        if abs(job.processing - 1.0) > 1e-9:
+            return False
+        if abs(job.release - round(job.release)) > 1e-9:
+            return False
+        if abs(job.deadline - round(job.deadline)) > 1e-9:
+            return False
+    return True
+
+
+class ISESolver:
+    """Theorem 1: combine the Section 3 and Section 4 pipelines."""
+
+    def __init__(self, config: ISEConfig | None = None) -> None:
+        self.config = config or ISEConfig()
+
+    def _solve_unit(self, instance: Instance) -> ISEResult:
+        """Specialized path: Bender-style lazy binning for unit instances."""
+        from ..baselines.bender_unit import lazy_binning  # deferred import
+
+        cfg = self.config
+        times: dict[str, float] = {}
+        T = instance.calibration_length
+        split = partition_jobs(instance, factor=cfg.window_factor)
+
+        tic = time.perf_counter()
+        schedule = lazy_binning(instance)
+        times["lazy_binning"] = time.perf_counter() - tic
+        if cfg.validate:
+            tic = time.perf_counter()
+            check_ise(instance, schedule, context="unit specialization")
+            times["validate"] = time.perf_counter() - tic
+        lower = LowerBoundBreakdown(
+            work=work_lower_bound(instance.jobs, T),
+            long_lp=0.0,
+            short_interval=(
+                short_window_lower_bound(
+                    split.short_jobs, T, gamma=cfg.window_factor
+                )
+                if split.short_jobs
+                else 0.0
+            ),
+        )
+        return ISEResult(
+            schedule=schedule,
+            partition=split,
+            long_result=None,
+            short_result=None,
+            lower_bound=lower,
+            wall_times=times,
+        )
+
+    def solve(self, instance: Instance) -> ISEResult:
+        cfg = self.config
+        if cfg.specialize_unit and instance.jobs and _is_unit_integral(instance):
+            return self._solve_unit(instance)
+        times: dict[str, float] = {}
+        T = instance.calibration_length
+
+        split = partition_jobs(instance, factor=cfg.window_factor)
+
+        long_result: LongWindowResult | None = None
+        short_result: ShortWindowResult | None = None
+        long_schedule = empty_schedule(T)
+        short_schedule = empty_schedule(T)
+
+        if split.long_jobs:
+            tic = time.perf_counter()
+            long_result = LongWindowSolver(cfg.long_config()).solve(
+                instance.restricted_to(split.long_jobs)
+            )
+            long_schedule = long_result.schedule
+            times["long"] = time.perf_counter() - tic
+        if split.short_jobs:
+            tic = time.perf_counter()
+            short_result = ShortWindowSolver(cfg.short_config()).solve(
+                instance.restricted_to(split.short_jobs)
+            )
+            short_schedule = short_result.schedule
+            times["short"] = time.perf_counter() - tic
+
+        merged = long_schedule.merged_with(short_schedule).compact_machines()
+        if cfg.validate:
+            tic = time.perf_counter()
+            check_ise(
+                instance,
+                merged,
+                allow_overlapping_calibrations=cfg.overlapping_calibrations,
+                context="combined solver",
+            )
+            times["validate"] = time.perf_counter() - tic
+
+        lower = LowerBoundBreakdown(
+            work=work_lower_bound(instance.jobs, T),
+            long_lp=(long_result.lower_bound if long_result else 0.0),
+            short_interval=(
+                short_window_lower_bound(
+                    split.short_jobs, T, gamma=cfg.window_factor
+                )
+                if split.short_jobs
+                else 0.0
+            ),
+        )
+        return ISEResult(
+            schedule=merged,
+            partition=split,
+            long_result=long_result,
+            short_result=short_result,
+            lower_bound=lower,
+            wall_times=times,
+        )
+
+
+def solve_ise(instance: Instance, config: ISEConfig | None = None) -> ISEResult:
+    """One-call façade over :class:`ISESolver` (the library's main entry point)."""
+    return ISESolver(config).solve(instance)

@@ -1,0 +1,57 @@
+"""Numeric tolerance helpers shared across the library.
+
+The ISE problem statement (Fineman & Sheridan, SPAA 2015, Section 1) does not
+require release times, deadlines, or processing times to be integral, and the
+LP pipeline of Section 3 produces floating-point fractional solutions.  All
+comparisons against schedule boundaries therefore go through the
+tolerance-aware predicates in this module so that a quantity that is equal "on
+paper" but off by a few ulps in floating point is still treated as equal.
+
+The default tolerance ``EPS`` is deliberately loose relative to machine
+epsilon but tight relative to any meaningful job length: instances are
+expected to have processing times and windows that are ``>> 1e-6``.
+"""
+
+from __future__ import annotations
+
+EPS: float = 1e-9
+"""Absolute tolerance used for all time comparisons."""
+
+
+def leq(a: float, b: float, eps: float = EPS) -> bool:
+    """Return True if ``a <= b`` up to tolerance (``a`` may exceed by eps)."""
+    return a <= b + eps
+
+
+def geq(a: float, b: float, eps: float = EPS) -> bool:
+    """Return True if ``a >= b`` up to tolerance."""
+    return a >= b - eps
+
+
+def lt(a: float, b: float, eps: float = EPS) -> bool:
+    """Return True if ``a < b`` strictly, by more than the tolerance."""
+    return a < b - eps
+
+
+def gt(a: float, b: float, eps: float = EPS) -> bool:
+    """Return True if ``a > b`` strictly, by more than the tolerance."""
+    return a > b + eps
+
+
+def close(a: float, b: float, eps: float = EPS) -> bool:
+    """Return True if ``|a - b| <= eps``."""
+    return abs(a - b) <= eps
+
+
+def snap(value: float, grid: float = 1.0, eps: float = EPS) -> float:
+    """Snap ``value`` to the nearest multiple of ``grid`` if within ``eps``.
+
+    Used when reconstructing integral schedules from LP output: a calibration
+    the LP places at ``3.0000000001`` is really at ``3.0``.
+    """
+    if grid <= 0:
+        raise ValueError(f"grid must be positive, got {grid}")
+    nearest = round(value / grid) * grid
+    if abs(nearest - value) <= eps:
+        return nearest
+    return value

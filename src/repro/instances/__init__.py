@@ -1,0 +1,58 @@
+"""Workload generators, paper examples, and instance I/O."""
+
+from .generators import (
+    GeneratedInstance,
+    clustered_instance,
+    heavy_tail_instance,
+    long_window_instance,
+    mixed_instance,
+    partition_instance,
+    rigid_instance,
+    short_window_instance,
+    staircase_instance,
+    unit_instance,
+)
+from .io import (
+    instance_from_dict,
+    instance_to_dict,
+    load_instance,
+    load_schedule,
+    save_instance,
+    save_schedule,
+    schedule_from_dict,
+    schedule_to_dict,
+)
+from .paper_examples import (
+    FIGURE_T,
+    figure1_instance,
+    figure2_fractional_calibrations,
+    figure3_inputs,
+)
+from .suite import PRESETS, preset_cases
+
+__all__ = [
+    "GeneratedInstance",
+    "long_window_instance",
+    "short_window_instance",
+    "mixed_instance",
+    "unit_instance",
+    "partition_instance",
+    "clustered_instance",
+    "rigid_instance",
+    "staircase_instance",
+    "heavy_tail_instance",
+    "instance_to_dict",
+    "instance_from_dict",
+    "schedule_to_dict",
+    "schedule_from_dict",
+    "save_instance",
+    "load_instance",
+    "save_schedule",
+    "load_schedule",
+    "FIGURE_T",
+    "figure1_instance",
+    "figure2_fractional_calibrations",
+    "figure3_inputs",
+    "PRESETS",
+    "preset_cases",
+]

@@ -1,0 +1,653 @@
+"""Feasible-by-construction random ISE instance families.
+
+All of the paper's guarantees are conditioned on the input being ISE-feasible
+on ``m`` machines, so every random family here works backwards from a hidden
+*witness* schedule: calibrations are laid out on ``m`` machines, jobs are
+packed into them, and each job's window is then drawn around its witness
+execution.  The witness is returned alongside the instance; its calibration
+count is a certified *upper bound* on OPT and it doubles as a feasibility
+certificate for tests (e.g. it feeds the Lemma 2 transformation).
+
+Families:
+
+* :func:`long_window_instance`  — every window ``>= 2T`` (Section 3 input);
+* :func:`short_window_instance` — every window ``< 2T`` (Section 4 input);
+* :func:`mixed_instance`        — both kinds (Theorem 1 input);
+* :func:`unit_instance`         — ``p_j = 1`` and integral times (the
+  Bender et al. [5] regime, bench UNIT);
+* :func:`partition_instance`    — the NP-hardness reduction from Partition
+  (Section 1), feasible by construction;
+* :func:`clustered_instance`    — bursty arrivals (the motivating stockpile
+  scenario: test campaigns arrive in clusters);
+* :func:`rigid_instance`        — zero-slack jobs (MM becomes interval
+  coloring; the scheduler's only freedom is calibration placement);
+* :func:`staircase_instance`    — sliding overlapping windows (adversarial
+  for greedy EDF tie-breaking);
+* :func:`heavy_tail_instance`   — bounded-Pareto processing times (stresses
+  the LP's work-fit constraint and in-calibration packing).
+
+Determinism: each function takes an integer ``seed`` and uses an isolated
+``numpy.random.default_rng``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..core.calibration import Calibration, CalibrationSchedule
+from ..core.job import Instance, Job
+from ..core.schedule import Schedule, ScheduledJob
+
+__all__ = [
+    "GeneratedInstance",
+    "long_window_instance",
+    "short_window_instance",
+    "mixed_instance",
+    "unit_instance",
+    "partition_instance",
+    "clustered_instance",
+    "rigid_instance",
+    "staircase_instance",
+    "heavy_tail_instance",
+]
+
+
+@dataclass(frozen=True)
+class GeneratedInstance:
+    """A random instance plus its feasibility witness.
+
+    ``witness`` is a feasible ISE schedule on ``instance.machines`` machines;
+    ``witness.num_calibrations`` upper-bounds OPT.
+    """
+
+    instance: Instance
+    witness: Schedule
+    family: str
+    params: dict = field(default_factory=dict, compare=False)
+
+    @property
+    def witness_calibrations(self) -> int:
+        return self.witness.num_calibrations
+
+
+class _WitnessBuilder:
+    """Packs jobs into fresh calibrations on ``m`` machines."""
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        machines: int,
+        T: float,
+        load: float,
+        gap_scale: float,
+    ) -> None:
+        self.rng = rng
+        self.m = machines
+        self.T = T
+        self.load = load
+        self.gap_scale = gap_scale
+        # Per machine: (current calibration start or None, used within it,
+        # time the machine becomes free for a new calibration).
+        self.cal_start: list[float | None] = [None] * machines
+        self.used: list[float] = [0.0] * machines
+        self.free_at: list[float] = [0.0] * machines
+        self.calibrations: list[Calibration] = []
+        self.placements: list[ScheduledJob] = []
+
+    def _open_calibration(self, machine: int) -> None:
+        gap = float(self.rng.uniform(0.0, self.gap_scale * self.T))
+        start = self.free_at[machine] + gap
+        self.cal_start[machine] = start
+        self.used[machine] = 0.0
+        self.free_at[machine] = start + self.T
+        self.calibrations.append(Calibration(start=start, machine=machine))
+
+    def place(self, job_id: int, processing: float) -> tuple[float, int]:
+        """Place one job; returns its witness ``(start, machine)``."""
+        machine = int(self.rng.integers(self.m))
+        budget = self.load * self.T
+        if (
+            self.cal_start[machine] is None
+            or self.used[machine] + processing > budget
+        ):
+            self._open_calibration(machine)
+        start = float(self.cal_start[machine]) + self.used[machine]  # type: ignore[arg-type]
+        self.used[machine] += processing
+        self.placements.append(
+            ScheduledJob(start=start, machine=machine, job_id=job_id)
+        )
+        return start, machine
+
+    def witness(self, T: float) -> Schedule:
+        return Schedule(
+            calibrations=CalibrationSchedule(
+                calibrations=tuple(self.calibrations),
+                num_machines=self.m,
+                calibration_length=T,
+            ),
+            placements=tuple(self.placements),
+            speed=1.0,
+        )
+
+
+def _window_around(
+    rng: np.random.Generator,
+    exec_start: float,
+    processing: float,
+    min_window: float,
+    max_window: float,
+) -> tuple[float, float]:
+    """Draw a window of length in ``[min_window, max_window]`` containing
+    the execution interval ``[exec_start, exec_start + processing)``."""
+    length = float(rng.uniform(max(min_window, processing), max_window))
+    # Split the slack (length - processing) around the execution interval.
+    slack = length - processing
+    before = float(rng.uniform(0.0, slack)) if slack > 0 else 0.0
+    release = exec_start - before
+    deadline = release + length
+    return release, deadline
+
+
+def long_window_instance(
+    n: int,
+    machines: int,
+    calibration_length: float,
+    seed: int,
+    load: float = 0.85,
+    gap_scale: float = 1.5,
+    min_processing_frac: float = 0.1,
+    max_processing_frac: float = 0.95,
+    max_window_factor: float = 5.0,
+) -> GeneratedInstance:
+    """Random feasible instance where every window is ``>= 2T``.
+
+    ``load`` caps the work packed per witness calibration; ``gap_scale``
+    controls idle gaps between witness calibrations (larger = sparser);
+    processing times are ``U[min, max] * T``; windows are
+    ``U[2T, max_window_factor * T]`` around the witness execution.
+    """
+    T = calibration_length
+    rng = np.random.default_rng(seed)
+    builder = _WitnessBuilder(rng, machines, T, load, gap_scale)
+    jobs: list[Job] = []
+    for job_id in range(n):
+        p = float(rng.uniform(min_processing_frac, max_processing_frac)) * T
+        p = min(p, load * T)  # must fit under the per-calibration budget
+        start, _ = builder.place(job_id, p)
+        release, deadline = _window_around(
+            rng, start, p, min_window=2.0 * T, max_window=max_window_factor * T
+        )
+        jobs.append(
+            Job(job_id=job_id, release=release, deadline=deadline, processing=p)
+        )
+    instance = Instance(
+        jobs=tuple(jobs),
+        machines=machines,
+        calibration_length=T,
+        name=f"long(n={n},m={machines},T={T},seed={seed})",
+    )
+    return GeneratedInstance(
+        instance=instance,
+        witness=builder.witness(T),
+        family="long_window",
+        params={"n": n, "m": machines, "T": T, "seed": seed, "load": load},
+    )
+
+
+def short_window_instance(
+    n: int,
+    machines: int,
+    calibration_length: float,
+    seed: int,
+    load: float = 0.85,
+    gap_scale: float = 1.5,
+    min_processing_frac: float = 0.1,
+    max_processing_frac: float = 0.95,
+    min_window_slack: float = 0.0,
+    max_window_factor: float = 1.9,
+) -> GeneratedInstance:
+    """Random feasible instance where every window is ``< 2T``.
+
+    Window lengths are ``U[p + min_window_slack*T, max_window_factor*T]``
+    (``max_window_factor`` must stay below 2 to keep windows short).
+    """
+    if max_window_factor >= 2.0:
+        raise ValueError("short windows require max_window_factor < 2")
+    T = calibration_length
+    rng = np.random.default_rng(seed)
+    builder = _WitnessBuilder(rng, machines, T, load, gap_scale)
+    jobs: list[Job] = []
+    for job_id in range(n):
+        p = float(rng.uniform(min_processing_frac, max_processing_frac)) * T
+        p = min(p, load * T)
+        start, _ = builder.place(job_id, p)
+        min_window = min(p + min_window_slack * T, max_window_factor * T)
+        release, deadline = _window_around(
+            rng, start, p, min_window=min_window, max_window=max_window_factor * T
+        )
+        jobs.append(
+            Job(job_id=job_id, release=release, deadline=deadline, processing=p)
+        )
+    instance = Instance(
+        jobs=tuple(jobs),
+        machines=machines,
+        calibration_length=T,
+        name=f"short(n={n},m={machines},T={T},seed={seed})",
+    )
+    return GeneratedInstance(
+        instance=instance,
+        witness=builder.witness(T),
+        family="short_window",
+        params={"n": n, "m": machines, "T": T, "seed": seed, "load": load},
+    )
+
+
+def mixed_instance(
+    n: int,
+    machines: int,
+    calibration_length: float,
+    seed: int,
+    long_fraction: float = 0.5,
+    load: float = 0.85,
+    gap_scale: float = 1.5,
+) -> GeneratedInstance:
+    """Random feasible instance mixing long and short windows.
+
+    Each job is long with probability ``long_fraction``.
+    """
+    T = calibration_length
+    rng = np.random.default_rng(seed)
+    builder = _WitnessBuilder(rng, machines, T, load, gap_scale)
+    jobs: list[Job] = []
+    for job_id in range(n):
+        p = float(rng.uniform(0.1, 0.95)) * T
+        p = min(p, load * T)
+        start, _ = builder.place(job_id, p)
+        if rng.random() < long_fraction:
+            release, deadline = _window_around(
+                rng, start, p, min_window=2.0 * T, max_window=5.0 * T
+            )
+        else:
+            release, deadline = _window_around(
+                rng, start, p, min_window=p, max_window=1.9 * T
+            )
+        jobs.append(
+            Job(job_id=job_id, release=release, deadline=deadline, processing=p)
+        )
+    instance = Instance(
+        jobs=tuple(jobs),
+        machines=machines,
+        calibration_length=T,
+        name=f"mixed(n={n},m={machines},T={T},seed={seed})",
+    )
+    return GeneratedInstance(
+        instance=instance,
+        witness=builder.witness(T),
+        family="mixed",
+        params={
+            "n": n,
+            "m": machines,
+            "T": T,
+            "seed": seed,
+            "long_fraction": long_fraction,
+        },
+    )
+
+
+def unit_instance(
+    n: int,
+    machines: int,
+    calibration_length: int,
+    seed: int,
+    load: float = 1.0,
+    gap_scale: float = 2.0,
+    max_window: int | None = None,
+) -> GeneratedInstance:
+    """Unit-processing instance with integral times (the Bender [5] regime).
+
+    Calibration starts, releases, and deadlines are integers; ``p_j = 1``.
+    ``max_window`` caps the drawn window length (default ``4 T``).
+    """
+    T = int(calibration_length)
+    if T < 2:
+        raise ValueError("unit instances require integer T >= 2")
+    rng = np.random.default_rng(seed)
+    max_window = max_window if max_window is not None else 4 * T
+    # Integral witness: walk machines, integral gaps.
+    cal_start: list[int | None] = [None] * machines
+    used: list[int] = [0] * machines
+    free_at: list[int] = [0] * machines
+    calibrations: list[Calibration] = []
+    placements: list[ScheduledJob] = []
+    jobs: list[Job] = []
+    budget = max(1, int(load * T))
+    for job_id in range(n):
+        machine = int(rng.integers(machines))
+        if cal_start[machine] is None or used[machine] + 1 > budget:
+            gap = int(rng.integers(0, max(1, int(gap_scale * T)) + 1))
+            start = free_at[machine] + gap
+            cal_start[machine] = start
+            used[machine] = 0
+            free_at[machine] = start + T
+            calibrations.append(Calibration(start=float(start), machine=machine))
+        x = int(cal_start[machine]) + used[machine]  # type: ignore[arg-type]
+        used[machine] += 1
+        placements.append(
+            ScheduledJob(start=float(x), machine=machine, job_id=job_id)
+        )
+        length = int(rng.integers(1, max_window + 1))
+        before = int(rng.integers(0, length - 1 + 1)) if length > 1 else 0
+        release = x - before
+        deadline = release + length
+        jobs.append(
+            Job(
+                job_id=job_id,
+                release=float(release),
+                deadline=float(deadline),
+                processing=1.0,
+            )
+        )
+    witness = Schedule(
+        calibrations=CalibrationSchedule(
+            calibrations=tuple(calibrations),
+            num_machines=machines,
+            calibration_length=float(T),
+        ),
+        placements=tuple(placements),
+        speed=1.0,
+    )
+    instance = Instance(
+        jobs=tuple(jobs),
+        machines=machines,
+        calibration_length=float(T),
+        name=f"unit(n={n},m={machines},T={T},seed={seed})",
+    )
+    return GeneratedInstance(
+        instance=instance,
+        witness=witness,
+        family="unit",
+        params={"n": n, "m": machines, "T": T, "seed": seed},
+    )
+
+
+def partition_instance(
+    num_values: int,
+    seed: int,
+    value_range: tuple[int, int] = (1, 20),
+) -> GeneratedInstance:
+    """The Section 1 NP-hardness gadget, feasible by construction.
+
+    ``2 * num_values`` integer values are drawn as ``num_values`` pairs so
+    that a perfect partition exists; all jobs get ``r_j = 0``,
+    ``d_j = T = (sum values) / 2`` and ``m = 2`` — exactly the reduction
+    from Partition the paper sketches.  The witness is the known partition.
+    """
+    rng = np.random.default_rng(seed)
+    # Draw one half, mirror it: sides A and B have identical multisets, so
+    # a perfect partition trivially exists but is hidden after shuffling.
+    half = [int(rng.integers(value_range[0], value_range[1] + 1)) for _ in range(num_values)]
+    values = half + list(half)
+    total = sum(values)
+    T = total / 2.0
+    order = rng.permutation(len(values))
+
+    jobs: list[Job] = []
+    placements: list[ScheduledJob] = []
+    offsets = [0.0, 0.0]
+    sides = [0] * num_values + [1] * num_values  # pre-shuffle side labels
+    for new_id, orig in enumerate(order):
+        value = float(values[orig])
+        side = sides[orig]
+        jobs.append(
+            Job(job_id=new_id, release=0.0, deadline=T, processing=value)
+        )
+        placements.append(
+            ScheduledJob(start=offsets[side], machine=side, job_id=new_id)
+        )
+        offsets[side] += value
+    witness = Schedule(
+        calibrations=CalibrationSchedule(
+            calibrations=(
+                Calibration(start=0.0, machine=0),
+                Calibration(start=0.0, machine=1),
+            ),
+            num_machines=2,
+            calibration_length=T,
+        ),
+        placements=tuple(placements),
+        speed=1.0,
+    )
+    instance = Instance(
+        jobs=tuple(jobs),
+        machines=2,
+        calibration_length=T,
+        name=f"partition(k={num_values},seed={seed})",
+    )
+    return GeneratedInstance(
+        instance=instance,
+        witness=witness,
+        family="partition",
+        params={"num_values": num_values, "seed": seed, "T": T},
+    )
+
+
+def clustered_instance(
+    n: int,
+    machines: int,
+    calibration_length: float,
+    seed: int,
+    num_clusters: int = 3,
+    cluster_span_factor: float = 3.0,
+    intercluster_gap_factor: float = 6.0,
+    long_fraction: float = 0.6,
+) -> GeneratedInstance:
+    """Bursty arrivals: jobs cluster into well-separated test campaigns.
+
+    This is the motivating ISE workload shape (stockpile test campaigns):
+    within a campaign, calibrations should be shared aggressively; between
+    campaigns, machines go idle.  Good algorithms exploit the gaps — the
+    bench shows the naive always-calibrated baseline paying for them.
+    """
+    T = calibration_length
+    rng = np.random.default_rng(seed)
+    cluster_origin = 0.0
+    jobs: list[Job] = []
+    calibrations: list[Calibration] = []
+    placements: list[ScheduledJob] = []
+    per_cluster = max(1, n // num_clusters)
+    job_id = 0
+    for cluster in range(num_clusters):
+        builder = _WitnessBuilder(rng, machines, T, load=0.85, gap_scale=0.5)
+        count = per_cluster if cluster < num_clusters - 1 else n - job_id
+        local_jobs: list[tuple[int, float, float]] = []
+        for _ in range(count):
+            p = min(float(rng.uniform(0.1, 0.9)) * T, 0.85 * T)
+            start, _ = builder.place(job_id, p)
+            local_jobs.append((job_id, start, p))
+            job_id += 1
+        span = max(
+            (c.start + T for c in builder.calibrations), default=0.0
+        )
+        for jid, start, p in local_jobs:
+            absolute = cluster_origin + start
+            if rng.random() < long_fraction:
+                release, deadline = _window_around(
+                    rng, absolute, p, min_window=2.0 * T, max_window=cluster_span_factor * T
+                )
+            else:
+                release, deadline = _window_around(
+                    rng, absolute, p, min_window=p, max_window=1.9 * T
+                )
+            jobs.append(
+                Job(job_id=jid, release=release, deadline=deadline, processing=p)
+            )
+        calibrations.extend(
+            Calibration(start=c.start + cluster_origin, machine=c.machine)
+            for c in builder.calibrations
+        )
+        placements.extend(
+            ScheduledJob(start=p.start + cluster_origin, machine=p.machine, job_id=p.job_id)
+            for p in builder.placements
+        )
+        cluster_origin += span + intercluster_gap_factor * T
+    witness = Schedule(
+        calibrations=CalibrationSchedule(
+            calibrations=tuple(calibrations),
+            num_machines=machines,
+            calibration_length=T,
+        ),
+        placements=tuple(placements),
+        speed=1.0,
+    )
+    instance = Instance(
+        jobs=tuple(jobs),
+        machines=machines,
+        calibration_length=T,
+        name=f"clustered(n={n},m={machines},T={T},seed={seed})",
+    )
+    return GeneratedInstance(
+        instance=instance,
+        witness=witness,
+        family="clustered",
+        params={
+            "n": n,
+            "m": machines,
+            "T": T,
+            "seed": seed,
+            "num_clusters": num_clusters,
+        },
+    )
+
+
+def rigid_instance(
+    n: int,
+    machines: int,
+    calibration_length: float,
+    seed: int,
+    load: float = 0.85,
+    gap_scale: float = 1.0,
+) -> GeneratedInstance:
+    """All-rigid workload: every job has zero slack (``d_j = r_j + p_j``).
+
+    Rigid jobs make machine minimization polynomial (interval coloring, see
+    :mod:`repro.mm.rigid`) and maximally constrain every scheduler: a rigid
+    job's execution interval is fixed, so the only freedom left is the
+    calibration placement.  All windows are ``< T <= 2T``: pure short-window
+    input.
+    """
+    T = calibration_length
+    rng = np.random.default_rng(seed)
+    builder = _WitnessBuilder(rng, machines, T, load, gap_scale)
+    jobs: list[Job] = []
+    for job_id in range(n):
+        p = min(float(rng.uniform(0.1, 0.9)) * T, load * T)
+        start, _ = builder.place(job_id, p)
+        jobs.append(
+            Job(job_id=job_id, release=start, deadline=start + p, processing=p)
+        )
+    instance = Instance(
+        jobs=tuple(jobs),
+        machines=machines,
+        calibration_length=T,
+        name=f"rigid(n={n},m={machines},T={T},seed={seed})",
+    )
+    return GeneratedInstance(
+        instance=instance,
+        witness=builder.witness(T),
+        family="rigid",
+        params={"n": n, "m": machines, "T": T, "seed": seed},
+    )
+
+
+def staircase_instance(
+    n: int,
+    machines: int,
+    calibration_length: float,
+    seed: int,
+    step_fraction: float = 0.35,
+    window_factor: float = 3.0,
+) -> GeneratedInstance:
+    """Staircase workload: windows slide forward by a fixed step per job.
+
+    Successive long-window jobs have windows offset by ``step_fraction * T``,
+    producing long chains of pairwise-overlapping windows — the adversarial
+    shape for greedy EDF assignment (every calibration has many eligible
+    jobs, so tie-breaking and the TISE restriction actually matter).
+    """
+    T = calibration_length
+    rng = np.random.default_rng(seed)
+    builder = _WitnessBuilder(rng, machines, T, load=0.85, gap_scale=0.4)
+    jobs: list[Job] = []
+    window = max(window_factor, 2.0) * T
+    for job_id in range(n):
+        p = min(float(rng.uniform(0.15, 0.7)) * T, 0.85 * T)
+        start, _ = builder.place(job_id, p)
+        release = min(start, job_id * step_fraction * T)
+        # Window must contain the witness execution and be >= 2T.
+        deadline = max(release + window, start + p)
+        jobs.append(
+            Job(job_id=job_id, release=release, deadline=deadline, processing=p)
+        )
+    instance = Instance(
+        jobs=tuple(jobs),
+        machines=machines,
+        calibration_length=T,
+        name=f"staircase(n={n},m={machines},T={T},seed={seed})",
+    )
+    return GeneratedInstance(
+        instance=instance,
+        witness=builder.witness(T),
+        family="staircase",
+        params={"n": n, "m": machines, "T": T, "seed": seed},
+    )
+
+
+def heavy_tail_instance(
+    n: int,
+    machines: int,
+    calibration_length: float,
+    seed: int,
+    alpha: float = 1.3,
+    long_fraction: float = 0.5,
+) -> GeneratedInstance:
+    """Heavy-tailed processing times (bounded Pareto, capped at ``0.85 T``).
+
+    Many tiny jobs plus a few near-calibration-size ones: stresses the
+    work-fit constraint (3) of the LP and bin-packing inside calibrations
+    (the EDF step's stop-at-first-nonfit rule is most visible here).
+    """
+    T = calibration_length
+    rng = np.random.default_rng(seed)
+    builder = _WitnessBuilder(rng, machines, T, load=0.85, gap_scale=1.2)
+    jobs: list[Job] = []
+    for job_id in range(n):
+        raw = float((rng.pareto(alpha) + 1.0) * 0.05)  # >= 0.05, heavy tail
+        p = min(raw, 0.85) * T
+        start, _ = builder.place(job_id, p)
+        if rng.random() < long_fraction:
+            release, deadline = _window_around(
+                rng, start, p, min_window=2.0 * T, max_window=5.0 * T
+            )
+        else:
+            release, deadline = _window_around(
+                rng, start, p, min_window=p, max_window=1.9 * T
+            )
+        jobs.append(
+            Job(job_id=job_id, release=release, deadline=deadline, processing=p)
+        )
+    instance = Instance(
+        jobs=tuple(jobs),
+        machines=machines,
+        calibration_length=T,
+        name=f"heavy_tail(n={n},m={machines},T={T},seed={seed})",
+    )
+    return GeneratedInstance(
+        instance=instance,
+        witness=builder.witness(T),
+        family="heavy_tail",
+        params={"n": n, "m": machines, "T": T, "seed": seed, "alpha": alpha},
+    )

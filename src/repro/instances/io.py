@@ -1,0 +1,143 @@
+"""JSON (de)serialization for instances and schedules.
+
+Plain-JSON round-tripping so workloads and solutions can be saved, diffed,
+and shared.  The format is versioned; loaders reject unknown versions rather
+than silently misreading them.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from ..core.calibration import Calibration, CalibrationSchedule
+from ..core.errors import ReproError
+from ..core.job import Instance, Job
+from ..core.schedule import Schedule, ScheduledJob
+
+__all__ = [
+    "instance_to_dict",
+    "instance_from_dict",
+    "schedule_to_dict",
+    "schedule_from_dict",
+    "save_instance",
+    "load_instance",
+    "save_schedule",
+    "load_schedule",
+]
+
+FORMAT_VERSION = 1
+
+
+def instance_to_dict(instance: Instance) -> dict[str, Any]:
+    """Serialize an instance to plain JSON-compatible types."""
+    return {
+        "version": FORMAT_VERSION,
+        "kind": "ise-instance",
+        "name": instance.name,
+        "machines": instance.machines,
+        "calibration_length": instance.calibration_length,
+        "jobs": [
+            {
+                "id": j.job_id,
+                "release": j.release,
+                "deadline": j.deadline,
+                "processing": j.processing,
+            }
+            for j in instance.jobs
+        ],
+    }
+
+
+def instance_from_dict(payload: dict[str, Any]) -> Instance:
+    """Deserialize an instance; validates version and kind."""
+    if payload.get("kind") != "ise-instance":
+        raise ReproError(f"not an ISE instance payload: kind={payload.get('kind')!r}")
+    if payload.get("version") != FORMAT_VERSION:
+        raise ReproError(
+            f"unsupported instance format version {payload.get('version')!r}"
+        )
+    jobs = tuple(
+        Job(
+            job_id=int(row["id"]),
+            release=float(row["release"]),
+            deadline=float(row["deadline"]),
+            processing=float(row["processing"]),
+        )
+        for row in payload["jobs"]
+    )
+    return Instance(
+        jobs=jobs,
+        machines=int(payload["machines"]),
+        calibration_length=float(payload["calibration_length"]),
+        name=str(payload.get("name", "")),
+    )
+
+
+def schedule_to_dict(schedule: Schedule) -> dict[str, Any]:
+    """Serialize a schedule to plain JSON-compatible types."""
+    return {
+        "version": FORMAT_VERSION,
+        "kind": "ise-schedule",
+        "speed": schedule.speed,
+        "num_machines": schedule.calibrations.num_machines,
+        "calibration_length": schedule.calibration_length,
+        "calibrations": [
+            {"start": c.start, "machine": c.machine}
+            for c in schedule.calibrations
+        ],
+        "placements": [
+            {"job": p.job_id, "start": p.start, "machine": p.machine}
+            for p in schedule.placements
+        ],
+    }
+
+
+def schedule_from_dict(payload: dict[str, Any]) -> Schedule:
+    """Deserialize a schedule; validates version and kind."""
+    if payload.get("kind") != "ise-schedule":
+        raise ReproError(f"not an ISE schedule payload: kind={payload.get('kind')!r}")
+    if payload.get("version") != FORMAT_VERSION:
+        raise ReproError(
+            f"unsupported schedule format version {payload.get('version')!r}"
+        )
+    calibrations = CalibrationSchedule(
+        calibrations=tuple(
+            Calibration(start=float(c["start"]), machine=int(c["machine"]))
+            for c in payload["calibrations"]
+        ),
+        num_machines=int(payload["num_machines"]),
+        calibration_length=float(payload["calibration_length"]),
+    )
+    placements = tuple(
+        ScheduledJob(
+            start=float(p["start"]), machine=int(p["machine"]), job_id=int(p["job"])
+        )
+        for p in payload["placements"]
+    )
+    return Schedule(
+        calibrations=calibrations,
+        placements=placements,
+        speed=float(payload.get("speed", 1.0)),
+    )
+
+
+def save_instance(instance: Instance, path: str | Path) -> None:
+    """Write an instance to ``path`` as indented JSON."""
+    Path(path).write_text(json.dumps(instance_to_dict(instance), indent=2))
+
+
+def load_instance(path: str | Path) -> Instance:
+    """Read an instance written by :func:`save_instance`."""
+    return instance_from_dict(json.loads(Path(path).read_text()))
+
+
+def save_schedule(schedule: Schedule, path: str | Path) -> None:
+    """Write a schedule to ``path`` as indented JSON."""
+    Path(path).write_text(json.dumps(schedule_to_dict(schedule), indent=2))
+
+
+def load_schedule(path: str | Path) -> Schedule:
+    """Read a schedule written by :func:`save_schedule`."""
+    return schedule_from_dict(json.loads(Path(path).read_text()))

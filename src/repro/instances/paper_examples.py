@@ -1,0 +1,130 @@
+"""The paper's worked examples (Figures 1-3), reconstructed as data.
+
+The paper contains no numeric tables; its three figures illustrate the
+Section 3 constructions on small examples.  The figures give qualitative
+anchors (which jobs are advanced/delayed in Figure 1; where rounding emits
+calibrations in Figure 2; that a delayed tail is discarded in Figure 3), and
+these reconstructions are built to reproduce exactly those anchors:
+
+* :func:`figure1_instance` — one machine, three calibrations, seven
+  long-window jobs; jobs 1 and 5 must be *advanced* (deadline inside their
+  calibration) and job 7 *delayed* (release inside its calibration), as in
+  the figure's caption.
+* :func:`figure2_fractional_calibrations` — four fractional calibrations
+  whose running total crosses 1/2 after the second and crosses 1 and 3/2 at
+  the fourth, so Algorithm 1 emits one calibration at the second point and
+  two at the fourth ("a full calibration and two full calibrations
+  respectively").
+* :func:`figure3_inputs` — fractional job assignments on the Figure 2
+  calibrations such that one job's delayed tail is discarded by
+  Algorithm 3.  Note: the figure is schematic — no LP-consistent assignment
+  can both fully assign the discarded job and reproduce Figure 2's emission
+  pattern (constraint (2) caps its mass below 1 on its feasible points), so
+  the reconstruction satisfies constraints (2), (3) and (5) but assigns the
+  discarded job only partially; the Lemma 5 invariants, which do not rely
+  on constraint (4), are still machine-checked.
+"""
+
+from __future__ import annotations
+
+from ..core.calibration import Calibration, CalibrationSchedule
+from ..core.job import Instance, Job
+from ..core.schedule import Schedule, ScheduledJob
+
+__all__ = [
+    "FIGURE_T",
+    "figure1_instance",
+    "figure2_fractional_calibrations",
+    "figure3_inputs",
+]
+
+FIGURE_T: float = 10.0
+"""Calibration length used by all figure reconstructions."""
+
+
+def figure1_instance() -> tuple[Instance, Schedule]:
+    """Figure 1's seven-job, one-machine ISE schedule.
+
+    Returns ``(instance, ise_schedule)`` where the schedule is feasible on
+    one machine with three calibrations (the figure's panel B).  Running
+    :func:`repro.longwindow.ise_to_tise` on it reproduces panel C: jobs 1
+    and 5 advance onto machine ``i-`` and job 7 delays onto ``i+``.
+
+    Job ids follow the figure (1-7).  Times are chosen so that:
+
+    * jobs 2, 3, 4, 6 already satisfy the TISE restriction ("keep");
+    * jobs 1 and 5 have deadlines inside their calibration ("advance");
+    * job 7 has its release inside its calibration ("delay").
+    """
+    T = FIGURE_T
+    # (job_id, witness start x_j, processing, release, deadline)
+    rows = [
+        (1, 0.0, 3.0, -16.0, 4.0),   # d < t+T = 10 -> advance
+        (2, 3.0, 3.0, -2.0, 18.0),   # keep
+        (3, 6.0, 2.0, 0.0, 20.0),    # keep
+        (4, 10.0, 4.0, 5.0, 25.0),   # keep
+        (5, 14.0, 3.0, -3.0, 17.0),  # d < t+T = 20 -> advance
+        (6, 20.0, 5.0, 10.0, 30.0),  # keep
+        (7, 26.0, 3.0, 22.0, 42.0),  # r > t = 20 -> delay
+    ]
+    jobs = tuple(
+        Job(job_id=jid, release=r, deadline=d, processing=p)
+        for jid, _x, p, r, d in rows
+    )
+    calibrations = CalibrationSchedule(
+        calibrations=(
+            Calibration(start=0.0, machine=0),
+            Calibration(start=10.0, machine=0),
+            Calibration(start=20.0, machine=0),
+        ),
+        num_machines=1,
+        calibration_length=T,
+    )
+    placements = tuple(
+        ScheduledJob(start=x, machine=0, job_id=jid) for jid, x, _p, _r, _d in rows
+    )
+    instance = Instance(
+        jobs=jobs, machines=1, calibration_length=T, name="figure1"
+    )
+    schedule = Schedule(calibrations=calibrations, placements=placements)
+    return instance, schedule
+
+
+def figure2_fractional_calibrations() -> dict[float, float]:
+    """Figure 2's fractional calibration masses, keyed by calibration point.
+
+    Running total: 0.30, 0.55, 0.75, 1.55 — so Algorithm 1 emits one
+    calibration at the second point (crossing 1/2) and two at the fourth
+    (crossing 1 and 3/2), matching the figure.
+    """
+    return {0.0: 0.30, 2.0: 0.25, 5.0: 0.20, 7.0: 0.80}
+
+
+def figure3_inputs() -> tuple[tuple[Job, ...], dict[float, float], dict[tuple[int, float], float]]:
+    """Figure 3's jobs and fractional assignments on the Figure 2 masses.
+
+    Returns ``(jobs, fractional_calibrations, fractional_assignments)``.
+    Job 2's window ends at 16, so its TISE-latest calibration point is 6:
+    its mass at point 5 is delayed by the rounding to the calibration
+    emitted at point 7 — infeasible for it — and ends up discarded, the
+    figure's central event.  Job 1's window covers everything; its mass
+    rides along normally.
+    """
+    T = FIGURE_T
+    jobs = (
+        Job(job_id=1, release=-5.0, deadline=40.0, processing=4.0),
+        Job(job_id=2, release=-5.0, deadline=16.0, processing=6.0),
+    )
+    calibrations = figure2_fractional_calibrations()
+    # Constraint (2): X_jt <= C_t at every point; constraint (5): job 2 has
+    # no mass at point 7 (7 > d_2 - T = 6).  Job 2 is only partially
+    # assigned (0.75 < 1) — see the module docstring.
+    assignments = {
+        (1, 0.0): 0.10,
+        (1, 2.0): 0.10,
+        (1, 7.0): 0.80,
+        (2, 0.0): 0.30,
+        (2, 2.0): 0.25,
+        (2, 5.0): 0.20,
+    }
+    return jobs, calibrations, assignments

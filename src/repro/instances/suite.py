@@ -1,0 +1,85 @@
+"""Named benchmark suites: curated case lists for repeatable studies.
+
+``repro-ise sweep --preset smoke|standard|large`` and
+:func:`repro.instances.suite.preset_cases` give everyone the same workload
+mix, so numbers quoted from different machines are at least about the same
+instances.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # built lazily: analysis.sweep imports this package
+    from ..analysis.sweep import SweepCase
+
+__all__ = ["PRESETS", "preset_cases"]
+
+
+# (families, [(n, machines, T)], seed count) per preset; expanded lazily so
+# importing repro.instances never touches repro.analysis (cycle otherwise).
+_PRESET_SPECS: dict[str, tuple[list[str], list[tuple[int, int, float]], int]] = {
+    # Seconds: one case per family, tiny.
+    "smoke": (["long", "short", "mixed", "unit"], [(8, 2, 10.0)], 1),
+    # The default study: every family, two sizes, three seeds.
+    "standard": (
+        [
+            "long", "short", "mixed", "clustered",
+            "rigid", "staircase", "heavy_tail", "unit",
+        ],
+        [(12, 2, 10.0), (20, 2, 10.0)],
+        3,
+    ),
+    # Stress the LP and the interval machinery.
+    "large": (
+        ["long", "mixed", "clustered", "heavy_tail"],
+        [(32, 3, 10.0), (48, 3, 10.0)],
+        2,
+    ),
+}
+
+
+def preset_cases(name: str) -> "list[SweepCase]":
+    """Expand a preset by name; raises KeyError with the available names."""
+    from ..analysis.sweep import SweepCase  # deferred: avoids import cycle
+
+    try:
+        families, sizes, seeds = _PRESET_SPECS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown preset {name!r}; available: {sorted(_PRESET_SPECS)}"
+        ) from None
+    return [
+        SweepCase(
+            family=family,
+            n=n,
+            machines=m,
+            calibration_length=(int(T) if family == "unit" else T),
+            seed=seed,
+        )
+        for family in families
+        for (n, m, T) in sizes
+        for seed in range(seeds)
+    ]
+
+
+class _PresetView(dict):
+    """Mapping view exposing the expanded presets on demand."""
+
+    def __missing__(self, key: str):  # pragma: no cover - dict protocol
+        return preset_cases(key)
+
+    def __contains__(self, key: object) -> bool:
+        return key in _PRESET_SPECS
+
+    def __iter__(self):
+        return iter(_PRESET_SPECS)
+
+    def __len__(self) -> int:
+        return len(_PRESET_SPECS)
+
+    def keys(self):
+        return _PRESET_SPECS.keys()
+
+
+PRESETS = _PresetView()

@@ -1,0 +1,72 @@
+"""Potential calibration points (Lemma 3).
+
+Lemma 3: there is an optimal TISE solution in which every calibration either
+starts at some job's release time or immediately follows the previous
+calibration on its machine.  Hence only the ``O(n^2)`` points
+
+    T_set = { r_j + k*T : j in J, k in {0, 1, ..., n} }
+
+need to be considered, and the LP of Section 3 is indexed by them.
+
+:func:`potential_calibration_points` also prunes points at which no job can
+be TISE-feasibly assigned: the LP would keep ``C_t = 0`` there (such a
+calibration adds cost and can serve no job), so dropping the variables is
+optimum-preserving and shrinks the LP substantially.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.job import Job
+from ..core.tolerance import EPS, geq, leq
+from .tise import tise_feasible_for
+
+__all__ = ["potential_calibration_points", "raw_calibration_points"]
+
+
+def _dedupe_sorted(values: list[float], eps: float = EPS) -> list[float]:
+    """Sort and merge values closer than ``eps`` (floating-point dedupe)."""
+    values.sort()
+    out: list[float] = []
+    for v in values:
+        if not out or v - out[-1] > eps:
+            out.append(v)
+    return out
+
+
+def raw_calibration_points(
+    jobs: Sequence[Job], calibration_length: float, max_packed: int | None = None
+) -> list[float]:
+    """The unpruned Lemma 3 set ``{r_j + k*T : 0 <= k <= n}``, deduplicated.
+
+    ``max_packed`` overrides the number of packed repetitions per release
+    (defaults to ``n``, the Lemma 3 bound).
+    """
+    n = len(jobs)
+    kmax = n if max_packed is None else max_packed
+    values = [
+        job.release + k * calibration_length
+        for job in jobs
+        for k in range(kmax + 1)
+    ]
+    return _dedupe_sorted(values)
+
+
+def potential_calibration_points(
+    jobs: Sequence[Job], calibration_length: float, prune: bool = True
+) -> list[float]:
+    """Lemma 3 candidate calibration start times, optionally pruned.
+
+    With ``prune=True`` (default) only points serving at least one job under
+    the TISE constraint are kept; this never changes the LP optimum because
+    a calibration no job can use contributes cost and nothing else.
+    """
+    points = raw_calibration_points(jobs, calibration_length)
+    if not prune:
+        return points
+    return [
+        t
+        for t in points
+        if any(tise_feasible_for(job, t, calibration_length) for job in jobs)
+    ]

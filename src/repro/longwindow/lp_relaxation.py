@@ -1,0 +1,210 @@
+"""The TISE linear-program relaxation (Section 3).
+
+Variables (per potential calibration point ``t`` from Lemma 3):
+
+* ``C_t``  — the (fractional) number of calibrations made at time ``t``;
+* ``X_jt`` — the fraction of job ``j`` assigned to the calibrations at ``t``
+  (only created for TISE-feasible pairs, which *is* constraint (5)).
+
+Objective and constraints (numbered as in the paper):
+
+    minimize   sum_t C_t
+    (1)  sum_{t' in (t-T, t]} C_{t'} <= m'          for all t
+    (2)  X_jt <= C_t                                 for all feasible (j, t)
+    (3)  sum_j X_jt p_j <= C_t T                     for all t
+    (4)  sum_t X_jt  = 1                             for all j
+    (5)  X_jt = 0 unless r_j <= t <= d_j - T         (by variable omission)
+    (6)  X_jt, C_t >= 0                              (variable bounds)
+
+The LP ignores the calibration-to-machine mapping and groups same-time
+calibrations — both relaxations are justified in the paper ("both of the
+simplifications can only improve the value of the optimal solution").
+
+LP infeasibility certifies (via Lemma 2) that the long-window instance is not
+ISE-feasible on ``m = m'/3`` machines.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from ..core.errors import InfeasibleInstanceError, SolverError
+from ..core.job import Instance, Job
+from ..core.tolerance import EPS
+from ..lp import LinearProgram, LPStatus, Sense, get_backend
+from .calibration_points import potential_calibration_points
+from .tise import tise_feasible_for
+
+__all__ = ["TiseLP", "TiseLPSolution", "build_tise_lp", "solve_tise_lp"]
+
+
+@dataclass(frozen=True)
+class TiseLP:
+    """A built (unsolved) TISE LP with its variable index maps."""
+
+    lp: LinearProgram
+    points: tuple[float, ...]
+    machine_budget: int
+    calibration_length: float
+    c_vars: Mapping[float, int]
+    x_vars: Mapping[tuple[int, float], int]
+
+    @property
+    def num_points(self) -> int:
+        return len(self.points)
+
+
+@dataclass(frozen=True)
+class TiseLPSolution:
+    """A solved TISE LP: fractional calibrations and job assignments.
+
+    ``calibrations[t]`` is the fractional calibration mass at point ``t``
+    (zeros omitted); ``assignments[(job_id, t)]`` is the fraction of the job
+    assigned there (zeros omitted).  ``objective`` is the LP optimum, a lower
+    bound on the optimal number of TISE calibrations on ``machine_budget``
+    machines.
+    """
+
+    objective: float
+    calibrations: dict[float, float]
+    assignments: dict[tuple[int, float], float]
+    machine_budget: int
+    calibration_length: float
+
+    def total_calibration_mass(self) -> float:
+        return sum(self.calibrations.values())
+
+    def job_coverage(self, job_id: int) -> float:
+        return sum(
+            frac for (jid, _), frac in self.assignments.items() if jid == job_id
+        )
+
+
+def build_tise_lp(
+    jobs: Sequence[Job],
+    calibration_length: float,
+    machine_budget: int,
+    points: Sequence[float] | None = None,
+) -> TiseLP:
+    """Assemble the Section 3 LP for ``jobs`` with ``m' = machine_budget``."""
+    T = calibration_length
+    if points is None:
+        points = potential_calibration_points(jobs, T)
+    points = tuple(points)
+    lp = LinearProgram("tise")
+
+    c_vars: dict[float, int] = {
+        t: lp.add_variable(objective=1.0, name=f"C[{t}]") for t in points
+    }
+    x_vars: dict[tuple[int, float], int] = {}
+    x_by_job: dict[int, list[int]] = {job.job_id: [] for job in jobs}
+    # Feasible (j, t) pairs found via bisect over the sorted point list:
+    # t must lie in [r_j, d_j - T] (constraint (5) by omission).
+    for job in jobs:
+        lo = bisect.bisect_left(points, job.release - EPS)
+        hi = bisect.bisect_right(points, job.deadline - T + EPS)
+        for t in points[lo:hi]:
+            if tise_feasible_for(job, t, T):
+                idx = lp.add_variable(objective=0.0, name=f"X[{job.job_id}@{t}]")
+                x_vars[(job.job_id, t)] = idx
+                x_by_job[job.job_id].append(idx)
+
+    # (1): sliding-window machine budget.  For each point t, sum C_{t'} over
+    # t' in (t - T, t].
+    for idx, t in enumerate(points):
+        lo = bisect.bisect_right(points, t - T + EPS)
+        terms = [(c_vars[points[k]], 1.0) for k in range(lo, idx + 1)]
+        lp.add_constraint(terms, Sense.LE, float(machine_budget), name=f"mach[{t}]")
+
+    # (2): X_jt <= C_t.
+    for (job_id, t), x_idx in x_vars.items():
+        lp.add_constraint(
+            [(x_idx, 1.0), (c_vars[t], -1.0)], Sense.LE, 0.0,
+            name=f"cap[{job_id}@{t}]",
+        )
+
+    # (3): work at a point fits in its calibrations.
+    proc = {job.job_id: job.processing for job in jobs}
+    terms_by_point: dict[float, list[tuple[int, float]]] = {t: [] for t in points}
+    for (job_id, t), x_idx in x_vars.items():
+        terms_by_point[t].append((x_idx, proc[job_id]))
+    for t, terms in terms_by_point.items():
+        if terms:
+            lp.add_constraint(
+                terms + [(c_vars[t], -T)], Sense.LE, 0.0, name=f"work[{t}]"
+            )
+
+    # (4): every job fully assigned.
+    for job in jobs:
+        terms = [(x_idx, 1.0) for x_idx in x_by_job[job.job_id]]
+        if not terms:
+            # No TISE-feasible point at all: the job's window cannot contain
+            # any calibration, certifying infeasibility up front.
+            raise InfeasibleInstanceError(
+                f"job {job.job_id} admits no TISE-feasible calibration point "
+                f"(window [{job.release}, {job.deadline}), T={T})"
+            )
+        lp.add_constraint(terms, Sense.EQ, 1.0, name=f"assign[{job.job_id}]")
+
+    return TiseLP(
+        lp=lp,
+        points=points,
+        machine_budget=machine_budget,
+        calibration_length=T,
+        c_vars=c_vars,
+        x_vars=x_vars,
+    )
+
+
+def solve_tise_lp(
+    jobs: Sequence[Job],
+    calibration_length: float,
+    machine_budget: int,
+    backend: str = "highs",
+    points: Sequence[float] | None = None,
+    zero_tol: float = 1e-9,
+) -> TiseLPSolution:
+    """Build and solve the TISE LP; raises on infeasibility.
+
+    :class:`InfeasibleInstanceError` here means the long-window instance is
+    not feasible on ``machine_budget / 3`` machines (Lemma 2 contrapositive).
+    """
+    if not jobs:
+        return TiseLPSolution(
+            objective=0.0,
+            calibrations={},
+            assignments={},
+            machine_budget=machine_budget,
+            calibration_length=calibration_length,
+        )
+    model = build_tise_lp(jobs, calibration_length, machine_budget, points)
+    solution = get_backend(backend)(model.lp)
+    if solution.status is LPStatus.INFEASIBLE:
+        raise InfeasibleInstanceError(
+            f"TISE LP infeasible on m' = {machine_budget} machines: the "
+            "long-window instance has no feasible TISE schedule there"
+        )
+    if not solution.ok:
+        raise SolverError(
+            f"TISE LP solve failed: {solution.status.value} {solution.message}"
+        )
+    assert solution.x is not None
+    calibrations = {
+        t: float(solution.x[idx])
+        for t, idx in model.c_vars.items()
+        if solution.x[idx] > zero_tol
+    }
+    assignments = {
+        key: float(solution.x[idx])
+        for key, idx in model.x_vars.items()
+        if solution.x[idx] > zero_tol
+    }
+    return TiseLPSolution(
+        objective=float(solution.objective),
+        calibrations=calibrations,
+        assignments=assignments,
+        machine_budget=machine_budget,
+        calibration_length=calibration_length,
+    )

@@ -1,0 +1,215 @@
+"""The long-window ISE pipeline (Section 3, Theorem 12).
+
+Given a feasible long-window ISE instance on ``m`` machines, the pipeline
+
+1. solves the TISE LP relaxation on ``m' = 3m`` machines (Lemma 2 licenses
+   the restriction; LP infeasibility certifies ISE infeasibility on ``m``),
+2. rounds the fractional calibrations with Algorithm 1 (``3m' = 9m``
+   machines, at most ``2 x`` the LP mass in calibrations — Lemma 7),
+3. assigns jobs with the mirrored EDF Algorithm 2 (``6m' = 18m`` machines,
+   another ``2 x`` calibrations — Lemmas 8-10),
+
+for Theorem 12's total of at most ``18 m`` machines and ``12 C*``
+calibrations (3 from Lemma 2 x 2 from rounding x 2 from mirroring).
+
+Optionally, step 4 applies the Lemma 13 machine-to-speed transformation to
+reach Theorem 14: ``m`` machines at speed ``36`` with at most ``12 C*``
+calibrations.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..core.errors import InvalidInstanceError
+from ..core.job import Instance
+from ..core.schedule import Schedule
+from ..core.validate import check_ise, check_tise
+from .calibration_points import potential_calibration_points
+from .lp_relaxation import TiseLPSolution, solve_tise_lp
+from .rounding import RoundingResult, round_calibrations, round_calibrations_ceil
+from .edf import assign_jobs_edf
+from .speed_tradeoff import SpeedTradeoffResult, machines_to_speed
+
+__all__ = ["LongWindowConfig", "LongWindowResult", "LongWindowSolver"]
+
+
+@dataclass(frozen=True)
+class LongWindowConfig:
+    """Tuning knobs for the long-window pipeline.
+
+    Attributes:
+        lp_backend: ``"highs"`` (default) or ``"simplex"``.
+        rounding_threshold: Algorithm 1 emission threshold (paper: 1/2).
+        rounding_scheme: ``"greedy"`` (Algorithm 1, the paper's scheme with
+            the Lemma 7 worst-case bound), ``"ceil"`` (per-point ceiling —
+            often fewer calibrations on vertex LP solutions but may need
+            more machines), or ``"best"`` (run both, keep the cheaper; the
+            worst-case bound is preserved because greedy is a candidate).
+        machine_multiplier: Lemma 2's TISE budget multiplier (paper: 3).
+        prune_empty: drop job-less calibrations from the reported schedule
+            (feasibility-preserving objective improvement; the raw count is
+            still recorded for the Theorem 12 bound check).
+        validate: run the independent TISE validator on the output.
+    """
+
+    lp_backend: str = "highs"
+    rounding_threshold: float = 0.5
+    rounding_scheme: str = "greedy"
+    machine_multiplier: int = 3
+    prune_empty: bool = True
+    validate: bool = True
+
+
+@dataclass(frozen=True)
+class LongWindowResult:
+    """Everything the long-window pipeline produced.
+
+    ``schedule`` is the deliverable (pruned if configured); the intermediate
+    artifacts and counters support the Theorem 12 bound checks:
+
+    * ``lp_value``        — LP optimum = lower bound on TISE OPT at ``m'``;
+    * ``lp_value / 3``    — certified lower bound on ISE OPT at ``m``
+      (Lemma 2: TISE OPT at 3m <= 3 ISE OPT at m, and LP <= TISE OPT);
+    * ``rounded_calibrations``   — Algorithm 1 output size (Lemma 7 <= 2 LP);
+    * ``unpruned_calibrations``  — after mirroring (Theorem 12 <= 12 LB).
+    """
+
+    schedule: Schedule
+    lp: TiseLPSolution
+    rounding: RoundingResult
+    unpruned_calibrations: int
+    machines_used: int
+    machine_budget: int
+    wall_times: dict[str, float] = field(default_factory=dict, compare=False)
+
+    @property
+    def lp_value(self) -> float:
+        return self.lp.objective
+
+    @property
+    def rounded_calibrations(self) -> int:
+        return self.rounding.num_calibrations
+
+    @property
+    def num_calibrations(self) -> int:
+        """Objective value of the delivered schedule."""
+        return self.schedule.num_calibrations
+
+    @property
+    def lower_bound(self) -> float:
+        """Certified lower bound on ISE OPT(m): LP(3m) / 3 (see Lemma 2)."""
+        return self.lp.objective / 3.0
+
+    @property
+    def approximation_ratio(self) -> float:
+        """Measured calibrations / lower bound (an upper bound on the true ratio)."""
+        lb = self.lower_bound
+        if lb <= 0:
+            return 1.0 if self.num_calibrations == 0 else float("inf")
+        return self.num_calibrations / lb
+
+
+class LongWindowSolver:
+    """Theorem 12 solver for instances whose jobs all have long windows."""
+
+    def __init__(self, config: LongWindowConfig | None = None) -> None:
+        self.config = config or LongWindowConfig()
+
+    def solve(self, instance: Instance) -> LongWindowResult:
+        """Run LP -> rounding -> EDF; returns schedule + bound telemetry.
+
+        Raises:
+            InvalidInstanceError: some job has a short window.
+            InfeasibleInstanceError: the LP certifies infeasibility on
+                ``m`` machines (via Lemma 2).
+        """
+        T = instance.calibration_length
+        for job in instance.jobs:
+            if not job.is_long(T):
+                raise InvalidInstanceError(
+                    f"LongWindowSolver requires long-window jobs; job "
+                    f"{job.job_id} has window {job.window} < 2T = {2 * T}"
+                )
+        cfg = self.config
+        times: dict[str, float] = {}
+        m_prime = cfg.machine_multiplier * instance.machines
+
+        tic = time.perf_counter()
+        points = potential_calibration_points(instance.jobs, T)
+        times["points"] = time.perf_counter() - tic
+
+        tic = time.perf_counter()
+        lp = solve_tise_lp(
+            instance.jobs, T, m_prime, backend=cfg.lp_backend, points=points
+        )
+        times["lp"] = time.perf_counter() - tic
+
+        tic = time.perf_counter()
+        if cfg.rounding_scheme not in ("greedy", "ceil", "best"):
+            raise ValueError(
+                f"unknown rounding scheme {cfg.rounding_scheme!r}"
+            )
+        rounding = None
+        if cfg.rounding_scheme in ("greedy", "best"):
+            rounding = round_calibrations(
+                lp.calibrations,
+                machine_budget=m_prime,
+                calibration_length=T,
+                threshold=cfg.rounding_threshold,
+            )
+        if cfg.rounding_scheme in ("ceil", "best"):
+            ceil_rounding = round_calibrations_ceil(lp.calibrations, T)
+            if (
+                rounding is None
+                or ceil_rounding.num_calibrations < rounding.num_calibrations
+            ):
+                rounding = ceil_rounding
+        assert rounding is not None
+        times["rounding"] = time.perf_counter() - tic
+
+        tic = time.perf_counter()
+        schedule = assign_jobs_edf(instance.jobs, rounding.schedule, mirror=True)
+        times["edf"] = time.perf_counter() - tic
+        unpruned = schedule.num_calibrations
+
+        if cfg.prune_empty:
+            schedule = schedule.prune_empty_calibrations(
+                {j.job_id: j.processing for j in instance.jobs}
+            )
+        machines_used = len(
+            {c.machine for c in schedule.calibrations}
+            | {p.machine for p in schedule.placements}
+        )
+        if cfg.validate:
+            tic = time.perf_counter()
+            check_tise(instance, schedule, context="long-window pipeline")
+            times["validate"] = time.perf_counter() - tic
+
+        return LongWindowResult(
+            schedule=schedule,
+            lp=lp,
+            rounding=rounding,
+            unpruned_calibrations=unpruned,
+            machines_used=machines_used,
+            machine_budget=2 * cfg.machine_multiplier * m_prime,
+            wall_times=times,
+        )
+
+    def solve_with_speed(
+        self, instance: Instance, group_size: int | None = None
+    ) -> tuple[LongWindowResult, SpeedTradeoffResult]:
+        """Theorem 14: run the pipeline, then trade machines for speed.
+
+        ``group_size`` defaults to the full Theorem 12 machine budget per
+        instance machine (18), producing ``m`` machines at speed 36.
+        """
+        result = self.solve(instance)
+        c = group_size
+        if c is None:
+            c = 2 * self.config.machine_multiplier ** 2  # 18 for the paper's 3
+        traded = machines_to_speed(instance, result.schedule, c)
+        if self.config.validate:
+            check_ise(instance, traded.schedule, context="speed tradeoff")
+        return result, traded

@@ -1,0 +1,199 @@
+"""Machine-to-speed transformation (Lemma 13, Theorem 14).
+
+Given a TISE schedule on ``c*m`` speed-1 machines, this transformation
+produces an ISE schedule on ``m`` machines running at speed ``2c`` with no
+more calibrations:
+
+1. Group the source machines into ``m`` groups of ``c``.
+2. Per group, build the target calibration calendar: starting from the
+   earliest source calibration, calibrate the target whenever the current
+   time is inside some source calibration, stepping by ``T``; otherwise jump
+   to the next source calibration start.  Every calibrated source instant is
+   then calibrated on the target.
+3. Map every source calibration to a dedicated ``T/(2c)`` sub-slot of the
+   target calibration whose first or second half it fully contains (one of
+   the two always exists — Lemma 13), indexed by the source machine's
+   position in the group; jobs keep their in-calibration order with
+   processing times scaled by ``1/(2c)``.
+
+Feasibility rests on the TISE property of the input: a job is free to run
+*anywhere* inside its source calibration, and its sub-slot lies inside that
+source calibration, hence inside the job's window.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+
+from ..core.calibration import Calibration, CalibrationSchedule
+from ..core.errors import InvalidScheduleError, SolverError
+from ..core.job import Instance
+from ..core.schedule import Schedule, ScheduledJob
+from ..core.tolerance import EPS, geq, leq
+
+__all__ = ["SpeedTradeoffResult", "machines_to_speed"]
+
+
+@dataclass(frozen=True)
+class SpeedTradeoffResult:
+    """Output of the Lemma 13 transformation plus accounting."""
+
+    schedule: Schedule
+    group_size: int
+    source_calibrations: int
+    target_calibrations: int
+
+    @property
+    def speed(self) -> float:
+        return self.schedule.speed
+
+
+def _target_calendar(starts: list[float], T: float) -> list[float]:
+    """Step 2: the target machine's calibration start times for one group.
+
+    ``starts`` are the sorted source calibration starts of the group.
+    """
+    if not starts:
+        return []
+    out: list[float] = []
+    t = starts[0]
+    last = starts[-1]
+    while True:
+        # Is t inside some source calibration [s, s+T)?  The candidate is the
+        # latest source start <= t.
+        pos = bisect.bisect_right(starts, t + EPS) - 1
+        inside = pos >= 0 and starts[pos] + T > t + EPS
+        if inside:
+            out.append(t)
+            t += T
+        else:
+            nxt = bisect.bisect_right(starts, t + EPS)
+            if nxt >= len(starts):
+                break
+            t = starts[nxt]
+        if t > last + T:
+            break
+    return out
+
+
+def machines_to_speed(
+    instance: Instance, tise_schedule: Schedule, group_size: int
+) -> SpeedTradeoffResult:
+    """Apply Lemma 13: trade ``group_size``-fold machines for ``2*group_size`` speed.
+
+    Args:
+        instance: the (long-window) instance the schedule solves.
+        tise_schedule: a TISE-feasible speed-1 schedule (validated by the
+            caller); its machine pool is grouped in index order.
+        group_size: the ``c`` of Lemma 13 (Theorem 14 uses ``c = 18``).
+
+    Returns a schedule on ``ceil(pool / c)`` machines at speed ``2c`` whose
+    calibration count is at most the source's (asserted).
+    """
+    if group_size < 1:
+        raise ValueError(f"group size must be >= 1, got {group_size}")
+    if abs(tise_schedule.speed - 1.0) > EPS:
+        raise InvalidScheduleError(
+            "machines_to_speed expects a speed-1 TISE schedule, got speed "
+            f"{tise_schedule.speed}"
+        )
+    T = tise_schedule.calibration_length
+    c = group_size
+    speed = 2.0 * c
+    slot = T / (2.0 * c)
+    job_map = instance.job_map()
+    pool = tise_schedule.calibrations.num_machines
+    num_groups = max(1, -(-pool // c))  # ceil
+
+    # Jobs per source calibration, ordered by start time.
+    jobs_in_cal: dict[tuple[float, int], list[ScheduledJob]] = {}
+    for placement in tise_schedule.placements:
+        job = job_map[placement.job_id]
+        cal = tise_schedule.enclosing_calibration(placement, job.processing)
+        if cal is None:
+            raise InvalidScheduleError(
+                f"job {placement.job_id} lacks an enclosing calibration"
+            )
+        jobs_in_cal.setdefault((cal.start, cal.machine), []).append(placement)
+    for members in jobs_in_cal.values():
+        members.sort()
+
+    target_cals: list[Calibration] = []
+    placements: list[ScheduledJob] = []
+    total_source = tise_schedule.calibrations.num_calibrations
+
+    for group in range(num_groups):
+        machines = range(group * c, min((group + 1) * c, pool))
+        group_cals = [
+            cal
+            for cal in tise_schedule.calibrations
+            if cal.machine in machines
+        ]
+        starts_sorted = sorted({cal.start for cal in group_cals})
+        calendar = _target_calendar(starts_sorted, T)
+        for t in calendar:
+            target_cals.append(Calibration(start=t, machine=group))
+
+        # Step 3: map each source calibration to a sub-slot.
+        # slot_key -> source machine occupancy guard (Lemma 13: at most one).
+        taken: set[tuple[float, int, int]] = set()  # (target t, half, machine idx)
+        for cal in sorted(group_cals):
+            local_idx = cal.machine - group * c
+            src_lo, src_hi = cal.start, cal.start + T
+            home: tuple[float, int] | None = None
+            for t in calendar:
+                first_half = (t, t + T / 2.0)
+                second_half = (t + T / 2.0, t + T)
+                if geq(first_half[0], src_lo) and leq(first_half[1], src_hi):
+                    home = (t, 0)
+                    break
+                if geq(second_half[0], src_lo) and leq(second_half[1], src_hi):
+                    home = (t, 1)
+                    break
+            if home is None:
+                raise SolverError(
+                    f"Lemma 13 mapping failed: source calibration at "
+                    f"{cal.start} on machine {cal.machine} contains no "
+                    "target half — target calendar construction is buggy"
+                )
+            key = (home[0], home[1], local_idx)
+            if key in taken:
+                raise SolverError(
+                    f"Lemma 13 slot conflict at target {home[0]} half "
+                    f"{home[1]} machine index {local_idx}"
+                )
+            taken.add(key)
+            sub_start = home[0] + home[1] * (T / 2.0) + local_idx * slot
+            cursor = sub_start
+            for placement in jobs_in_cal.get((cal.start, cal.machine), []):
+                job = job_map[placement.job_id]
+                placements.append(
+                    ScheduledJob(
+                        start=cursor, machine=group, job_id=placement.job_id
+                    )
+                )
+                cursor += job.processing / speed
+
+    schedule = Schedule(
+        calibrations=CalibrationSchedule(
+            calibrations=tuple(target_cals),
+            num_machines=num_groups,
+            calibration_length=T,
+        ),
+        placements=tuple(placements),
+        speed=speed,
+    )
+    result = SpeedTradeoffResult(
+        schedule=schedule,
+        group_size=c,
+        source_calibrations=total_source,
+        target_calibrations=len(target_cals),
+    )
+    if result.target_calibrations > result.source_calibrations:
+        raise SolverError(
+            "Lemma 13 violated: target uses "
+            f"{result.target_calibrations} > {result.source_calibrations} "
+            "calibrations"
+        )
+    return result

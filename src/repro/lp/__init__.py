@@ -1,0 +1,45 @@
+"""Linear-programming substrate.
+
+* :mod:`repro.lp.model` — solver-agnostic sparse LP builder.
+* :mod:`repro.lp.highs` — SciPy/HiGHS backend (default).
+* :mod:`repro.lp.simplex` — in-repo dense two-phase simplex (cross-check
+  substrate, ABL3 ablation).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .highs import HighsBackend, solve_highs
+from .model import LinearProgram, LPSolution, LPStatus, Sense
+from .simplex import SimplexBackend, solve_simplex
+
+__all__ = [
+    "LinearProgram",
+    "LPSolution",
+    "LPStatus",
+    "Sense",
+    "solve_highs",
+    "solve_simplex",
+    "HighsBackend",
+    "SimplexBackend",
+    "get_backend",
+    "BACKENDS",
+]
+
+LPBackend = Callable[[LinearProgram], LPSolution]
+
+BACKENDS: dict[str, LPBackend] = {
+    "highs": HighsBackend(),
+    "simplex": SimplexBackend(),
+}
+
+
+def get_backend(name: str) -> LPBackend:
+    """Look up an LP backend by name (``"highs"`` or ``"simplex"``)."""
+    try:
+        return BACKENDS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown LP backend {name!r}; available: {sorted(BACKENDS)}"
+        ) from None

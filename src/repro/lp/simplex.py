@@ -1,0 +1,266 @@
+"""A self-contained dense two-phase simplex LP solver.
+
+This is the library's own LP substrate: an independently implemented solver
+used to cross-check the HiGHS backend (tests assert both find the same
+optimum on random LPs and on small TISE relaxations) and benched against it
+in the ABL3 ablation.  It is a textbook full-tableau two-phase simplex with
+Bland's anti-cycling rule — O(rows x cols) memory, intended for small and
+medium models, not for the large benched TISE LPs (use HiGHS there).
+
+Model handling:
+
+* variables with finite lower bounds are shifted to zero;
+* variables with ``lb = -inf`` are split into a difference of nonnegatives;
+* finite upper bounds become extra ``<=`` rows;
+* GE/EQ rows receive artificial variables in phase 1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .model import LinearProgram, LPSolution, LPStatus
+
+__all__ = ["SimplexBackend", "solve_simplex"]
+
+_TOL = 1e-9
+_MAX_ITERS_FACTOR = 200
+
+
+def _pivot(tableau: np.ndarray, basis: np.ndarray, row: int, col: int) -> None:
+    """In-place pivot on ``tableau[row, col]``."""
+    tableau[row] /= tableau[row, col]
+    pivot_col = tableau[:, col].copy()
+    pivot_col[row] = 0.0
+    # Rank-1 update of every other row (vectorized; this is the hot loop).
+    tableau -= np.outer(pivot_col, tableau[row])
+    basis[row] = col
+
+
+def _run_simplex(
+    tableau: np.ndarray, basis: np.ndarray, cost: np.ndarray, max_iters: int
+) -> LPStatus:
+    """Optimize ``min cost.x`` over the tableau in place; returns status.
+
+    ``tableau`` is ``(m, n+1)`` with the rhs in the last column; ``basis``
+    holds the basic column of each row.  Uses Bland's rule.
+    """
+    m, _ = tableau.shape
+    n = tableau.shape[1] - 1
+    for _ in range(max_iters):
+        # Reduced costs: c_j - c_B . B^-1 A_j  (tableau rows already are B^-1 A).
+        c_b = cost[basis]
+        reduced = cost[:n] - c_b @ tableau[:, :n]
+        entering = -1
+        for j in range(n):  # Bland: smallest index with negative reduced cost
+            if reduced[j] < -_TOL:
+                entering = j
+                break
+        if entering < 0:
+            return LPStatus.OPTIMAL
+        col = tableau[:, entering]
+        rhs = tableau[:, n]
+        best_ratio = np.inf
+        leaving = -1
+        for i in range(m):
+            if col[i] > _TOL:
+                ratio = rhs[i] / col[i]
+                if ratio < best_ratio - _TOL or (
+                    abs(ratio - best_ratio) <= _TOL
+                    and (leaving < 0 or basis[i] < basis[leaving])
+                ):
+                    best_ratio = ratio
+                    leaving = i
+        if leaving < 0:
+            return LPStatus.UNBOUNDED
+        _pivot(tableau, basis, leaving, entering)
+    return LPStatus.ERROR  # iteration limit: numerical trouble
+
+
+def solve_simplex(model: LinearProgram) -> LPSolution:
+    """Solve ``model`` with the in-repo two-phase simplex."""
+    c, a_ub, b_ub, a_eq, b_eq, lb, ub = model.to_standard_arrays()
+    nvar = model.num_variables
+    if nvar == 0:
+        return LPSolution(status=LPStatus.OPTIMAL, objective=0.0, x=np.empty(0))
+
+    # ------------------------------------------------------------------
+    # Variable transformation to x' >= 0.
+    # x_i = lb_i + x'_i                        when lb_i finite
+    # x_i = x'_pos - x'_neg                    when lb_i = -inf
+    # ------------------------------------------------------------------
+    free = ~np.isfinite(lb)
+    shift = np.where(free, 0.0, lb)
+    n_std = nvar + int(free.sum())
+    # map: column i of original -> (pos column, optional neg column)
+    neg_col = np.full(nvar, -1, dtype=int)
+    next_col = nvar
+    for i in np.flatnonzero(free):
+        neg_col[i] = next_col
+        next_col += 1
+
+    def expand_matrix(mat: np.ndarray) -> np.ndarray:
+        out = np.zeros((mat.shape[0], n_std))
+        out[:, :nvar] = mat
+        for i in np.flatnonzero(free):
+            out[:, neg_col[i]] = -mat[:, i]
+        return out
+
+    rows_a: list[np.ndarray] = []
+    rows_b: list[float] = []
+    row_sense: list[str] = []  # "le" or "eq"
+
+    if a_ub is not None:
+        dense = np.asarray(a_ub.todense())
+        adj = b_ub - dense @ shift
+        dense = expand_matrix(dense)
+        for i in range(dense.shape[0]):
+            rows_a.append(dense[i])
+            rows_b.append(float(adj[i]))
+            row_sense.append("le")
+    if a_eq is not None:
+        dense = np.asarray(a_eq.todense())
+        adj = b_eq - dense @ shift
+        dense = expand_matrix(dense)
+        for i in range(dense.shape[0]):
+            rows_a.append(dense[i])
+            rows_b.append(float(adj[i]))
+            row_sense.append("eq")
+    # Finite upper bounds become rows  x'_i <= ub_i - lb_i.
+    for i in range(nvar):
+        if np.isfinite(ub[i]):
+            row = np.zeros(n_std)
+            row[i] = 1.0
+            if free[i]:
+                row[neg_col[i]] = -1.0
+            rows_a.append(row)
+            rows_b.append(float(ub[i] - shift[i]))
+            row_sense.append("le")
+
+    c_std = np.zeros(n_std)
+    c_std[:nvar] = c
+    for i in np.flatnonzero(free):
+        c_std[neg_col[i]] = -c[i]
+    const_term = float(c @ shift)
+
+    m = len(rows_a)
+    if m == 0:
+        # Unconstrained except x' >= 0: optimum sets x'_j = 0 unless c_j < 0.
+        if np.any(c_std < -_TOL):
+            return LPSolution(status=LPStatus.UNBOUNDED, objective=None, x=None)
+        x = shift.copy()
+        return LPSolution(
+            status=LPStatus.OPTIMAL, objective=const_term, x=x
+        )
+
+    a = np.vstack(rows_a)
+    b = np.asarray(rows_b)
+
+    # Normalize to b >= 0.
+    for i in range(m):
+        if b[i] < 0:
+            a[i] *= -1.0
+            b[i] *= -1.0
+            row_sense[i] = {"le": "ge", "ge": "le", "eq": "eq"}[row_sense[i]]
+
+    # Slack / surplus / artificial columns.
+    cols: list[np.ndarray] = [a]
+    n_slack = sum(1 for s in row_sense if s in ("le", "ge"))
+    slack = np.zeros((m, n_slack))
+    k = 0
+    slack_basic: dict[int, int] = {}  # row -> slack column index (if +1 slack)
+    for i, s in enumerate(row_sense):
+        if s == "le":
+            slack[i, k] = 1.0
+            slack_basic[i] = n_std + k
+            k += 1
+        elif s == "ge":
+            slack[i, k] = -1.0
+            k += 1
+    cols.append(slack)
+
+    art_rows = [i for i in range(m) if i not in slack_basic]
+    art = np.zeros((m, len(art_rows)))
+    art_cols: list[int] = []
+    for j, i in enumerate(art_rows):
+        art[i, j] = 1.0
+        art_cols.append(n_std + n_slack + j)
+    cols.append(art)
+
+    full = np.hstack(cols)
+    total_cols = full.shape[1]
+    tableau = np.hstack([full, b.reshape(-1, 1)])
+
+    basis = np.zeros(m, dtype=int)
+    for i in range(m):
+        basis[i] = slack_basic.get(i, -1)
+    for j, i in enumerate(art_rows):
+        basis[i] = art_cols[j]
+
+    max_iters = _MAX_ITERS_FACTOR * (m + total_cols)
+
+    # Phase 1: minimize sum of artificials.
+    if art_rows:
+        cost1 = np.zeros(total_cols)
+        for col in art_cols:
+            cost1[col] = 1.0
+        status = _run_simplex(tableau, basis, cost1, max_iters)
+        if status is LPStatus.ERROR:
+            return LPSolution(
+                status=LPStatus.ERROR, objective=None, x=None,
+                message="phase-1 iteration limit",
+            )
+        phase1_val = float(cost1[basis] @ tableau[:, -1])
+        if phase1_val > 1e-7:
+            return LPSolution(status=LPStatus.INFEASIBLE, objective=None, x=None)
+        # Drive any remaining artificial out of the basis.
+        art_set = set(art_cols)
+        for i in range(m):
+            if basis[i] in art_set:
+                pivoted = False
+                for j in range(n_std + n_slack):
+                    if abs(tableau[i, j]) > _TOL:
+                        _pivot(tableau, basis, i, j)
+                        pivoted = True
+                        break
+                if not pivoted:
+                    # Redundant row; artificial stays basic at value 0 — safe.
+                    pass
+
+    # Phase 2: original objective; artificials forbidden via +inf-ish cost.
+    cost2 = np.zeros(total_cols)
+    cost2[:n_std] = c_std
+    for col in art_cols:
+        cost2[col] = 1e18  # any positive cost keeps zero-valued artificials at 0
+    status = _run_simplex(tableau, basis, cost2, max_iters)
+    if status is LPStatus.UNBOUNDED:
+        return LPSolution(status=LPStatus.UNBOUNDED, objective=None, x=None)
+    if status is LPStatus.ERROR:
+        return LPSolution(
+            status=LPStatus.ERROR, objective=None, x=None,
+            message="phase-2 iteration limit",
+        )
+
+    x_std = np.zeros(total_cols)
+    x_std[basis] = tableau[:, -1]
+    x = x_std[:nvar].copy()
+    for i in np.flatnonzero(free):
+        x[i] -= x_std[neg_col[i]]
+    x += shift
+    return LPSolution(
+        status=LPStatus.OPTIMAL,
+        objective=float(c @ x),
+        x=x,
+    )
+
+
+class SimplexBackend:
+    """Callable-object form of :func:`solve_simplex` for the backend registry."""
+
+    name = "simplex"
+
+    def __call__(self, model: LinearProgram) -> LPSolution:
+        return solve_simplex(model)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "SimplexBackend()"

@@ -1,0 +1,46 @@
+"""Machine-minimization (MM) substrate — the black box of Theorem 1.
+
+* :mod:`repro.mm.base` — interface, MM schedule type, validator.
+* :mod:`repro.mm.greedy` — list-scheduling heuristics.
+* :mod:`repro.mm.lp_rounding` — LP relaxation + randomized rounding.
+* :mod:`repro.mm.exact` — exact branch-and-bound (small instances).
+* :mod:`repro.mm.preemptive_bound` — max-flow preemptive lower bound.
+* :mod:`repro.mm.registry` — name-based lookup, ``"auto"`` policy.
+"""
+
+from .backtrack import BacktrackGreedyMM
+from .base import MMAlgorithm, MMSchedule, check_mm, max_overlap, validate_mm
+from .exact import ExactMM, feasible_on_machines
+from .greedy import BestOfGreedyMM, GreedyMM, try_schedule_on_w_machines
+from .lp_rounding import LPRoundingMM, fractional_mm_value
+from .preemptive_bound import (
+    elementary_intervals,
+    preemptive_feasible,
+    preemptive_machine_lower_bound,
+)
+from .registry import MM_ALGORITHMS, AutoMM, get_mm_algorithm
+from .rigid import RigidExactMM, all_rigid
+
+__all__ = [
+    "MMAlgorithm",
+    "MMSchedule",
+    "validate_mm",
+    "check_mm",
+    "max_overlap",
+    "GreedyMM",
+    "BestOfGreedyMM",
+    "try_schedule_on_w_machines",
+    "LPRoundingMM",
+    "fractional_mm_value",
+    "ExactMM",
+    "feasible_on_machines",
+    "preemptive_feasible",
+    "preemptive_machine_lower_bound",
+    "elementary_intervals",
+    "AutoMM",
+    "MM_ALGORITHMS",
+    "get_mm_algorithm",
+    "RigidExactMM",
+    "all_rigid",
+    "BacktrackGreedyMM",
+]

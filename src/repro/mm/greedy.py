@@ -1,0 +1,151 @@
+"""Greedy list-scheduling MM heuristics.
+
+These supply cheap, always-terminating MM black boxes: for a fixed machine
+count ``w``, jobs are placed one at a time by a priority order, each on the
+machine where it can start earliest; ``w`` is grown from a certified lower
+bound until the placement succeeds.  With ``w = n`` every job can run alone
+at its release time (``d_j >= r_j + p_j``), so termination is unconditional.
+
+Nonpreemptive list scheduling carries no worst-case approximation guarantee
+for MM — that is exactly why the paper treats the MM algorithm as a black
+box with abstract ratio ``alpha``.  The benches measure the empirical
+``alpha`` of each heuristic against the preemptive flow lower bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..core.job import Job
+from ..core.schedule import ScheduledJob
+from ..core.tolerance import EPS, leq
+from .base import MMSchedule, check_mm
+
+__all__ = [
+    "GreedyMM",
+    "BestOfGreedyMM",
+    "ORDERINGS",
+    "try_schedule_on_w_machines",
+]
+
+
+def _by_deadline(job: Job) -> tuple[float, float, int]:
+    return (job.deadline, job.release, job.job_id)
+
+
+def _by_release(job: Job) -> tuple[float, float, int]:
+    return (job.release, job.deadline, job.job_id)
+
+
+def _by_latest_start(job: Job) -> tuple[float, float, int]:
+    return (job.latest_start, job.deadline, job.job_id)
+
+
+def _by_processing_desc(job: Job) -> tuple[float, float, int]:
+    return (-job.processing, job.deadline, job.job_id)
+
+
+ORDERINGS: dict[str, Callable[[Job], tuple[float, float, int]]] = {
+    "edf": _by_deadline,
+    "release": _by_release,
+    "latest_start": _by_latest_start,
+    "lpt": _by_processing_desc,
+}
+
+
+def try_schedule_on_w_machines(
+    jobs: Sequence[Job],
+    w: int,
+    speed: float,
+    key: Callable[[Job], tuple[float, float, int]],
+) -> MMSchedule | None:
+    """List-schedule ``jobs`` in ``key`` order on ``w`` speed-``speed`` machines.
+
+    Each job goes on the machine where it can start earliest
+    (``max(r_j, machine_free)``); returns None if any job would miss its
+    deadline.
+    """
+    if w <= 0:
+        return None if jobs else MMSchedule(placements=(), num_machines=0, speed=speed)
+    free = [0.0] * w
+    # Initialize machine availability before the earliest release so that
+    # max(r_j, free) is correct even for negative release times.
+    if jobs:
+        earliest = min(j.release for j in jobs)
+        free = [earliest] * w
+    placements: list[ScheduledJob] = []
+    for job in sorted(jobs, key=key):
+        best_machine = -1
+        best_start = float("inf")
+        for machine in range(w):
+            start = max(job.release, free[machine])
+            if start < best_start - EPS:
+                best_start = start
+                best_machine = machine
+        duration = job.processing / speed
+        if not leq(best_start + duration, job.deadline):
+            return None
+        placements.append(
+            ScheduledJob(start=best_start, machine=best_machine, job_id=job.job_id)
+        )
+        free[best_machine] = best_start + duration
+    return MMSchedule(
+        placements=tuple(placements), num_machines=w, speed=speed
+    )
+
+
+@dataclass
+class GreedyMM:
+    """MM black box: grow ``w`` until one list-scheduling pass succeeds.
+
+    Attributes:
+        ordering: key into :data:`ORDERINGS` (default ``"edf"``).
+        start_w: optional starting machine count (e.g. a lower bound); the
+            scan is linear because greedy success is not monotone in ``w``.
+    """
+
+    ordering: str = "edf"
+    start_w: int = 1
+
+    @property
+    def name(self) -> str:
+        return f"greedy[{self.ordering}]"
+
+    def solve(self, jobs: Sequence[Job], speed: float = 1.0) -> MMSchedule:
+        if not jobs:
+            return MMSchedule(placements=(), num_machines=0, speed=speed)
+        key = ORDERINGS[self.ordering]
+        w = max(1, self.start_w)
+        while True:
+            schedule = try_schedule_on_w_machines(jobs, w, speed, key)
+            if schedule is not None:
+                check_mm(jobs, schedule, context=self.name)
+                return schedule
+            w += 1
+            if w > len(jobs):
+                # w = n always succeeds; reaching here means a bug.
+                schedule = try_schedule_on_w_machines(jobs, len(jobs), speed, key)
+                assert schedule is not None, "n machines must always suffice"
+                check_mm(jobs, schedule, context=self.name)
+                return schedule
+
+
+@dataclass
+class BestOfGreedyMM:
+    """MM black box: the best (fewest-machine) result over all orderings."""
+
+    orderings: tuple[str, ...] = tuple(ORDERINGS)
+
+    name: str = "greedy[best]"
+
+    def solve(self, jobs: Sequence[Job], speed: float = 1.0) -> MMSchedule:
+        if not jobs:
+            return MMSchedule(placements=(), num_machines=0, speed=speed)
+        best: MMSchedule | None = None
+        for ordering in self.orderings:
+            candidate = GreedyMM(ordering=ordering).solve(jobs, speed)
+            if best is None or candidate.num_machines < best.num_machines:
+                best = candidate
+        assert best is not None
+        return best

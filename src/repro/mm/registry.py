@@ -1,0 +1,86 @@
+"""Registry of MM black-box algorithms.
+
+The short-window pipeline (Section 4) and the combined solver take an MM
+algorithm by name or instance; this module is the single lookup point.
+
+The ``"auto"`` algorithm picks exact search for small job sets and falls
+back to the best greedy heuristic when the exact search would be too
+expensive — mirroring how one would deploy the paper's reduction with the
+best MM solver affordable per interval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.errors import LimitExceededError
+from ..core.job import Job
+from .base import MMAlgorithm, MMSchedule
+from .backtrack import BacktrackGreedyMM
+from .exact import ExactMM
+from .greedy import BestOfGreedyMM, GreedyMM
+from .lp_rounding import LPRoundingMM
+from .rigid import RigidExactMM, all_rigid
+
+__all__ = ["AutoMM", "get_mm_algorithm", "MM_ALGORITHMS"]
+
+
+@dataclass
+class AutoMM:
+    """Route to the cheapest exact method that applies, else best-greedy.
+
+    * all-rigid job sets: exact interval coloring (polynomial, any size);
+    * small job sets: exact branch-and-bound;
+    * otherwise (or on node-budget exhaustion): best-of-greedy.
+    """
+
+    exact_threshold: int = 10
+    node_budget: int = 100_000
+
+    name: str = "auto"
+
+    def solve(self, jobs: Sequence[Job], speed: float = 1.0) -> MMSchedule:
+        fallback = BestOfGreedyMM()
+        if all_rigid(jobs, speed):
+            return RigidExactMM().solve(jobs, speed)
+        if len(jobs) > self.exact_threshold:
+            return fallback.solve(jobs, speed)
+        try:
+            exact = ExactMM(node_budget=self.node_budget).solve(jobs, speed)
+        except LimitExceededError:
+            return fallback.solve(jobs, speed)
+        greedy = fallback.solve(jobs, speed)
+        return exact if exact.num_machines <= greedy.num_machines else greedy
+
+
+def _make_algorithms() -> dict[str, MMAlgorithm]:
+    algorithms: dict[str, MMAlgorithm] = {
+        "greedy_edf": GreedyMM(ordering="edf"),
+        "greedy_release": GreedyMM(ordering="release"),
+        "greedy_latest_start": GreedyMM(ordering="latest_start"),
+        "greedy_lpt": GreedyMM(ordering="lpt"),
+        "best_greedy": BestOfGreedyMM(),
+        "backtrack": BacktrackGreedyMM(),
+        "lp_rounding": LPRoundingMM(),
+        "exact": ExactMM(),
+        "rigid_exact": RigidExactMM(),
+        "auto": AutoMM(),
+    }
+    return algorithms
+
+
+MM_ALGORITHMS: dict[str, MMAlgorithm] = _make_algorithms()
+
+
+def get_mm_algorithm(spec: str | MMAlgorithm) -> MMAlgorithm:
+    """Resolve an algorithm name or pass an instance through."""
+    if isinstance(spec, str):
+        try:
+            return MM_ALGORITHMS[spec]
+        except KeyError:
+            raise KeyError(
+                f"unknown MM algorithm {spec!r}; available: "
+                f"{sorted(MM_ALGORITHMS)}"
+            ) from None
+    return spec

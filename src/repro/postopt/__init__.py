@@ -1,0 +1,5 @@
+"""Post-optimization: feasibility-preserving local search on schedules."""
+
+from .consolidate import ConsolidationResult, consolidate, repack_calibration
+
+__all__ = ["ConsolidationResult", "consolidate", "repack_calibration"]

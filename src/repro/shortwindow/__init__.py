@@ -1,0 +1,27 @@
+"""Short-window ISE algorithms (Section 4 of the paper).
+
+* :mod:`repro.shortwindow.intervals` — Algorithm 4 two-pass partitioning.
+* :mod:`repro.shortwindow.transform` — Algorithm 5 MM-to-ISE lifting.
+* :mod:`repro.shortwindow.pipeline` — the Theorem 20 solver.
+"""
+
+from .intervals import IntervalBucket, ShortJobPartition, partition_short_jobs
+from .pipeline import (
+    IntervalReport,
+    ShortWindowConfig,
+    ShortWindowResult,
+    ShortWindowSolver,
+)
+from .transform import IntervalTransformResult, interval_mm_to_ise
+
+__all__ = [
+    "IntervalBucket",
+    "ShortJobPartition",
+    "partition_short_jobs",
+    "IntervalTransformResult",
+    "interval_mm_to_ise",
+    "IntervalReport",
+    "ShortWindowConfig",
+    "ShortWindowResult",
+    "ShortWindowSolver",
+]

@@ -1,0 +1,231 @@
+"""The short-window ISE pipeline (Section 4, Theorem 20).
+
+Combines Algorithm 4 (two-pass interval partitioning) with Algorithm 5
+(per-interval MM-to-ISE lifting) around any black-box MM algorithm:
+
+* within one pass, the disjoint intervals share a machine pool of size
+  ``3 * max_i w_i`` (every calibration is nested in its interval, so reuse
+  across intervals is conflict-free — Lemma 16);
+* the two passes use disjoint pools.
+
+Theorem 20's accounting: with an ``alpha``-approximate MM black box the
+result uses at most ``6*alpha*w*`` machines and ``16*gamma*alpha*C*``
+calibrations.  The pipeline records per-interval MM machine counts and the
+preemptive-flow lower bounds needed to check those bounds empirically
+(Lemmas 17-18).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..core.errors import InvalidInstanceError
+from ..core.job import Instance
+from ..core.schedule import Schedule, empty_schedule
+from ..core.validate import check_ise
+from ..mm.base import MMAlgorithm
+from ..mm.preemptive_bound import preemptive_machine_lower_bound
+from ..mm.registry import get_mm_algorithm
+from .intervals import IntervalBucket, ShortJobPartition, partition_short_jobs
+from .transform import IntervalTransformResult, interval_mm_to_ise
+
+__all__ = ["ShortWindowConfig", "IntervalReport", "ShortWindowResult", "ShortWindowSolver"]
+
+
+@dataclass(frozen=True)
+class ShortWindowConfig:
+    """Tuning knobs for the short-window pipeline.
+
+    Attributes:
+        mm_algorithm: MM black box (name from the registry or an instance).
+        gamma: the short-window factor (Definition 1: 2).
+        speed: machine speed handed to the MM black box.
+        prune_empty: drop job-less calibrations from the delivered schedule.
+        validate: run the independent ISE validator on the output.
+        compute_lower_bounds: also compute per-interval preemptive MM lower
+            bounds (used by the Lemma 18 calibration lower bound).
+        overlapping_calibrations: select the paper's footnote-3 variant in
+            which calibrations may be invoked less than ``T`` apart; crossing
+            jobs then need no extra machines (``w`` instead of ``3w`` per
+            interval), only their dedicated calibrations.
+    """
+
+    mm_algorithm: str | MMAlgorithm = "best_greedy"
+    gamma: float = 2.0
+    speed: float = 1.0
+    prune_empty: bool = True
+    validate: bool = True
+    compute_lower_bounds: bool = True
+    overlapping_calibrations: bool = False
+
+
+@dataclass(frozen=True)
+class IntervalReport:
+    """Telemetry for one partition interval."""
+
+    pass_index: int
+    start: float
+    end: float
+    num_jobs: int
+    mm_machines: int
+    crossing_jobs: int
+    calibrations: int
+    mm_lower_bound: int | None
+
+
+@dataclass(frozen=True)
+class ShortWindowResult:
+    """The short-window pipeline's schedule plus Theorem 20 telemetry."""
+
+    schedule: Schedule
+    intervals: tuple[IntervalReport, ...]
+    unpruned_calibrations: int
+    machines_used: int
+    mm_name: str
+    gamma: float
+    wall_times: dict[str, float] = field(default_factory=dict, compare=False)
+
+    @property
+    def num_calibrations(self) -> int:
+        return self.schedule.num_calibrations
+
+    @property
+    def max_mm_machines(self) -> tuple[int, int]:
+        """``(max_i w_i)`` per pass — the per-pass machine pool is 3x this."""
+        per_pass = [0, 0]
+        for report in self.intervals:
+            per_pass[report.pass_index] = max(
+                per_pass[report.pass_index], report.mm_machines
+            )
+        return (per_pass[0], per_pass[1])
+
+    @property
+    def calibration_lower_bound(self) -> float:
+        """Lemma 18: ``max over passes of sum_i w_i^LB / 2``.
+
+        Uses preemptive flow bounds ``w_i^LB <= w_i*``, so this is a valid
+        lower bound on the optimal number of ISE calibrations.  0.0 when
+        lower bounds were not computed.
+        """
+        sums = [0.0, 0.0]
+        for report in self.intervals:
+            if report.mm_lower_bound is not None:
+                sums[report.pass_index] += report.mm_lower_bound
+        return max(sums) / 2.0
+
+    @property
+    def machine_lower_bound(self) -> int:
+        """Lemma 18: ``max_i w_i^LB`` lower-bounds the ISE machine count."""
+        return max(
+            (r.mm_lower_bound for r in self.intervals if r.mm_lower_bound is not None),
+            default=0,
+        )
+
+
+class ShortWindowSolver:
+    """Theorem 20 solver for instances whose jobs all have short windows."""
+
+    def __init__(self, config: ShortWindowConfig | None = None) -> None:
+        self.config = config or ShortWindowConfig()
+
+    def solve(self, instance: Instance) -> ShortWindowResult:
+        """Partition, per-interval MM + lift, merge; returns schedule + telemetry."""
+        cfg = self.config
+        T = instance.calibration_length
+        mm = get_mm_algorithm(cfg.mm_algorithm)
+        times: dict[str, float] = {}
+
+        tic = time.perf_counter()
+        partition = partition_short_jobs(instance.jobs, T, gamma=cfg.gamma)
+        times["partition"] = time.perf_counter() - tic
+
+        reports: list[IntervalReport] = []
+        pass_schedules: list[Schedule] = [
+            empty_schedule(T, num_machines=0, speed=cfg.speed),
+            empty_schedule(T, num_machines=0, speed=cfg.speed),
+        ]
+        mm_time = 0.0
+        lift_time = 0.0
+        for bucket in partition.buckets:
+            tic = time.perf_counter()
+            mm_schedule = mm.solve(bucket.jobs, speed=cfg.speed)
+            mm_time += time.perf_counter() - tic
+
+            tic = time.perf_counter()
+            lifted = interval_mm_to_ise(
+                bucket.jobs,
+                mm_schedule,
+                bucket.start,
+                T,
+                cfg.gamma,
+                overlapping=cfg.overlapping_calibrations,
+            )
+            lift_time += time.perf_counter() - tic
+
+            lower = (
+                preemptive_machine_lower_bound(bucket.jobs, cfg.speed)
+                if cfg.compute_lower_bounds
+                else None
+            )
+            reports.append(
+                IntervalReport(
+                    pass_index=bucket.pass_index,
+                    start=bucket.start,
+                    end=bucket.end,
+                    num_jobs=len(bucket.jobs),
+                    mm_machines=lifted.mm_machines,
+                    crossing_jobs=lifted.crossing_jobs,
+                    calibrations=lifted.total_calibrations,
+                    mm_lower_bound=lower,
+                )
+            )
+            # Union within the pass: the interval schedule's machine indices
+            # overlay the pass pool directly (calibrations are nested in
+            # disjoint intervals, so same-index reuse cannot clash).
+            current = pass_schedules[bucket.pass_index]
+            pool = max(
+                current.num_machines, lifted.schedule.num_machines
+            )
+            pass_schedules[bucket.pass_index] = Schedule(
+                calibrations=current.calibrations.__class__(
+                    calibrations=current.calibrations.calibrations
+                    + lifted.schedule.calibrations.calibrations,
+                    num_machines=pool,
+                    calibration_length=T,
+                ),
+                placements=current.placements + lifted.schedule.placements,
+                speed=cfg.speed,
+            )
+        times["mm"] = mm_time
+        times["lift"] = lift_time
+
+        merged = pass_schedules[0].merged_with(pass_schedules[1])
+        unpruned = merged.num_calibrations
+        if cfg.prune_empty:
+            merged = merged.prune_empty_calibrations(
+                {j.job_id: j.processing for j in instance.jobs}
+            )
+        machines_used = len(
+            {c.machine for c in merged.calibrations}
+            | {p.machine for p in merged.placements}
+        )
+        if cfg.validate:
+            tic = time.perf_counter()
+            check_ise(
+                instance,
+                merged,
+                allow_overlapping_calibrations=cfg.overlapping_calibrations,
+                context="short-window pipeline",
+            )
+            times["validate"] = time.perf_counter() - tic
+
+        return ShortWindowResult(
+            schedule=merged,
+            intervals=tuple(reports),
+            unpruned_calibrations=unpruned,
+            machines_used=machines_used,
+            mm_name=getattr(mm, "name", str(mm)),
+            gamma=cfg.gamma,
+            wall_times=times,
+        )

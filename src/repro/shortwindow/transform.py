@@ -1,0 +1,160 @@
+"""Lifting an MM schedule to an ISE schedule within one interval (Algorithm 5).
+
+Given the jobs of one length-``2*gamma*T`` interval and a machine-minimizing
+schedule ``S`` for them on ``w`` machines, Algorithm 5 builds an ISE
+schedule ``S'`` on ``3w`` machines preserving every job's execution time:
+
+* machines ``0..w-1`` ("base") carry calibrations at ``t + kT`` for
+  ``k = 0..2*gamma - 1`` and receive the jobs that fit inside a single
+  calibration;
+* a *k-th crossing job* (starting in base calibration ``k`` but finishing
+  after it) moves to machine ``w + m_j`` when ``k`` is even and
+  ``2w + m_j`` when ``k`` is odd, with a dedicated calibration at its start
+  time.  Same-parity crossing jobs from one MM machine start at least ``T``
+  apart, so the dedicated calibrations never overlap (Lemma 15).
+
+The machine layout (base | even-crossing | odd-crossing) is local to the
+interval; the pipeline reuses the same pool across the disjoint intervals of
+one pass because every calibration here is nested inside the interval
+(second half of Lemma 16's proof).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.calibration import Calibration, CalibrationSchedule
+from ..core.errors import SolverError
+from ..core.job import Job
+from ..core.schedule import Schedule, ScheduledJob
+from ..core.tolerance import EPS, gt
+from ..mm.base import MMSchedule
+
+__all__ = ["IntervalTransformResult", "interval_mm_to_ise"]
+
+
+@dataclass(frozen=True)
+class IntervalTransformResult:
+    """Algorithm 5's output for one interval."""
+
+    schedule: Schedule
+    mm_machines: int
+    crossing_jobs: int
+    base_calibrations: int
+    crossing_calibrations: int
+
+    @property
+    def total_calibrations(self) -> int:
+        return self.schedule.num_calibrations
+
+
+def _calibration_index(start: float, interval_start: float, T: float) -> int:
+    """Index ``k`` of the base calibration containing time ``start``."""
+    k = math.floor((start - interval_start) / T)
+    # Snap boundary hits: a start within EPS of the next calibration's
+    # beginning belongs to that calibration.
+    if (start - interval_start) - (k + 1) * T >= -EPS:
+        k += 1
+    return max(0, k)
+
+
+def interval_mm_to_ise(
+    jobs: Sequence[Job],
+    mm_schedule: MMSchedule,
+    interval_start: float,
+    calibration_length: float,
+    gamma: float,
+    overlapping: bool = False,
+) -> IntervalTransformResult:
+    """Algorithm 5: lift ``mm_schedule`` to an ISE schedule on ``3w`` machines.
+
+    Execution times are preserved exactly; only machine assignments change
+    and calibrations are added.  The result's speed equals the MM schedule's
+    speed.
+
+    ``overlapping=True`` selects the paper's footnote-3 variant: calibrations
+    may be invoked less than ``T`` apart, so a crossing job keeps its MM
+    machine and simply gets a dedicated (overlapping) calibration at its
+    start time — ``w`` machines instead of ``3w``, same calibration count.
+    """
+    T = calibration_length
+    w = mm_schedule.num_machines
+    if not jobs:
+        return IntervalTransformResult(
+            schedule=Schedule(
+                calibrations=CalibrationSchedule(
+                    calibrations=(), num_machines=0, calibration_length=T
+                ),
+                placements=(),
+                speed=mm_schedule.speed,
+            ),
+            mm_machines=0,
+            crossing_jobs=0,
+            base_calibrations=0,
+            crossing_calibrations=0,
+        )
+    job_map = {j.job_id: j for j in jobs}
+    num_cals_per_machine = int(2 * gamma)
+
+    calibrations: list[Calibration] = [
+        Calibration(start=interval_start + k * T, machine=machine)
+        for machine in range(w)
+        for k in range(num_cals_per_machine)
+    ]
+    base_count = len(calibrations)
+
+    placements: list[ScheduledJob] = []
+    crossing = 0
+    for placement in mm_schedule.placements:
+        job = job_map.get(placement.job_id)
+        if job is None:
+            raise SolverError(
+                f"MM schedule contains unknown job {placement.job_id}"
+            )
+        duration = job.processing / mm_schedule.speed
+        k = _calibration_index(placement.start, interval_start, T)
+        cal_end = interval_start + (k + 1) * T
+        is_crossing = gt(placement.start + duration, cal_end)
+        if not is_crossing:
+            placements.append(
+                ScheduledJob(
+                    start=placement.start,
+                    machine=placement.machine,
+                    job_id=job.job_id,
+                )
+            )
+        else:
+            crossing += 1
+            if overlapping:
+                # Footnote 3: the dedicated calibration may overlap the base
+                # calendar, so the job stays on its MM machine.
+                target = placement.machine
+            else:
+                target = (w if k % 2 == 0 else 2 * w) + placement.machine
+            calibrations.append(
+                Calibration(start=placement.start, machine=target)
+            )
+            placements.append(
+                ScheduledJob(
+                    start=placement.start, machine=target, job_id=job.job_id
+                )
+            )
+
+    schedule = Schedule(
+        calibrations=CalibrationSchedule(
+            calibrations=tuple(calibrations),
+            num_machines=w if overlapping else 3 * w,
+            calibration_length=T,
+        ),
+        placements=tuple(placements),
+        speed=mm_schedule.speed,
+    )
+    return IntervalTransformResult(
+        schedule=schedule,
+        mm_machines=w,
+        crossing_jobs=crossing,
+        base_calibrations=base_count,
+        crossing_calibrations=crossing,
+    )

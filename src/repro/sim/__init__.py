@@ -1,0 +1,18 @@
+"""Discrete-event execution of schedules (independent runtime checker)."""
+
+from .engine import EventKind, SimEvent, SimulationResult, simulate
+from .export import events_to_csv, machine_stats_to_csv, save_simulation_csv
+from .timeline import Segment, all_timelines, machine_timeline
+
+__all__ = [
+    "EventKind",
+    "SimEvent",
+    "SimulationResult",
+    "simulate",
+    "events_to_csv",
+    "machine_stats_to_csv",
+    "save_simulation_csv",
+    "Segment",
+    "machine_timeline",
+    "all_timelines",
+]

@@ -1,0 +1,224 @@
+"""Discrete-event execution of ISE schedules.
+
+The static validators in :mod:`repro.core.validate` check a schedule's
+*intervals*; this module *executes* one: machines are state machines
+(uncalibrated → calibrated(until) → busy(job)), events fire in time order,
+and every runtime rule of the problem statement is enforced at the moment it
+applies.  It exists as an independent second opinion on feasibility (its
+code shares nothing with the validator) and as the source of operational
+statistics a scheduler owner would actually look at: per-machine utilization,
+calibrated-but-idle time, makespan.
+
+Events:
+
+* ``calibrate``   — a calibration opens; rejected while a previous calibrated
+  interval is still open (unless the footnote-3 ``allow_overlap`` mode is on).
+* ``job_start``   — rejected if the machine is not calibrated through the
+  job's whole execution, the job is not yet released, or the machine is busy.
+* ``job_end``     — completion; rejected if past the deadline.
+
+The engine never mutates its inputs and reports *all* runtime violations.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterator
+
+from ..core.job import Instance
+from ..core.schedule import Schedule
+from ..core.tolerance import EPS, geq, gt, leq
+
+__all__ = ["EventKind", "SimEvent", "SimulationResult", "simulate"]
+
+
+class EventKind(Enum):
+    CALIBRATE = "calibrate"
+    JOB_START = "job_start"
+    JOB_END = "job_end"
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class SimEvent:
+    """One timeline event (ordering: time, then kind priority, then machine).
+
+    ``priority`` makes calibrations fire before job starts and job ends fire
+    before anything else at the same instant (half-open interval semantics).
+    """
+
+    time: float
+    priority: int
+    machine: int
+    kind: EventKind = field(compare=False)
+    job_id: int | None = field(default=None, compare=False)
+
+
+@dataclass
+class _MachineState:
+    calibrated_until: float = float("-inf")
+    busy_until: float = float("-inf")
+    running_job: int | None = None
+    busy_time: float = 0.0
+    calibrated_time: float = 0.0
+    calibrations: int = 0
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Outcome of executing a schedule."""
+
+    events: tuple[SimEvent, ...]
+    violations: tuple[str, ...]
+    completed_jobs: frozenset[int]
+    makespan: float
+    busy_time_per_machine: dict[int, float]
+    calibrated_time_per_machine: dict[int, float]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    @property
+    def total_busy_time(self) -> float:
+        return sum(self.busy_time_per_machine.values())
+
+    @property
+    def total_calibrated_time(self) -> float:
+        return sum(self.calibrated_time_per_machine.values())
+
+    @property
+    def utilization(self) -> float:
+        """Busy time over calibrated time (1.0 = no calibrated idling)."""
+        cal = self.total_calibrated_time
+        return (self.total_busy_time / cal) if cal > 0 else 0.0
+
+
+def _build_events(
+    instance: Instance, schedule: Schedule
+) -> list[SimEvent]:
+    events: list[SimEvent] = []
+    job_map = instance.job_map()
+    for cal in schedule.calibrations:
+        events.append(
+            SimEvent(time=cal.start, priority=1, machine=cal.machine,
+                     kind=EventKind.CALIBRATE)
+        )
+    for placement in schedule.placements:
+        job = job_map.get(placement.job_id)
+        duration = (
+            (job.processing / schedule.speed) if job is not None else 0.0
+        )
+        events.append(
+            SimEvent(time=placement.start, priority=2, machine=placement.machine,
+                     kind=EventKind.JOB_START, job_id=placement.job_id)
+        )
+        events.append(
+            SimEvent(time=placement.start + duration, priority=0,
+                     machine=placement.machine, kind=EventKind.JOB_END,
+                     job_id=placement.job_id)
+        )
+    events.sort()
+    return events
+
+
+def simulate(
+    instance: Instance,
+    schedule: Schedule,
+    allow_overlap: bool = False,
+) -> SimulationResult:
+    """Execute ``schedule`` event by event and report runtime violations.
+
+    ``allow_overlap`` selects the footnote-3 variant (calibrations may renew
+    an open calibrated interval early).
+    """
+    T = schedule.calibration_length
+    job_map = instance.job_map()
+    machines: dict[int, _MachineState] = {}
+    violations: list[str] = []
+    completed: set[int] = set()
+    started: set[int] = set()
+    makespan = 0.0
+
+    def state(machine: int) -> _MachineState:
+        return machines.setdefault(machine, _MachineState())
+
+    for event in _build_events(instance, schedule):
+        st = state(event.machine)
+        makespan = max(makespan, event.time)
+        if event.kind is EventKind.CALIBRATE:
+            if not allow_overlap and gt(st.calibrated_until, event.time):
+                violations.append(
+                    f"t={event.time:g}: machine {event.machine} recalibrated "
+                    f"while calibrated until {st.calibrated_until:g}"
+                )
+            new_until = event.time + T
+            # Accumulate calibrated wall-clock without double counting the
+            # overlapping-variant renewals.
+            overlap = max(0.0, min(st.calibrated_until, new_until) - event.time)
+            st.calibrated_time += T - overlap
+            st.calibrated_until = max(st.calibrated_until, new_until)
+            st.calibrations += 1
+        elif event.kind is EventKind.JOB_START:
+            job = job_map.get(event.job_id)  # type: ignore[arg-type]
+            if job is None:
+                violations.append(
+                    f"t={event.time:g}: unknown job {event.job_id} started"
+                )
+                continue
+            if event.job_id in started:
+                violations.append(
+                    f"t={event.time:g}: job {event.job_id} started twice"
+                )
+                continue
+            started.add(event.job_id)  # type: ignore[arg-type]
+            duration = job.processing / schedule.speed
+            end = event.time + duration
+            if not geq(event.time, job.release):
+                violations.append(
+                    f"t={event.time:g}: job {job.job_id} started before its "
+                    f"release {job.release:g}"
+                )
+            if st.running_job is not None and gt(st.busy_until, event.time):
+                violations.append(
+                    f"t={event.time:g}: machine {event.machine} still running "
+                    f"job {st.running_job}"
+                )
+            if not leq(end, st.calibrated_until):
+                violations.append(
+                    f"t={event.time:g}: job {job.job_id} would run past the "
+                    f"machine's calibrated horizon {st.calibrated_until:g}"
+                )
+            st.running_job = job.job_id
+            st.busy_until = end
+            st.busy_time += duration
+        else:  # JOB_END
+            job = job_map.get(event.job_id)  # type: ignore[arg-type]
+            if job is None:
+                continue
+            if not leq(event.time, job.deadline):
+                violations.append(
+                    f"t={event.time:g}: job {job.job_id} completed after its "
+                    f"deadline {job.deadline:g}"
+                )
+            if st.running_job == job.job_id:
+                st.running_job = None
+            completed.add(job.job_id)
+
+    for job in instance.jobs:
+        if job.job_id not in completed:
+            violations.append(f"job {job.job_id} never completed")
+
+    return SimulationResult(
+        events=tuple(_build_events(instance, schedule)),
+        violations=tuple(violations),
+        completed_jobs=frozenset(completed),
+        makespan=makespan,
+        busy_time_per_machine={
+            m: st.busy_time for m, st in machines.items()
+        },
+        calibrated_time_per_machine={
+            m: st.calibrated_time for m, st in machines.items()
+        },
+    )

@@ -1,0 +1,64 @@
+"""Export simulation event logs and statistics to CSV.
+
+Plain ``csv``-module output so runs can be inspected in a spreadsheet or
+joined against external telemetry; used by operations-style workflows on top
+of :func:`repro.sim.simulate`.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+
+from .engine import SimulationResult
+
+__all__ = ["events_to_csv", "machine_stats_to_csv", "save_simulation_csv"]
+
+
+def events_to_csv(result: SimulationResult) -> str:
+    """The event log as CSV text (time, kind, machine, job)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(["time", "kind", "machine", "job_id"])
+    for event in result.events:
+        writer.writerow(
+            [
+                f"{event.time:.9g}",
+                event.kind.value,
+                event.machine,
+                "" if event.job_id is None else event.job_id,
+            ]
+        )
+    return buffer.getvalue()
+
+
+def machine_stats_to_csv(result: SimulationResult) -> str:
+    """Per-machine busy/calibrated/utilization rows as CSV text."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(["machine", "busy_time", "calibrated_time", "utilization"])
+    for machine in sorted(result.calibrated_time_per_machine):
+        busy = result.busy_time_per_machine.get(machine, 0.0)
+        calibrated = result.calibrated_time_per_machine[machine]
+        utilization = busy / calibrated if calibrated > 0 else 0.0
+        writer.writerow(
+            [machine, f"{busy:.9g}", f"{calibrated:.9g}", f"{utilization:.4f}"]
+        )
+    return buffer.getvalue()
+
+
+def save_simulation_csv(
+    result: SimulationResult, directory: str | Path, prefix: str = "sim"
+) -> tuple[Path, Path]:
+    """Write ``<prefix>_events.csv`` and ``<prefix>_machines.csv``.
+
+    Returns the two paths.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    events_path = directory / f"{prefix}_events.csv"
+    machines_path = directory / f"{prefix}_machines.csv"
+    events_path.write_text(events_to_csv(result))
+    machines_path.write_text(machine_stats_to_csv(result))
+    return events_path, machines_path

@@ -1,0 +1,96 @@
+"""Per-machine timeline reconstruction from a schedule.
+
+Turns a schedule into the segment view operators and plotting tools want:
+for every machine, an ordered list of ``(start, end, state, job_id)``
+segments with states ``"busy"``, ``"calibrated-idle"`` and ``"off"`` (gaps
+between calibrated intervals are omitted — they are the "off" time by
+definition, so only positive-cost states are materialized).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..core.job import Instance
+from ..core.schedule import Schedule
+from ..core.tolerance import EPS
+
+__all__ = ["Segment", "machine_timeline", "all_timelines"]
+
+
+@dataclass(frozen=True, slots=True)
+class Segment:
+    """One homogeneous stretch on one machine."""
+
+    start: float
+    end: float
+    state: str
+    """``"busy"`` or ``"calibrated-idle"``."""
+    job_id: int | None = None
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+def machine_timeline(
+    instance: Instance, schedule: Schedule, machine: int
+) -> list[Segment]:
+    """Busy / calibrated-idle segments of one machine, in time order.
+
+    Busy segments carry the running job's id; calibrated-idle segments fill
+    the rest of each calibrated interval.  Overlapping calibrated intervals
+    (footnote-3 variant) are merged before idle gaps are computed.
+    """
+    T = schedule.calibration_length
+    job_map = instance.job_map()
+
+    # Merge the machine's calibrated intervals.
+    spans: list[list[float]] = []
+    for cal in schedule.calibrations.on_machine(machine):
+        lo, hi = cal.start, cal.start + T
+        if spans and lo <= spans[-1][1] + EPS:
+            spans[-1][1] = max(spans[-1][1], hi)
+        else:
+            spans.append([lo, hi])
+
+    busy: list[Segment] = []
+    for placement in schedule.jobs_on_machine(machine):
+        job = job_map.get(placement.job_id)
+        if job is None:
+            continue
+        busy.append(
+            Segment(
+                start=placement.start,
+                end=placement.end(job.processing, schedule.speed),
+                state="busy",
+                job_id=placement.job_id,
+            )
+        )
+    busy.sort(key=lambda s: s.start)
+
+    out: list[Segment] = []
+    for lo, hi in spans:
+        cursor = lo
+        for segment in busy:
+            if segment.start >= hi - EPS or segment.end <= lo + EPS:
+                continue
+            if segment.start > cursor + EPS:
+                out.append(Segment(cursor, segment.start, "calibrated-idle"))
+            out.append(segment)
+            cursor = max(cursor, segment.end)
+        if hi > cursor + EPS:
+            out.append(Segment(cursor, hi, "calibrated-idle"))
+    return out
+
+
+def all_timelines(
+    instance: Instance, schedule: Schedule
+) -> dict[int, list[Segment]]:
+    """Timelines for every machine in the pool (machines with no
+    calibrations map to empty lists)."""
+    return {
+        machine: machine_timeline(instance, schedule, machine)
+        for machine in range(schedule.calibrations.num_machines)
+    }

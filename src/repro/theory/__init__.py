@@ -1,0 +1,22 @@
+"""Executable theorem statements: check a run against the paper's bounds."""
+
+from .audit import AuditReport, audit_run
+from .checks import (
+    BoundCheck,
+    TheoremCheck,
+    check_theorem1,
+    check_theorem12,
+    check_theorem14,
+    check_theorem20,
+)
+
+__all__ = [
+    "BoundCheck",
+    "TheoremCheck",
+    "check_theorem1",
+    "check_theorem12",
+    "check_theorem14",
+    "check_theorem20",
+    "AuditReport",
+    "audit_run",
+]

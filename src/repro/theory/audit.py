@@ -1,0 +1,74 @@
+"""One-call full audit of a solve run.
+
+``audit_run`` chains every independent check the library has — the static
+interval validator, the discrete-event simulator, and the executable theorem
+bounds — and returns a single structured verdict.  This is the call to make
+before trusting a schedule produced by any configuration (the ``repro-ise
+fuzz`` harness is essentially this in a loop).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from ..core.job import Instance
+from ..core.validate import ValidationReport, validate_ise
+from ..sim import SimulationResult, simulate
+from .checks import TheoremCheck, check_theorem1
+
+if TYPE_CHECKING:
+    from ..core.solver import ISEResult
+
+__all__ = ["AuditReport", "audit_run"]
+
+
+@dataclass(frozen=True)
+class AuditReport:
+    """Combined verdict of validator + simulator + theorem check."""
+
+    static: ValidationReport
+    dynamic: SimulationResult
+    theorem: TheoremCheck
+
+    @property
+    def ok(self) -> bool:
+        return self.static.ok and self.dynamic.ok and self.theorem.holds
+
+    def summary(self) -> str:
+        parts = [
+            f"validator: {self.static.summary()}",
+            f"simulator: {'clean' if self.dynamic.ok else f'{len(self.dynamic.violations)} violations'}",
+            f"bounds: {self.theorem.theorem} "
+            f"{'hold' if self.theorem.holds else 'VIOLATED'}",
+        ]
+        status = "PASS" if self.ok else "FAIL"
+        return f"[{status}] " + "; ".join(parts)
+
+
+def audit_run(
+    instance: Instance,
+    result: "ISEResult",
+    allow_overlapping_calibrations: bool = False,
+) -> AuditReport:
+    """Run every independent check on a combined-solver result.
+
+    Pass ``allow_overlapping_calibrations=True`` when the run used the
+    footnote-3 problem variant; the flag is forwarded to all three checkers.
+    """
+    static = validate_ise(
+        instance,
+        result.schedule,
+        allow_overlapping_calibrations=allow_overlapping_calibrations,
+    )
+    dynamic = simulate(
+        instance,
+        result.schedule,
+        allow_overlap=allow_overlapping_calibrations,
+    )
+    theorem = check_theorem1(
+        instance,
+        result,
+        allow_overlapping_calibrations=allow_overlapping_calibrations,
+    )
+    return AuditReport(static=static, dynamic=dynamic, theorem=theorem)

@@ -1,0 +1,16 @@
+"""ASCII visualization of instances, schedules, and rounding traces."""
+
+from .ascii_art import (
+    render_fractional_calibrations,
+    render_schedule,
+    render_windows,
+)
+from .svg import save_schedule_svg, schedule_to_svg
+
+__all__ = [
+    "render_windows",
+    "render_schedule",
+    "render_fractional_calibrations",
+    "schedule_to_svg",
+    "save_schedule_svg",
+]

@@ -1,0 +1,150 @@
+"""ASCII rendering of instances and schedules.
+
+Regenerates the paper's figure panels as text: job windows (Figure 1 panel
+A), machine timelines with calibration buckets and job blocks (panels B/C),
+and fractional calibration bars (Figures 2-3).  Used by the FIG benches and
+the examples; it has no third-party dependencies beyond the core model.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..core.job import Instance, Job
+from ..core.schedule import Schedule
+
+__all__ = ["render_windows", "render_schedule", "render_fractional_calibrations"]
+
+
+def _scaler(t0: float, t1: float, width: int):
+    span = max(t1 - t0, 1e-12)
+
+    def to_col(t: float) -> int:
+        col = int(round((t - t0) / span * (width - 1)))
+        return min(max(col, 0), width - 1)
+
+    return to_col
+
+
+def _job_glyph(job_id: int) -> str:
+    digits = "0123456789abcdefghijklmnopqrstuvwxyz"
+    return digits[job_id % len(digits)]
+
+
+def render_windows(jobs: Sequence[Job], width: int = 72) -> str:
+    """Panel-A style view: one line per job showing ``[r_j, d_j)`` and ``p_j``.
+
+    The window is drawn with dashes; the processing requirement is printed
+    at the right.
+    """
+    if not jobs:
+        return "(no jobs)"
+    t0 = min(j.release for j in jobs)
+    t1 = max(j.deadline for j in jobs)
+    to_col = _scaler(t0, t1, width)
+    lines = [f"time span [{t0:g}, {t1:g}]"]
+    for job in sorted(jobs, key=lambda j: j.job_id):
+        row = [" "] * width
+        lo, hi = to_col(job.release), to_col(job.deadline)
+        for c in range(lo, hi + 1):
+            row[c] = "-"
+        row[lo] = "|"
+        row[hi] = "|"
+        lines.append(
+            f"job {job.job_id:>3} {''.join(row)}  p={job.processing:g}"
+        )
+    return "\n".join(lines)
+
+
+def render_schedule(
+    instance: Instance, schedule: Schedule, width: int = 72
+) -> str:
+    """Panel-B/C style view: one line per machine.
+
+    Calibrated intervals are drawn with ``=`` between ``[`` and ``)``; job
+    executions overwrite them with the job's glyph.
+    """
+    T = schedule.calibration_length
+    job_map = instance.job_map()
+    times = [c.start for c in schedule.calibrations] + [
+        p.start for p in schedule.placements
+    ]
+    if not times:
+        return "(empty schedule)"
+    t0 = min(times)
+    t1 = max(
+        [c.start + T for c in schedule.calibrations]
+        + [
+            p.end(job_map[p.job_id].processing, schedule.speed)
+            for p in schedule.placements
+            if p.job_id in job_map
+        ]
+    )
+    to_col = _scaler(t0, t1, width)
+    lines = [
+        f"time span [{t0:g}, {t1:g}]  T={T:g}  speed={schedule.speed:g}"
+    ]
+    for machine in range(schedule.calibrations.num_machines):
+        row = [" "] * width
+        for cal in schedule.calibrations.on_machine(machine):
+            lo, hi = to_col(cal.start), to_col(cal.start + T)
+            for c in range(lo, hi):
+                row[c] = "="
+            row[lo] = "["
+            if hi < width:
+                row[hi] = ")"
+        for placement in schedule.jobs_on_machine(machine):
+            job = job_map.get(placement.job_id)
+            if job is None:
+                continue
+            lo = to_col(placement.start)
+            hi = to_col(placement.end(job.processing, schedule.speed))
+            glyph = _job_glyph(placement.job_id)
+            for c in range(lo, max(hi, lo + 1)):
+                row[c] = glyph
+        lines.append(f"m{machine:<3} {''.join(row)}")
+    return "\n".join(lines)
+
+
+def render_fractional_calibrations(
+    fractional: Mapping[float, float],
+    emitted: Sequence[float] = (),
+    width: int = 60,
+    bar_height: int = 8,
+) -> str:
+    """Figure 2 style view: fractional calibration bars plus emitted marks.
+
+    Each calibration point gets a vertical bar whose height is proportional
+    to its fractional mass (``bar_height`` rows = mass 1.0); emitted integer
+    calibrations are marked with ``*`` beneath their point.
+    """
+    if not fractional:
+        return "(no fractional calibrations)"
+    points = sorted(fractional)
+    emit_counts: dict[float, int] = {}
+    for t in emitted:
+        emit_counts[t] = emit_counts.get(t, 0) + 1
+    col_width = max(6, width // max(len(points), 1))
+    max_mass = max(fractional.values())
+    rows_needed = max(1, int(round(max_mass * bar_height)))
+    lines: list[str] = []
+    for level in range(rows_needed, 0, -1):
+        cells = []
+        for t in points:
+            filled = fractional[t] * bar_height >= level - 0.5
+            cells.append(("#" * 3 if filled else "   ").center(col_width))
+        lines.append("".join(cells))
+    lines.append("".join(("-" * 3).center(col_width) for _ in points))
+    lines.append("".join(f"t={t:g}".center(col_width) for t in points))
+    lines.append(
+        "".join(
+            (f"C={fractional[t]:.2f}").center(col_width) for t in points
+        )
+    )
+    lines.append(
+        "".join(
+            ("*" * emit_counts.get(t, 0) or " ").center(col_width)
+            for t in points
+        )
+    )
+    return "\n".join(lines)

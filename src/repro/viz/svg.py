@@ -1,0 +1,168 @@
+"""Standalone SVG rendering of ISE schedules (no dependencies).
+
+Produces a self-contained SVG file with one horizontal lane per machine:
+calibrated intervals as outlined rectangles, job executions as filled
+blocks labeled with their ids, and an optional second panel with the job
+windows.  Useful for inspecting schedules larger than the ASCII renderer
+can express, and for documentation.
+"""
+
+from __future__ import annotations
+
+import html
+from pathlib import Path
+from typing import Sequence
+
+from ..core.job import Instance, Job
+from ..core.schedule import Schedule
+
+__all__ = ["schedule_to_svg", "save_schedule_svg"]
+
+_LANE_HEIGHT = 26
+_LANE_GAP = 8
+_MARGIN = 46
+_WINDOW_LANE = 12
+
+# A small color cycle for job blocks (works on white background).
+_PALETTE = [
+    "#4e79a7", "#f28e2b", "#59a14f", "#e15759", "#76b7b2",
+    "#edc948", "#b07aa1", "#ff9da7", "#9c755f", "#bab0ac",
+]
+
+
+def _color(job_id: int) -> str:
+    return _PALETTE[job_id % len(_PALETTE)]
+
+
+def schedule_to_svg(
+    instance: Instance,
+    schedule: Schedule,
+    width: int = 1000,
+    include_windows: bool = True,
+) -> str:
+    """Render ``schedule`` as an SVG document string."""
+    T = schedule.calibration_length
+    job_map = instance.job_map()
+    times: list[float] = [c.start for c in schedule.calibrations]
+    times += [p.start for p in schedule.placements]
+    times += [j.release for j in instance.jobs]
+    if not times:
+        return (
+            '<svg xmlns="http://www.w3.org/2000/svg" width="200" height="40">'
+            '<text x="10" y="25" font-family="monospace">(empty schedule)'
+            "</text></svg>"
+        )
+    t0 = min(times)
+    t1 = max(
+        [c.start + T for c in schedule.calibrations]
+        + [j.deadline for j in instance.jobs]
+        + [
+            p.end(job_map[p.job_id].processing, schedule.speed)
+            for p in schedule.placements
+            if p.job_id in job_map
+        ]
+    )
+    span = max(t1 - t0, 1e-9)
+    plot_width = width - 2 * _MARGIN
+
+    def x(t: float) -> float:
+        return _MARGIN + (t - t0) / span * plot_width
+
+    machines = schedule.calibrations.num_machines
+    lanes = machines
+    window_rows = len(instance.jobs) if include_windows else 0
+    height = (
+        _MARGIN
+        + lanes * (_LANE_HEIGHT + _LANE_GAP)
+        + (window_rows * (_WINDOW_LANE + 3) + 30 if include_windows else 0)
+        + _MARGIN
+    )
+
+    parts: list[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" font-family="monospace" font-size="11">',
+        f'<text x="{_MARGIN}" y="18">'
+        f"{html.escape(instance.name or 'ISE schedule')} — "
+        f"{schedule.num_calibrations} calibrations, T={T:g}, "
+        f"speed={schedule.speed:g}</text>",
+    ]
+
+    # Machine lanes.
+    for machine in range(machines):
+        y = _MARGIN + machine * (_LANE_HEIGHT + _LANE_GAP)
+        parts.append(
+            f'<text x="4" y="{y + _LANE_HEIGHT * 0.7:.1f}">m{machine}</text>'
+        )
+        parts.append(
+            f'<line x1="{_MARGIN}" y1="{y + _LANE_HEIGHT}" '
+            f'x2="{width - _MARGIN}" y2="{y + _LANE_HEIGHT}" '
+            'stroke="#ddd" stroke-width="1"/>'
+        )
+        for cal in schedule.calibrations.on_machine(machine):
+            parts.append(
+                f'<rect x="{x(cal.start):.1f}" y="{y:.1f}" '
+                f'width="{max(x(cal.start + T) - x(cal.start), 1):.1f}" '
+                f'height="{_LANE_HEIGHT}" fill="#eef3fa" stroke="#8aa5c8" '
+                'stroke-width="1"/>'
+            )
+        for placement in schedule.jobs_on_machine(machine):
+            job = job_map.get(placement.job_id)
+            if job is None:
+                continue
+            end = placement.end(job.processing, schedule.speed)
+            block_width = max(x(end) - x(placement.start), 2.0)
+            parts.append(
+                f'<rect x="{x(placement.start):.1f}" y="{y + 3:.1f}" '
+                f'width="{block_width:.1f}" height="{_LANE_HEIGHT - 6}" '
+                f'fill="{_color(job.job_id)}" stroke="#333" stroke-width="0.5">'
+                f"<title>job {job.job_id}: [{placement.start:g}, {end:g}) "
+                f"window [{job.release:g}, {job.deadline:g})</title></rect>"
+            )
+            if block_width > 14:
+                parts.append(
+                    f'<text x="{x(placement.start) + 3:.1f}" '
+                    f'y="{y + _LANE_HEIGHT * 0.68:.1f}" fill="#fff">'
+                    f"{job.job_id}</text>"
+                )
+
+    # Window panel.
+    if include_windows:
+        base_y = _MARGIN + machines * (_LANE_HEIGHT + _LANE_GAP) + 20
+        parts.append(f'<text x="{_MARGIN}" y="{base_y - 6}">job windows</text>')
+        for row, job in enumerate(sorted(instance.jobs, key=lambda j: j.job_id)):
+            y = base_y + row * (_WINDOW_LANE + 3)
+            parts.append(
+                f'<line x1="{x(job.release):.1f}" y1="{y + 6:.1f}" '
+                f'x2="{x(job.deadline):.1f}" y2="{y + 6:.1f}" '
+                f'stroke="{_color(job.job_id)}" stroke-width="3"/>'
+            )
+            parts.append(
+                f'<text x="{x(job.deadline) + 4:.1f}" y="{y + 10:.1f}">'
+                f"{job.job_id}</text>"
+            )
+
+    # Time axis ticks (5 evenly spaced).
+    axis_y = height - _MARGIN + 14
+    for k in range(6):
+        t = t0 + span * k / 5
+        parts.append(
+            f'<text x="{x(t):.1f}" y="{axis_y}" text-anchor="middle" '
+            f'fill="#666">{t:.4g}</text>'
+        )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def save_schedule_svg(
+    instance: Instance,
+    schedule: Schedule,
+    path: str | Path,
+    width: int = 1000,
+    include_windows: bool = True,
+) -> Path:
+    """Write the SVG rendering to ``path``; returns the path."""
+    path = Path(path)
+    path.write_text(
+        schedule_to_svg(instance, schedule, width, include_windows)
+    )
+    return path

@@ -1,0 +1,84 @@
+"""Tests for the resource-augmentation explorer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    augmentation_frontier,
+    frontier_table,
+    minimum_speed,
+)
+from repro.core import Instance, Job
+from repro.instances import partition_instance, short_window_instance
+
+
+class TestMinimumSpeed:
+    def test_trivially_feasible_needs_speed_one_at_most(self):
+        jobs = (Job(0, 0.0, 10.0, 2.0),)
+        s = minimum_speed(jobs, 1, method="exact")
+        assert s <= 1.0 + 1e-3
+
+    def test_two_rigid_jobs_one_machine_need_speed_two(self):
+        """Two identical zero-slack jobs on one machine: each must halve its
+        duration to fit both in the shared window — speed 2 exactly."""
+        jobs = (Job(0, 0.0, 2.0, 2.0), Job(1, 0.0, 2.0, 2.0))
+        s = minimum_speed(jobs, 1, method="exact", precision=1e-4)
+        assert s == pytest.approx(2.0, abs=1e-3)
+        # Two machines: no augmentation needed.
+        assert minimum_speed(jobs, 2, method="exact") <= 1.0 + 1e-3
+
+    def test_preemptive_lower_bounds_exact(self):
+        for seed in range(3):
+            gen = short_window_instance(8, 2, 10.0, seed)
+            lb = minimum_speed(gen.instance.jobs, 1, method="preemptive")
+            exact = minimum_speed(gen.instance.jobs, 1, method="exact")
+            assert lb <= exact + 1e-3
+
+    def test_greedy_upper_bounds_exact(self):
+        for seed in range(3):
+            gen = short_window_instance(8, 2, 10.0, seed)
+            exact = minimum_speed(gen.instance.jobs, 2, method="exact")
+            greedy = minimum_speed(gen.instance.jobs, 2, method="greedy")
+            assert exact <= greedy + 1e-3
+
+    def test_empty_jobs(self):
+        assert minimum_speed((), 1) == 1.0
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError):
+            minimum_speed((Job(0, 0.0, 5.0, 1.0),), 1, method="psychic")
+
+    def test_monotone_in_machines(self):
+        gen = partition_instance(4, seed=2)
+        speeds = [
+            minimum_speed(gen.instance.jobs, m, method="exact")
+            for m in (1, 2, 3)
+        ]
+        assert speeds[0] >= speeds[1] - 1e-3 >= speeds[2] - 2e-3
+
+    def test_witness_instances_feasible_at_speed_one(self):
+        """Feasible-by-construction instances need no augmentation at their
+        stated machine count (the exact oracle confirms at s ~ 1)."""
+        gen = short_window_instance(8, 2, 10.0, 5)
+        s = minimum_speed(gen.instance.jobs, 2, method="exact")
+        assert s <= 1.0 + 1e-3
+
+
+class TestFrontier:
+    def test_structure_and_monotonicity(self):
+        gen = partition_instance(4, seed=1)
+        points = augmentation_frontier(gen.instance, max_machines=3)
+        assert [p.machines for p in points] == [1, 2, 3]
+        for point in points:
+            assert point.speed_preemptive <= point.speed_achievable + 1e-3
+        achievable = [p.speed_achievable for p in points]
+        assert achievable == sorted(achievable, reverse=True) or all(
+            abs(a - b) < 1e-2 for a, b in zip(achievable, achievable[1:])
+        )
+
+    def test_table(self):
+        gen = partition_instance(3, seed=0)
+        points = augmentation_frontier(gen.instance, max_machines=2)
+        text = frontier_table(points).render()
+        assert "machines" in text and "speed" in text

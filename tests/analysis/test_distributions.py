@@ -1,0 +1,74 @@
+"""Tests for sweep-outcome aggregation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    SweepCase,
+    aggregate_by_family,
+    distribution_table,
+    run_sweep,
+)
+from repro.analysis.sweep import SweepOutcome
+
+
+def _outcome(family: str, ratio: float, wall: float = 0.01) -> SweepOutcome:
+    cals = 10
+    post = max(1, round(cals / ratio)) if ratio else cals
+    return SweepOutcome(
+        case=SweepCase(family, 10, 2, 10.0, 0),
+        calibrations=cals,
+        calibrations_postopt=post,
+        lower_bound=post / ratio if ratio else 0.0,
+        machines_used=4,
+        valid=True,
+        wall_seconds=wall,
+    )
+
+
+class TestAggregate:
+    def test_groups_and_sorts(self):
+        outcomes = [
+            _outcome("b", 1.5),
+            _outcome("a", 2.0),
+            _outcome("a", 1.0),
+        ]
+        stats = aggregate_by_family(outcomes)
+        assert [s.family for s in stats] == ["a", "b"]
+        a = stats[0]
+        assert a.cases == 2
+        assert a.ratio_mean == pytest.approx(1.5)
+        assert a.ratio_median == pytest.approx(1.5)
+        assert a.ratio_max == pytest.approx(2.0)
+
+    def test_postopt_recovery(self):
+        outcome = SweepOutcome(
+            case=SweepCase("x", 10, 2, 10.0, 0),
+            calibrations=10,
+            calibrations_postopt=8,
+            lower_bound=5.0,
+            machines_used=3,
+            valid=True,
+            wall_seconds=0.02,
+        )
+        stats = aggregate_by_family([outcome])
+        assert stats[0].postopt_recovery_mean == pytest.approx(0.2)
+        assert stats[0].wall_ms_mean == pytest.approx(20.0)
+
+    def test_empty(self):
+        assert aggregate_by_family([]) == []
+
+
+class TestDistributionTable:
+    def test_on_real_sweep(self):
+        cases = [
+            SweepCase(family, 8, 2, 10.0, seed)
+            for family in ("mixed", "rigid")
+            for seed in range(2)
+        ]
+        outcomes = run_sweep(cases)
+        table = distribution_table(outcomes, title="dist")
+        text = table.render()
+        assert "mixed" in text and "rigid" in text
+        assert "p95" in text

@@ -1,0 +1,45 @@
+"""Tests for the exact-MM variant of the Lemma 18 interval bound."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import short_window_lower_bound
+from repro.baselines import exact_unit_calibrations
+from repro.instances import short_window_instance, unit_instance
+
+
+class TestExactIntervalBound:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_at_least_flow_variant(self, seed):
+        gen = short_window_instance(14, 2, 10.0, seed)
+        flow = short_window_lower_bound(gen.instance.jobs, 10.0, method="flow")
+        exact = short_window_lower_bound(gen.instance.jobs, 10.0, method="exact")
+        assert exact >= flow - 1e-9
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_still_a_lower_bound(self, seed):
+        """Against unit-job ground truth: the exact-interval variant never
+        exceeds the true optimum."""
+        gen = unit_instance(6, 2, 3, seed, max_window=5)
+        shorts = [j for j in gen.instance.jobs if not j.is_long(3.0)]
+        if len(shorts) != gen.instance.n:
+            pytest.skip("instance not purely short-window")
+        lb = short_window_lower_bound(gen.instance.jobs, 3.0, method="exact")
+        opt = exact_unit_calibrations(gen.instance, max_calibrations=8)
+        assert lb <= opt + 1e-9
+
+    def test_unknown_method_rejected(self):
+        gen = short_window_instance(6, 1, 10.0, 0)
+        with pytest.raises(ValueError):
+            short_window_lower_bound(gen.instance.jobs, 10.0, method="magic")
+
+    def test_budget_fallback(self):
+        """With a tiny node budget the exact search falls back to flow —
+        the result must still be sound (= the flow value)."""
+        gen = short_window_instance(16, 2, 10.0, 2)
+        tiny = short_window_lower_bound(
+            gen.instance.jobs, 10.0, method="exact", exact_node_budget=1
+        )
+        flow = short_window_lower_bound(gen.instance.jobs, 10.0, method="flow")
+        assert tiny >= flow - 1e-9  # per-interval max(flow fallback) >= flow

@@ -1,0 +1,90 @@
+"""Tests that every lower bound is actually a lower bound (vs witnesses and
+exact optima) and behaves sanely on edge cases."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Instance, Job
+from repro.analysis import (
+    combined_lower_bound,
+    long_window_lower_bound,
+    long_window_milp_lower_bound,
+    short_window_lower_bound,
+    work_lower_bound,
+)
+from repro.baselines import exact_unit_calibrations
+from repro.instances import (
+    long_window_instance,
+    mixed_instance,
+    short_window_instance,
+    unit_instance,
+)
+
+
+class TestWorkBound:
+    def test_values(self, t10):
+        jobs = (Job(0, 0.0, 30.0, 7.0), Job(1, 0.0, 30.0, 7.0))
+        assert work_lower_bound(jobs, t10) == 2  # 14/10 -> 2
+        assert work_lower_bound(jobs[:1], t10) == 1
+        assert work_lower_bound((), t10) == 0
+
+    def test_exact_multiple(self, t10):
+        jobs = tuple(Job(i, 0.0, 30.0, 5.0) for i in range(4))
+        assert work_lower_bound(jobs, t10) == 2  # 20/10 exactly
+
+
+class TestLongWindowBound:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_below_witness(self, seed):
+        gen = long_window_instance(10, 2, 10.0, seed)
+        lb = long_window_lower_bound(gen.instance.jobs, 10.0, 2)
+        assert lb <= gen.witness_calibrations + 1e-6
+
+    def test_milp_at_least_lp(self):
+        gen = long_window_instance(7, 1, 10.0, 3)
+        lp = long_window_lower_bound(gen.instance.jobs, 10.0, 1)
+        milp = long_window_milp_lower_bound(gen.instance.jobs, 10.0, 1)
+        assert milp >= lp - 1e-6
+        assert milp <= gen.witness_calibrations + 1e-6
+
+    def test_empty(self):
+        assert long_window_lower_bound((), 10.0, 1) == 0.0
+
+
+class TestShortWindowBound:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_below_witness(self, seed):
+        gen = short_window_instance(15, 2, 10.0, seed)
+        lb = short_window_lower_bound(gen.instance.jobs, 10.0)
+        assert lb <= gen.witness_calibrations + 1e-6
+
+    def test_below_exact_on_unit(self):
+        """Against ground truth: the interval bound never exceeds the exact
+        unit-job optimum (restricted to its short jobs)."""
+        for seed in range(3):
+            gen = unit_instance(6, 2, 3, seed, max_window=5)  # windows < 2T=6
+            shorts = [j for j in gen.instance.jobs if not j.is_long(3.0)]
+            if not shorts:
+                continue
+            lb = short_window_lower_bound(shorts, 3.0)
+            exact = exact_unit_calibrations(gen.instance, max_calibrations=8)
+            assert lb <= exact + 1e-6
+
+    def test_empty(self):
+        assert short_window_lower_bound((), 10.0) == 0.0
+
+
+class TestCombinedBound:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_below_witness_on_mixed(self, seed):
+        gen = mixed_instance(16, 2, 10.0, seed)
+        breakdown = combined_lower_bound(gen.instance)
+        assert breakdown.best <= gen.witness_calibrations + 1e-6
+        assert breakdown.best >= breakdown.work - 1e-9
+        assert breakdown.best >= breakdown.long_lp - 1e-9
+        assert breakdown.best >= breakdown.short_interval - 1e-9
+
+    def test_empty_instance(self, t10):
+        inst = Instance(jobs=(), machines=1, calibration_length=t10)
+        assert combined_lower_bound(inst).best == 0.0

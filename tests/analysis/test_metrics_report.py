@@ -1,0 +1,82 @@
+"""Tests for metrics and the report-table formatter."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import Table, format_value, ratio, summarize_schedule, write_report
+from repro.instances import long_window_instance
+
+
+class TestRatio:
+    def test_normal(self):
+        assert ratio(6.0, 2.0) == 3.0
+
+    def test_zero_over_zero(self):
+        assert ratio(0.0, 0.0) == 1.0
+
+    def test_positive_over_zero(self):
+        assert ratio(5.0, 0.0) == float("inf")
+
+
+class TestSummarize:
+    def test_witness_metrics(self):
+        gen = long_window_instance(n=10, machines=2, calibration_length=10.0, seed=0)
+        metrics = summarize_schedule(gen.instance, gen.witness)
+        assert metrics.num_calibrations == gen.witness_calibrations
+        assert metrics.machines_used <= 2
+        assert 0.0 < metrics.utilization <= 1.0
+        assert metrics.busy_time == pytest.approx(gen.instance.total_work)
+        assert metrics.calibrated_time == pytest.approx(
+            gen.witness_calibrations * 10.0
+        )
+        row = metrics.row()
+        assert row["calibrations"] == metrics.num_calibrations
+
+
+class TestFormatValue:
+    def test_floats(self):
+        assert format_value(1.23456) == "1.235"
+        assert format_value(2.0) == "2"
+        assert format_value(float("nan")) == "nan"
+        assert format_value(float("inf")) == "inf"
+
+    def test_bools_and_strings(self):
+        assert format_value(True) == "yes"
+        assert format_value(False) == "no"
+        assert format_value("abc") == "abc"
+
+
+class TestTable:
+    def test_render_alignment(self):
+        table = Table(title="demo", columns=["name", "value"])
+        table.add_row("a", 1)
+        table.add_row("longer", 2.5)
+        table.add_note("a note")
+        text = table.render()
+        assert "== demo ==" in text
+        assert "longer" in text
+        assert "note: a note" in text
+        lines = text.splitlines()
+        assert len({len(l) for l in lines[1:4]}) <= 2  # header/sep/rows align
+
+    def test_named_rows(self):
+        table = Table(title="t", columns=["a", "b"])
+        table.add_row(a=1, b=2)
+        assert table.rows == [["1", "2"]]
+
+    def test_mixed_args_rejected(self):
+        table = Table(title="t", columns=["a"])
+        with pytest.raises(ValueError):
+            table.add_row(1, a=2)
+
+    def test_wrong_arity_rejected(self):
+        table = Table(title="t", columns=["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_write_report(self, tmp_path):
+        table = Table(title="t", columns=["a"])
+        table.add_row(42)
+        path = write_report(table, tmp_path / "out", "exp1")
+        assert path.read_text().startswith("== t ==")

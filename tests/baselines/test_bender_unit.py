@@ -1,0 +1,127 @@
+"""Tests for lazy binning, cross-checked against the exact unit solver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Instance, InvalidInstanceError, Job, validate_ise
+from repro.baselines import (
+    edf_feasible_from,
+    exact_unit_calibrations,
+    lazy_binning,
+    simulate_edf_from,
+)
+from repro.instances import unit_instance
+
+
+class TestEDFSimulation:
+    def test_trivial(self):
+        jobs = (Job(0, 0.0, 5.0, 1.0),)
+        assert edf_feasible_from(jobs, 0, [0])
+        assert edf_feasible_from(jobs, 4, [0])
+        assert not edf_feasible_from(jobs, 5, [0])
+
+    def test_capacity_matters(self):
+        jobs = tuple(Job(i, 0.0, 1.0, 1.0) for i in range(2))
+        assert not edf_feasible_from(jobs, 0, [0])
+        assert edf_feasible_from(jobs, 0, [0, 0])
+
+    def test_machine_availability_respected(self):
+        jobs = (Job(0, 0.0, 2.0, 1.0),)
+        assert not edf_feasible_from(jobs, 0, [2])
+        assert edf_feasible_from(jobs, 0, [1])
+
+    def test_monotone_in_start(self):
+        jobs = (
+            Job(0, 0.0, 6.0, 1.0),
+            Job(1, 2.0, 7.0, 1.0),
+            Job(2, 2.0, 5.0, 1.0),
+        )
+        results = [edf_feasible_from(jobs, t, [0]) for t in range(0, 8)]
+        # Once infeasible, stays infeasible.
+        if False in results:
+            first = results.index(False)
+            assert not any(results[first:])
+
+    def test_simulation_returns_assignments(self):
+        jobs = (Job(0, 0.0, 4.0, 1.0), Job(1, 1.0, 3.0, 1.0))
+        result = simulate_edf_from(jobs, 0, [0])
+        assert result is not None
+        assert len(result) == 2
+        slots = sorted(a.slot for a in result)
+        assert slots[0] >= 0
+
+
+class TestLazyBinningSingleMachine:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_optimal_vs_exact(self, seed):
+        """On one machine, lazy binning must match the exact optimum
+        (Bender et al.'s optimality result for the unit case)."""
+        gen = unit_instance(n=6, machines=1, calibration_length=3, seed=seed)
+        schedule = lazy_binning(gen.instance)
+        report = validate_ise(gen.instance, schedule)
+        assert report.ok, report.summary()
+        exact = exact_unit_calibrations(gen.instance, max_calibrations=8)
+        assert schedule.num_calibrations == exact, (
+            f"lazy={schedule.num_calibrations} exact={exact}"
+        )
+
+    def test_laziness_delays_calibration(self):
+        """A single far-deadline job is calibrated as late as possible."""
+        T = 4
+        jobs = (Job(0, 0.0, 20.0, 1.0),)
+        inst = Instance(jobs=jobs, machines=1, calibration_length=float(T))
+        schedule = lazy_binning(inst)
+        assert schedule.num_calibrations == 1
+        cal = schedule.calibrations.calibrations[0]
+        # Latest feasible activity start for a unit job with d = 20 is 19.
+        assert cal.start == pytest.approx(19.0)
+
+    def test_clusters_share_calibration(self):
+        T = 5
+        jobs = tuple(Job(i, 0.0, 10.0, 1.0) for i in range(4))
+        inst = Instance(jobs=jobs, machines=1, calibration_length=float(T))
+        schedule = lazy_binning(inst)
+        assert schedule.num_calibrations == 1
+
+
+class TestLazyBinningMultiMachine:
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("machines", [2, 3])
+    def test_feasible(self, seed, machines):
+        gen = unit_instance(
+            n=10, machines=machines, calibration_length=3, seed=seed
+        )
+        schedule = lazy_binning(gen.instance)
+        report = validate_ise(gen.instance, schedule)
+        assert report.ok, report.summary()
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_two_approx_flavor(self, seed):
+        """Calibration count stays within 2x of the exact optimum on the
+        small instances where the exact search is affordable (the [5]
+        guarantee for the multimachine case)."""
+        gen = unit_instance(n=6, machines=2, calibration_length=3, seed=seed)
+        schedule = lazy_binning(gen.instance)
+        exact = exact_unit_calibrations(gen.instance, max_calibrations=8)
+        assert schedule.num_calibrations <= 2 * exact
+
+
+class TestInputValidation:
+    def test_rejects_nonunit(self, t10):
+        jobs = (Job(0, 0.0, 25.0, 2.0),)
+        inst = Instance(jobs=jobs, machines=1, calibration_length=t10)
+        with pytest.raises(InvalidInstanceError):
+            lazy_binning(inst)
+
+    def test_rejects_nonintegral_times(self):
+        jobs = (Job(0, 0.5, 10.0, 1.0),)
+        inst = Instance(jobs=jobs, machines=1, calibration_length=5.0)
+        with pytest.raises(InvalidInstanceError):
+            lazy_binning(inst)
+
+    def test_rejects_nonintegral_T(self):
+        jobs = (Job(0, 0.0, 10.0, 1.0),)
+        inst = Instance(jobs=jobs, machines=1, calibration_length=2.5)
+        with pytest.raises(InvalidInstanceError):
+            lazy_binning(inst)

@@ -1,0 +1,108 @@
+"""Tests for the exact solvers: TISE MILP bound and unit-job search."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import InfeasibleInstanceError, Instance, Job
+from repro.baselines import (
+    exact_unit_calibrations,
+    tise_milp_bound,
+    unit_matching_feasible,
+)
+from repro.instances import long_window_instance, unit_instance
+from repro.longwindow import solve_tise_lp
+
+
+class TestTiseMilpBound:
+    def test_sandwiched_between_lp_and_known_optimum(self):
+        """Two jobs of p = 0.6T at one point: LP = 1.2, integral C forces 2."""
+        T = 10.0
+        jobs = tuple(
+            Job(i, 0.0, 2 * T, 6.0) for i in range(2)
+        )
+        lp = solve_tise_lp(jobs, T, 4).objective
+        milp = tise_milp_bound(jobs, T, 4)
+        assert lp == pytest.approx(1.2, abs=1e-6)
+        assert milp == pytest.approx(2.0, abs=1e-6)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_at_least_lp_on_random(self, seed):
+        T = 10.0
+        gen = long_window_instance(n=8, machines=1, calibration_length=T, seed=seed)
+        lp = solve_tise_lp(gen.instance.jobs, T, 3).objective
+        milp = tise_milp_bound(gen.instance.jobs, T, 3)
+        assert milp >= lp - 1e-6
+        # And <= 3x witness (it lower-bounds TISE OPT at 3m).
+        assert milp <= 3 * gen.witness_calibrations + 1e-6
+
+    def test_integral_assignments_at_least_as_tight(self):
+        T = 10.0
+        gen = long_window_instance(n=6, machines=1, calibration_length=T, seed=1)
+        relaxed = tise_milp_bound(gen.instance.jobs, T, 3)
+        tight = tise_milp_bound(
+            gen.instance.jobs, T, 3, integral_assignments=True
+        )
+        assert tight >= relaxed - 1e-6
+
+    def test_infeasible_budget(self):
+        T = 10.0
+        jobs = tuple(Job(i, 0.0, 2 * T, T) for i in range(7))
+        with pytest.raises(InfeasibleInstanceError):
+            tise_milp_bound(jobs, T, 3)
+
+    def test_empty(self):
+        assert tise_milp_bound((), 10.0, 3) == 0.0
+
+
+class TestUnitMatching:
+    def test_enough_slots(self):
+        jobs = tuple(Job(i, 0.0, 4.0, 1.0) for i in range(3))
+        assert unit_matching_feasible(jobs, [0], 3)
+        assert unit_matching_feasible(jobs, [1], 3)
+        assert not unit_matching_feasible(jobs, [2], 3)  # slots 2,3,4 but d=4 -> 2 usable
+
+    def test_window_restriction(self):
+        jobs = (Job(0, 5.0, 7.0, 1.0),)
+        assert not unit_matching_feasible(jobs, [0], 3)
+        assert unit_matching_feasible(jobs, [5], 3)
+
+
+class TestExactUnit:
+    def test_single_job(self):
+        jobs = (Job(0, 0.0, 5.0, 1.0),)
+        inst = Instance(jobs=jobs, machines=1, calibration_length=3.0)
+        assert exact_unit_calibrations(inst) == 1
+
+    def test_far_apart_jobs_need_two(self):
+        T = 3
+        jobs = (Job(0, 0.0, 2.0, 1.0), Job(1, 50.0, 52.0, 1.0))
+        inst = Instance(jobs=jobs, machines=1, calibration_length=float(T))
+        assert exact_unit_calibrations(inst) == 2
+
+    def test_work_bound_binds(self):
+        T = 2
+        jobs = tuple(Job(i, 0.0, 6.0, 1.0) for i in range(5))
+        inst = Instance(jobs=jobs, machines=1, calibration_length=float(T))
+        # ceil(5/2) = 3 calibrations needed and sufficient.
+        assert exact_unit_calibrations(inst) == 3
+
+    def test_machine_constraint_enforced(self):
+        T = 2
+        # 4 rigid simultaneous unit jobs: need 4 parallel calibrations.
+        jobs = tuple(Job(i, 0.0, 1.0, 1.0) for i in range(4))
+        inst2 = Instance(jobs=jobs, machines=2, calibration_length=float(T))
+        with pytest.raises(InfeasibleInstanceError):
+            exact_unit_calibrations(inst2, max_calibrations=5)
+        inst4 = Instance(jobs=jobs, machines=4, calibration_length=float(T))
+        assert exact_unit_calibrations(inst4) == 4
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_at_most_witness(self, seed):
+        gen = unit_instance(n=6, machines=2, calibration_length=3, seed=seed)
+        exact = exact_unit_calibrations(gen.instance, max_calibrations=8)
+        assert exact <= gen.witness_calibrations
+
+    def test_empty(self, t10):
+        inst = Instance(jobs=(), machines=1, calibration_length=t10)
+        assert exact_unit_calibrations(inst) == 0

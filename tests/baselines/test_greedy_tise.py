@@ -1,0 +1,75 @@
+"""Tests for the lazy TISE greedy baseline."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+import hypothesis.strategies as st
+
+from repro.core import Instance, InvalidInstanceError, Job, validate_tise
+from repro.baselines import lazy_tise_greedy, one_calibration_per_job
+from repro.instances import long_window_instance, staircase_instance
+from repro.longwindow import LongWindowSolver
+
+
+class TestLazyTiseGreedy:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_always_tise_feasible(self, seed):
+        gen = long_window_instance(14, 2, 10.0, seed)
+        schedule = lazy_tise_greedy(gen.instance)
+        report = validate_tise(gen.instance, schedule)
+        assert report.ok, report.summary()
+        assert schedule.scheduled_job_ids() == {
+            j.job_id for j in gen.instance.jobs
+        }
+
+    def test_rejects_short_jobs(self, t10):
+        jobs = (Job(0, 0.0, 15.0, 2.0),)
+        inst = Instance(jobs=jobs, machines=1, calibration_length=t10)
+        with pytest.raises(InvalidInstanceError):
+            lazy_tise_greedy(inst)
+
+    def test_lazy_placement_of_single_job(self, t10):
+        jobs = (Job(0, 0.0, 50.0, 3.0),)
+        inst = Instance(jobs=jobs, machines=1, calibration_length=t10)
+        schedule = lazy_tise_greedy(inst)
+        cal = schedule.calibrations.calibrations[0]
+        assert cal.start == pytest.approx(40.0)  # d - T: as late as possible
+
+    def test_shared_calibration_for_nested_windows(self, t10):
+        """Laziness pays: the urgent job's latest calibration also covers
+        the roomier jobs, so one calibration suffices."""
+        jobs = (
+            Job(0, 0.0, 25.0, 3.0),    # latest point 15
+            Job(1, 0.0, 60.0, 3.0),
+            Job(2, 10.0, 70.0, 3.0),
+        )
+        inst = Instance(jobs=jobs, machines=1, calibration_length=t10)
+        schedule = lazy_tise_greedy(inst)
+        assert schedule.num_calibrations == 1
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_never_worse_than_per_job(self, seed):
+        gen = long_window_instance(12, 2, 10.0, seed)
+        greedy = lazy_tise_greedy(gen.instance)
+        per_job = one_calibration_per_job(gen.instance)
+        assert greedy.num_calibrations <= per_job.num_calibrations
+
+    def test_empty(self, t10):
+        inst = Instance(jobs=(), machines=1, calibration_length=t10)
+        assert lazy_tise_greedy(inst).num_calibrations == 0
+
+
+@given(seed=st.integers(0, 5000), n=st.integers(3, 16))
+@settings(max_examples=15, deadline=None)
+def test_greedy_property(seed, n):
+    """Feasible on every random long-window instance, and at least the
+    work lower bound."""
+    from repro.analysis import work_lower_bound
+
+    gen = staircase_instance(n, 2, 10.0, seed)
+    schedule = lazy_tise_greedy(gen.instance)
+    assert validate_tise(gen.instance, schedule).ok
+    assert schedule.num_calibrations >= work_lower_bound(
+        gen.instance.jobs, 10.0
+    )

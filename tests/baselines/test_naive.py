@@ -1,0 +1,93 @@
+"""Tests for the naive baselines."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import Instance, Job, validate_ise
+from repro.baselines import always_calibrated, one_calibration_per_job
+from repro.instances import (
+    clustered_instance,
+    long_window_instance,
+    mixed_instance,
+    short_window_instance,
+)
+
+
+ALL_FAMILIES = [
+    lambda seed: long_window_instance(12, 2, 10.0, seed),
+    lambda seed: short_window_instance(12, 2, 10.0, seed),
+    lambda seed: mixed_instance(12, 2, 10.0, seed),
+    lambda seed: clustered_instance(12, 2, 10.0, seed),
+]
+
+
+class TestOneCalibrationPerJob:
+    @pytest.mark.parametrize("family", range(len(ALL_FAMILIES)))
+    @pytest.mark.parametrize("seed", range(3))
+    def test_always_feasible_with_n_calibrations(self, family, seed):
+        gen = ALL_FAMILIES[family](seed)
+        schedule = one_calibration_per_job(gen.instance)
+        report = validate_ise(gen.instance, schedule)
+        assert report.ok, report.summary()
+        assert schedule.num_calibrations == gen.instance.n
+
+    def test_machine_count_is_release_overlap(self, t10):
+        jobs = tuple(Job(i, 0.0, 30.0, 1.0) for i in range(4))
+        inst = Instance(jobs=jobs, machines=1, calibration_length=t10)
+        schedule = one_calibration_per_job(inst)
+        # All calibrations [0, 10) overlap: 4 machines.
+        assert schedule.num_machines == 4
+
+    def test_empty(self, t10):
+        inst = Instance(jobs=(), machines=1, calibration_length=t10)
+        schedule = one_calibration_per_job(inst)
+        assert schedule.num_calibrations == 0
+
+
+class TestAlwaysCalibrated:
+    @pytest.mark.parametrize("family", range(len(ALL_FAMILIES)))
+    @pytest.mark.parametrize("seed", range(3))
+    def test_always_feasible(self, family, seed):
+        gen = ALL_FAMILIES[family](seed)
+        schedule = always_calibrated(gen.instance)
+        report = validate_ise(gen.instance, schedule)
+        assert report.ok, report.summary()
+
+    def test_cost_scales_with_horizon(self, t10):
+        """The point of the baseline: idle gaps are paid for."""
+        jobs = (
+            Job(0, 0.0, 25.0, 2.0),
+            Job(1, 200.0, 225.0, 2.0),
+        )
+        inst = Instance(jobs=jobs, machines=1, calibration_length=t10)
+        schedule = always_calibrated(inst)
+        cells = math.ceil((225.0 - 0.0) / t10)
+        assert schedule.num_calibrations >= cells
+        assert validate_ise(inst, schedule).ok
+
+    def test_rigid_offgrid_job_overflow(self, t10):
+        """A job that fits no grid cell gets a dedicated calibration."""
+        jobs = (Job(0, 6.0, 15.0, 8.0),)  # needs [6, 14) — crosses cell at 16? grid origin 6
+        inst = Instance(jobs=jobs, machines=1, calibration_length=t10)
+        schedule = always_calibrated(inst)
+        assert validate_ise(inst, schedule).ok
+
+    def test_overflow_with_grid_conflict(self, t10):
+        """Grid origin is min release; a later rigid job misaligned with the
+        grid goes to the overflow path."""
+        jobs = (
+            Job(0, 0.0, 25.0, 2.0),            # sets origin 0
+            Job(1, 6.0, 15.0, 8.5),            # [6, 14.5): fits neither cell
+        )
+        inst = Instance(jobs=jobs, machines=2, calibration_length=t10)
+        schedule = always_calibrated(inst)
+        report = validate_ise(inst, schedule)
+        assert report.ok, report.summary()
+
+    def test_empty(self, t10):
+        inst = Instance(jobs=(), machines=1, calibration_length=t10)
+        schedule = always_calibrated(inst)
+        assert schedule.num_calibrations == 0

@@ -1,0 +1,146 @@
+"""Tests for the repro-ise command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.instances import load_instance, load_schedule
+
+
+@pytest.fixture
+def instance_path(tmp_path):
+    path = tmp_path / "instance.json"
+    code = main([
+        "generate", "--family", "mixed", "--n", "12", "--machines", "2",
+        "--T", "10", "--seed", "3", "--out", str(path),
+    ])
+    assert code == 0
+    return path
+
+
+class TestGenerate:
+    def test_writes_valid_instance(self, instance_path):
+        inst = load_instance(instance_path)
+        assert inst.n == 12
+        assert inst.machines == 2
+
+    def test_witness_output(self, tmp_path):
+        inst_path = tmp_path / "i.json"
+        wit_path = tmp_path / "w.json"
+        code = main([
+            "generate", "--family", "long", "--n", "8", "--machines", "1",
+            "--T", "10", "--seed", "0", "--out", str(inst_path),
+            "--witness-out", str(wit_path),
+        ])
+        assert code == 0
+        from repro.core import validate_ise
+
+        inst = load_instance(inst_path)
+        wit = load_schedule(wit_path)
+        assert validate_ise(inst, wit).ok
+
+    @pytest.mark.parametrize("family", ["long", "short", "unit", "clustered", "partition"])
+    def test_all_families(self, tmp_path, family):
+        path = tmp_path / f"{family}.json"
+        code = main([
+            "generate", "--family", family, "--n", "8", "--machines", "2",
+            "--T", "4", "--seed", "1", "--out", str(path),
+        ])
+        assert code == 0
+        assert load_instance(path).n > 0
+
+
+class TestSolveValidateSimulate:
+    def test_full_workflow(self, instance_path, tmp_path, capsys):
+        sched_path = tmp_path / "sched.json"
+        code = main(["solve", str(instance_path), "--out", str(sched_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "calibrations" in out and "lower bound" in out
+
+        assert main(["validate", str(instance_path), str(sched_path)]) == 0
+        assert main(["simulate", str(instance_path), str(sched_path)]) == 0
+
+    def test_solve_with_consolidation(self, instance_path, tmp_path, capsys):
+        sched_path = tmp_path / "sched.json"
+        code = main([
+            "solve", str(instance_path), "--out", str(sched_path),
+            "--consolidate",
+        ])
+        assert code == 0
+        assert "consolidation removed" in capsys.readouterr().out
+
+    def test_solve_overlapping_variant(self, instance_path, tmp_path):
+        sched_path = tmp_path / "s.json"
+        assert main([
+            "solve", str(instance_path), "--out", str(sched_path),
+            "--overlapping",
+        ]) == 0
+        # Overlaps allowed: plain validate may fail, overlap-aware must pass.
+        assert main([
+            "validate", str(instance_path), str(sched_path), "--allow-overlap",
+        ]) == 0
+
+    def test_validate_catches_corruption(self, instance_path, tmp_path, capsys):
+        sched_path = tmp_path / "sched.json"
+        main(["solve", str(instance_path), "--out", str(sched_path)])
+        payload = json.loads(sched_path.read_text())
+        del payload["placements"][0]
+        sched_path.write_text(json.dumps(payload))
+        code = main(["validate", str(instance_path), str(sched_path)])
+        assert code == 1
+        assert "missing_job" in capsys.readouterr().out
+
+    def test_simulate_catches_corruption(self, instance_path, tmp_path):
+        sched_path = tmp_path / "sched.json"
+        main(["solve", str(instance_path), "--out", str(sched_path)])
+        payload = json.loads(sched_path.read_text())
+        payload["placements"][0]["start"] -= 1000.0
+        sched_path.write_text(json.dumps(payload))
+        assert main(["simulate", str(instance_path), str(sched_path)]) == 1
+
+
+class TestRenderAndBounds:
+    def test_render(self, instance_path, tmp_path, capsys):
+        sched_path = tmp_path / "sched.json"
+        main(["solve", str(instance_path), "--out", str(sched_path)])
+        capsys.readouterr()
+        assert main(["render", str(instance_path), str(sched_path)]) == 0
+        out = capsys.readouterr().out
+        assert "job" in out and "m0" in out
+
+    def test_bounds(self, instance_path, capsys):
+        assert main(["bounds", str(instance_path)]) == 0
+        out = capsys.readouterr().out
+        assert "best lower bound" in out
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_family_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([
+                "generate", "--family", "bogus", "--out", str(tmp_path / "x"),
+            ])
+
+
+class TestFrontier:
+    def test_frontier_on_partition_gadget(self, tmp_path, capsys):
+        inst_path = tmp_path / "p.json"
+        assert main([
+            "generate", "--family", "partition", "--n", "4", "--seed", "1",
+            "--out", str(inst_path),
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "frontier", str(inst_path), "--max-machines", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "augmentation frontier" in out
+        assert "machines" in out

@@ -1,0 +1,53 @@
+"""Tests for CLI error handling (exit code 2 on input errors)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import main
+
+
+class TestInputErrors:
+    def test_missing_instance_file(self, capsys, tmp_path):
+        code = main(["solve", str(tmp_path / "nope.json")])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_malformed_json(self, capsys, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        code = main(["bounds", str(path)])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_wrong_payload_kind(self, capsys, tmp_path):
+        path = tmp_path / "kind.json"
+        path.write_text(json.dumps({"kind": "something", "version": 1}))
+        code = main(["render", str(path)])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_invalid_instance_payload(self, capsys, tmp_path):
+        # p_j > T: rejected at Instance construction.
+        path = tmp_path / "invalid.json"
+        path.write_text(json.dumps({
+            "kind": "ise-instance",
+            "version": 1,
+            "name": "x",
+            "machines": 1,
+            "calibration_length": 2.0,
+            "jobs": [{"id": 0, "release": 0.0, "deadline": 20.0, "processing": 5.0}],
+        }))
+        code = main(["solve", str(path)])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "exceeds" in err or "error" in err
+
+    def test_schedule_file_missing(self, capsys, tmp_path):
+        inst = tmp_path / "i.json"
+        main([
+            "generate", "--family", "mixed", "--n", "5", "--machines", "1",
+            "--T", "10", "--seed", "0", "--out", str(inst),
+        ])
+        code = main(["validate", str(inst), str(tmp_path / "missing.json")])
+        assert code == 2

@@ -1,0 +1,23 @@
+"""Tests for the fuzz (falsification) subcommand."""
+
+from __future__ import annotations
+
+from repro.cli import main
+
+
+class TestFuzz:
+    def test_small_run_clean(self, capsys):
+        code = main([
+            "fuzz", "--cases", "2", "--n", "8", "--machines", "2", "--T", "10",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ALL INVARIANTS HELD" in out
+        assert "16 cases" in out  # 2 seeds x 8 families
+
+    def test_start_seed_shifts_coverage(self, capsys):
+        code = main([
+            "fuzz", "--cases", "1", "--n", "6", "--start-seed", "100",
+        ])
+        assert code == 0
+        assert "8 cases" in capsys.readouterr().out

@@ -1,0 +1,128 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.core import Instance, Job
+
+# Keep hypothesis deterministic and CI-friendly.
+settings.register_profile(
+    "repro",
+    deadline=None,
+    max_examples=40,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+def job_strategy(
+    min_release: float = 0.0,
+    max_release: float = 50.0,
+    calibration_length: float = 10.0,
+    long_window: bool | None = None,
+):
+    """Strategy producing a single valid Job.
+
+    ``long_window=True`` forces ``window >= 2T``; False forces ``< 2T``;
+    None leaves it free.
+    """
+    T = calibration_length
+
+    @st.composite
+    def build(draw, idx=0):
+        release = draw(
+            st.floats(
+                min_release, max_release, allow_nan=False, allow_infinity=False
+            )
+        )
+        processing = draw(st.floats(0.05 * T, T, exclude_min=False))
+        if long_window is True:
+            window = draw(st.floats(2.0 * T, 6.0 * T))
+        elif long_window is False:
+            window = draw(
+                st.floats(min(processing, 1.9 * T), 1.95 * T).filter(
+                    lambda w: w >= processing
+                )
+            )
+        else:
+            window = draw(st.floats(processing, 6.0 * T))
+        return Job(
+            job_id=idx,
+            release=release,
+            deadline=release + window,
+            processing=min(processing, T),
+        )
+
+    return build()
+
+
+@st.composite
+def jobs_strategy(
+    draw,
+    min_jobs: int = 1,
+    max_jobs: int = 8,
+    calibration_length: float = 10.0,
+    long_window: bool | None = None,
+):
+    """Strategy producing a tuple of valid jobs with unique sequential ids."""
+    n = draw(st.integers(min_jobs, max_jobs))
+    jobs = []
+    for i in range(n):
+        job = draw(
+            job_strategy(
+                calibration_length=calibration_length, long_window=long_window
+            )
+        )
+        jobs.append(
+            Job(
+                job_id=i,
+                release=job.release,
+                deadline=job.deadline,
+                processing=job.processing,
+            )
+        )
+    return tuple(jobs)
+
+
+@st.composite
+def instance_strategy(
+    draw,
+    min_jobs: int = 1,
+    max_jobs: int = 8,
+    calibration_length: float = 10.0,
+    long_window: bool | None = None,
+    max_machines: int = 3,
+):
+    jobs = draw(
+        jobs_strategy(
+            min_jobs=min_jobs,
+            max_jobs=max_jobs,
+            calibration_length=calibration_length,
+            long_window=long_window,
+        )
+    )
+    machines = draw(st.integers(1, max_machines))
+    return Instance(
+        jobs=jobs, machines=machines, calibration_length=calibration_length
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fixtures
+# ---------------------------------------------------------------------------
+@pytest.fixture
+def t10() -> float:
+    """The default calibration length used across tests."""
+    return 10.0
+
+
+@pytest.fixture
+def seeds() -> list[int]:
+    """Standard seed set for generator-driven sweeps."""
+    return [0, 1, 2, 3, 4]

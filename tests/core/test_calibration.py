@@ -1,0 +1,149 @@
+"""Unit tests for calibrations and calibration schedules."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+import hypothesis.strategies as st
+
+from repro.core import Calibration, CalibrationSchedule, InvalidScheduleError
+from repro.core.calibration import pack_round_robin
+
+
+class TestCalibration:
+    def test_end_and_covers(self):
+        cal = Calibration(start=5.0, machine=0)
+        assert cal.end(10.0) == 15.0
+        assert cal.covers(5.0, 15.0, 10.0)
+        assert cal.covers(7.0, 9.0, 10.0)
+        assert not cal.covers(4.0, 9.0, 10.0)
+        assert not cal.covers(7.0, 15.5, 10.0)
+
+    def test_ordering_by_start_then_machine(self):
+        cals = [Calibration(3.0, 1), Calibration(1.0, 2), Calibration(3.0, 0)]
+        assert sorted(cals) == [
+            Calibration(1.0, 2),
+            Calibration(3.0, 0),
+            Calibration(3.0, 1),
+        ]
+
+    def test_shifted(self):
+        cal = Calibration(start=2.0, machine=1)
+        assert cal.shifted(3.0) == Calibration(5.0, 1)
+        assert cal.shifted(-2.0, machine=4) == Calibration(0.0, 4)
+
+
+class TestCalibrationSchedule:
+    def test_sorted_on_construction(self):
+        sched = CalibrationSchedule(
+            calibrations=(Calibration(5.0, 0), Calibration(1.0, 0)),
+            num_machines=1,
+            calibration_length=2.0,
+        )
+        assert [c.start for c in sched] == [1.0, 5.0]
+        assert sched.num_calibrations == 2
+
+    def test_machine_out_of_pool_rejected(self):
+        with pytest.raises(InvalidScheduleError):
+            CalibrationSchedule(
+                calibrations=(Calibration(0.0, 3),),
+                num_machines=2,
+                calibration_length=1.0,
+            )
+
+    def test_overlap_detection(self):
+        sched = CalibrationSchedule(
+            calibrations=(Calibration(0.0, 0), Calibration(5.0, 0)),
+            num_machines=1,
+            calibration_length=10.0,
+        )
+        assert len(sched.overlap_violations()) == 1
+
+    def test_back_to_back_is_not_overlap(self):
+        sched = CalibrationSchedule(
+            calibrations=(Calibration(0.0, 0), Calibration(10.0, 0)),
+            num_machines=1,
+            calibration_length=10.0,
+        )
+        assert sched.overlap_violations() == []
+
+    def test_overlap_on_different_machines_ok(self):
+        sched = CalibrationSchedule(
+            calibrations=(Calibration(0.0, 0), Calibration(5.0, 1)),
+            num_machines=2,
+            calibration_length=10.0,
+        )
+        assert sched.overlap_violations() == []
+        assert sched.max_concurrent() == 2
+
+    def test_max_concurrent_half_open(self):
+        # One ends exactly when the next starts: never concurrent.
+        sched = CalibrationSchedule(
+            calibrations=(Calibration(0.0, 0), Calibration(10.0, 1)),
+            num_machines=2,
+            calibration_length=10.0,
+        )
+        assert sched.max_concurrent() == 1
+
+    def test_on_machine(self):
+        sched = CalibrationSchedule(
+            calibrations=(
+                Calibration(0.0, 0),
+                Calibration(20.0, 0),
+                Calibration(5.0, 1),
+            ),
+            num_machines=2,
+            calibration_length=10.0,
+        )
+        assert [c.start for c in sched.on_machine(0)] == [0.0, 20.0]
+        assert [c.start for c in sched.on_machine(1)] == [5.0]
+
+    def test_merged_with_offsets_machines(self):
+        a = CalibrationSchedule(
+            calibrations=(Calibration(0.0, 0),),
+            num_machines=2,
+            calibration_length=10.0,
+        )
+        b = CalibrationSchedule(
+            calibrations=(Calibration(0.0, 0),),
+            num_machines=1,
+            calibration_length=10.0,
+        )
+        merged = a.merged_with(b)
+        assert merged.num_machines == 3
+        machines = sorted(c.machine for c in merged)
+        assert machines == [0, 2]
+
+    def test_merged_with_mismatched_T_rejected(self):
+        a = CalibrationSchedule((), 1, 10.0)
+        b = CalibrationSchedule((), 1, 5.0)
+        with pytest.raises(InvalidScheduleError):
+            a.merged_with(b)
+
+
+class TestPackRoundRobin:
+    def test_assignment_order(self):
+        sched = pack_round_robin([0.0, 1.0, 2.0, 3.0], 2, 10.0)
+        machines = [c.machine for c in sched]
+        assert machines == [0, 1, 0, 1]
+
+    def test_enough_machines_avoids_overlap(self):
+        # 4 calibrations all at time 0, 4 machines: no overlap.
+        sched = pack_round_robin([0.0] * 4, 4, 10.0)
+        assert sched.overlap_violations() == []
+
+    @given(
+        starts=st.lists(st.floats(0, 100, allow_nan=False), min_size=1, max_size=30),
+        T=st.floats(1.0, 20.0),
+    )
+    def test_round_robin_valid_when_density_bounded(self, starts, T):
+        """If at most w calibrations start in any length-T window, w-machine
+        round-robin never overlaps (the Lemma 4 argument)."""
+        starts = sorted(starts)
+        # Compute the max density of starts in any half-open length-T window.
+        density = 1
+        for i, s in enumerate(starts):
+            count = sum(1 for t in starts if s <= t < s + T - 1e-9)
+            density = max(density, count)
+        sched = pack_round_robin(starts, density, T)
+        assert sched.overlap_violations() == []

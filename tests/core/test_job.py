@@ -1,0 +1,146 @@
+"""Unit tests for the Job and Instance data model."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+import hypothesis.strategies as st
+
+from repro.core import Instance, InvalidInstanceError, Job, make_jobs
+
+
+class TestJobConstruction:
+    def test_basic_fields(self):
+        job = Job(job_id=3, release=1.0, deadline=9.0, processing=2.5)
+        assert job.job_id == 3
+        assert job.window == 8.0
+        assert job.slack == pytest.approx(5.5)
+        assert job.latest_start == pytest.approx(6.5)
+
+    def test_zero_slack_job_allowed(self):
+        job = Job(job_id=0, release=0.0, deadline=3.0, processing=3.0)
+        assert job.slack == pytest.approx(0.0)
+
+    def test_negative_release_allowed(self):
+        job = Job(job_id=0, release=-5.0, deadline=5.0, processing=1.0)
+        assert job.window == 10.0
+
+    @pytest.mark.parametrize("processing", [0.0, -1.0, math.nan, math.inf])
+    def test_invalid_processing_rejected(self, processing):
+        with pytest.raises(InvalidInstanceError):
+            Job(job_id=0, release=0.0, deadline=10.0, processing=processing)
+
+    def test_window_too_small_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            Job(job_id=0, release=0.0, deadline=1.0, processing=2.0)
+
+    @pytest.mark.parametrize("bad", [math.nan, math.inf, -math.inf])
+    def test_nonfinite_times_rejected(self, bad):
+        with pytest.raises(InvalidInstanceError):
+            Job(job_id=0, release=bad, deadline=10.0, processing=1.0)
+        with pytest.raises(InvalidInstanceError):
+            Job(job_id=0, release=0.0, deadline=bad, processing=1.0)
+
+    def test_is_long_uses_definition_1(self):
+        T = 10.0
+        assert Job(0, 0.0, 20.0, 1.0).is_long(T)          # exactly 2T: long
+        assert not Job(0, 0.0, 19.999, 1.0).is_long(T)    # just under
+        assert Job(0, 0.0, 50.0, 1.0).is_long(T)
+
+    def test_contains_interval(self):
+        job = Job(0, 2.0, 12.0, 1.0)
+        assert job.contains_interval(2.0, 12.0)
+        assert job.contains_interval(3.0, 10.0)
+        assert not job.contains_interval(1.0, 5.0)
+        assert not job.contains_interval(5.0, 13.0)
+
+    def test_shifted_preserves_processing_and_id(self):
+        job = Job(7, 1.0, 11.0, 3.0)
+        moved = job.shifted(4.0)
+        assert moved.job_id == 7
+        assert moved.release == 5.0
+        assert moved.deadline == 15.0
+        assert moved.processing == 3.0
+
+
+class TestInstanceConstruction:
+    def test_basic(self, t10):
+        jobs = make_jobs([(0, 25, 2), (5, 30, 3)])
+        inst = Instance(jobs=jobs, machines=2, calibration_length=t10)
+        assert inst.n == 2
+        assert len(inst) == 2
+        assert inst.horizon == (0.0, 30.0)
+        assert inst.total_work == pytest.approx(5.0)
+
+    def test_duplicate_ids_rejected(self, t10):
+        jobs = (Job(0, 0, 25, 1), Job(0, 1, 26, 1))
+        with pytest.raises(InvalidInstanceError):
+            Instance(jobs=jobs, machines=1, calibration_length=t10)
+
+    def test_processing_exceeding_T_rejected(self):
+        jobs = (Job(0, 0, 25, 5.0),)
+        with pytest.raises(InvalidInstanceError):
+            Instance(jobs=jobs, machines=1, calibration_length=4.0)
+
+    def test_invalid_machine_count_rejected(self, t10):
+        with pytest.raises(InvalidInstanceError):
+            Instance(jobs=(), machines=0, calibration_length=t10)
+
+    def test_invalid_calibration_length_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            Instance(jobs=(), machines=1, calibration_length=0.0)
+
+    def test_empty_instance_horizon(self, t10):
+        inst = Instance(jobs=(), machines=1, calibration_length=t10)
+        assert inst.horizon == (0.0, 0.0)
+        assert inst.total_work == 0.0
+
+    def test_job_lookup(self, t10):
+        jobs = make_jobs([(0, 25, 2), (5, 30, 3)])
+        inst = Instance(jobs=jobs, machines=1, calibration_length=t10)
+        assert inst.job_by_id(1).release == 5.0
+        with pytest.raises(KeyError):
+            inst.job_by_id(99)
+        assert set(inst.job_map()) == {0, 1}
+
+    def test_long_short_split(self):
+        T = 10.0
+        jobs = (
+            Job(0, 0.0, 20.0, 1.0),   # long (exactly 2T)
+            Job(1, 0.0, 15.0, 1.0),   # short
+        )
+        inst = Instance(jobs=jobs, machines=1, calibration_length=T)
+        assert [j.job_id for j in inst.long_jobs()] == [0]
+        assert [j.job_id for j in inst.short_jobs()] == [1]
+
+    def test_restricted_to_and_with_machines(self, t10):
+        jobs = make_jobs([(0, 25, 2), (5, 30, 3), (2, 28, 1)])
+        inst = Instance(jobs=jobs, machines=2, calibration_length=t10)
+        sub = inst.restricted_to(jobs[:1])
+        assert sub.n == 1
+        assert sub.machines == 2
+        more = inst.with_machines(7)
+        assert more.machines == 7
+        assert more.n == 3
+
+    def test_make_jobs_sequential_ids(self):
+        jobs = make_jobs([(0, 10, 1), (0, 10, 1)], start_id=5)
+        assert [j.job_id for j in jobs] == [5, 6]
+
+
+@given(
+    release=st.floats(-100, 100, allow_nan=False),
+    window=st.floats(0.5, 100),
+    frac=st.floats(0.01, 1.0),
+)
+def test_job_invariants_property(release, window, frac):
+    """Any job built from (release, window, processing <= window) is valid
+    and reports consistent derived quantities."""
+    processing = frac * window
+    job = Job(job_id=0, release=release, deadline=release + window, processing=processing)
+    assert job.window == pytest.approx(window)
+    assert job.slack == pytest.approx(window - processing)
+    assert job.latest_start >= job.release - 1e-9
+    assert job.contains_interval(job.release, job.release + processing)

@@ -1,0 +1,56 @@
+"""Tests for the Definition 1 long/short partition."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+
+from repro.core import Instance, Job, partition_jobs
+from tests.conftest import instance_strategy
+
+
+def test_partition_basic(t10):
+    jobs = (
+        Job(0, 0.0, 20.0, 1.0),   # exactly 2T: long
+        Job(1, 0.0, 19.0, 1.0),   # short
+        Job(2, 0.0, 50.0, 1.0),   # long
+    )
+    inst = Instance(jobs=jobs, machines=1, calibration_length=t10)
+    split = partition_jobs(inst)
+    assert [j.job_id for j in split.long_jobs] == [0, 2]
+    assert [j.job_id for j in split.short_jobs] == [1]
+    assert split.n_long == 2 and split.n_short == 1
+    assert split.threshold == 2 * t10
+
+
+def test_partition_respects_custom_factor(t10):
+    jobs = (Job(0, 0.0, 25.0, 1.0),)
+    inst = Instance(jobs=jobs, machines=1, calibration_length=t10)
+    assert partition_jobs(inst, factor=2).n_long == 1
+    assert partition_jobs(inst, factor=3).n_long == 0
+
+
+def test_partition_rejects_factor_below_two(t10):
+    inst = Instance(jobs=(), machines=1, calibration_length=t10)
+    with pytest.raises(ValueError):
+        partition_jobs(inst, factor=1.5)
+
+
+def test_empty_instance(t10):
+    inst = Instance(jobs=(), machines=1, calibration_length=t10)
+    split = partition_jobs(inst)
+    assert split.long_jobs == () and split.short_jobs == ()
+
+
+@given(instance_strategy(max_jobs=10))
+def test_partition_is_a_partition(inst):
+    """Every job lands in exactly one side and sides respect the threshold."""
+    split = partition_jobs(inst)
+    long_ids = {j.job_id for j in split.long_jobs}
+    short_ids = {j.job_id for j in split.short_jobs}
+    assert long_ids | short_ids == {j.job_id for j in inst.jobs}
+    assert not (long_ids & short_ids)
+    for job in split.long_jobs:
+        assert job.window >= split.threshold - 1e-9
+    for job in split.short_jobs:
+        assert job.window < split.threshold + 1e-9

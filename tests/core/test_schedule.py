@@ -1,0 +1,157 @@
+"""Unit tests for Schedule: placements, pruning, merging, compaction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    Calibration,
+    CalibrationSchedule,
+    InvalidScheduleError,
+    Schedule,
+    ScheduledJob,
+)
+from repro.core.schedule import empty_schedule
+
+
+def _cals(*entries, machines=2, T=10.0):
+    return CalibrationSchedule(
+        calibrations=tuple(Calibration(s, m) for s, m in entries),
+        num_machines=machines,
+        calibration_length=T,
+    )
+
+
+class TestScheduleConstruction:
+    def test_duplicate_placement_rejected(self):
+        with pytest.raises(InvalidScheduleError):
+            Schedule(
+                calibrations=_cals((0.0, 0)),
+                placements=(
+                    ScheduledJob(0.0, 0, 1),
+                    ScheduledJob(2.0, 0, 1),
+                ),
+            )
+
+    def test_machine_out_of_pool_rejected(self):
+        with pytest.raises(InvalidScheduleError):
+            Schedule(
+                calibrations=_cals((0.0, 0), machines=1),
+                placements=(ScheduledJob(0.0, 5, 1),),
+            )
+
+    def test_nonpositive_speed_rejected(self):
+        with pytest.raises(InvalidScheduleError):
+            Schedule(calibrations=_cals((0.0, 0)), placements=(), speed=0.0)
+
+    def test_accessors(self):
+        sched = Schedule(
+            calibrations=_cals((0.0, 0), (0.0, 1)),
+            placements=(ScheduledJob(1.0, 0, 7), ScheduledJob(2.0, 1, 8)),
+        )
+        assert sched.num_machines == 2
+        assert sched.num_calibrations == 2
+        assert sched.placement_of(7).machine == 0
+        with pytest.raises(KeyError):
+            sched.placement_of(99)
+        assert sched.scheduled_job_ids() == frozenset({7, 8})
+        assert len(sched.jobs_on_machine(1)) == 1
+
+
+class TestEnclosingCalibration:
+    def test_found(self):
+        sched = Schedule(
+            calibrations=_cals((0.0, 0), (20.0, 0)),
+            placements=(ScheduledJob(21.0, 0, 1),),
+        )
+        cal = sched.enclosing_calibration(sched.placement_of(1), processing=3.0)
+        assert cal is not None and cal.start == 20.0
+
+    def test_respects_speed(self):
+        # p=8 at speed 2 -> duration 4, fits in [0, 10); at speed 1 it
+        # crosses nothing here but check the boundary case p=12.
+        sched = Schedule(
+            calibrations=_cals((0.0, 0)),
+            placements=(ScheduledJob(0.0, 0, 1),),
+            speed=2.0,
+        )
+        assert sched.enclosing_calibration(sched.placement_of(1), 8.0) is not None
+        # Duration 12/2 = 6 <= 10: still inside.
+        assert sched.enclosing_calibration(sched.placement_of(1), 12.0) is not None
+
+    def test_not_found_when_crossing(self):
+        sched = Schedule(
+            calibrations=_cals((0.0, 0)),
+            placements=(ScheduledJob(8.0, 0, 1),),
+        )
+        assert sched.enclosing_calibration(sched.placement_of(1), 5.0) is None
+
+    def test_wrong_machine_not_found(self):
+        sched = Schedule(
+            calibrations=_cals((0.0, 1)),
+            placements=(ScheduledJob(1.0, 0, 1),),
+        )
+        assert sched.enclosing_calibration(sched.placement_of(1), 2.0) is None
+
+
+class TestPruneAndCompact:
+    def test_prune_drops_empty(self):
+        sched = Schedule(
+            calibrations=_cals((0.0, 0), (30.0, 0), (0.0, 1)),
+            placements=(ScheduledJob(1.0, 0, 1),),
+        )
+        pruned = sched.prune_empty_calibrations({1: 2.0})
+        assert pruned.num_calibrations == 1
+        assert pruned.calibrations.calibrations[0].start == 0.0
+        # Pool size unchanged by pruning.
+        assert pruned.num_machines == 2
+
+    def test_prune_raises_on_uncovered_job(self):
+        sched = Schedule(
+            calibrations=_cals((0.0, 0)),
+            placements=(ScheduledJob(8.0, 0, 1),),
+        )
+        with pytest.raises(InvalidScheduleError):
+            sched.prune_empty_calibrations({1: 5.0})
+
+    def test_compact_renumbers(self):
+        sched = Schedule(
+            calibrations=CalibrationSchedule(
+                calibrations=(Calibration(0.0, 3), Calibration(0.0, 7)),
+                num_machines=10,
+                calibration_length=10.0,
+            ),
+            placements=(ScheduledJob(1.0, 3, 1),),
+        )
+        compacted = sched.compact_machines()
+        assert compacted.num_machines == 2
+        assert {c.machine for c in compacted.calibrations} == {0, 1}
+        assert compacted.placement_of(1).machine == 0
+
+
+class TestMerge:
+    def test_disjoint_union(self):
+        a = Schedule(
+            calibrations=_cals((0.0, 0), machines=1),
+            placements=(ScheduledJob(0.0, 0, 1),),
+        )
+        b = Schedule(
+            calibrations=_cals((5.0, 0), machines=2),
+            placements=(ScheduledJob(5.0, 0, 2),),
+        )
+        merged = a.merged_with(b)
+        assert merged.num_machines == 3
+        assert merged.placement_of(2).machine == 1
+        assert merged.num_calibrations == 2
+
+    def test_speed_mismatch_rejected(self):
+        a = empty_schedule(10.0, speed=1.0)
+        b = empty_schedule(10.0, speed=2.0)
+        with pytest.raises(InvalidScheduleError):
+            a.merged_with(b)
+
+    def test_empty_schedule(self):
+        sched = empty_schedule(10.0, num_machines=3)
+        assert sched.num_calibrations == 0
+        assert sched.num_machines == 3
+        assert list(sched) == []

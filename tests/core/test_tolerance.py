@@ -1,0 +1,99 @@
+"""Tests for the tolerance helpers (the float-comparison policy)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+import hypothesis.strategies as st
+
+from repro.core.tolerance import EPS, close, geq, gt, leq, lt, snap
+
+
+class TestPredicates:
+    def test_leq_geq_at_boundary(self):
+        assert leq(1.0, 1.0)
+        assert leq(1.0 + EPS / 2, 1.0)
+        assert not leq(1.0 + 2 * EPS, 1.0)
+        assert geq(1.0, 1.0)
+        assert geq(1.0 - EPS / 2, 1.0)
+        assert not geq(1.0 - 2 * EPS, 1.0)
+
+    def test_strict_predicates(self):
+        assert lt(1.0, 1.1)
+        assert not lt(1.0, 1.0 + EPS / 2)
+        assert gt(1.1, 1.0)
+        assert not gt(1.0 + EPS / 2, 1.0)
+
+    def test_close(self):
+        assert close(1.0, 1.0 + EPS / 2)
+        assert not close(1.0, 1.0 + 3 * EPS)
+
+    @given(a=st.floats(-1e6, 1e6), b=st.floats(-1e6, 1e6))
+    def test_trichotomy_consistency(self, a, b):
+        """Exactly the expected relations hold: lt implies leq and not geq,
+        etc."""
+        if lt(a, b):
+            assert leq(a, b) and not geq(a, b) and not gt(a, b)
+        if gt(a, b):
+            assert geq(a, b) and not leq(a, b) and not lt(a, b)
+        assert leq(a, b) or geq(a, b)  # never both false
+
+    @given(a=st.floats(-1e6, 1e6))
+    def test_reflexive(self, a):
+        assert leq(a, a) and geq(a, a) and close(a, a)
+        assert not lt(a, a) and not gt(a, a)
+
+
+class TestSnap:
+    def test_snaps_near_multiples(self):
+        assert snap(3.0 + EPS / 2, 1.0) == 3.0
+        assert snap(2.9999999999, 1.0) == 3.0
+
+    def test_leaves_far_values(self):
+        assert snap(3.4, 1.0) == 3.4
+
+    def test_custom_grid(self):
+        assert snap(0.5 + 1e-12, 0.5) == 0.5
+
+    def test_rejects_bad_grid(self):
+        with pytest.raises(ValueError):
+            snap(1.0, 0.0)
+        with pytest.raises(ValueError):
+            snap(1.0, -2.0)
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        from repro.core import (
+            InfeasibleInstanceError,
+            InfeasibleScheduleError,
+            InvalidInstanceError,
+            InvalidScheduleError,
+            LimitExceededError,
+            ReproError,
+            SolverError,
+        )
+
+        for exc in (
+            InvalidInstanceError,
+            InvalidScheduleError,
+            InfeasibleScheduleError,
+            InfeasibleInstanceError,
+            SolverError,
+            LimitExceededError,
+        ):
+            assert issubclass(exc, ReproError)
+
+    def test_value_error_compatibility(self):
+        """Instance/Schedule validation errors are also ValueErrors, so
+        generic callers can catch them idiomatically."""
+        from repro.core import InvalidInstanceError, InvalidScheduleError
+
+        assert issubclass(InvalidInstanceError, ValueError)
+        assert issubclass(InvalidScheduleError, ValueError)
+
+    def test_infeasible_schedule_carries_report(self):
+        from repro.core import InfeasibleScheduleError
+
+        err = InfeasibleScheduleError("nope", report="the-report")
+        assert err.report == "the-report"

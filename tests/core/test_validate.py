@@ -1,0 +1,232 @@
+"""Tests for the independent ISE/TISE validators, including failure injection.
+
+The validators are the suite's ground truth, so they get adversarial tests:
+every specific way a schedule can be infeasible must be detected, and every
+feasible schedule must pass.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    Calibration,
+    CalibrationSchedule,
+    InfeasibleScheduleError,
+    Instance,
+    Job,
+    Schedule,
+    ScheduledJob,
+    ViolationKind,
+    check_ise,
+    check_tise,
+    validate_ise,
+    validate_tise,
+)
+
+
+@pytest.fixture
+def instance(t10):
+    jobs = (
+        Job(job_id=0, release=0.0, deadline=25.0, processing=3.0),
+        Job(job_id=1, release=2.0, deadline=30.0, processing=4.0),
+    )
+    return Instance(jobs=jobs, machines=1, calibration_length=t10)
+
+
+@pytest.fixture
+def good_schedule(t10):
+    cals = CalibrationSchedule(
+        calibrations=(Calibration(2.0, 0),),
+        num_machines=1,
+        calibration_length=t10,
+    )
+    return Schedule(
+        calibrations=cals,
+        placements=(ScheduledJob(2.0, 0, 0), ScheduledJob(5.0, 0, 1)),
+    )
+
+
+class TestFeasibleSchedules:
+    def test_good_schedule_passes_both(self, instance, good_schedule):
+        assert validate_ise(instance, good_schedule).ok
+        assert validate_tise(instance, good_schedule).ok
+        check_ise(instance, good_schedule)
+        check_tise(instance, good_schedule)
+
+    def test_boundary_job_exactly_fills_calibration(self, t10):
+        jobs = (Job(0, 0.0, 30.0, t10),)
+        inst = Instance(jobs=jobs, machines=1, calibration_length=t10)
+        sched = Schedule(
+            calibrations=CalibrationSchedule(
+                (Calibration(0.0, 0),), 1, t10
+            ),
+            placements=(ScheduledJob(0.0, 0, 0),),
+        )
+        assert validate_ise(inst, sched).ok
+
+    def test_speed_augmented_schedule(self, t10):
+        # p = 15 > T, but at speed 2 the duration is 7.5 <= T.
+        jobs = (Job(0, 0.0, 30.0, 10.0),)
+        inst = Instance(jobs=jobs, machines=1, calibration_length=t10)
+        sched = Schedule(
+            calibrations=CalibrationSchedule((Calibration(0.0, 0),), 1, t10),
+            placements=(ScheduledJob(4.0, 0, 0),),
+            speed=2.0,
+        )
+        # Duration 5 -> ends at 9 < 10: fine at speed 2.
+        assert validate_ise(inst, sched).ok
+        slow = Schedule(
+            calibrations=sched.calibrations,
+            placements=sched.placements,
+            speed=1.0,
+        )
+        # At speed 1 it ends at 14 > calibration end: violation.
+        report = validate_ise(inst, slow)
+        assert report.by_kind(ViolationKind.NO_CALIBRATION)
+
+
+class TestFailureInjection:
+    """Each mutation of a feasible schedule must trip the right violation."""
+
+    def test_missing_job(self, instance, good_schedule, t10):
+        partial = Schedule(
+            calibrations=good_schedule.calibrations,
+            placements=good_schedule.placements[:1],
+        )
+        report = validate_ise(instance, partial)
+        assert report.by_kind(ViolationKind.MISSING_JOB)
+        assert validate_ise(instance, partial, require_all_jobs=False).ok
+
+    def test_unknown_job(self, instance, good_schedule):
+        extra = Schedule(
+            calibrations=good_schedule.calibrations,
+            placements=good_schedule.placements
+            + (ScheduledJob(2.5, 0, 99),),
+        )
+        report = validate_ise(instance, extra)
+        assert report.by_kind(ViolationKind.UNKNOWN_JOB)
+
+    def test_early_start(self, instance, t10):
+        sched = Schedule(
+            calibrations=CalibrationSchedule(
+                (Calibration(-1.0, 0),), 1, t10
+            ),
+            placements=(
+                ScheduledJob(-1.0, 0, 0),  # before release 0
+                ScheduledJob(4.0, 0, 1),
+            ),
+        )
+        report = validate_ise(instance, sched)
+        assert report.by_kind(ViolationKind.RELEASE)
+
+    def test_deadline_miss(self, t10):
+        jobs = (Job(0, 0.0, 25.0, 3.0),)
+        inst = Instance(jobs=jobs, machines=1, calibration_length=t10)
+        sched = Schedule(
+            calibrations=CalibrationSchedule((Calibration(23.0, 0),), 1, t10),
+            placements=(ScheduledJob(23.0, 0, 0),),
+        )
+        report = validate_ise(inst, sched)
+        assert report.by_kind(ViolationKind.DEADLINE)
+
+    def test_no_enclosing_calibration(self, instance, t10):
+        sched = Schedule(
+            calibrations=CalibrationSchedule((Calibration(2.0, 0),), 1, t10),
+            placements=(
+                ScheduledJob(10.0, 0, 0),  # ends at 13 > 12: crosses out
+                ScheduledJob(5.0, 0, 1),
+            ),
+        )
+        report = validate_ise(instance, sched)
+        assert report.by_kind(ViolationKind.NO_CALIBRATION)
+
+    def test_job_overlap(self, instance, t10):
+        sched = Schedule(
+            calibrations=CalibrationSchedule((Calibration(2.0, 0),), 1, t10),
+            placements=(
+                ScheduledJob(2.0, 0, 0),   # [2, 5)
+                ScheduledJob(4.0, 0, 1),   # overlaps
+            ),
+        )
+        report = validate_ise(instance, sched)
+        assert report.by_kind(ViolationKind.JOB_OVERLAP)
+
+    def test_calibration_overlap(self, instance, t10):
+        sched = Schedule(
+            calibrations=CalibrationSchedule(
+                (Calibration(2.0, 0), Calibration(8.0, 0)), 1, t10
+            ),
+            placements=(
+                ScheduledJob(2.0, 0, 0),
+                ScheduledJob(5.0, 0, 1),
+            ),
+        )
+        report = validate_ise(instance, sched)
+        assert report.by_kind(ViolationKind.CALIBRATION_OVERLAP)
+
+    def test_machine_budget(self, instance, t10):
+        sched = Schedule(
+            calibrations=CalibrationSchedule(
+                (Calibration(2.0, 0), Calibration(2.0, 1)), 2, t10
+            ),
+            placements=(
+                ScheduledJob(2.0, 0, 0),
+                ScheduledJob(2.0, 1, 1),
+            ),
+        )
+        assert validate_ise(instance, sched, max_machines=2).ok
+        report = validate_ise(instance, sched, max_machines=1)
+        assert report.by_kind(ViolationKind.MACHINE_BUDGET)
+
+    def test_check_raises_with_report(self, instance, good_schedule):
+        partial = Schedule(
+            calibrations=good_schedule.calibrations,
+            placements=good_schedule.placements[:1],
+        )
+        with pytest.raises(InfeasibleScheduleError) as err:
+            check_ise(instance, partial, context="unit test")
+        assert "unit test" in str(err.value)
+        assert err.value.report is not None
+
+
+class TestTiseRestriction:
+    def test_tise_violation_detected(self, t10):
+        # Window [5, 20): calibration [2, 12) contains the execution but not
+        # the TISE containment (2 < 5).
+        jobs = (Job(0, 5.0, 20.0, 2.0),)
+        inst = Instance(jobs=jobs, machines=1, calibration_length=t10)
+        sched = Schedule(
+            calibrations=CalibrationSchedule((Calibration(2.0, 0),), 1, t10),
+            placements=(ScheduledJob(6.0, 0, 0),),
+        )
+        assert validate_ise(inst, sched).ok
+        report = validate_tise(inst, sched)
+        assert report.by_kind(ViolationKind.TISE_WINDOW)
+        with pytest.raises(InfeasibleScheduleError):
+            check_tise(inst, sched)
+
+    def test_tise_boundary_equality_ok(self, t10):
+        # r_j == t and t + T == d_j: allowed by the restriction.
+        jobs = (Job(0, 2.0, 12.0, 2.0),)
+        inst = Instance(jobs=jobs, machines=1, calibration_length=t10)
+        sched = Schedule(
+            calibrations=CalibrationSchedule((Calibration(2.0, 0),), 1, t10),
+            placements=(ScheduledJob(6.0, 0, 0),),
+        )
+        assert validate_tise(inst, sched).ok
+
+
+class TestReportFormatting:
+    def test_summary_counts(self, instance, t10):
+        sched = Schedule(
+            calibrations=CalibrationSchedule((), 0, t10),
+            placements=(),
+        )
+        report = validate_ise(instance, sched)
+        assert not report.ok
+        assert "missing_job=2" in report.summary()
+        assert not bool(report)
+
+    def test_feasible_summary(self, instance, good_schedule):
+        assert validate_ise(instance, good_schedule).summary() == "feasible"

@@ -1,0 +1,118 @@
+"""Tests for the feasible-by-construction generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import validate_ise
+from repro.instances import (
+    clustered_instance,
+    long_window_instance,
+    mixed_instance,
+    partition_instance,
+    short_window_instance,
+    unit_instance,
+)
+
+
+GENERATORS = {
+    "long": lambda seed: long_window_instance(15, 2, 10.0, seed),
+    "short": lambda seed: short_window_instance(15, 2, 10.0, seed),
+    "mixed": lambda seed: mixed_instance(15, 2, 10.0, seed),
+    "unit": lambda seed: unit_instance(15, 2, 4, seed),
+    "partition": lambda seed: partition_instance(5, seed),
+    "clustered": lambda seed: clustered_instance(15, 2, 10.0, seed),
+}
+
+
+class TestWitnessFeasibility:
+    @pytest.mark.parametrize("family", sorted(GENERATORS))
+    @pytest.mark.parametrize("seed", range(4))
+    def test_witness_is_feasible(self, family, seed):
+        """The core generator contract: the witness is a feasible ISE
+        schedule of the instance on its stated machine count."""
+        gen = GENERATORS[family](seed)
+        report = validate_ise(gen.instance, gen.witness)
+        assert report.ok, f"{family}/{seed}: {report.summary()}"
+        assert gen.witness.num_machines == gen.instance.machines
+        assert gen.family
+
+    @pytest.mark.parametrize("family", sorted(GENERATORS))
+    def test_determinism(self, family):
+        a = GENERATORS[family](7)
+        b = GENERATORS[family](7)
+        assert a.instance.jobs == b.instance.jobs
+        assert a.witness.placements == b.witness.placements
+
+
+class TestWindowShapes:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_long_family_all_long(self, seed):
+        gen = long_window_instance(12, 2, 10.0, seed)
+        for job in gen.instance.jobs:
+            assert job.window >= 2 * 10.0 - 1e-9
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_short_family_all_short(self, seed):
+        gen = short_window_instance(12, 2, 10.0, seed)
+        for job in gen.instance.jobs:
+            assert job.window < 2 * 10.0
+
+    def test_mixed_family_has_both(self):
+        gen = mixed_instance(40, 2, 10.0, seed=0, long_fraction=0.5)
+        longs = [j for j in gen.instance.jobs if j.is_long(10.0)]
+        shorts = [j for j in gen.instance.jobs if not j.is_long(10.0)]
+        assert longs and shorts
+
+    def test_short_rejects_bad_factor(self):
+        with pytest.raises(ValueError):
+            short_window_instance(5, 1, 10.0, 0, max_window_factor=2.0)
+
+
+class TestUnitFamily:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_integrality(self, seed):
+        gen = unit_instance(10, 2, 3, seed)
+        for job in gen.instance.jobs:
+            assert job.processing == 1.0
+            assert job.release == int(job.release)
+            assert job.deadline == int(job.deadline)
+
+    def test_small_T_rejected(self):
+        with pytest.raises(ValueError):
+            unit_instance(5, 1, 1, 0)
+
+
+class TestPartitionFamily:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_structure(self, seed):
+        gen = partition_instance(6, seed)
+        inst = gen.instance
+        assert inst.machines == 2
+        total = inst.total_work
+        assert inst.calibration_length == pytest.approx(total / 2)
+        for job in inst.jobs:
+            assert job.release == 0.0
+            assert job.deadline == pytest.approx(inst.calibration_length)
+        # Exactly two calibrations in the witness: one per machine at t=0.
+        assert gen.witness.num_calibrations == 2
+
+    def test_all_jobs_short(self):
+        gen = partition_instance(4, 1)
+        for job in gen.instance.jobs:
+            assert not job.is_long(gen.instance.calibration_length)
+
+
+class TestClusteredFamily:
+    def test_has_gaps_between_clusters(self):
+        gen = clustered_instance(
+            18, 2, 10.0, seed=1, num_clusters=3, intercluster_gap_factor=6.0
+        )
+        starts = sorted(c.start for c in gen.witness.calibrations)
+        gaps = [b - a for a, b in zip(starts, starts[1:])]
+        # At least one inter-cluster gap larger than 3T.
+        assert any(g > 3 * 10.0 for g in gaps)
+
+    def test_job_count_exact(self):
+        gen = clustered_instance(17, 2, 10.0, seed=2, num_clusters=3)
+        assert gen.instance.n == 17

@@ -1,0 +1,83 @@
+"""Round-trip tests for JSON instance/schedule serialization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ReproError
+from repro.instances import (
+    instance_from_dict,
+    instance_to_dict,
+    load_instance,
+    load_schedule,
+    long_window_instance,
+    save_instance,
+    save_schedule,
+    schedule_from_dict,
+    schedule_to_dict,
+)
+
+
+@pytest.fixture
+def generated():
+    return long_window_instance(n=8, machines=2, calibration_length=10.0, seed=0)
+
+
+class TestInstanceRoundTrip:
+    def test_dict_round_trip(self, generated):
+        payload = instance_to_dict(generated.instance)
+        back = instance_from_dict(payload)
+        assert back.jobs == generated.instance.jobs
+        assert back.machines == generated.instance.machines
+        assert back.calibration_length == generated.instance.calibration_length
+        assert back.name == generated.instance.name
+
+    def test_file_round_trip(self, generated, tmp_path):
+        path = tmp_path / "inst.json"
+        save_instance(generated.instance, path)
+        back = load_instance(path)
+        assert back.jobs == generated.instance.jobs
+
+    def test_wrong_kind_rejected(self, generated):
+        payload = instance_to_dict(generated.instance)
+        payload["kind"] = "something-else"
+        with pytest.raises(ReproError):
+            instance_from_dict(payload)
+
+    def test_wrong_version_rejected(self, generated):
+        payload = instance_to_dict(generated.instance)
+        payload["version"] = 99
+        with pytest.raises(ReproError):
+            instance_from_dict(payload)
+
+
+class TestScheduleRoundTrip:
+    def test_dict_round_trip(self, generated):
+        payload = schedule_to_dict(generated.witness)
+        back = schedule_from_dict(payload)
+        assert back.placements == generated.witness.placements
+        assert back.calibrations.calibrations == generated.witness.calibrations.calibrations
+        assert back.speed == generated.witness.speed
+
+    def test_file_round_trip(self, generated, tmp_path):
+        path = tmp_path / "sched.json"
+        save_schedule(generated.witness, path)
+        back = load_schedule(path)
+        assert back.placements == generated.witness.placements
+
+    def test_speed_preserved(self, generated):
+        from repro.core import Schedule
+
+        fast = Schedule(
+            calibrations=generated.witness.calibrations,
+            placements=generated.witness.placements,
+            speed=4.0,
+        )
+        back = schedule_from_dict(schedule_to_dict(fast))
+        assert back.speed == 4.0
+
+    def test_wrong_kind_rejected(self, generated):
+        payload = schedule_to_dict(generated.witness)
+        payload["kind"] = "nope"
+        with pytest.raises(ReproError):
+            schedule_from_dict(payload)

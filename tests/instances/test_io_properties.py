@@ -1,0 +1,51 @@
+"""Property-based round-trip tests for the JSON serialization layer."""
+
+from __future__ import annotations
+
+import json
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core import Instance
+from repro.instances import (
+    instance_from_dict,
+    instance_to_dict,
+    schedule_from_dict,
+    schedule_to_dict,
+)
+from tests.conftest import instance_strategy
+
+
+@given(instance_strategy(max_jobs=10))
+@settings(max_examples=30)
+def test_instance_round_trip_exact(inst: Instance):
+    """to_dict -> from_dict is the identity on jobs, m, and T."""
+    back = instance_from_dict(instance_to_dict(inst))
+    assert back.jobs == inst.jobs
+    assert back.machines == inst.machines
+    assert back.calibration_length == inst.calibration_length
+
+
+@given(instance_strategy(max_jobs=8))
+@settings(max_examples=20)
+def test_instance_round_trip_through_json_text(inst: Instance):
+    """Surviving an actual JSON encode/decode (float precision included)."""
+    payload = json.loads(json.dumps(instance_to_dict(inst)))
+    back = instance_from_dict(payload)
+    assert back.jobs == inst.jobs
+
+
+@given(seed=st.integers(0, 5000), n=st.integers(1, 10))
+@settings(max_examples=20, deadline=None)
+def test_schedule_round_trip_from_generators(seed, n):
+    from repro.instances import mixed_instance
+
+    gen = mixed_instance(n, 2, 10.0, seed)
+    payload = json.loads(json.dumps(schedule_to_dict(gen.witness)))
+    back = schedule_from_dict(payload)
+    assert back.placements == gen.witness.placements
+    assert (
+        back.calibrations.calibrations == gen.witness.calibrations.calibrations
+    )
+    assert back.calibrations.num_machines == gen.witness.calibrations.num_machines

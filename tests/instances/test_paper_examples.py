@@ -1,0 +1,80 @@
+"""Tests that the reconstructed paper figures have the documented anchors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import validate_ise
+from repro.instances import (
+    FIGURE_T,
+    figure1_instance,
+    figure2_fractional_calibrations,
+    figure3_inputs,
+)
+from repro.longwindow.tise import tise_feasible_for
+
+
+class TestFigure1:
+    def test_schedule_is_feasible_on_one_machine(self):
+        instance, schedule = figure1_instance()
+        assert instance.machines == 1
+        assert schedule.num_machines == 1
+        assert schedule.num_calibrations == 3
+        report = validate_ise(instance, schedule)
+        assert report.ok, report.summary()
+
+    def test_all_jobs_long(self):
+        instance, _ = figure1_instance()
+        for job in instance.jobs:
+            assert job.is_long(FIGURE_T)
+
+    def test_seven_jobs_with_paper_ids(self):
+        instance, _ = figure1_instance()
+        assert sorted(j.job_id for j in instance.jobs) == list(range(1, 8))
+
+    def test_advance_delay_preconditions(self):
+        """Jobs 1 and 5 have deadlines inside their calibrations; job 7 has
+        its release inside its calibration — the caption's three moves."""
+        instance, schedule = figure1_instance()
+        jm = instance.job_map()
+        for jid, cal_start in ((1, 0.0), (5, 10.0)):
+            assert jm[jid].deadline < cal_start + FIGURE_T
+        assert jm[7].release > 20.0
+
+
+class TestFigure2:
+    def test_masses_and_running_total(self):
+        masses = figure2_fractional_calibrations()
+        values = [masses[t] for t in sorted(masses)]
+        assert values == [0.30, 0.25, 0.20, 0.80]
+        running = []
+        acc = 0.0
+        for v in values:
+            acc += v
+            running.append(acc)
+        # Crossings of 0.5 happen at the 2nd point; of 1.0 and 1.5 at the 4th.
+        assert running[0] < 0.5 <= running[1]
+        assert running[2] < 1.0 <= running[3]
+        assert running[3] >= 1.5
+
+
+class TestFigure3:
+    def test_constraints_2_3_5_hold(self):
+        jobs, calibrations, assignments = figure3_inputs()
+        T = FIGURE_T
+        jm = {j.job_id: j for j in jobs}
+        for (jid, t), x in assignments.items():
+            assert x <= calibrations[t] + 1e-9, "constraint (2)"
+            assert tise_feasible_for(jm[jid], t, T), "constraint (5)"
+        for t, c in calibrations.items():
+            load = sum(
+                x * jm[jid].processing
+                for (jid, tt), x in assignments.items()
+                if tt == t
+            )
+            assert load <= c * T + 1e-9, "constraint (3)"
+
+    def test_job2_partially_assigned_as_documented(self):
+        jobs, _, assignments = figure3_inputs()
+        total = sum(x for (jid, _), x in assignments.items() if jid == 2)
+        assert total == pytest.approx(0.75)

@@ -1,0 +1,72 @@
+"""Tests for the stress generator families (rigid, staircase, heavy-tail)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import solve_ise
+from repro.core import validate_ise
+from repro.instances import (
+    heavy_tail_instance,
+    rigid_instance,
+    staircase_instance,
+)
+
+FAMILIES = {
+    "rigid": rigid_instance,
+    "staircase": staircase_instance,
+    "heavy_tail": heavy_tail_instance,
+}
+
+
+class TestWitnesses:
+    @pytest.mark.parametrize("family", sorted(FAMILIES))
+    @pytest.mark.parametrize("seed", range(3))
+    def test_witness_feasible(self, family, seed):
+        gen = FAMILIES[family](14, 2, 10.0, seed)
+        report = validate_ise(gen.instance, gen.witness)
+        assert report.ok, f"{family}/{seed}: {report.summary()}"
+
+    @pytest.mark.parametrize("family", sorted(FAMILIES))
+    def test_deterministic(self, family):
+        a = FAMILIES[family](10, 2, 10.0, 9)
+        b = FAMILIES[family](10, 2, 10.0, 9)
+        assert a.instance.jobs == b.instance.jobs
+
+
+class TestShapes:
+    def test_rigid_all_zero_slack(self):
+        gen = rigid_instance(12, 2, 10.0, 0)
+        for job in gen.instance.jobs:
+            assert job.slack == pytest.approx(0.0)
+            assert not job.is_long(10.0)
+
+    def test_staircase_all_long_and_overlapping(self):
+        gen = staircase_instance(10, 2, 10.0, 0)
+        jobs = sorted(gen.instance.jobs, key=lambda j: j.release)
+        for job in jobs:
+            assert job.is_long(10.0)
+        # Consecutive windows overlap (the chain structure).
+        overlaps = sum(
+            1
+            for a, b in zip(jobs, jobs[1:])
+            if b.release < a.deadline - 1e-9
+        )
+        assert overlaps >= len(jobs) // 2
+
+    def test_heavy_tail_has_both_small_and_large(self):
+        gen = heavy_tail_instance(40, 2, 10.0, 1)
+        procs = sorted(j.processing for j in gen.instance.jobs)
+        assert procs[0] < 0.15 * 10.0       # tiny jobs exist
+        assert procs[-1] > 0.5 * 10.0       # near-calibration-size too
+
+
+class TestSolvable:
+    @pytest.mark.parametrize("family", sorted(FAMILIES))
+    @pytest.mark.parametrize("seed", range(2))
+    def test_combined_solver_handles_family(self, family, seed):
+        gen = FAMILIES[family](14, 2, 10.0, seed)
+        result = solve_ise(gen.instance)
+        report = validate_ise(gen.instance, result.schedule)
+        assert report.ok, f"{family}/{seed}: {report.summary()}"
+        assert result.num_calibrations >= result.lower_bound.best - 1e-6

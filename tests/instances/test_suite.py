@@ -1,0 +1,39 @@
+"""Tests for the named benchmark presets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import run_sweep
+from repro.instances import PRESETS, preset_cases
+
+
+class TestPresets:
+    def test_names(self):
+        assert set(PRESETS) == {"smoke", "standard", "large"}
+
+    def test_preset_cases_copies(self):
+        a = preset_cases("smoke")
+        a.clear()
+        assert preset_cases("smoke")  # the stored preset is untouched
+
+    def test_unknown_preset(self):
+        with pytest.raises(KeyError):
+            preset_cases("gigantic")
+
+    def test_all_cases_generate(self):
+        for name in PRESETS:
+            for case in preset_cases(name)[:4]:
+                generated = case.generate()
+                assert generated.instance.n == case.n
+
+    def test_smoke_preset_runs_clean(self):
+        outcomes = run_sweep(preset_cases("smoke"))
+        assert outcomes and all(o.valid for o in outcomes)
+
+    def test_cli_preset(self, capsys):
+        from repro.cli import main
+
+        code = main(["sweep", "--preset", "smoke"])
+        assert code == 0
+        assert "sweep preset: smoke" in capsys.readouterr().out

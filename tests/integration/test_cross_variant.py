@@ -1,0 +1,106 @@
+"""Integration tests composing variants: overlap x postopt x speed x sim.
+
+The library's features must compose: the footnote-3 variant's output should
+survive consolidation, speed-traded schedules should simulate cleanly,
+and theorem checks should hold under every configuration.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ISEConfig, solve_ise
+from repro.core import validate_ise
+from repro.instances import (
+    long_window_instance,
+    mixed_instance,
+    short_window_instance,
+)
+from repro.longwindow import LongWindowSolver, canonicalize, machines_to_speed
+from repro.postopt import consolidate
+from repro.sim import simulate
+from repro.theory import check_theorem1, check_theorem12
+
+
+class TestOverlapPlusPostopt:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_consolidation_respects_overlap_semantics(self, seed):
+        gen = short_window_instance(16, 2, 10.0, seed)
+        result = solve_ise(
+            gen.instance, ISEConfig(overlapping_calibrations=True)
+        )
+        improved = consolidate(gen.instance, result.schedule)
+        assert improved.final_calibrations <= result.num_calibrations
+        report = validate_ise(
+            gen.instance,
+            improved.schedule,
+            allow_overlapping_calibrations=True,
+        )
+        assert report.ok, report.summary()
+        assert simulate(gen.instance, improved.schedule, allow_overlap=True).ok
+
+
+class TestSpeedPlusEverything:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_speed_then_consolidate_then_simulate(self, seed):
+        gen = long_window_instance(12, 2, 10.0, seed)
+        base = LongWindowSolver().solve(gen.instance)
+        traded = machines_to_speed(gen.instance, base.schedule, 6)
+        improved = consolidate(gen.instance, traded.schedule)
+        assert improved.schedule.speed == traded.schedule.speed
+        assert validate_ise(gen.instance, improved.schedule).ok
+        assert simulate(gen.instance, improved.schedule).ok
+
+    def test_canonicalize_then_speed(self):
+        """Canonical schedules feed the speed transformation unchanged."""
+        gen = long_window_instance(10, 2, 10.0, 5)
+        base = LongWindowSolver().solve(gen.instance)
+        canonical = canonicalize(gen.instance, base.schedule)
+        traded = machines_to_speed(gen.instance, canonical.schedule, 6)
+        assert validate_ise(gen.instance, traded.schedule).ok
+        assert traded.target_calibrations <= canonical.schedule.num_calibrations
+
+
+class TestTheoremChecksAcrossConfigs:
+    CONFIGS = [
+        ISEConfig(),
+        ISEConfig(mm_algorithm="backtrack"),
+        ISEConfig(mm_algorithm="lp_rounding"),
+        ISEConfig(rounding_threshold=0.25),
+        ISEConfig(window_factor=3.0),
+        ISEConfig(prune_empty=False),
+    ]
+
+    @pytest.mark.parametrize("config_idx", range(len(CONFIGS)))
+    def test_theorem1_holds_for_every_config(self, config_idx):
+        gen = mixed_instance(14, 2, 10.0, 3)
+        result = solve_ise(gen.instance, self.CONFIGS[config_idx])
+        check = check_theorem1(gen.instance, result)
+        assert check.holds, check.summary()
+
+    def test_quarter_threshold_still_within_envelope(self):
+        """A smaller rounding threshold inflates calibrations but Theorem 12
+        as *checked* (4x LP at threshold 1/2) no longer applies; verify the
+        generalized bound unpruned <= 2*(1/threshold)*LP instead."""
+        gen = long_window_instance(10, 2, 10.0, 2)
+        from repro.longwindow import LongWindowConfig
+
+        result = LongWindowSolver(
+            LongWindowConfig(rounding_threshold=0.25)
+        ).solve(gen.instance)
+        assert result.unpruned_calibrations <= 2 * 4 * result.lp_value + 1e-6
+
+
+class TestRoundingSchemePropagation:
+    def test_best_scheme_through_combined_solver(self):
+        gen = mixed_instance(14, 2, 10.0, 6)
+        best = solve_ise(gen.instance, ISEConfig(rounding_scheme="best"))
+        greedy = solve_ise(gen.instance)
+        assert validate_ise(gen.instance, best.schedule).ok
+        if best.long_result is not None and greedy.long_result is not None:
+            assert (
+                best.long_result.unpruned_calibrations
+                <= greedy.long_result.unpruned_calibrations
+            )
+        check = check_theorem1(gen.instance, best)
+        assert check.holds, check.summary()

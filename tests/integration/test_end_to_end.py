@@ -1,0 +1,125 @@
+"""Integration tests: the full Theorem 1 solver across families and configs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ISEConfig, ISESolver, solve_ise
+from repro.core import Instance, validate_ise
+from repro.baselines import one_calibration_per_job
+from repro.instances import (
+    clustered_instance,
+    load_instance,
+    load_schedule,
+    mixed_instance,
+    partition_instance,
+    save_instance,
+    save_schedule,
+    short_window_instance,
+    unit_instance,
+)
+
+
+class TestCombinedSolver:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_mixed_instances(self, seed):
+        gen = mixed_instance(20, 2, 10.0, seed)
+        result = solve_ise(gen.instance)
+        report = validate_ise(gen.instance, result.schedule)
+        assert report.ok, report.summary()
+        # Partition accounting.
+        assert result.partition.n_long + result.partition.n_short == 20
+        if result.partition.n_long:
+            assert result.long_result is not None
+        if result.partition.n_short:
+            assert result.short_result is not None
+
+    def test_pure_long_instance_skips_short_pipeline(self):
+        from repro.instances import long_window_instance
+
+        gen = long_window_instance(10, 2, 10.0, 0)
+        result = solve_ise(gen.instance)
+        assert result.short_result is None
+        assert result.long_result is not None
+
+    def test_pure_short_instance_skips_long_pipeline(self):
+        gen = short_window_instance(10, 2, 10.0, 0)
+        result = solve_ise(gen.instance)
+        assert result.long_result is None
+        assert result.short_result is not None
+
+    def test_empty_instance(self, t10):
+        inst = Instance(jobs=(), machines=1, calibration_length=t10)
+        result = solve_ise(inst)
+        assert result.num_calibrations == 0
+        assert result.approximation_ratio == 1.0
+
+    @pytest.mark.parametrize(
+        "mm", ["best_greedy", "greedy_edf", "lp_rounding", "auto"]
+    )
+    def test_all_mm_black_boxes(self, mm):
+        gen = mixed_instance(15, 2, 10.0, 3)
+        result = solve_ise(gen.instance, ISEConfig(mm_algorithm=mm))
+        assert validate_ise(gen.instance, result.schedule).ok
+
+    def test_window_factor_three(self):
+        """ABL2 path: a larger Definition 1 threshold reroutes borderline
+        jobs to the short pipeline; the result must stay feasible."""
+        gen = mixed_instance(15, 2, 10.0, 5)
+        base = solve_ise(gen.instance)
+        wide = solve_ise(gen.instance, ISEConfig(window_factor=3.0))
+        assert validate_ise(gen.instance, wide.schedule).ok
+        assert wide.partition.n_long <= base.partition.n_long
+
+    def test_solver_object_reusable(self):
+        solver = ISESolver()
+        for seed in range(3):
+            gen = mixed_instance(10, 2, 10.0, seed)
+            result = solver.solve(gen.instance)
+            assert validate_ise(gen.instance, result.schedule).ok
+
+
+class TestAgainstBaselines:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_beats_per_job_baseline_on_clustered(self, seed):
+        """Clustered long-window jobs share calibrations: the combined
+        solver must use strictly fewer calibrations than one-per-job on a
+        large enough instance."""
+        gen = clustered_instance(
+            24, 2, 10.0, seed, num_clusters=3, long_fraction=1.0
+        )
+        result = solve_ise(gen.instance)
+        naive = one_calibration_per_job(gen.instance)
+        assert result.num_calibrations < naive.num_calibrations
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_ratio_far_below_worst_case(self, seed):
+        gen = mixed_instance(20, 2, 10.0, seed)
+        result = solve_ise(gen.instance)
+        # Worst-case guarantee would be O(alpha); measured is much smaller.
+        assert result.approximation_ratio < 12.0
+
+
+class TestSolveAndPersist:
+    def test_round_trip_through_disk(self, tmp_path):
+        gen = unit_instance(10, 2, 4, 1)
+        inst_path = tmp_path / "instance.json"
+        save_instance(gen.instance, inst_path)
+        inst = load_instance(inst_path)
+        result = solve_ise(inst)
+        sched_path = tmp_path / "schedule.json"
+        save_schedule(result.schedule, sched_path)
+        back = load_schedule(sched_path)
+        assert validate_ise(inst, back).ok
+
+
+class TestNPHardnessGadget:
+    @pytest.mark.parametrize("k", [3, 5, 8])
+    def test_partition_instances_solved_with_augmentation(self, k):
+        gen = partition_instance(k, seed=k)
+        result = solve_ise(gen.instance)
+        assert validate_ise(gen.instance, result.schedule).ok
+        # The witness shows OPT <= 2; the solver may use extra calibrations
+        # (it does not solve Partition!) but must stay feasible and within
+        # the Theorem 20 envelope.
+        assert result.num_calibrations >= 2

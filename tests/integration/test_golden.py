@@ -1,0 +1,58 @@
+"""Golden regression values: pinned solver outputs for fixed seeds.
+
+These pin the *current* end-to-end behavior so accidental algorithmic
+changes are caught immediately.  The pruned calibration count depends on
+which optimal LP vertex HiGHS returns, so a SciPy/HiGHS upgrade may
+legitimately shift a pinned value — in that case re-pin after confirming
+the run still passes the invariant suite (validators, theorem checks).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import solve_ise
+from repro.baselines import lazy_binning
+from repro.instances import long_window_instance, mixed_instance, unit_instance
+
+# (family, seed) -> (calibrations, best lower bound, n_long)
+GOLDEN_COMBINED = {
+    ("mixed", 0): (12, 8.0, 9),
+    ("mixed", 1): (13, 8.0, 4),
+    ("mixed", 2): (12, 8.0, 8),
+    ("long", 0): (9, 7.0, 10),
+    ("long", 1): (7, 5.0, 10),
+}
+
+GOLDEN_LAZY = {0: 4, 1: 4}
+
+
+@pytest.mark.parametrize("family,seed", sorted(GOLDEN_COMBINED))
+def test_combined_solver_golden(family, seed):
+    if family == "mixed":
+        gen = mixed_instance(15, 2, 10.0, seed)
+    else:
+        gen = long_window_instance(10, 2, 10.0, seed)
+    result = solve_ise(gen.instance)
+    cals, lb, n_long = GOLDEN_COMBINED[(family, seed)]
+    assert result.num_calibrations == cals
+    assert result.lower_bound.best == pytest.approx(lb, abs=1e-6)
+    assert result.partition.n_long == n_long
+
+
+@pytest.mark.parametrize("seed", sorted(GOLDEN_LAZY))
+def test_lazy_binning_golden(seed):
+    gen = unit_instance(10, 2, 3, seed)
+    schedule = lazy_binning(gen.instance)
+    assert schedule.num_calibrations == GOLDEN_LAZY[seed]
+
+
+def test_generator_golden_fingerprint():
+    """The seeded generators themselves are pinned (job tuples hash)."""
+    gen = mixed_instance(15, 2, 10.0, 0)
+    fingerprint = round(
+        sum(j.release + 3 * j.deadline + 7 * j.processing for j in gen.instance.jobs),
+        6,
+    )
+    # Re-derive on change: python -c "...print(fingerprint)"
+    assert fingerprint == pytest.approx(5069.503629, abs=1e-5)

@@ -1,0 +1,36 @@
+"""Medium-scale smoke tests: the pipelines at sizes above the unit tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import solve_ise
+from repro.core import validate_ise
+from repro.instances import clustered_instance, mixed_instance, short_window_instance
+from repro.theory import check_theorem1
+
+
+class TestMediumScale:
+    def test_mixed_60_jobs(self):
+        gen = mixed_instance(60, 3, 10.0, seed=100)
+        result = solve_ise(gen.instance)
+        assert validate_ise(gen.instance, result.schedule).ok
+        check = check_theorem1(gen.instance, result)
+        assert check.holds, check.summary()
+        # Quality stays reasonable at scale.
+        assert result.approximation_ratio < 4.0
+
+    def test_short_100_jobs(self):
+        gen = short_window_instance(100, 3, 10.0, seed=101)
+        result = solve_ise(gen.instance)
+        assert validate_ise(gen.instance, result.schedule).ok
+
+    def test_clustered_80_jobs(self):
+        gen = clustered_instance(
+            80, 3, 10.0, seed=102, num_clusters=5, intercluster_gap_factor=8.0
+        )
+        result = solve_ise(gen.instance)
+        assert validate_ise(gen.instance, result.schedule).ok
+        # Many clusters: witness has >= 5 temporally isolated groups, and
+        # so does the solution; the lower bound reflects the work.
+        assert result.num_calibrations >= 5

@@ -1,0 +1,56 @@
+"""Tests for the unit-job specialization path of the combined solver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ISEConfig, solve_ise
+from repro.baselines import lazy_binning
+from repro.core import Instance, Job, validate_ise
+from repro.instances import mixed_instance, unit_instance
+
+
+class TestUnitSpecialization:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_lazy_binning(self, seed):
+        gen = unit_instance(10, 2, 3, seed)
+        specialized = solve_ise(gen.instance, ISEConfig(specialize_unit=True))
+        direct = lazy_binning(gen.instance)
+        assert specialized.num_calibrations == direct.num_calibrations
+        assert validate_ise(gen.instance, specialized.schedule).ok
+        assert specialized.long_result is None
+        assert specialized.short_result is None
+        assert "lazy_binning" in specialized.wall_times
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_never_worse_than_general_path(self, seed):
+        """The regime split the paper recommends: on unit inputs the
+        specialized algorithm beats (or ties) the general reduction."""
+        gen = unit_instance(10, 2, 3, seed)
+        specialized = solve_ise(gen.instance, ISEConfig(specialize_unit=True))
+        general = solve_ise(gen.instance)
+        assert specialized.num_calibrations <= general.num_calibrations
+
+    def test_nonunit_instances_unaffected(self):
+        gen = mixed_instance(12, 2, 10.0, 0)
+        with_flag = solve_ise(gen.instance, ISEConfig(specialize_unit=True))
+        without = solve_ise(gen.instance)
+        assert with_flag.num_calibrations == without.num_calibrations
+        assert with_flag.long_result is not None or with_flag.short_result is not None
+
+    def test_nonintegral_T_not_specialized(self):
+        jobs = (Job(0, 0.0, 10.0, 1.0),)
+        inst = Instance(jobs=jobs, machines=1, calibration_length=2.5)
+        result = solve_ise(inst, ISEConfig(specialize_unit=True))
+        # Falls through to the general path (T is not integral).
+        assert validate_ise(inst, result.schedule).ok
+
+    def test_lower_bound_still_sound(self):
+        gen = unit_instance(10, 2, 3, 1)
+        result = solve_ise(gen.instance, ISEConfig(specialize_unit=True))
+        assert result.num_calibrations >= result.lower_bound.best - 1e-9
+
+    def test_empty_instance(self, t10):
+        inst = Instance(jobs=(), machines=1, calibration_length=t10)
+        result = solve_ise(inst, ISEConfig(specialize_unit=True))
+        assert result.num_calibrations == 0

@@ -1,0 +1,106 @@
+"""Tests for Algorithm 3 (augmented rounding), Lemma 5, Corollary 6, Figure 3."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.instances import (
+    figure2_fractional_calibrations,
+    figure3_inputs,
+    long_window_instance,
+)
+from repro.longwindow import augmented_round, rounded_start_times, solve_tise_lp
+
+
+class TestFigure3:
+    def test_same_calibrations_as_algorithm1(self):
+        """Algorithm 3 creates exactly the calibrations Algorithm 1 would."""
+        jobs, calibrations, assignments = figure3_inputs()
+        result = augmented_round(jobs, calibrations, assignments, 10.0)
+        assert list(result.assignment.calibration_starts) == rounded_start_times(
+            calibrations
+        )
+
+    def test_job2_tail_discarded(self):
+        """The figure's central event: job 2's delayed fraction is dropped."""
+        jobs, calibrations, assignments = figure3_inputs()
+        result = augmented_round(jobs, calibrations, assignments, 10.0)
+        assert 2 in result.discarded
+        assert result.discarded[2] > 0.0
+        # Lemma 5: the discard never exceeds the carryover bound 1/2.
+        assert result.discarded[2] <= 0.5 + 1e-9
+
+    def test_job1_fully_covered(self):
+        jobs, calibrations, assignments = figure3_inputs()
+        result = augmented_round(jobs, calibrations, assignments, 10.0)
+        assert result.assignment.coverage(1) >= 1.0 - 1e-6
+
+    def test_lemma5_invariants_observed(self):
+        jobs, calibrations, assignments = figure3_inputs()
+        result = augmented_round(jobs, calibrations, assignments, 10.0)
+        assert result.max_y_minus_carryover <= 1e-6
+        assert result.max_carried_work_excess <= 1e-6
+
+
+class TestCorollary6OnRealLPSolutions:
+    """On genuine LP solutions (constraint (4) holds), Corollary 6 promises
+    full coverage of every job and per-calibration load <= T."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_coverage_and_load(self, seed):
+        T = 10.0
+        gen = long_window_instance(n=10, machines=2, calibration_length=T, seed=seed)
+        m_prime = 3 * gen.instance.machines
+        lp = solve_tise_lp(gen.instance.jobs, T, m_prime)
+        result = augmented_round(
+            gen.instance.jobs, lp.calibrations, lp.assignments, T
+        )
+        processing = {j.job_id: j.processing for j in gen.instance.jobs}
+        for job in gen.instance.jobs:
+            assert result.assignment.coverage(job.job_id) >= 1.0 - 1e-6, (
+                f"job {job.job_id} undercovered"
+            )
+        for k in range(len(result.assignment.calibration_starts)):
+            load = result.assignment.calibration_load(k, processing)
+            assert load <= T + 1e-6
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_capped_assignment_is_exact(self, seed):
+        T = 10.0
+        gen = long_window_instance(n=8, machines=1, calibration_length=T, seed=seed)
+        lp = solve_tise_lp(gen.instance.jobs, T, 3)
+        result = augmented_round(
+            gen.instance.jobs, lp.calibrations, lp.assignments, T
+        )
+        capped = result.assignment.capped()
+        for job in gen.instance.jobs:
+            assert capped.coverage(job.job_id) == pytest.approx(1.0, abs=1e-6)
+        processing = {j.job_id: j.processing for j in gen.instance.jobs}
+        for k in range(len(capped.calibration_starts)):
+            assert capped.calibration_load(k, processing) <= T + 1e-6
+
+
+class TestEdgeCases:
+    def test_empty_inputs(self):
+        result = augmented_round((), {}, {}, 10.0)
+        assert result.assignment.calibration_starts == ()
+        assert result.discarded == {}
+
+    def test_invariant_check_can_be_disabled(self):
+        jobs, calibrations, assignments = figure3_inputs()
+        result = augmented_round(
+            jobs, calibrations, assignments, 10.0, check_invariants=False
+        )
+        assert result.max_y_minus_carryover <= 1e-6  # still recorded
+
+    def test_custom_threshold_scales_writeback(self):
+        """At threshold tau the write-back factor is 1/tau; coverage still
+        holds on a real LP solution."""
+        T = 10.0
+        gen = long_window_instance(n=6, machines=1, calibration_length=T, seed=9)
+        lp = solve_tise_lp(gen.instance.jobs, T, 3)
+        result = augmented_round(
+            gen.instance.jobs, lp.calibrations, lp.assignments, T, threshold=0.25
+        )
+        for job in gen.instance.jobs:
+            assert result.assignment.coverage(job.job_id) >= 1.0 - 1e-6

@@ -1,0 +1,67 @@
+"""Tests for the Lemma 3 potential calibration points."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Job
+from repro.longwindow import potential_calibration_points, raw_calibration_points
+from repro.longwindow.tise import tise_feasible_for
+
+
+def test_raw_points_structure():
+    T = 10.0
+    jobs = (Job(0, 0.0, 40.0, 1.0), Job(1, 3.0, 30.0, 1.0))
+    points = raw_calibration_points(jobs, T)
+    # r + kT for k = 0..n (n = 2).
+    expected = sorted({0.0, 10.0, 20.0, 3.0, 13.0, 23.0})
+    assert points == expected
+
+
+def test_raw_points_deduplicate():
+    T = 10.0
+    jobs = (Job(0, 0.0, 40.0, 1.0), Job(1, 10.0, 40.0, 1.0))
+    points = raw_calibration_points(jobs, T)
+    # r_1 + T == r_2: the shared value appears once.
+    assert len(points) == len(set(points))
+    assert 10.0 in points
+
+
+def test_raw_points_size_bound():
+    T = 5.0
+    jobs = tuple(Job(i, 1.7 * i, 1.7 * i + 2 * T, 1.0) for i in range(6))
+    points = raw_calibration_points(jobs, T)
+    assert len(points) <= len(jobs) * (len(jobs) + 1)
+
+
+def test_pruning_keeps_only_serving_points():
+    T = 10.0
+    jobs = (Job(0, 0.0, 25.0, 1.0), Job(1, 100.0, 125.0, 1.0))
+    pruned = potential_calibration_points(jobs, T)
+    for t in pruned:
+        assert any(tise_feasible_for(j, t, T) for j in jobs)
+    # The unpruned set contains useless points (e.g. 20 > d_0 - T = 15).
+    unpruned = potential_calibration_points(jobs, T, prune=False)
+    assert set(pruned) == {0.0, 10.0, 100.0, 110.0}
+    assert len(pruned) < len(unpruned)
+
+
+def test_release_always_feasible_for_long_jobs():
+    """Any long job's release time survives pruning (r + T <= r + 2T <= d)."""
+    T = 10.0
+    jobs = tuple(Job(i, 5.0 * i, 5.0 * i + 2 * T + i, 1.0) for i in range(4))
+    points = potential_calibration_points(jobs, T)
+    for job in jobs:
+        assert any(abs(t - job.release) < 1e-9 for t in points)
+
+
+def test_empty_jobs():
+    assert potential_calibration_points((), 10.0) == []
+    assert raw_calibration_points((), 10.0) == []
+
+
+def test_max_packed_override():
+    T = 10.0
+    jobs = (Job(0, 0.0, 40.0, 1.0),)
+    points = raw_calibration_points(jobs, T, max_packed=3)
+    assert points == [0.0, 10.0, 20.0, 30.0]

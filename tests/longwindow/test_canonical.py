@@ -1,0 +1,129 @@
+"""Tests machine-checking Lemma 3 via the canonicalization construction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    Calibration,
+    CalibrationSchedule,
+    Instance,
+    Job,
+    Schedule,
+    ScheduledJob,
+    validate_tise,
+)
+from repro.instances import long_window_instance
+from repro.longwindow import (
+    LongWindowSolver,
+    canonicalize,
+    ise_to_tise,
+    raw_calibration_points,
+)
+
+
+class TestLemma3Construction:
+    def test_slides_to_release(self, t10):
+        jobs = (Job(0, 3.0, 30.0, 2.0),)
+        inst = Instance(jobs=jobs, machines=1, calibration_length=t10)
+        sched = Schedule(
+            calibrations=CalibrationSchedule((Calibration(7.0, 0),), 1, t10),
+            placements=(ScheduledJob(8.0, 0, 0),),
+        )
+        assert validate_tise(inst, sched).ok
+        result = canonicalize(inst, sched)
+        cal = result.schedule.calibrations.calibrations[0]
+        assert cal.start == pytest.approx(3.0)  # slid onto the release
+        assert result.moved_calibrations == 1
+        assert result.total_shift == pytest.approx(4.0)
+        # The job moved with the calibration.
+        assert result.schedule.placement_of(0).start == pytest.approx(4.0)
+        assert validate_tise(inst, result.schedule).ok
+
+    def test_packs_against_previous_calibration(self, t10):
+        jobs = (
+            Job(0, 0.0, 30.0, 2.0),
+            Job(1, 2.0, 40.0, 2.0),
+        )
+        inst = Instance(jobs=jobs, machines=1, calibration_length=t10)
+        sched = Schedule(
+            calibrations=CalibrationSchedule(
+                (Calibration(0.0, 0), Calibration(15.0, 0)), 1, t10
+            ),
+            placements=(ScheduledJob(0.0, 0, 0), ScheduledJob(15.0, 0, 1)),
+        )
+        result = canonicalize(inst, sched)
+        starts = [c.start for c in result.schedule.calibrations]
+        # Second calibration hits the end of the first (10.0) — the release
+        # at 2.0 is below, but sliding stops at whichever limit comes FIRST
+        # from above: max(prev_end=10, release_floor=2) = 10.
+        assert starts == [0.0, 10.0]
+        assert validate_tise(inst, result.schedule).ok
+
+    def test_fixpoint(self, t10):
+        """Canonicalizing twice changes nothing."""
+        gen = long_window_instance(10, 2, 10.0, 3)
+        tise, _ = ise_to_tise(gen.instance, gen.witness)
+        once = canonicalize(gen.instance, tise)
+        twice = canonicalize(gen.instance, once.schedule)
+        assert twice.moved_calibrations == 0
+        assert twice.total_shift == pytest.approx(0.0)
+        assert (
+            once.schedule.calibrations.calibrations
+            == twice.schedule.calibrations.calibrations
+        )
+
+
+class TestLemma3Statement:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_canonical_starts_are_potential_points(self, seed):
+        """After canonicalization, every job-carrying calibration starts at
+        a point of the Lemma 3 set {r_j + k*T} — the lemma's content."""
+        T = 10.0
+        gen = long_window_instance(10, 2, T, seed)
+        result = LongWindowSolver().solve(gen.instance)
+        canonical = canonicalize(gen.instance, result.schedule)
+        assert validate_tise(gen.instance, canonical.schedule).ok
+        points = raw_calibration_points(gen.instance.jobs, T)
+        occupied = {
+            (c.start, c.machine)
+            for p in canonical.schedule.placements
+            for c in [
+                canonical.schedule.enclosing_calibration(
+                    p, gen.instance.job_by_id(p.job_id).processing
+                )
+            ]
+            if c is not None
+        }
+        for start, _ in occupied:
+            assert any(abs(start - t) < 1e-6 for t in points), (
+                f"canonical start {start} is not of the form r_j + k*T"
+            )
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_preserves_count_and_feasibility(self, seed):
+        gen = long_window_instance(12, 2, 10.0, seed)
+        result = LongWindowSolver().solve(gen.instance)
+        canonical = canonicalize(gen.instance, result.schedule)
+        assert (
+            canonical.schedule.num_calibrations == result.num_calibrations
+        )
+        assert validate_tise(gen.instance, canonical.schedule).ok
+        assert canonical.schedule.scheduled_job_ids() == {
+            j.job_id for j in gen.instance.jobs
+        }
+
+    def test_only_moves_earlier(self):
+        gen = long_window_instance(10, 1, 10.0, 7)
+        result = LongWindowSolver().solve(gen.instance)
+        canonical = canonicalize(gen.instance, result.schedule)
+        before = sorted(
+            (c.machine, c.start) for c in result.schedule.calibrations
+        )
+        after = sorted(
+            (c.machine, c.start) for c in canonical.schedule.calibrations
+        )
+        # Per machine in order, starts never increase.
+        for (m1, s1), (m2, s2) in zip(before, after):
+            assert m1 == m2
+            assert s2 <= s1 + 1e-9

@@ -1,0 +1,100 @@
+"""Structural properties of the TISE LP, anchored by witness schedules.
+
+The key soundness chain tested here: a feasible ISE witness on ``m``
+machines, pushed through Lemma 2, yields a TISE schedule on ``3m`` machines;
+translating that schedule into LP variables must give a *feasible LP point*
+whose objective equals its calibration count.  This certifies that the LP
+really relaxes the TISE problem (no missing/over-tight constraint), which
+every downstream guarantee relies on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Schedule
+from repro.instances import long_window_instance
+from repro.longwindow import build_tise_lp, ise_to_tise, solve_tise_lp
+
+
+def _schedule_to_lp_point(model, instance, schedule: Schedule) -> np.ndarray:
+    """Encode a TISE schedule as an LP assignment vector.
+
+    ``C_t`` = number of calibrations starting at point ``t`` (grouped across
+    machines, as the LP does); ``X_{jt}`` = 1 at the job's calibration point.
+    """
+    x = np.zeros(model.lp.num_variables)
+    job_map = instance.job_map()
+    # Snap calibration starts onto model points.
+    points = np.asarray(model.points)
+
+    def snap(t: float) -> float:
+        idx = int(np.argmin(np.abs(points - t)))
+        assert abs(points[idx] - t) < 1e-6, f"start {t} not a potential point"
+        return float(points[idx])
+
+    for cal in schedule.calibrations:
+        x[model.c_vars[snap(cal.start)]] += 1.0
+    for placement in schedule.placements:
+        job = job_map[placement.job_id]
+        cal = schedule.enclosing_calibration(placement, job.processing)
+        assert cal is not None
+        x[model.x_vars[(job.job_id, snap(cal.start))]] = 1.0
+    return x
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_lemma2_witness_is_lp_feasible(seed):
+    """The Lemma 2 transform of any witness is a feasible LP point."""
+    T = 10.0
+    gen = long_window_instance(10, 2, T, seed)
+    tise, _ = ise_to_tise(gen.instance, gen.witness)
+    # Lemma 3 normalization first: LP variables only exist at potential
+    # points, and witness calibrations may start anywhere.
+    from repro.longwindow import canonicalize
+
+    canonical = canonicalize(gen.instance, tise).schedule
+    pruned = canonical.prune_empty_calibrations(
+        {j.job_id: j.processing for j in gen.instance.jobs}
+    )
+    model = build_tise_lp(
+        gen.instance.jobs, T, machine_budget=3 * gen.instance.machines
+    )
+    point = _schedule_to_lp_point(model, gen.instance, pruned)
+    violation = model.lp.constraint_violation(point)
+    assert violation < 1e-6, f"LP constraint violated by {violation}"
+    assert model.lp.objective_value(point) == pytest.approx(
+        pruned.num_calibrations
+    )
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_lp_optimum_at_most_any_feasible_point(seed):
+    """Relaxation soundness: LP optimum <= the witness-derived objective."""
+    T = 10.0
+    gen = long_window_instance(8, 1, T, seed)
+    from repro.longwindow import canonicalize
+
+    tise, _ = ise_to_tise(gen.instance, gen.witness)
+    pruned = canonicalize(gen.instance, tise).schedule.prune_empty_calibrations(
+        {j.job_id: j.processing for j in gen.instance.jobs}
+    )
+    lp = solve_tise_lp(gen.instance.jobs, T, 3 * gen.instance.machines)
+    assert lp.objective <= pruned.num_calibrations + 1e-6
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_lp_solution_satisfies_model(seed):
+    """The solver's own output re-checks against the raw model arrays."""
+    T = 10.0
+    gen = long_window_instance(8, 2, T, seed)
+    model = build_tise_lp(gen.instance.jobs, T, 6)
+    from repro.lp import solve_highs
+
+    solution = solve_highs(model.lp)
+    assert solution.ok
+    assert model.lp.constraint_violation(solution.x) < 1e-6
+    assert model.lp.objective_value(solution.x) == pytest.approx(
+        solution.objective, abs=1e-6
+    )

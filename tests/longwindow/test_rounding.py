@@ -1,0 +1,112 @@
+"""Tests for Algorithm 1 (greedy calibration rounding) and Figure 2."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+import hypothesis.strategies as st
+
+from repro.instances import figure2_fractional_calibrations, long_window_instance
+from repro.longwindow import (
+    round_calibrations,
+    rounded_start_times,
+    solve_tise_lp,
+)
+
+
+class TestFigure2:
+    def test_emission_pattern(self):
+        """Figure 2: one calibration after the second fractional point, two
+        at the fourth."""
+        fractional = figure2_fractional_calibrations()
+        starts = rounded_start_times(fractional)
+        points = sorted(fractional)
+        assert starts == [points[1], points[3], points[3]]
+
+    def test_total_count_is_floor_mass_over_half(self):
+        fractional = figure2_fractional_calibrations()
+        mass = sum(fractional.values())  # 1.55
+        starts = rounded_start_times(fractional)
+        assert len(starts) == int(mass / 0.5)  # 3
+
+
+class TestRoundedStartTimes:
+    def test_empty(self):
+        assert rounded_start_times({}) == []
+
+    def test_single_half_mass(self):
+        assert rounded_start_times({5.0: 0.5}) == [5.0]
+
+    def test_just_below_half_emits_nothing(self):
+        assert rounded_start_times({5.0: 0.49}) == []
+
+    def test_accumulation_across_points(self):
+        starts = rounded_start_times({0.0: 0.2, 1.0: 0.2, 2.0: 0.2})
+        assert starts == [2.0]
+
+    def test_large_single_mass(self):
+        # 2.3 mass at one point: emits floor(2.3 / 0.5) = 4 calibrations.
+        assert rounded_start_times({3.0: 2.3}) == [3.0] * 4
+
+    def test_exact_boundary_with_float_accumulation(self):
+        # Ten masses of 0.05 sum to 0.5 "on paper" despite float error.
+        fractional = [(float(i), 0.05) for i in range(10)]
+        starts = rounded_start_times(fractional)
+        assert starts == [9.0]
+
+    def test_negative_mass_rejected(self):
+        with pytest.raises(ValueError):
+            rounded_start_times({0.0: -0.1})
+
+    def test_bad_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            rounded_start_times({0.0: 1.0}, threshold=0.0)
+
+    def test_custom_threshold(self):
+        # Threshold 0.25 emits twice as many calibrations.
+        fractional = {0.0: 1.0}
+        assert len(rounded_start_times(fractional, threshold=0.25)) == 4
+        assert len(rounded_start_times(fractional, threshold=1.0)) == 1
+
+    @given(
+        masses=st.lists(st.floats(0.0, 2.0), min_size=1, max_size=20),
+    )
+    def test_lemma7_count_bound(self, masses):
+        """#emitted = floor(total / threshold) <= 2 * total at threshold 1/2
+        (the Lemma 7 calibration bound)."""
+        fractional = [(float(i), m) for i, m in enumerate(masses)]
+        starts = rounded_start_times(fractional)
+        total = sum(masses)
+        assert len(starts) <= 2.0 * total + 1e-6
+        assert len(starts) >= int(total / 0.5) - 1  # float-boundary slack
+
+    @given(masses=st.lists(st.floats(0.0, 1.5), min_size=1, max_size=15))
+    def test_emissions_nondecreasing(self, masses):
+        fractional = [(float(i), m) for i, m in enumerate(masses)]
+        starts = rounded_start_times(fractional)
+        assert starts == sorted(starts)
+
+
+class TestRoundCalibrations:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_round_robin_output_valid(self, seed):
+        """Rounding an actual LP solution yields non-overlapping calibrations
+        on 3m' machines (Lemma 4)."""
+        gen = long_window_instance(
+            n=12, machines=2, calibration_length=10.0, seed=seed
+        )
+        m_prime = 3 * gen.instance.machines
+        lp = solve_tise_lp(gen.instance.jobs, 10.0, m_prime)
+        result = round_calibrations(lp.calibrations, m_prime, 10.0)
+        assert result.schedule.num_machines == 3 * m_prime
+        assert result.schedule.overlap_violations() == []
+        # Lemma 7: at most 2x the fractional mass.
+        assert result.num_calibrations <= 2 * result.fractional_mass + 1e-6
+        assert result.inflation <= 2.0 + 1e-6
+
+    def test_stats_fields(self):
+        result = round_calibrations({0.0: 1.0}, machine_budget=1, calibration_length=5.0)
+        assert result.num_calibrations == 2
+        assert result.fractional_mass == pytest.approx(1.0)
+        assert result.threshold == 0.5
+        assert result.start_times == (0.0, 0.0)

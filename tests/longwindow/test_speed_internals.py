@@ -1,0 +1,72 @@
+"""White-box tests for the Lemma 13 target-calendar construction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.longwindow.speed_tradeoff import _target_calendar
+
+
+class TestTargetCalendar:
+    def test_single_source(self):
+        assert _target_calendar([5.0], 10.0) == [5.0]
+
+    def test_back_to_back_sources(self):
+        # Sources at 0 and 10: target walks 0 -> 10 -> stops.
+        assert _target_calendar([0.0, 10.0], 10.0) == [0.0, 10.0]
+
+    def test_gap_jump(self):
+        # Sources at 0 and 100: after [0, 10) nothing is calibrated, so the
+        # walk jumps to 100.
+        assert _target_calendar([0.0, 100.0], 10.0) == [0.0, 100.0]
+
+    def test_overlapping_sources_single_target(self):
+        # Sources at 0 and 4 (different machines): target at 0 covers [0,10)
+        # which contains instant 4; next step t=10 is inside [4, 14) so a
+        # second target calibration at 10 covers the tail.
+        assert _target_calendar([0.0, 4.0], 10.0) == [0.0, 10.0]
+
+    def test_chain_of_offsets(self):
+        # Sources at 0, 7, 14: walk 0 -> 10 (inside [7,17)) -> 20 (inside
+        # [14, 24)) -> 30 is beyond everything.
+        assert _target_calendar([0.0, 7.0, 14.0], 10.0) == [0.0, 10.0, 20.0]
+
+    def test_empty(self):
+        assert _target_calendar([], 10.0) == []
+
+    def test_every_source_instant_covered(self):
+        """The construction's defining property: each calibrated instant of
+        any source is calibrated on the target."""
+        import numpy as np
+
+        T = 10.0
+        rng = np.random.default_rng(3)
+        starts = sorted(float(x) for x in rng.uniform(0, 200, size=15))
+        calendar = _target_calendar(starts, T)
+
+        def covered(t: float, cals: list[float]) -> bool:
+            return any(c <= t < c + T for c in cals)
+
+        probes = [s + frac * T for s in starts for frac in (0.0, 0.25, 0.5, 0.99)]
+        for probe in probes:
+            assert covered(probe, calendar), f"instant {probe} not covered"
+
+    def test_calendar_is_overlap_free(self):
+        import numpy as np
+
+        T = 7.0
+        rng = np.random.default_rng(9)
+        starts = sorted(float(x) for x in rng.uniform(0, 80, size=12))
+        calendar = _target_calendar(starts, T)
+        for a, b in zip(calendar, calendar[1:]):
+            assert b >= a + T - 1e-9
+
+    def test_count_never_exceeds_sources(self):
+        """Lemma 13's charging argument: |target| <= |source starts|."""
+        import numpy as np
+
+        for seed in range(10):
+            rng = np.random.default_rng(seed)
+            starts = sorted(float(x) for x in rng.uniform(0, 150, size=14))
+            calendar = _target_calendar(starts, 10.0)
+            assert len(calendar) <= len(starts)

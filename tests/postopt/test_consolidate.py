@@ -1,0 +1,161 @@
+"""Tests for the calibration-consolidation local search."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+import hypothesis.strategies as st
+
+from repro import solve_ise
+from repro.core import (
+    Calibration,
+    CalibrationSchedule,
+    Instance,
+    Job,
+    Schedule,
+    ScheduledJob,
+    validate_ise,
+)
+from repro.instances import long_window_instance, mixed_instance
+from repro.longwindow import LongWindowSolver
+from repro.postopt import consolidate
+from repro.shortwindow import ShortWindowSolver
+from repro.instances import short_window_instance
+
+
+class TestConsolidateBasics:
+    def test_merges_two_half_empty_calibrations(self, t10):
+        """Two jobs in separate calibrations whose windows allow sharing."""
+        jobs = (
+            Job(0, 0.0, 40.0, 3.0),
+            Job(1, 0.0, 40.0, 3.0),
+        )
+        inst = Instance(jobs=jobs, machines=2, calibration_length=t10)
+        schedule = Schedule(
+            calibrations=CalibrationSchedule(
+                (Calibration(0.0, 0), Calibration(0.0, 1)), 2, t10
+            ),
+            placements=(ScheduledJob(0.0, 0, 0), ScheduledJob(0.0, 1, 1)),
+        )
+        result = consolidate(inst, schedule)
+        assert result.final_calibrations == 1
+        assert result.removed_calibrations == 1
+        assert validate_ise(inst, result.schedule).ok
+
+    def test_respects_windows(self, t10):
+        """Jobs with disjoint windows cannot be merged."""
+        jobs = (
+            Job(0, 0.0, 12.0, 3.0),
+            Job(1, 100.0, 112.0, 3.0),
+        )
+        inst = Instance(jobs=jobs, machines=1, calibration_length=t10)
+        schedule = Schedule(
+            calibrations=CalibrationSchedule(
+                (Calibration(0.0, 0), Calibration(100.0, 0)), 1, t10
+            ),
+            placements=(ScheduledJob(0.0, 0, 0), ScheduledJob(100.0, 0, 1)),
+        )
+        result = consolidate(inst, schedule)
+        assert result.final_calibrations == 2
+        assert result.removed_calibrations == 0
+
+    def test_respects_capacity(self, t10):
+        """Full calibrations cannot absorb more work."""
+        jobs = (
+            Job(0, 0.0, 40.0, 9.0),
+            Job(1, 0.0, 40.0, 9.0),
+        )
+        inst = Instance(jobs=jobs, machines=2, calibration_length=t10)
+        schedule = Schedule(
+            calibrations=CalibrationSchedule(
+                (Calibration(0.0, 0), Calibration(0.0, 1)), 2, t10
+            ),
+            placements=(ScheduledJob(0.0, 0, 0), ScheduledJob(0.0, 1, 1)),
+        )
+        result = consolidate(inst, schedule)
+        assert result.final_calibrations == 2
+
+    def test_empty_schedule(self, t10):
+        inst = Instance(jobs=(), machines=1, calibration_length=t10)
+        from repro.core.schedule import empty_schedule
+
+        result = consolidate(inst, empty_schedule(t10))
+        assert result.final_calibrations == 0
+        assert result.improvement == 0.0
+
+    def test_max_rounds_cap(self, t10):
+        jobs = tuple(Job(i, 0.0, 40.0, 1.0) for i in range(4))
+        inst = Instance(jobs=jobs, machines=4, calibration_length=t10)
+        schedule = Schedule(
+            calibrations=CalibrationSchedule(
+                tuple(Calibration(0.0, i) for i in range(4)), 4, t10
+            ),
+            placements=tuple(ScheduledJob(0.0, i, i) for i in range(4)),
+        )
+        capped = consolidate(inst, schedule, max_rounds=1)
+        assert capped.removed_calibrations == 1
+        full = consolidate(inst, schedule)
+        assert full.final_calibrations == 1
+
+    def test_rejects_infeasible_input(self, t10):
+        jobs = (Job(0, 0.0, 40.0, 3.0),)
+        inst = Instance(jobs=jobs, machines=1, calibration_length=t10)
+        schedule = Schedule(
+            calibrations=CalibrationSchedule((), 1, t10),
+            placements=(ScheduledJob(0.0, 0, 0),),
+        )
+        with pytest.raises(ValueError):
+            consolidate(inst, schedule)
+
+
+class TestConsolidateOnPipelineOutputs:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_never_worse_and_always_valid_long(self, seed):
+        gen = long_window_instance(12, 2, 10.0, seed)
+        base = LongWindowSolver().solve(gen.instance).schedule
+        result = consolidate(gen.instance, base)
+        assert result.final_calibrations <= base.num_calibrations
+        report = validate_ise(gen.instance, result.schedule)
+        assert report.ok, report.summary()
+        assert result.schedule.scheduled_job_ids() == base.scheduled_job_ids()
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_never_worse_and_always_valid_short(self, seed):
+        gen = short_window_instance(15, 2, 10.0, seed)
+        base = ShortWindowSolver().solve(gen.instance).schedule
+        result = consolidate(gen.instance, base)
+        assert result.final_calibrations <= base.num_calibrations
+        assert validate_ise(gen.instance, result.schedule).ok
+
+    def test_preserves_speed(self):
+        gen = long_window_instance(10, 1, 10.0, 2)
+        solver = LongWindowSolver()
+        _, traded = solver.solve_with_speed(gen.instance)
+        result = consolidate(gen.instance, traded.schedule)
+        assert result.schedule.speed == traded.schedule.speed
+        assert validate_ise(gen.instance, result.schedule).ok
+
+
+@given(seed=st.integers(0, 5000), n=st.integers(4, 14))
+@settings(max_examples=12, deadline=None)
+def test_consolidate_property(seed, n):
+    """On any solver output: feasible, never worse, and never below the
+    certified lower bound (sanity of the improvement accounting)."""
+    gen = mixed_instance(n, 2, 10.0, seed)
+    result = solve_ise(gen.instance)
+    improved = consolidate(gen.instance, result.schedule)
+    assert improved.final_calibrations <= result.num_calibrations
+    assert improved.final_calibrations >= result.lower_bound.best - 1e-6
+    assert validate_ise(gen.instance, improved.schedule).ok
+
+
+class TestIdempotence:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_consolidate_is_idempotent(self, seed):
+        """A consolidated schedule cannot be consolidated further."""
+        gen = mixed_instance(14, 2, 10.0, seed)
+        base = solve_ise(gen.instance).schedule
+        once = consolidate(gen.instance, base)
+        twice = consolidate(gen.instance, once.schedule)
+        assert twice.removed_calibrations == 0
+        assert twice.final_calibrations == once.final_calibrations

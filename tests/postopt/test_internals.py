@@ -1,0 +1,70 @@
+"""White-box tests for the consolidation internals (gaps, placement)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Calibration, Job, ScheduledJob
+from repro.postopt.consolidate import _CalSlot, _gaps, _try_place
+
+
+def _slot(start: float, machine: int, jobs: list[tuple[int, float]]) -> _CalSlot:
+    return _CalSlot(
+        calibration=Calibration(start=start, machine=machine),
+        jobs=[ScheduledJob(start=s, machine=machine, job_id=jid) for jid, s in jobs],
+    )
+
+
+class TestGaps:
+    def test_empty_calibration_is_one_gap(self):
+        slot = _slot(10.0, 0, [])
+        assert _gaps(slot, 10.0, {}, 1.0) == [(10.0, 20.0)]
+
+    def test_gaps_around_jobs(self):
+        processing = {1: 2.0, 2: 3.0}
+        slot = _slot(0.0, 0, [(1, 2.0), (2, 6.0)])
+        gaps = _gaps(slot, 10.0, processing, 1.0)
+        assert gaps == [(0.0, 2.0), (4.0, 6.0), (9.0, 10.0)]
+
+    def test_full_calibration_no_gaps(self):
+        processing = {1: 10.0}
+        slot = _slot(0.0, 0, [(1, 0.0)])
+        assert _gaps(slot, 10.0, processing, 1.0) == []
+
+    def test_speed_scales_occupancy(self):
+        processing = {1: 10.0}
+        slot = _slot(0.0, 0, [(1, 0.0)])
+        gaps = _gaps(slot, 10.0, processing, 2.0)  # duration 5
+        assert gaps == [(5.0, 10.0)]
+
+
+class TestTryPlace:
+    def test_places_in_first_feasible_gap(self):
+        processing = {1: 4.0}
+        slot = _slot(0.0, 0, [(1, 0.0)])
+        job = Job(9, 0.0, 30.0, 3.0)
+        start = _try_place(job, slot, 10.0, {**processing, 9: 3.0}, 1.0)
+        assert start == pytest.approx(4.0)
+
+    def test_respects_release(self):
+        slot = _slot(0.0, 0, [])
+        job = Job(9, 6.0, 30.0, 3.0)
+        start = _try_place(job, slot, 10.0, {9: 3.0}, 1.0)
+        assert start == pytest.approx(6.0)
+
+    def test_respects_deadline(self):
+        slot = _slot(0.0, 0, [])
+        job = Job(9, 0.0, 5.0, 3.0)
+        start = _try_place(job, slot, 10.0, {9: 3.0}, 1.0)
+        assert start == pytest.approx(0.0)
+        tight = Job(8, 4.0, 6.0, 2.0)
+        assert _try_place(tight, slot, 10.0, {8: 2.0}, 1.0) == pytest.approx(4.0)
+        impossible = Job(7, 9.0, 11.5, 2.0)
+        # Would end at 11 > calibration end 10 from start 9; gap check fails.
+        assert _try_place(impossible, slot, 10.0, {7: 2.0}, 1.0) is None
+
+    def test_none_when_no_gap_fits(self):
+        processing = {1: 9.5}
+        slot = _slot(0.0, 0, [(1, 0.0)])
+        job = Job(9, 0.0, 30.0, 1.0)
+        assert _try_place(job, slot, 10.0, {**processing, 9: 1.0}, 1.0) is None

@@ -1,0 +1,36 @@
+"""Differential testing: HiGHS vs the in-repo simplex through the pipeline.
+
+Both LP backends find optimal solutions, so every quantity that depends only
+on the LP *value* must agree between them: the lower bound, the rounded
+calibration count (``floor(mass / 0.5)``), and the unpruned total.  (The
+pruned count may differ — different optimal vertices populate different
+mirrored calibrations.)
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.core import validate_tise
+from repro.instances import long_window_instance
+from repro.longwindow import LongWindowConfig, LongWindowSolver
+
+
+@given(seed=st.integers(0, 2000), n=st.integers(3, 8))
+@settings(max_examples=8, deadline=None)
+def test_backends_agree_on_lp_dependent_quantities(seed, n):
+    gen = long_window_instance(n, 1, 10.0, seed)
+    highs = LongWindowSolver(LongWindowConfig(lp_backend="highs")).solve(
+        gen.instance
+    )
+    simplex = LongWindowSolver(LongWindowConfig(lp_backend="simplex")).solve(
+        gen.instance
+    )
+    assert simplex.lp_value == pytest.approx(highs.lp_value, abs=1e-6)
+    assert simplex.rounded_calibrations == highs.rounded_calibrations
+    assert simplex.unpruned_calibrations == highs.unpruned_calibrations
+    assert simplex.lower_bound == pytest.approx(highs.lower_bound, abs=1e-6)
+    for result in (highs, simplex):
+        assert validate_tise(gen.instance, result.schedule).ok

@@ -1,0 +1,155 @@
+"""Cross-module property-based tests: the library's central invariants.
+
+The single most important property: **every solver's output passes the
+independent validator on every feasible instance**.  Feasibility is supplied
+by the witness-based generators (seeded through hypothesis) so the paper's
+preconditions hold by construction.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro import solve_ise
+from repro.core import validate_ise, validate_tise
+from repro.baselines import always_calibrated, lazy_binning, one_calibration_per_job
+from repro.instances import (
+    clustered_instance,
+    long_window_instance,
+    mixed_instance,
+    partition_instance,
+    short_window_instance,
+    unit_instance,
+)
+from repro.longwindow import LongWindowSolver, ise_to_tise, machines_to_speed
+from repro.shortwindow import ShortWindowSolver
+
+seeds = st.integers(0, 10_000)
+sizes = st.integers(3, 14)
+machine_counts = st.integers(1, 3)
+
+
+@given(seed=seeds, n=sizes, m=machine_counts)
+@settings(max_examples=15, deadline=None)
+def test_combined_solver_always_feasible(seed, n, m):
+    gen = mixed_instance(n, m, 10.0, seed)
+    result = solve_ise(gen.instance)
+    report = validate_ise(gen.instance, result.schedule)
+    assert report.ok, report.summary()
+    assert result.num_calibrations >= result.lower_bound.best - 1e-6
+
+
+@given(seed=seeds, n=sizes, m=machine_counts)
+@settings(max_examples=12, deadline=None)
+def test_long_pipeline_always_tise_feasible(seed, n, m):
+    gen = long_window_instance(n, m, 10.0, seed)
+    result = LongWindowSolver().solve(gen.instance)
+    report = validate_tise(gen.instance, result.schedule)
+    assert report.ok, report.summary()
+    assert result.machines_used <= 18 * m
+    assert result.unpruned_calibrations <= 4 * result.lp_value + 1e-6
+
+
+@given(seed=seeds, n=sizes, m=machine_counts)
+@settings(max_examples=12, deadline=None)
+def test_short_pipeline_always_feasible(seed, n, m):
+    gen = short_window_instance(n, m, 10.0, seed)
+    result = ShortWindowSolver().solve(gen.instance)
+    report = validate_ise(gen.instance, result.schedule)
+    assert report.ok, report.summary()
+
+
+@given(seed=seeds, n=st.integers(3, 10), m=machine_counts)
+@settings(max_examples=10, deadline=None)
+def test_lemma2_exact_factors(seed, n, m):
+    gen = long_window_instance(n, m, 10.0, seed)
+    tise, traces = ise_to_tise(gen.instance, gen.witness)
+    assert validate_tise(gen.instance, tise).ok
+    assert tise.num_machines == 3 * m
+    assert tise.num_calibrations == 3 * gen.witness_calibrations
+    assert {t.action for t in traces} <= {"keep", "delay", "advance"}
+
+
+@given(seed=seeds, n=st.integers(3, 10), c=st.integers(1, 6))
+@settings(max_examples=10, deadline=None)
+def test_speed_tradeoff_always_feasible(seed, n, c):
+    gen = long_window_instance(n, 1, 10.0, seed)
+    result = LongWindowSolver().solve(gen.instance)
+    traded = machines_to_speed(gen.instance, result.schedule, c)
+    assert validate_ise(gen.instance, traded.schedule).ok
+    assert traded.target_calibrations <= traded.source_calibrations
+    assert traded.schedule.speed == pytest.approx(2.0 * c)
+
+
+@given(seed=seeds, n=st.integers(2, 12))
+@settings(max_examples=12, deadline=None)
+def test_naive_baselines_always_feasible(seed, n):
+    gen = clustered_instance(n, 2, 10.0, seed)
+    per_job = one_calibration_per_job(gen.instance)
+    assert validate_ise(gen.instance, per_job).ok
+    assert per_job.num_calibrations == n
+    calendar = always_calibrated(gen.instance)
+    assert validate_ise(gen.instance, calendar).ok
+
+
+@given(seed=seeds, n=st.integers(2, 10), m=st.integers(1, 3))
+@settings(max_examples=12, deadline=None)
+def test_lazy_binning_always_feasible(seed, n, m):
+    gen = unit_instance(n, m, 3, seed)
+    schedule = lazy_binning(gen.instance)
+    report = validate_ise(gen.instance, schedule)
+    assert report.ok, report.summary()
+
+
+@given(seed=seeds, k=st.integers(2, 6))
+@settings(max_examples=10, deadline=None)
+def test_partition_gadget_solvable(seed, k):
+    gen = partition_instance(k, seed)
+    result = solve_ise(gen.instance)
+    assert validate_ise(gen.instance, result.schedule).ok
+
+
+@given(seed=seeds, n=st.integers(3, 12))
+@settings(max_examples=10, deadline=None)
+def test_solution_never_beats_lower_bound(seed, n):
+    """The certified lower bound must never exceed what a feasible schedule
+    (the witness) achieves — and our solution must sit between them."""
+    gen = mixed_instance(n, 2, 10.0, seed)
+    result = solve_ise(gen.instance)
+    lb = result.lower_bound.best
+    assert lb <= gen.witness_calibrations + 1e-6
+    assert result.num_calibrations + 1e-9 >= lb
+
+
+@given(seed=seeds, n=st.integers(3, 12))
+@settings(max_examples=10, deadline=None)
+def test_best_rounding_scheme_always_feasible_and_never_worse(seed, n):
+    """The 'best' rounding scheme keeps feasibility and dominates greedy."""
+    from repro.longwindow import LongWindowConfig
+
+    gen = long_window_instance(n, 2, 10.0, seed)
+    greedy = LongWindowSolver(
+        LongWindowConfig(rounding_scheme="greedy")
+    ).solve(gen.instance)
+    best = LongWindowSolver(
+        LongWindowConfig(rounding_scheme="best")
+    ).solve(gen.instance)
+    assert validate_tise(gen.instance, best.schedule).ok
+    assert best.unpruned_calibrations <= greedy.unpruned_calibrations
+
+
+@given(seed=seeds, n=st.integers(3, 14))
+@settings(max_examples=10, deadline=None)
+def test_rigid_family_solvable_and_tight(seed, n):
+    """Rigid jobs leave only calibration placement free; the solver stays
+    feasible and the exact-MM routing keeps machine counts minimal."""
+    from repro.instances import rigid_instance
+    from repro.mm import RigidExactMM
+
+    gen = rigid_instance(n, 2, 10.0, seed)
+    result = solve_ise(gen.instance)
+    assert validate_ise(gen.instance, result.schedule).ok
+    exact_w = RigidExactMM().solve(gen.instance.jobs).num_machines
+    assert exact_w <= gen.instance.machines  # witness-backed feasibility

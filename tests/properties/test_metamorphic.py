@@ -1,0 +1,178 @@
+"""Metamorphic properties: how solutions respond to instance transformations.
+
+* **Scale invariance**: multiplying every time quantity (releases, deadlines,
+  processing times, and T) by a positive factor is a unit change; every
+  pipeline must return the same calibration count and an isomorphic schedule.
+* **Translation invariance (long pipeline)**: the Section 3 machinery is
+  anchored to job releases (Lemma 3 points are ``r_j + kT``), so shifting
+  all windows by a constant must not change the solution size.  (The
+  short-window pipeline is grid-anchored by Algorithm 4, so only the long
+  pipeline has exact translation invariance.)
+* **Determinism**: same input, same output, bit for bit.
+* **Validator/simulator agreement under mutation**: corrupting a feasible
+  schedule must be flagged by both independent checkers, or by neither when
+  the mutation is harmless.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro import solve_ise
+from repro.core import Instance, Job, Schedule, ScheduledJob, validate_ise
+from repro.instances import long_window_instance, mixed_instance
+from repro.longwindow import LongWindowSolver
+from repro.sim import simulate
+
+
+def _scaled_instance(instance: Instance, factor: float) -> Instance:
+    return Instance(
+        jobs=tuple(
+            Job(
+                job_id=j.job_id,
+                release=j.release * factor,
+                deadline=j.deadline * factor,
+                processing=j.processing * factor,
+            )
+            for j in instance.jobs
+        ),
+        machines=instance.machines,
+        calibration_length=instance.calibration_length * factor,
+    )
+
+
+def _shifted_instance(instance: Instance, delta: float) -> Instance:
+    return Instance(
+        jobs=tuple(j.shifted(delta) for j in instance.jobs),
+        machines=instance.machines,
+        calibration_length=instance.calibration_length,
+    )
+
+
+def _unpruned_total(result) -> int:
+    total = 0
+    if result.long_result is not None:
+        total += result.long_result.unpruned_calibrations
+    if result.short_result is not None:
+        total += result.short_result.unpruned_calibrations
+    return total
+
+
+@given(seed=st.integers(0, 3000), factor=st.sampled_from([0.5, 2.0, 7.0]))
+@settings(max_examples=10, deadline=None)
+def test_scale_invariance_combined(seed, factor):
+    """Scaling all times is a unit change: the partition, the LP value, and
+    the *unpruned* calibration counts are invariant.  (The pruned count may
+    legitimately differ: the scaled LP can return a different same-objective
+    vertex, changing which mirrored calibrations end up empty.)"""
+    gen = mixed_instance(12, 2, 10.0, seed)
+    base = solve_ise(gen.instance)
+    scaled = solve_ise(_scaled_instance(gen.instance, factor))
+    assert scaled.partition.n_long == base.partition.n_long
+    assert _unpruned_total(scaled) == _unpruned_total(base)
+    if base.long_result is not None:
+        assert scaled.long_result is not None
+        assert scaled.long_result.lp_value == pytest.approx(
+            base.long_result.lp_value, rel=1e-6
+        )
+    # The pruned counts still agree up to the prunable slack.
+    assert scaled.num_calibrations <= _unpruned_total(base)
+
+
+@given(seed=st.integers(0, 3000), delta=st.sampled_from([-37.0, 13.25, 400.0]))
+@settings(max_examples=10, deadline=None)
+def test_translation_invariance_long_pipeline(seed, delta):
+    gen = long_window_instance(10, 2, 10.0, seed)
+    solver = LongWindowSolver()
+    base = solver.solve(gen.instance)
+    shifted = solver.solve(_shifted_instance(gen.instance, delta))
+    assert shifted.num_calibrations == base.num_calibrations
+    assert shifted.machines_used == base.machines_used
+    assert shifted.lp_value == pytest.approx(base.lp_value, abs=1e-6)
+    # The schedule itself is the base schedule translated.
+    base_starts = sorted(c.start for c in base.schedule.calibrations)
+    shifted_starts = sorted(c.start for c in shifted.schedule.calibrations)
+    for a, b in zip(base_starts, shifted_starts):
+        assert b == pytest.approx(a + delta, abs=1e-6)
+
+
+@given(seed=st.integers(0, 3000))
+@settings(max_examples=10, deadline=None)
+def test_determinism(seed):
+    gen = mixed_instance(12, 2, 10.0, seed)
+    a = solve_ise(gen.instance)
+    b = solve_ise(gen.instance)
+    assert a.schedule.placements == b.schedule.placements
+    assert a.schedule.calibrations.calibrations == b.schedule.calibrations.calibrations
+
+
+@given(
+    seed=st.integers(0, 3000),
+    mutation=st.sampled_from(
+        ["drop_calibration", "shift_job_late", "swap_machine", "translate_all"]
+    ),
+)
+@settings(max_examples=20, deadline=None)
+def test_checker_agreement_under_mutation(seed, mutation):
+    """Both independent checkers reach the same verdict on mutated schedules."""
+    gen = mixed_instance(10, 2, 10.0, seed)
+    result = solve_ise(gen.instance)
+    schedule = result.schedule
+    instance = gen.instance
+
+    if mutation == "drop_calibration" and schedule.num_calibrations:
+        kept = schedule.calibrations.calibrations[1:]
+        schedule = Schedule(
+            calibrations=schedule.calibrations.__class__(
+                calibrations=kept,
+                num_machines=schedule.calibrations.num_machines,
+                calibration_length=schedule.calibration_length,
+            ),
+            placements=schedule.placements,
+            speed=schedule.speed,
+        )
+    elif mutation == "shift_job_late" and schedule.placements:
+        first, *rest = schedule.placements
+        moved = ScheduledJob(
+            start=first.start + 1000.0, machine=first.machine, job_id=first.job_id
+        )
+        schedule = Schedule(
+            calibrations=schedule.calibrations,
+            placements=tuple(rest) + (moved,),
+            speed=schedule.speed,
+        )
+    elif mutation == "swap_machine" and schedule.placements:
+        first, *rest = schedule.placements
+        other = (first.machine + 1) % max(schedule.num_machines, 1)
+        moved = ScheduledJob(start=first.start, machine=other, job_id=first.job_id)
+        schedule = Schedule(
+            calibrations=schedule.calibrations,
+            placements=tuple(rest) + (moved,),
+            speed=schedule.speed,
+        )
+    elif mutation == "translate_all":
+        # Harmless: translate instance AND schedule together.
+        delta = 57.5
+        instance = _shifted_instance(instance, delta)
+        schedule = Schedule(
+            calibrations=schedule.calibrations.__class__(
+                calibrations=tuple(
+                    c.shifted(delta) for c in schedule.calibrations
+                ),
+                num_machines=schedule.calibrations.num_machines,
+                calibration_length=schedule.calibration_length,
+            ),
+            placements=tuple(
+                ScheduledJob(start=p.start + delta, machine=p.machine, job_id=p.job_id)
+                for p in schedule.placements
+            ),
+            speed=schedule.speed,
+        )
+
+    static_ok = validate_ise(instance, schedule).ok
+    dynamic_ok = simulate(instance, schedule).ok
+    assert static_ok == dynamic_ok
+    if mutation == "translate_all":
+        assert static_ok  # harmless mutation stays feasible

@@ -1,0 +1,90 @@
+"""Tests for Algorithm 4 two-pass interval partitioning (Lemma 16)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+
+from repro.core import InvalidInstanceError, Job
+from repro.instances import short_window_instance
+from repro.shortwindow import partition_short_jobs
+from tests.conftest import jobs_strategy
+
+
+class TestBasicPartitioning:
+    def test_nested_job_goes_to_pass0(self, t10):
+        # gamma=2: pass-0 intervals are [0, 40), [40, 80), ...
+        jobs = (Job(0, 5.0, 20.0, 2.0),)
+        partition = partition_short_jobs(jobs, t10)
+        assert len(partition.buckets) == 1
+        bucket = partition.buckets[0]
+        assert bucket.pass_index == 0
+        assert bucket.start == 0.0 and bucket.end == 40.0
+
+    def test_boundary_crossing_job_goes_to_pass1(self, t10):
+        # Window [35, 50) crosses the pass-0 boundary at 40; pass-1
+        # intervals are [20, 60), ... so it nests there.
+        jobs = (Job(0, 35.0, 50.0, 2.0),)
+        partition = partition_short_jobs(jobs, t10)
+        bucket = partition.buckets[0]
+        assert bucket.pass_index == 1
+        assert bucket.start == 20.0 and bucket.end == 60.0
+
+    def test_negative_times_supported(self, t10):
+        jobs = (Job(0, -15.0, -2.0, 2.0),)
+        partition = partition_short_jobs(jobs, t10)
+        bucket = partition.buckets[0]
+        assert bucket.start <= -15.0 and bucket.end >= -2.0
+
+    def test_every_job_in_exactly_one_bucket(self, t10):
+        gen = short_window_instance(n=25, machines=2, calibration_length=t10, seed=7)
+        partition = partition_short_jobs(gen.instance.jobs, t10)
+        seen: list[int] = []
+        for bucket in partition.buckets:
+            seen.extend(j.job_id for j in bucket.jobs)
+        assert sorted(seen) == [j.job_id for j in gen.instance.jobs]
+
+    def test_buckets_are_nested_and_disjoint_per_pass(self, t10):
+        gen = short_window_instance(n=30, machines=2, calibration_length=t10, seed=3)
+        partition = partition_short_jobs(gen.instance.jobs, t10)
+        for bucket in partition.buckets:
+            assert bucket.end - bucket.start == pytest.approx(4 * t10)
+            for job in bucket.jobs:
+                assert job.release >= bucket.start - 1e-9
+                assert job.deadline <= bucket.end + 1e-9
+        for pass_index in (0, 1):
+            buckets = sorted(
+                partition.pass_buckets(pass_index), key=lambda b: b.start
+            )
+            for a, b in zip(buckets, buckets[1:]):
+                assert a.end <= b.start + 1e-9
+
+
+class TestErrors:
+    def test_rejects_long_jobs(self, t10):
+        jobs = (Job(0, 0.0, 2 * t10, 1.0),)
+        with pytest.raises(InvalidInstanceError):
+            partition_short_jobs(jobs, t10)
+
+    def test_rejects_nonintegral_gamma(self, t10):
+        jobs = (Job(0, 0.0, 15.0, 1.0),)
+        with pytest.raises(InvalidInstanceError):
+            partition_short_jobs(jobs, t10, gamma=2.5)
+
+    def test_gamma_three_widens_intervals(self, t10):
+        # gamma=3 accepts windows < 3T and uses 6T intervals.
+        jobs = (Job(0, 0.0, 25.0, 1.0),)
+        partition = partition_short_jobs(jobs, t10, gamma=3.0)
+        assert partition.interval_length == pytest.approx(6 * t10)
+
+
+@given(jobs_strategy(max_jobs=12, long_window=False))
+def test_lemma16_property(jobs):
+    """Every short job is captured by one of the two passes (Lemma 16)."""
+    T = 10.0
+    partition = partition_short_jobs(jobs, T)
+    assert partition.total_jobs == len(jobs)
+    ids = sorted(
+        j.job_id for bucket in partition.buckets for j in bucket.jobs
+    )
+    assert ids == sorted(j.job_id for j in jobs)

@@ -1,0 +1,107 @@
+"""Tests for Algorithm 5 (per-interval MM-to-ISE lifting, Lemma 15)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Instance, Job, validate_ise
+from repro.mm import BestOfGreedyMM, ExactMM
+from repro.shortwindow import interval_mm_to_ise
+
+
+def _interval_jobs(t10):
+    """Jobs nested in [0, 4T) with a deliberate calibration-crossing job."""
+    return (
+        Job(0, 0.0, 12.0, 3.0),
+        Job(1, 8.0, 19.0, 5.0),   # likely to cross the t=10 boundary
+        Job(2, 20.0, 33.0, 4.0),
+        Job(3, 2.0, 16.0, 2.0),
+    )
+
+
+class TestAlgorithm5:
+    def test_output_is_ise_valid(self, t10):
+        jobs = _interval_jobs(t10)
+        mm = BestOfGreedyMM().solve(jobs)
+        result = interval_mm_to_ise(jobs, mm, 0.0, t10, gamma=2.0)
+        inst = Instance(jobs=jobs, machines=3, calibration_length=t10)
+        report = validate_ise(inst, result.schedule)
+        assert report.ok, report.summary()
+
+    def test_execution_times_preserved(self, t10):
+        jobs = _interval_jobs(t10)
+        mm = BestOfGreedyMM().solve(jobs)
+        result = interval_mm_to_ise(jobs, mm, 0.0, t10, gamma=2.0)
+        for placement in mm.placements:
+            lifted = result.schedule.placement_of(placement.job_id)
+            assert lifted.start == pytest.approx(placement.start)
+
+    def test_machine_pool_is_3w(self, t10):
+        jobs = _interval_jobs(t10)
+        mm = ExactMM().solve(jobs)
+        result = interval_mm_to_ise(jobs, mm, 0.0, t10, gamma=2.0)
+        assert result.schedule.num_machines == 3 * mm.num_machines
+        assert result.mm_machines == mm.num_machines
+
+    def test_base_calibration_grid(self, t10):
+        jobs = _interval_jobs(t10)
+        mm = BestOfGreedyMM().solve(jobs)
+        result = interval_mm_to_ise(jobs, mm, 0.0, t10, gamma=2.0)
+        w = mm.num_machines
+        # 2*gamma = 4 calibrations per base machine, at 0, T, 2T, 3T.
+        assert result.base_calibrations == 4 * w
+        base_starts = sorted(
+            c.start
+            for c in result.schedule.calibrations
+            if c.machine < w
+        )
+        assert base_starts == sorted(
+            [k * t10 for k in range(4)] * w
+        )
+
+    def test_crossing_jobs_get_dedicated_calibrations(self, t10):
+        # Force a crossing: one machine, job starting at 7 with p = 5.
+        jobs = (
+            Job(0, 0.0, 10.0, 7.0),
+            Job(1, 7.0, 15.0, 5.0),
+        )
+        mm = BestOfGreedyMM().solve(jobs)
+        result = interval_mm_to_ise(jobs, mm, 0.0, t10, gamma=2.0)
+        assert result.crossing_jobs >= 1
+        inst = Instance(jobs=jobs, machines=3, calibration_length=t10)
+        assert validate_ise(inst, result.schedule).ok
+        # A crossing job lives on a machine >= w with a calibration at its
+        # exact start time.
+        crossing_machines = {
+            p.machine
+            for p in result.schedule.placements
+            if p.machine >= mm.num_machines
+        }
+        assert crossing_machines
+
+    def test_calibrations_nested_in_interval(self, t10):
+        """Lemma 16's second half: everything stays inside [t, t + 2*gamma*T)."""
+        jobs = _interval_jobs(t10)
+        mm = BestOfGreedyMM().solve(jobs)
+        result = interval_mm_to_ise(jobs, mm, 0.0, t10, gamma=2.0)
+        for cal in result.schedule.calibrations:
+            assert cal.start >= -1e-9
+            assert cal.start + t10 <= 4 * t10 + 1e-9
+
+    def test_empty_jobs(self, t10):
+        from repro.mm import MMSchedule
+
+        result = interval_mm_to_ise(
+            (), MMSchedule(placements=(), num_machines=0), 0.0, t10, 2.0
+        )
+        assert result.total_calibrations == 0
+        assert result.crossing_jobs == 0
+
+    def test_calibration_count_bound_lemma19(self, t10):
+        """At most 4*gamma*w calibrations per interval (Lemma 19's count:
+        2*gamma*w base + at most (2*gamma - 1) crossing per machine)."""
+        jobs = _interval_jobs(t10)
+        mm = BestOfGreedyMM().solve(jobs)
+        result = interval_mm_to_ise(jobs, mm, 0.0, t10, gamma=2.0)
+        gamma, w = 2, mm.num_machines
+        assert result.total_calibrations <= 4 * gamma * w

@@ -1,0 +1,33 @@
+"""White-box tests for Algorithm 5's calibration-index arithmetic."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.shortwindow.transform import _calibration_index
+
+
+class TestCalibrationIndex:
+    def test_basic_cells(self):
+        T = 10.0
+        assert _calibration_index(0.0, 0.0, T) == 0
+        assert _calibration_index(9.99, 0.0, T) == 0
+        assert _calibration_index(10.0, 0.0, T) == 1
+        assert _calibration_index(25.0, 0.0, T) == 2
+
+    def test_nonzero_interval_start(self):
+        T = 10.0
+        assert _calibration_index(42.0, 40.0, T) == 0
+        assert _calibration_index(51.0, 40.0, T) == 1
+
+    def test_boundary_float_snap(self):
+        """A start within EPS below a cell boundary belongs to the next cell."""
+        T = 10.0
+        assert _calibration_index(10.0 - 1e-12, 0.0, T) == 1
+        assert _calibration_index(10.0 + 1e-12, 0.0, T) == 1
+        # A genuinely interior point is NOT snapped.
+        assert _calibration_index(9.5, 0.0, T) == 0
+
+    def test_never_negative(self):
+        # Releases can sit exactly at (or a hair before) the interval start.
+        assert _calibration_index(0.0 - 1e-12, 0.0, 10.0) == 0

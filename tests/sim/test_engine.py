@@ -1,0 +1,174 @@
+"""Tests for the discrete-event simulator, including validator agreement."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+import hypothesis.strategies as st
+
+from repro import solve_ise
+from repro.core import (
+    Calibration,
+    CalibrationSchedule,
+    Instance,
+    Job,
+    Schedule,
+    ScheduledJob,
+    validate_ise,
+)
+from repro.instances import mixed_instance, long_window_instance
+from repro.longwindow import LongWindowSolver
+from repro.shortwindow import ShortWindowConfig, ShortWindowSolver
+from repro.instances import short_window_instance
+from repro.sim import simulate
+
+
+def _simple_case(t10):
+    jobs = (
+        Job(0, 0.0, 25.0, 3.0),
+        Job(1, 2.0, 30.0, 4.0),
+    )
+    inst = Instance(jobs=jobs, machines=1, calibration_length=t10)
+    sched = Schedule(
+        calibrations=CalibrationSchedule((Calibration(2.0, 0),), 1, t10),
+        placements=(ScheduledJob(2.0, 0, 0), ScheduledJob(5.0, 0, 1)),
+    )
+    return inst, sched
+
+
+class TestHappyPath:
+    def test_feasible_schedule_simulates_clean(self, t10):
+        inst, sched = _simple_case(t10)
+        result = simulate(inst, sched)
+        assert result.ok, result.violations
+        assert result.completed_jobs == {0, 1}
+        # Last event is job 1's completion at t = 9.
+        assert result.makespan == pytest.approx(9.0)
+        assert result.total_busy_time == pytest.approx(7.0)
+        assert result.total_calibrated_time == pytest.approx(10.0)
+        assert result.utilization == pytest.approx(0.7)
+
+    def test_speed_scaled_busy_time(self, t10):
+        jobs = (Job(0, 0.0, 25.0, 8.0),)
+        inst = Instance(jobs=jobs, machines=1, calibration_length=t10)
+        sched = Schedule(
+            calibrations=CalibrationSchedule((Calibration(0.0, 0),), 1, t10),
+            placements=(ScheduledJob(0.0, 0, 0),),
+            speed=2.0,
+        )
+        result = simulate(inst, sched)
+        assert result.ok
+        assert result.total_busy_time == pytest.approx(4.0)
+
+
+class TestRuntimeViolations:
+    def test_start_before_release(self, t10):
+        jobs = (Job(0, 5.0, 25.0, 3.0),)
+        inst = Instance(jobs=jobs, machines=1, calibration_length=t10)
+        sched = Schedule(
+            calibrations=CalibrationSchedule((Calibration(0.0, 0),), 1, t10),
+            placements=(ScheduledJob(0.0, 0, 0),),
+        )
+        result = simulate(inst, sched)
+        assert not result.ok
+        assert any("before its release" in v for v in result.violations)
+
+    def test_run_past_calibration(self, t10):
+        jobs = (Job(0, 0.0, 25.0, 5.0),)
+        inst = Instance(jobs=jobs, machines=1, calibration_length=t10)
+        sched = Schedule(
+            calibrations=CalibrationSchedule((Calibration(0.0, 0),), 1, t10),
+            placements=(ScheduledJob(8.0, 0, 0),),
+        )
+        result = simulate(inst, sched)
+        assert any("calibrated horizon" in v for v in result.violations)
+
+    def test_deadline_miss(self, t10):
+        jobs = (Job(0, 0.0, 10.0, 3.0),)
+        inst = Instance(jobs=jobs, machines=1, calibration_length=t10)
+        sched = Schedule(
+            calibrations=CalibrationSchedule((Calibration(8.0, 0),), 1, t10),
+            placements=(ScheduledJob(8.0, 0, 0),),
+        )
+        result = simulate(inst, sched)
+        assert any("after its deadline" in v for v in result.violations)
+
+    def test_machine_busy_overlap(self, t10):
+        jobs = (Job(0, 0.0, 25.0, 5.0), Job(1, 0.0, 25.0, 5.0))
+        inst = Instance(jobs=jobs, machines=1, calibration_length=t10)
+        sched = Schedule(
+            calibrations=CalibrationSchedule((Calibration(0.0, 0),), 1, t10),
+            placements=(ScheduledJob(0.0, 0, 0), ScheduledJob(2.0, 0, 1)),
+        )
+        result = simulate(inst, sched)
+        assert any("still running" in v for v in result.violations)
+
+    def test_overlapping_recalibration_flagged_then_allowed(self, t10):
+        jobs = (Job(0, 0.0, 25.0, 3.0),)
+        inst = Instance(jobs=jobs, machines=1, calibration_length=t10)
+        sched = Schedule(
+            calibrations=CalibrationSchedule(
+                (Calibration(0.0, 0), Calibration(5.0, 0)), 1, t10
+            ),
+            placements=(ScheduledJob(0.0, 0, 0),),
+        )
+        strict = simulate(inst, sched)
+        assert any("recalibrated" in v for v in strict.violations)
+        relaxed = simulate(inst, sched, allow_overlap=True)
+        assert relaxed.ok
+        # Overlap-aware accounting: calibrated [0, 15) = 15, not 20.
+        assert relaxed.total_calibrated_time == pytest.approx(15.0)
+
+    def test_missing_job_reported(self, t10):
+        inst, sched = _simple_case(t10)
+        partial = Schedule(
+            calibrations=sched.calibrations, placements=sched.placements[:1]
+        )
+        result = simulate(inst, partial)
+        assert any("never completed" in v for v in result.violations)
+
+
+class TestAgreementWithValidator:
+    """The simulator and the static validator are independent
+    implementations of the same feasibility notion: they must agree."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_agreement_on_solver_outputs(self, seed):
+        gen = mixed_instance(15, 2, 10.0, seed)
+        result = solve_ise(gen.instance)
+        assert validate_ise(gen.instance, result.schedule).ok
+        assert simulate(gen.instance, result.schedule).ok
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_agreement_on_witnesses(self, seed):
+        gen = long_window_instance(12, 2, 10.0, seed)
+        assert validate_ise(gen.instance, gen.witness).ok
+        assert simulate(gen.instance, gen.witness).ok
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_agreement_on_speed_schedules(self, seed):
+        gen = long_window_instance(10, 1, 10.0, seed)
+        _, traded = LongWindowSolver().solve_with_speed(gen.instance)
+        assert validate_ise(gen.instance, traded.schedule).ok
+        assert simulate(gen.instance, traded.schedule).ok
+
+    def test_agreement_on_overlapping_variant(self):
+        gen = short_window_instance(15, 2, 10.0, 1)
+        result = ShortWindowSolver(
+            ShortWindowConfig(overlapping_calibrations=True)
+        ).solve(gen.instance)
+        assert validate_ise(
+            gen.instance, result.schedule, allow_overlapping_calibrations=True
+        ).ok
+        assert simulate(gen.instance, result.schedule, allow_overlap=True).ok
+
+
+@given(seed=st.integers(0, 5000), n=st.integers(3, 12))
+@settings(max_examples=12, deadline=None)
+def test_simulator_validator_agreement_property(seed, n):
+    gen = mixed_instance(n, 2, 10.0, seed)
+    result = solve_ise(gen.instance)
+    static_ok = validate_ise(gen.instance, result.schedule).ok
+    dynamic = simulate(gen.instance, result.schedule)
+    assert static_ok == dynamic.ok
+    assert dynamic.completed_jobs == {j.job_id for j in gen.instance.jobs}

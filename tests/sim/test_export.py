@@ -1,0 +1,72 @@
+"""Tests for simulation CSV export."""
+
+from __future__ import annotations
+
+import csv
+import io
+
+import pytest
+
+from repro import solve_ise
+from repro.instances import mixed_instance
+from repro.sim import (
+    events_to_csv,
+    machine_stats_to_csv,
+    save_simulation_csv,
+    simulate,
+)
+
+
+@pytest.fixture
+def run():
+    gen = mixed_instance(8, 2, 10.0, seed=2)
+    result = solve_ise(gen.instance)
+    return gen.instance, simulate(gen.instance, result.schedule)
+
+
+class TestEventsCsv:
+    def test_row_count_and_header(self, run):
+        instance, result = run
+        text = events_to_csv(result)
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows[0] == ["time", "kind", "machine", "job_id"]
+        assert len(rows) - 1 == len(result.events)
+
+    def test_times_nondecreasing(self, run):
+        _, result = run
+        rows = list(csv.DictReader(io.StringIO(events_to_csv(result))))
+        times = [float(r["time"]) for r in rows]
+        assert times == sorted(times)
+
+    def test_kinds_valid(self, run):
+        _, result = run
+        rows = list(csv.DictReader(io.StringIO(events_to_csv(result))))
+        assert {r["kind"] for r in rows} <= {"calibrate", "job_start", "job_end"}
+
+    def test_every_job_starts_and_ends(self, run):
+        instance, result = run
+        rows = list(csv.DictReader(io.StringIO(events_to_csv(result))))
+        starts = {r["job_id"] for r in rows if r["kind"] == "job_start"}
+        ends = {r["job_id"] for r in rows if r["kind"] == "job_end"}
+        expected = {str(j.job_id) for j in instance.jobs}
+        assert starts == expected and ends == expected
+
+
+class TestMachineCsv:
+    def test_parses_and_sums(self, run):
+        _, result = run
+        rows = list(csv.DictReader(io.StringIO(machine_stats_to_csv(result))))
+        busy_total = sum(float(r["busy_time"]) for r in rows)
+        assert busy_total == pytest.approx(result.total_busy_time, rel=1e-6)
+        for r in rows:
+            assert 0.0 <= float(r["utilization"]) <= 1.0 + 1e-9
+
+
+class TestSave:
+    def test_writes_both_files(self, run, tmp_path):
+        _, result = run
+        events_path, machines_path = save_simulation_csv(result, tmp_path, "x")
+        assert events_path.name == "x_events.csv"
+        assert machines_path.name == "x_machines.csv"
+        assert events_path.read_text().startswith("time,kind")
+        assert machines_path.read_text().startswith("machine,busy_time")

@@ -1,0 +1,112 @@
+"""Tests for the timeline reconstruction and the audit_run convenience."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import solve_ise
+from repro.core import (
+    Calibration,
+    CalibrationSchedule,
+    Instance,
+    Job,
+    Schedule,
+    ScheduledJob,
+)
+from repro.instances import mixed_instance
+from repro.sim import all_timelines, machine_timeline, simulate
+from repro.theory import audit_run
+
+
+class TestMachineTimeline:
+    def test_basic_segments(self, t10):
+        jobs = (Job(0, 0.0, 25.0, 3.0), Job(1, 0.0, 25.0, 4.0))
+        inst = Instance(jobs=jobs, machines=1, calibration_length=t10)
+        sched = Schedule(
+            calibrations=CalibrationSchedule((Calibration(0.0, 0),), 1, t10),
+            placements=(ScheduledJob(1.0, 0, 0), ScheduledJob(4.0, 0, 1)),
+        )
+        segments = machine_timeline(inst, sched, 0)
+        states = [(s.state, s.job_id) for s in segments]
+        assert states == [
+            ("calibrated-idle", None),
+            ("busy", 0),
+            ("busy", 1),
+            ("calibrated-idle", None),
+        ]
+        assert segments[0].duration == pytest.approx(1.0)
+        assert segments[-1].duration == pytest.approx(2.0)
+        # Total accounted time equals the calibrated horizon.
+        assert sum(s.duration for s in segments) == pytest.approx(t10)
+
+    def test_overlapping_calibrations_merged(self, t10):
+        jobs = (Job(0, 0.0, 25.0, 3.0),)
+        inst = Instance(jobs=jobs, machines=1, calibration_length=t10)
+        sched = Schedule(
+            calibrations=CalibrationSchedule(
+                (Calibration(0.0, 0), Calibration(5.0, 0)), 1, t10
+            ),
+            placements=(ScheduledJob(0.0, 0, 0),),
+        )
+        segments = machine_timeline(inst, sched, 0)
+        # Merged span [0, 15): busy [0,3) + idle [3,15).
+        assert sum(s.duration for s in segments) == pytest.approx(15.0)
+
+    def test_conservation_against_simulator(self):
+        """Timeline busy/idle totals reconcile with simulator statistics."""
+        gen = mixed_instance(14, 2, 10.0, 3)
+        result = solve_ise(gen.instance)
+        timelines = all_timelines(gen.instance, result.schedule)
+        run = simulate(gen.instance, result.schedule)
+        busy_total = sum(
+            s.duration
+            for segments in timelines.values()
+            for s in segments
+            if s.state == "busy"
+        )
+        assert busy_total == pytest.approx(run.total_busy_time, rel=1e-6)
+        accounted = sum(
+            s.duration for segs in timelines.values() for s in segs
+        )
+        assert accounted == pytest.approx(run.total_calibrated_time, rel=1e-6)
+
+    def test_machine_without_calibrations(self, t10):
+        inst = Instance(jobs=(), machines=1, calibration_length=t10)
+        from repro.core.schedule import empty_schedule
+
+        assert machine_timeline(inst, empty_schedule(t10, 1), 0) == []
+
+
+class TestAuditRun:
+    def test_clean_run_passes(self):
+        gen = mixed_instance(12, 2, 10.0, 1)
+        result = solve_ise(gen.instance)
+        report = audit_run(gen.instance, result)
+        assert report.ok, report.summary()
+        assert report.summary().startswith("[PASS]")
+
+    def test_overlapping_variant_flag(self):
+        from repro import ISEConfig
+
+        gen = mixed_instance(14, 2, 10.0, 2, long_fraction=0.2)
+        result = solve_ise(
+            gen.instance, ISEConfig(overlapping_calibrations=True)
+        )
+        assert audit_run(
+            gen.instance, result, allow_overlapping_calibrations=True
+        ).ok
+
+    def test_corrupted_run_fails(self):
+        import dataclasses
+
+        gen = mixed_instance(10, 2, 10.0, 0)
+        result = solve_ise(gen.instance)
+        broken_schedule = Schedule(
+            calibrations=result.schedule.calibrations,
+            placements=result.schedule.placements[:-1],
+            speed=result.schedule.speed,
+        )
+        broken = dataclasses.replace(result, schedule=broken_schedule)
+        report = audit_run(gen.instance, broken)
+        assert not report.ok
+        assert "FAIL" in report.summary()

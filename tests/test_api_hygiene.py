@@ -1,0 +1,58 @@
+"""Release hygiene meta-tests: docstrings, __all__ consistency, imports.
+
+These keep the public surface honest as the library grows: every public
+module, class, and function must carry a docstring, and everything exported
+via ``__all__`` must actually exist.
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+MODULES = [
+    name
+    for _, name, _ in pkgutil.walk_packages(repro.__path__, prefix="repro.")
+]
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_module_importable_and_documented(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__, f"{module_name} lacks a module docstring"
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_all_exports_exist(module_name):
+    module = importlib.import_module(module_name)
+    for name in getattr(module, "__all__", []):
+        assert hasattr(module, name), f"{module_name}.__all__ lists missing {name}"
+
+
+def _public_members():
+    for module_name in MODULES:
+        module = importlib.import_module(module_name)
+        for name in getattr(module, "__all__", []):
+            obj = getattr(module, name)
+            if inspect.isclass(obj) or inspect.isfunction(obj):
+                if getattr(obj, "__module__", "").startswith("repro"):
+                    yield f"{module_name}.{name}", obj
+
+
+@pytest.mark.parametrize("qualname,obj", list(_public_members()))
+def test_public_objects_documented(qualname, obj):
+    assert inspect.getdoc(obj), f"{qualname} lacks a docstring"
+
+
+def test_version_exposed():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_top_level_all_resolves():
+    for name in repro.__all__:
+        assert hasattr(repro, name)

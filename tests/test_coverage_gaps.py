@@ -1,0 +1,119 @@
+"""Targeted tests for corners not covered by the module-specific suites."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Instance, Job
+from repro.core.schedule import empty_schedule
+
+
+class TestMetricsCorners:
+    def test_empty_schedule_metrics(self, t10):
+        from repro.analysis import summarize_schedule
+
+        inst = Instance(jobs=(), machines=1, calibration_length=t10)
+        metrics = summarize_schedule(inst, empty_schedule(t10))
+        assert metrics.num_calibrations == 0
+        assert metrics.utilization == 0.0
+        assert metrics.horizon == (0.0, 0.0)
+
+    def test_speed_schedule_metrics(self, t10):
+        from repro.analysis import summarize_schedule
+        from repro.core import Calibration, CalibrationSchedule, Schedule, ScheduledJob
+
+        jobs = (Job(0, 0.0, 30.0, 8.0),)
+        inst = Instance(jobs=jobs, machines=1, calibration_length=t10)
+        sched = Schedule(
+            calibrations=CalibrationSchedule((Calibration(0.0, 0),), 1, t10),
+            placements=(ScheduledJob(0.0, 0, 0),),
+            speed=2.0,
+        )
+        metrics = summarize_schedule(inst, sched)
+        assert metrics.busy_time == pytest.approx(4.0)  # 8 / speed 2
+        assert metrics.utilization == pytest.approx(0.4)
+
+
+class TestLPSolutionAccessors:
+    def test_total_mass_and_coverage(self):
+        from repro.instances import long_window_instance
+        from repro.longwindow import solve_tise_lp
+
+        gen = long_window_instance(6, 1, 10.0, 0)
+        lp = solve_tise_lp(gen.instance.jobs, 10.0, 3)
+        assert lp.total_calibration_mass() == pytest.approx(lp.objective, abs=1e-6)
+        for job in gen.instance.jobs:
+            assert lp.job_coverage(job.job_id) == pytest.approx(1.0, abs=1e-6)
+
+    def test_value_raises_without_solution(self):
+        from repro.core import SolverError
+        from repro.lp import LPSolution, LPStatus
+
+        sol = LPSolution(status=LPStatus.INFEASIBLE, objective=None, x=None)
+        with pytest.raises(SolverError):
+            sol.value(0)
+
+
+class TestCandidateStarts:
+    def test_always_includes_extremes(self):
+        from repro.mm.lp_rounding import candidate_starts
+
+        jobs = (Job(0, 2.0, 12.0, 3.0), Job(1, 0.0, 20.0, 4.0))
+        starts = candidate_starts(jobs, speed=1.0)
+        assert 2.0 in starts[0] and 12.0 - 3.0 in starts[0]
+        assert 0.0 in starts[1] and 16.0 in starts[1]
+        for jid, job in ((0, jobs[0]), (1, jobs[1])):
+            for s in starts[jid]:
+                assert job.release - 1e-9 <= s <= job.latest_start + 1e-9
+
+    def test_speed_scales_latest_start(self):
+        from repro.mm.lp_rounding import candidate_starts
+
+        jobs = (Job(0, 0.0, 10.0, 8.0),)
+        slow = candidate_starts(jobs, speed=1.0)[0]
+        fast = candidate_starts(jobs, speed=2.0)[0]
+        assert max(slow) == pytest.approx(2.0)
+        assert max(fast) == pytest.approx(6.0)
+
+
+class TestCliRenderWithoutSchedule:
+    def test_render_instance_only(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "i.json"
+        main([
+            "generate", "--family", "mixed", "--n", "6", "--machines", "1",
+            "--T", "10", "--seed", "0", "--out", str(path),
+        ])
+        capsys.readouterr()
+        assert main(["render", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "job" in out
+        assert "m0" not in out  # no machine lanes without a schedule
+
+
+class TestSimulatorCorners:
+    def test_unknown_job_event(self, t10):
+        from repro.core import Calibration, CalibrationSchedule, Schedule, ScheduledJob
+        from repro.sim import simulate
+
+        jobs = (Job(0, 0.0, 25.0, 2.0),)
+        inst = Instance(jobs=jobs, machines=1, calibration_length=t10)
+        sched = Schedule(
+            calibrations=CalibrationSchedule((Calibration(0.0, 0),), 1, t10),
+            placements=(
+                ScheduledJob(0.0, 0, 0),
+                ScheduledJob(3.0, 0, 99),  # ghost job
+            ),
+        )
+        result = simulate(inst, sched)
+        assert any("unknown job" in v for v in result.violations)
+
+    def test_empty_simulation(self, t10):
+        from repro.sim import simulate
+
+        inst = Instance(jobs=(), machines=1, calibration_length=t10)
+        result = simulate(inst, empty_schedule(t10))
+        assert result.ok
+        assert result.makespan == 0.0
+        assert result.utilization == 0.0

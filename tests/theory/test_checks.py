@@ -1,0 +1,103 @@
+"""Tests for the executable theorem checks."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+import hypothesis.strategies as st
+
+from repro import solve_ise
+from repro.instances import (
+    long_window_instance,
+    mixed_instance,
+    short_window_instance,
+)
+from repro.longwindow import LongWindowSolver
+from repro.shortwindow import ShortWindowSolver
+from repro.theory import (
+    BoundCheck,
+    check_theorem1,
+    check_theorem12,
+    check_theorem14,
+    check_theorem20,
+)
+
+
+class TestBoundCheck:
+    def test_holds_and_slack(self):
+        ok = BoundCheck("x", 3.0, 5.0)
+        assert ok.holds and ok.slack == pytest.approx(2.0)
+        bad = BoundCheck("y", 5.0, 3.0)
+        assert not bad.holds and bad.slack == pytest.approx(-2.0)
+
+    def test_tolerance_at_equality(self):
+        assert BoundCheck("z", 5.0, 5.0).holds
+        assert BoundCheck("z", 5.0 + 1e-9, 5.0).holds
+
+
+class TestTheorem12Check:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_holds_on_pipeline_output(self, seed):
+        gen = long_window_instance(12, 2, 10.0, seed)
+        result = LongWindowSolver().solve(gen.instance)
+        check = check_theorem12(gen.instance, result)
+        assert check.holds, check.summary()
+        assert "Theorem 12" in check.summary()
+
+    def test_detects_violation(self):
+        """A falsified result (machines over budget) must fail."""
+        gen = long_window_instance(8, 1, 10.0, 0)
+        result = LongWindowSolver().solve(gen.instance)
+        import dataclasses
+
+        fake = dataclasses.replace(result, machines_used=1000)
+        check = check_theorem12(gen.instance, fake)
+        assert not check.holds
+        assert "VIOLATED" in check.summary()
+
+
+class TestTheorem14Check:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_holds(self, seed):
+        gen = long_window_instance(10, 2, 10.0, seed)
+        base, traded = LongWindowSolver().solve_with_speed(gen.instance)
+        check = check_theorem14(gen.instance, base, traded)
+        assert check.holds, check.summary()
+
+
+class TestTheorem20Check:
+    @pytest.mark.parametrize("seed", range(3))
+    @pytest.mark.parametrize("mm", ["best_greedy", "backtrack"])
+    def test_holds(self, seed, mm):
+        from repro.shortwindow import ShortWindowConfig
+
+        gen = short_window_instance(16, 2, 10.0, seed)
+        result = ShortWindowSolver(ShortWindowConfig(mm_algorithm=mm)).solve(
+            gen.instance
+        )
+        check = check_theorem20(gen.instance, result)
+        assert check.holds, check.summary()
+
+
+@given(seed=st.integers(0, 5000), n=st.integers(4, 14))
+@settings(max_examples=12, deadline=None)
+def test_theorem1_check_property(seed, n):
+    gen = mixed_instance(n, 2, 10.0, seed)
+    result = solve_ise(gen.instance)
+    check = check_theorem1(gen.instance, result)
+    assert check.holds, check.summary()
+
+
+class TestOverlappingVariantCheck:
+    def test_theorem1_with_variant_flag(self):
+        from repro import ISEConfig
+        from repro.instances import short_window_instance
+
+        gen = short_window_instance(16, 2, 10.0, 4, max_processing_frac=0.9)
+        result = solve_ise(
+            gen.instance, ISEConfig(overlapping_calibrations=True)
+        )
+        relaxed = check_theorem1(
+            gen.instance, result, allow_overlapping_calibrations=True
+        )
+        assert relaxed.holds, relaxed.summary()

@@ -1,0 +1,66 @@
+"""Tests for the ASCII renderers (structure, not pixel-perfection)."""
+
+from __future__ import annotations
+
+from repro.instances import (
+    figure1_instance,
+    figure2_fractional_calibrations,
+    long_window_instance,
+)
+from repro.longwindow import rounded_start_times
+from repro.viz import (
+    render_fractional_calibrations,
+    render_schedule,
+    render_windows,
+)
+
+
+class TestRenderWindows:
+    def test_one_line_per_job(self):
+        instance, _ = figure1_instance()
+        art = render_windows(instance.jobs)
+        lines = art.splitlines()
+        assert len(lines) == 1 + len(instance.jobs)
+        for job in instance.jobs:
+            assert any(f"job {job.job_id:>3}" in line for line in lines)
+
+    def test_empty(self):
+        assert render_windows(()) == "(no jobs)"
+
+
+class TestRenderSchedule:
+    def test_one_line_per_machine(self):
+        instance, schedule = figure1_instance()
+        art = render_schedule(instance, schedule)
+        lines = art.splitlines()
+        assert len(lines) == 1 + schedule.num_machines
+        assert "[" in art and "=" in art
+
+    def test_jobs_visible(self):
+        gen = long_window_instance(n=5, machines=1, calibration_length=10.0, seed=0)
+        art = render_schedule(gen.instance, gen.witness)
+        # Every job glyph (ids 0-4) appears somewhere.
+        for jid in range(5):
+            assert str(jid) in art
+
+    def test_empty_schedule(self):
+        from repro.core import Instance
+        from repro.core.schedule import empty_schedule
+
+        inst = Instance(jobs=(), machines=1, calibration_length=10.0)
+        art = render_schedule(inst, empty_schedule(10.0))
+        assert art == "(empty schedule)"
+
+
+class TestRenderFractional:
+    def test_bars_and_emissions(self):
+        masses = figure2_fractional_calibrations()
+        emitted = rounded_start_times(masses)
+        art = render_fractional_calibrations(masses, emitted)
+        assert "C=0.30" in art
+        assert "C=0.80" in art
+        assert "**" in art  # the double emission at the last point
+        assert "#" in art
+
+    def test_empty(self):
+        assert "no fractional" in render_fractional_calibrations({})

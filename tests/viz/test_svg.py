@@ -1,0 +1,59 @@
+"""Tests for the SVG schedule exporter."""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro import solve_ise
+from repro.core import Instance
+from repro.core.schedule import empty_schedule
+from repro.instances import mixed_instance
+from repro.viz import save_schedule_svg, schedule_to_svg
+
+
+@pytest.fixture
+def solved():
+    gen = mixed_instance(10, 2, 10.0, seed=4)
+    return gen.instance, solve_ise(gen.instance).schedule
+
+
+class TestSvgStructure:
+    def test_is_well_formed_xml(self, solved):
+        instance, schedule = solved
+        svg = schedule_to_svg(instance, schedule)
+        root = ET.fromstring(svg)
+        assert root.tag.endswith("svg")
+
+    def test_one_rect_per_calibration_and_job(self, solved):
+        instance, schedule = solved
+        svg = schedule_to_svg(instance, schedule, include_windows=False)
+        root = ET.fromstring(svg)
+        rects = root.findall(".//{http://www.w3.org/2000/svg}rect")
+        assert len(rects) == schedule.num_calibrations + len(schedule.placements)
+
+    def test_window_panel_optional(self, solved):
+        instance, schedule = solved
+        with_windows = schedule_to_svg(instance, schedule, include_windows=True)
+        without = schedule_to_svg(instance, schedule, include_windows=False)
+        assert "job windows" in with_windows
+        assert "job windows" not in without
+
+    def test_tooltips_carry_job_info(self, solved):
+        instance, schedule = solved
+        svg = schedule_to_svg(instance, schedule)
+        for job in instance.jobs:
+            assert f"job {job.job_id}:" in svg
+
+    def test_empty_schedule(self):
+        inst = Instance(jobs=(), machines=1, calibration_length=10.0)
+        svg = schedule_to_svg(inst, empty_schedule(10.0))
+        assert "empty schedule" in svg
+        ET.fromstring(svg)
+
+    def test_save(self, solved, tmp_path):
+        instance, schedule = solved
+        path = save_schedule_svg(instance, schedule, tmp_path / "out.svg")
+        assert path.exists()
+        ET.fromstring(path.read_text())
