@@ -39,6 +39,7 @@ from .core import (
     EPS,
     Calibration,
     CalibrationSchedule,
+    FallbacksExhaustedError,
     InfeasibleInstanceError,
     InfeasibleScheduleError,
     Instance,
@@ -48,9 +49,14 @@ from .core import (
     JobPartition,
     LimitExceededError,
     ReproError,
+    ResiliencePolicy,
+    ResilienceReport,
+    RetryPolicy,
     Schedule,
     ScheduledJob,
+    SolveBudget,
     SolverError,
+    StageTimeoutError,
     ValidationReport,
     Violation,
     ViolationKind,
@@ -96,6 +102,13 @@ __all__ = [
     "InfeasibleInstanceError",
     "SolverError",
     "LimitExceededError",
+    "StageTimeoutError",
+    "FallbacksExhaustedError",
+    # resilience
+    "SolveBudget",
+    "RetryPolicy",
+    "ResiliencePolicy",
+    "ResilienceReport",
     # solvers
     "ISEConfig",
     "ISEResult",

@@ -100,6 +100,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run the local-search post-optimizer")
     solve.add_argument("--specialize-unit", action="store_true",
                        help="use lazy binning on unit-processing instances")
+    solve.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                       help="wall-clock budget for the whole solve")
+    solve.add_argument("--no-strict", action="store_true",
+                       help="degrade through backend fallback chains instead "
+                            "of failing; the result is flagged 'degraded'")
 
     val = sub.add_parser("validate", help="independently validate a schedule")
     val.add_argument("instance")
@@ -196,9 +201,14 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         prune_empty=not args.no_prune,
         overlapping_calibrations=args.overlapping,
         specialize_unit=args.specialize_unit,
+        strict=not args.no_strict,
+        timeout=args.timeout,
     )
     result = solve_ise(instance, config)
     schedule = result.schedule
+    if result.degraded:
+        print("DEGRADED     : " + "; ".join(result.resilience.fallbacks))
+        print(f"resilience   : {result.resilience.summary()}")
     if args.consolidate:
         improved = consolidate(instance, schedule)
         schedule = improved.schedule
@@ -387,9 +397,12 @@ def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code.
 
     Exit codes: 0 success, 1 check failed (invalid/infeasible/falsified),
-    2 usage or input error (missing file, malformed JSON, bad instance).
+    2 usage or input error (missing file, malformed JSON, bad instance),
+    3 solve budget exceeded (``--timeout``), 4 solver/backend failure.
+    Codes 3 and 4 are retryable from an operator's point of view (more
+    time, another backend); code 2 is not.
     """
-    from .core.errors import ReproError
+    from .core.errors import LimitExceededError, ReproError, SolverError
 
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -398,6 +411,12 @@ def main(argv: Sequence[str] | None = None) -> int:
     except FileNotFoundError as exc:
         print(f"error: file not found: {exc.filename or exc}", file=sys.stderr)
         return 2
+    except LimitExceededError as exc:
+        print(f"error: budget exceeded: {exc}", file=sys.stderr)
+        return 3
+    except SolverError as exc:
+        print(f"error: solver failure: {exc}", file=sys.stderr)
+        return 4
     except (ReproError, ValueError, KeyError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

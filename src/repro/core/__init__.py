@@ -10,10 +10,12 @@ Submodules:
 * :mod:`repro.core.solver` — the combined Theorem 1 solver.
 * :mod:`repro.core.tolerance` — float comparison policy.
 * :mod:`repro.core.errors` — exception hierarchy.
+* :mod:`repro.core.resilience` — solve budgets, fallback chains, reports.
 """
 
 from .calibration import Calibration, CalibrationSchedule, pack_round_robin
 from .errors import (
+    FallbacksExhaustedError,
     InfeasibleInstanceError,
     InfeasibleScheduleError,
     InvalidInstanceError,
@@ -21,6 +23,18 @@ from .errors import (
     LimitExceededError,
     ReproError,
     SolverError,
+    StageTimeoutError,
+)
+from .resilience import (
+    ResiliencePolicy,
+    ResilienceReport,
+    RetryPolicy,
+    SolveBudget,
+    StageAttempt,
+    budget_scope,
+    check_budget,
+    current_budget,
+    run_with_fallbacks,
 )
 from .job import LONG_WINDOW_FACTOR, Instance, Job, make_jobs
 from .partition import JobPartition, partition_jobs
@@ -64,4 +78,15 @@ __all__ = [
     "InfeasibleInstanceError",
     "SolverError",
     "LimitExceededError",
+    "StageTimeoutError",
+    "FallbacksExhaustedError",
+    "SolveBudget",
+    "RetryPolicy",
+    "ResiliencePolicy",
+    "ResilienceReport",
+    "StageAttempt",
+    "budget_scope",
+    "current_budget",
+    "check_budget",
+    "run_with_fallbacks",
 ]

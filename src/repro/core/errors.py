@@ -2,13 +2,66 @@
 
 Every error raised by the library derives from :class:`ReproError`, so callers
 can catch library failures without catching unrelated Python errors.
+
+Errors raised from inside a solve pipeline carry *structured context* —
+which pipeline stage failed (``stage``), which backend or algorithm was
+running (``backend``), and how long it had been running (``elapsed``
+seconds).  The resilience layer (:mod:`repro.core.resilience`) uses that
+context to build its :class:`~repro.core.resilience.ResilienceReport`, and
+the CLI uses it to pinpoint the failed stage in error messages.  All three
+fields are optional keywords, so ``SolverError("message")`` keeps working.
 """
 
 from __future__ import annotations
 
+__all__ = [
+    "ReproError",
+    "InvalidInstanceError",
+    "InvalidScheduleError",
+    "InfeasibleScheduleError",
+    "InfeasibleInstanceError",
+    "SolverError",
+    "LimitExceededError",
+    "StageTimeoutError",
+    "FallbacksExhaustedError",
+]
+
 
 class ReproError(Exception):
-    """Base class for all errors raised by this library."""
+    """Base class for all errors raised by this library.
+
+    Attributes:
+        stage: pipeline stage that failed (``"lp"``, ``"mm"``,
+            ``"long_pipeline"``, ...) or None when not applicable.
+        backend: backend / algorithm name that was running, or None.
+        elapsed: seconds the failed stage had been running, or None.
+    """
+
+    def __init__(
+        self,
+        *args: object,
+        stage: str | None = None,
+        backend: str | None = None,
+        elapsed: float | None = None,
+    ) -> None:
+        super().__init__(*args)
+        self.stage = stage
+        self.backend = backend
+        self.elapsed = elapsed
+
+    def context_suffix(self) -> str:
+        """Human-readable ``[stage=... backend=... elapsed=...]`` tail."""
+        parts = []
+        if self.stage is not None:
+            parts.append(f"stage={self.stage}")
+        if self.backend is not None:
+            parts.append(f"backend={self.backend}")
+        if self.elapsed is not None:
+            parts.append(f"elapsed={self.elapsed:.3f}s")
+        return f" [{' '.join(parts)}]" if parts else ""
+
+    def __str__(self) -> str:
+        return super().__str__() + self.context_suffix()
 
 
 class InvalidInstanceError(ReproError, ValueError):
@@ -37,8 +90,16 @@ class InfeasibleScheduleError(ReproError):
     the violated constraint.
     """
 
-    def __init__(self, message: str, report: object | None = None) -> None:
-        super().__init__(message)
+    def __init__(
+        self,
+        message: str,
+        report: object | None = None,
+        *,
+        stage: str | None = None,
+        backend: str | None = None,
+        elapsed: float | None = None,
+    ) -> None:
+        super().__init__(message, stage=stage, backend=backend, elapsed=elapsed)
         self.report = report
 
 
@@ -47,7 +108,9 @@ class InfeasibleInstanceError(ReproError):
 
     Raised e.g. when the TISE linear program of Section 3 is infeasible,
     which under Lemma 2 certifies that the long-window instance is not
-    feasible on ``m`` machines.
+    feasible on ``m`` machines.  The resilience layer never retries or
+    falls back on this error: a different backend cannot make an
+    infeasible instance feasible.
     """
 
 
@@ -56,4 +119,36 @@ class SolverError(ReproError, RuntimeError):
 
 
 class LimitExceededError(ReproError, RuntimeError):
-    """An exact search exceeded its configured node or time budget."""
+    """A search or solve exceeded its configured node or time budget."""
+
+
+class StageTimeoutError(LimitExceededError):
+    """A pipeline stage exceeded its wall-clock budget.
+
+    Subclasses :class:`LimitExceededError` so existing recovery paths (e.g.
+    ``AutoMM``'s exact-to-greedy fallback) treat a time-budget exhaustion
+    exactly like a node-budget exhaustion.
+    """
+
+
+class FallbacksExhaustedError(SolverError):
+    """Every candidate in a fallback chain failed.
+
+    ``attempts`` holds the per-attempt records (:class:`StageAttempt`
+    instances from :mod:`repro.core.resilience`) so callers can see what was
+    tried; ``last_error`` is the exception raised by the final candidate.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        attempts: tuple = (),
+        last_error: BaseException | None = None,
+        stage: str | None = None,
+        backend: str | None = None,
+        elapsed: float | None = None,
+    ) -> None:
+        super().__init__(message, stage=stage, backend=backend, elapsed=elapsed)
+        self.attempts = tuple(attempts)
+        self.last_error = last_error

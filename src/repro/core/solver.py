@@ -8,11 +8,22 @@ beyond either of the algorithms."
 
 This module also computes the certified lower bound and measured
 approximation ratio the benches report.
+
+Resilience (see :mod:`repro.core.resilience`): with ``strict=False`` the
+solver degrades instead of dying.  Backend-level failures are absorbed by
+the per-stage fallback chains inside the pipelines; if a whole pipeline
+still fails, the solver swaps in an always-feasible baseline for that side
+— the LP-free lazy TISE greedy for long-window jobs, one-calibration-per-
+job for short-window jobs — re-validates, and flags the result
+``degraded`` with a :class:`~repro.core.resilience.ResilienceReport`
+describing every attempt, retry, and fallback.  Only a genuinely
+infeasible or invalid *instance* still raises in non-strict mode.
 """
 
 from __future__ import annotations
 
 import time
+from contextlib import ExitStack
 from dataclasses import dataclass, field
 
 from ..analysis.lower_bounds import (
@@ -27,9 +38,23 @@ from ..shortwindow.pipeline import (
     ShortWindowResult,
     ShortWindowSolver,
 )
+from .errors import (
+    InfeasibleInstanceError,
+    InvalidInstanceError,
+    ReproError,
+    SolverError,
+)
 from .job import LONG_WINDOW_FACTOR, Instance
 from .partition import JobPartition, partition_jobs
+from .resilience import (
+    ResiliencePolicy,
+    ResilienceReport,
+    SolveBudget,
+    StageAttempt,
+    budget_scope,
+)
 from .schedule import Schedule, empty_schedule
+from .tolerance import EPS, close
 from .validate import check_ise
 
 __all__ = ["ISEConfig", "ISEResult", "solve_ise", "ISESolver"]
@@ -57,6 +82,14 @@ class ISEConfig:
             machine, 2-approximate flavor on several) instead of the
             general reduction — the regime split the paper's introduction
             recommends.  Non-unit instances are unaffected.
+        strict: when True (default), failures propagate as typed errors;
+            when False, the resilience layer's fallback chains and
+            pipeline degradation guarantee a validated feasible schedule
+            whenever the instance admits one.
+        timeout: wall-clock seconds for the whole solve (None = unlimited).
+            Shorthand for a :class:`SolveBudget`-only resilience policy.
+        resilience: full failure-handling policy; when set it overrides
+            ``strict``/``timeout``.
     """
 
     mm_algorithm: str | MMAlgorithm = "best_greedy"
@@ -68,6 +101,20 @@ class ISEConfig:
     validate: bool = True
     overlapping_calibrations: bool = False
     specialize_unit: bool = False
+    strict: bool = True
+    timeout: float | None = None
+    resilience: ResiliencePolicy | None = None
+
+    def resilience_policy(self) -> ResiliencePolicy:
+        """The effective policy (explicit one, or built from strict/timeout)."""
+        if self.resilience is not None:
+            return self.resilience
+        budget = (
+            SolveBudget(wall_clock=self.timeout)
+            if self.timeout is not None
+            else None
+        )
+        return ResiliencePolicy(strict=self.strict, budget=budget)
 
     def long_config(self) -> LongWindowConfig:
         return LongWindowConfig(
@@ -76,6 +123,7 @@ class ISEConfig:
             rounding_scheme=self.rounding_scheme,
             prune_empty=self.prune_empty,
             validate=self.validate,
+            resilience=self.resilience_policy(),
         )
 
     def short_config(self) -> ShortWindowConfig:
@@ -85,6 +133,7 @@ class ISEConfig:
             prune_empty=self.prune_empty,
             validate=self.validate,
             overlapping_calibrations=self.overlapping_calibrations,
+            resilience=self.resilience_policy(),
         )
 
 
@@ -98,6 +147,12 @@ class ISEResult:
     short_result: ShortWindowResult | None
     lower_bound: LowerBoundBreakdown
     wall_times: dict[str, float] = field(default_factory=dict, compare=False)
+    resilience: ResilienceReport | None = field(default=None, compare=False)
+
+    @property
+    def degraded(self) -> bool:
+        """True when any fallback or degradation produced part of the answer."""
+        return self.resilience is not None and self.resilience.degraded
 
     @property
     def num_calibrations(self) -> int:
@@ -119,16 +174,22 @@ class ISEResult:
         return self.num_calibrations / lb
 
 
-def _is_unit_integral(instance: Instance) -> bool:
-    """True iff every job is unit with integral window and T is integral."""
-    if abs(instance.calibration_length - round(instance.calibration_length)) > 1e-9:
+def _is_unit_integral(instance: Instance, eps: float = EPS) -> bool:
+    """True iff every job is unit with integral window and T is integral.
+
+    All comparisons go through :mod:`repro.core.tolerance` — the single
+    tolerance source for the library — so the unit-specialization routing
+    agrees with every validator about what "integral" means.
+    """
+    T = instance.calibration_length
+    if not close(T, round(T), eps):
         return False
     for job in instance.jobs:
-        if abs(job.processing - 1.0) > 1e-9:
+        if not close(job.processing, 1.0, eps):
             return False
-        if abs(job.release - round(job.release)) > 1e-9:
+        if not close(job.release, round(job.release), eps):
             return False
-        if abs(job.deadline - round(job.deadline)) > 1e-9:
+        if not close(job.deadline, round(job.deadline), eps):
             return False
     return True
 
@@ -175,10 +236,55 @@ class ISESolver:
             wall_times=times,
         )
 
+    def _degrade(
+        self,
+        report: ResilienceReport,
+        stage: str,
+        primary: str,
+        fallback_name: str,
+        error: BaseException,
+        elapsed: float,
+        rescue,
+    ) -> Schedule:
+        """Record a failed pipeline and run its always-feasible rescue.
+
+        The rescue runs outside any budget scope: it is cheap by
+        construction, and killing the last line of defense with the same
+        deadline that killed the optimizing pipeline would defeat the
+        point of degrading.
+        """
+        from .errors import StageTimeoutError
+
+        outcome = "timeout" if isinstance(error, StageTimeoutError) else "failed"
+        report.record(
+            StageAttempt(
+                stage=stage,
+                backend=primary,
+                outcome=outcome,
+                elapsed=elapsed,
+                error=f"{type(error).__name__}: {error}",
+            )
+        )
+        tic = time.perf_counter()
+        with budget_scope(None):  # mask the (possibly expired) deadline
+            schedule = rescue()
+        report.record(
+            StageAttempt(
+                stage=stage,
+                backend=fallback_name,
+                outcome="ok",
+                elapsed=time.perf_counter() - tic,
+            )
+        )
+        report.record_fallback(stage, primary, fallback_name)
+        return schedule
+
     def solve(self, instance: Instance) -> ISEResult:
         cfg = self.config
         if cfg.specialize_unit and instance.jobs and _is_unit_integral(instance):
             return self._solve_unit(instance)
+        policy = cfg.resilience_policy()
+        report = ResilienceReport()
         times: dict[str, float] = {}
         T = instance.calibration_length
 
@@ -188,21 +294,86 @@ class ISESolver:
         short_result: ShortWindowResult | None = None
         long_schedule = empty_schedule(T)
         short_schedule = empty_schedule(T)
+        degrade_ok = not policy.strict and policy.pipeline_fallback
 
-        if split.long_jobs:
-            tic = time.perf_counter()
-            long_result = LongWindowSolver(cfg.long_config()).solve(
-                instance.restricted_to(split.long_jobs)
-            )
-            long_schedule = long_result.schedule
-            times["long"] = time.perf_counter() - tic
-        if split.short_jobs:
-            tic = time.perf_counter()
-            short_result = ShortWindowSolver(cfg.short_config()).solve(
-                instance.restricted_to(split.short_jobs)
-            )
-            short_schedule = short_result.schedule
-            times["short"] = time.perf_counter() - tic
+        with ExitStack() as stack:
+            budget = policy.fresh_budget()
+            if budget is not None:
+                stack.enter_context(budget_scope(budget))
+
+            if split.long_jobs:
+                long_instance = instance.restricted_to(split.long_jobs)
+                tic = time.perf_counter()
+                try:
+                    long_result = LongWindowSolver(cfg.long_config()).solve(
+                        long_instance
+                    )
+                    long_schedule = long_result.schedule
+                    report.merge(long_result.resilience)
+                except (InfeasibleInstanceError, InvalidInstanceError):
+                    raise  # the instance is at fault; degrading cannot help
+                except Exception as exc:  # noqa: BLE001 — degrade, don't die
+                    if not degrade_ok:
+                        if isinstance(exc, ReproError):
+                            raise
+                        raise SolverError(
+                            f"long-window pipeline crashed: {exc}",
+                            stage="long_pipeline",
+                        ) from exc
+                    from ..baselines.greedy_tise import lazy_tise_greedy
+
+                    long_schedule = self._degrade(
+                        report,
+                        stage="long_pipeline",
+                        primary="theorem12",
+                        fallback_name="greedy_tise",
+                        error=exc,
+                        elapsed=time.perf_counter() - tic,
+                        rescue=lambda: lazy_tise_greedy(long_instance),
+                    )
+                    check_ise(
+                        long_instance,
+                        long_schedule,
+                        context="degraded long-window fallback",
+                    )
+                times["long"] = time.perf_counter() - tic
+
+            if split.short_jobs:
+                short_instance = instance.restricted_to(split.short_jobs)
+                tic = time.perf_counter()
+                try:
+                    short_result = ShortWindowSolver(cfg.short_config()).solve(
+                        short_instance
+                    )
+                    short_schedule = short_result.schedule
+                    report.merge(short_result.resilience)
+                except (InfeasibleInstanceError, InvalidInstanceError):
+                    raise
+                except Exception as exc:  # noqa: BLE001 — degrade, don't die
+                    if not degrade_ok:
+                        if isinstance(exc, ReproError):
+                            raise
+                        raise SolverError(
+                            f"short-window pipeline crashed: {exc}",
+                            stage="short_pipeline",
+                        ) from exc
+                    from ..baselines.naive import one_calibration_per_job
+
+                    short_schedule = self._degrade(
+                        report,
+                        stage="short_pipeline",
+                        primary="theorem20",
+                        fallback_name="one_calibration_per_job",
+                        error=exc,
+                        elapsed=time.perf_counter() - tic,
+                        rescue=lambda: one_calibration_per_job(short_instance),
+                    )
+                    check_ise(
+                        short_instance,
+                        short_schedule,
+                        context="degraded short-window fallback",
+                    )
+                times["short"] = time.perf_counter() - tic
 
         merged = long_schedule.merged_with(short_schedule).compact_machines()
         if cfg.validate:
@@ -226,6 +397,7 @@ class ISESolver:
                 else 0.0
             ),
         )
+        report.record_times(times)
         return ISEResult(
             schedule=merged,
             partition=split,
@@ -233,6 +405,7 @@ class ISESolver:
             short_result=short_result,
             lower_bound=lower,
             wall_times=times,
+            resilience=report,
         )
 
 

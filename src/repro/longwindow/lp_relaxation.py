@@ -165,11 +165,14 @@ def solve_tise_lp(
     backend: str = "highs",
     points: Sequence[float] | None = None,
     zero_tol: float = 1e-9,
+    time_limit: float | None = None,
 ) -> TiseLPSolution:
     """Build and solve the TISE LP; raises on infeasibility.
 
     :class:`InfeasibleInstanceError` here means the long-window instance is
     not feasible on ``machine_budget / 3`` machines (Lemma 2 contrapositive).
+    ``time_limit`` (seconds) is forwarded to the backend, which raises
+    :class:`~repro.core.errors.StageTimeoutError` on expiry.
     """
     if not jobs:
         return TiseLPSolution(
@@ -180,7 +183,7 @@ def solve_tise_lp(
             calibration_length=calibration_length,
         )
     model = build_tise_lp(jobs, calibration_length, machine_budget, points)
-    solution = get_backend(backend)(model.lp)
+    solution = get_backend(backend)(model.lp, time_limit=time_limit)
     if solution.status is LPStatus.INFEASIBLE:
         raise InfeasibleInstanceError(
             f"TISE LP infeasible on m' = {machine_budget} machines: the "
@@ -188,7 +191,9 @@ def solve_tise_lp(
         )
     if not solution.ok:
         raise SolverError(
-            f"TISE LP solve failed: {solution.status.value} {solution.message}"
+            f"TISE LP solve failed: {solution.status.value} {solution.message}",
+            stage="lp",
+            backend=backend,
         )
     assert solution.x is not None
     calibrations = {

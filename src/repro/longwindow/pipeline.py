@@ -15,15 +15,30 @@ calibrations (3 from Lemma 2 x 2 from rounding x 2 from mirroring).
 Optionally, step 4 applies the Lemma 13 machine-to-speed transformation to
 reach Theorem 14: ``m`` machines at speed ``36`` with at most ``12 C*``
 calibrations.
+
+Resilience: the LP stage is the pipeline's only numeric-backend dependency,
+so it runs through the resilience layer's fallback chain (default ``highs ->
+simplex``) when a non-strict :class:`~repro.core.resilience.ResiliencePolicy`
+is configured, under the ambient solve budget.  Lemma 2's guarantee is
+backend-agnostic — any optimal LP solution yields the same bounds — so a
+fallback here costs wall time, never correctness.
 """
 
 from __future__ import annotations
 
 import time
+from contextlib import ExitStack
 from dataclasses import dataclass, field
 
-from ..core.errors import InvalidInstanceError
+from ..core.errors import InvalidInstanceError, SolverError
 from ..core.job import Instance
+from ..core.resilience import (
+    ResiliencePolicy,
+    ResilienceReport,
+    budget_scope,
+    current_budget,
+    run_with_fallbacks,
+)
 from ..core.schedule import Schedule
 from ..core.validate import check_ise, check_tise
 from .calibration_points import potential_calibration_points
@@ -33,6 +48,8 @@ from .edf import assign_jobs_edf
 from .speed_tradeoff import SpeedTradeoffResult, machines_to_speed
 
 __all__ = ["LongWindowConfig", "LongWindowResult", "LongWindowSolver"]
+
+_COVERAGE_TOL = 1e-6
 
 
 @dataclass(frozen=True)
@@ -52,6 +69,8 @@ class LongWindowConfig:
             (feasibility-preserving objective improvement; the raw count is
             still recorded for the Theorem 12 bound check).
         validate: run the independent TISE validator on the output.
+        resilience: failure-handling policy; None means strict (failures
+            propagate, no LP fallback chain).
     """
 
     lp_backend: str = "highs"
@@ -60,6 +79,7 @@ class LongWindowConfig:
     machine_multiplier: int = 3
     prune_empty: bool = True
     validate: bool = True
+    resilience: ResiliencePolicy | None = None
 
 
 @dataclass(frozen=True)
@@ -74,6 +94,9 @@ class LongWindowResult:
       (Lemma 2: TISE OPT at 3m <= 3 ISE OPT at m, and LP <= TISE OPT);
     * ``rounded_calibrations``   — Algorithm 1 output size (Lemma 7 <= 2 LP);
     * ``unpruned_calibrations``  — after mirroring (Theorem 12 <= 12 LB).
+
+    ``resilience`` records the LP attempts/fallbacks when a policy was
+    configured (None under the default strict config).
     """
 
     schedule: Schedule
@@ -83,6 +106,7 @@ class LongWindowResult:
     machines_used: int
     machine_budget: int
     wall_times: dict[str, float] = field(default_factory=dict, compare=False)
+    resilience: ResilienceReport | None = field(default=None, compare=False)
 
     @property
     def lp_value(self) -> float:
@@ -111,6 +135,27 @@ class LongWindowResult:
         return self.num_calibrations / lb
 
 
+def _check_lp_coverage(jobs, solution: TiseLPSolution) -> None:
+    """Reject an LP "solution" that does not actually cover every job.
+
+    Constraint (4) forces full coverage in any genuine optimum, so a
+    violation here means the backend returned garbage (crash recovery,
+    numerical breakdown, or an injected fault) — the resilience layer
+    treats it as a failed attempt and moves down the chain.
+    """
+    coverage = {job.job_id: 0.0 for job in jobs}
+    for (job_id, _), frac in solution.assignments.items():
+        if job_id in coverage:
+            coverage[job_id] += frac
+    for job in jobs:
+        if abs(coverage[job.job_id] - 1.0) > _COVERAGE_TOL:
+            raise SolverError(
+                f"LP solution covers job {job.job_id} with mass "
+                f"{coverage[job.job_id]:.6f} != 1",
+                stage="lp",
+            )
+
+
 class LongWindowSolver:
     """Theorem 12 solver for instances whose jobs all have long windows."""
 
@@ -124,6 +169,9 @@ class LongWindowSolver:
             InvalidInstanceError: some job has a short window.
             InfeasibleInstanceError: the LP certifies infeasibility on
                 ``m`` machines (via Lemma 2).
+            StageTimeoutError: the solve budget expired mid-pipeline.
+            FallbacksExhaustedError: every LP backend in the chain failed
+                (non-strict mode with a configured policy).
         """
         T = instance.calibration_length
         for job in instance.jobs:
@@ -133,18 +181,51 @@ class LongWindowSolver:
                     f"{job.job_id} has window {job.window} < 2T = {2 * T}"
                 )
         cfg = self.config
+        policy = cfg.resilience or ResiliencePolicy()
+        report = ResilienceReport()
         times: dict[str, float] = {}
         m_prime = cfg.machine_multiplier * instance.machines
 
-        tic = time.perf_counter()
-        points = potential_calibration_points(instance.jobs, T)
-        times["points"] = time.perf_counter() - tic
+        with ExitStack() as stack:
+            budget = current_budget()
+            if budget is None and policy.budget is not None:
+                budget = stack.enter_context(budget_scope(policy.fresh_budget()))
 
-        tic = time.perf_counter()
-        lp = solve_tise_lp(
-            instance.jobs, T, m_prime, backend=cfg.lp_backend, points=points
-        )
-        times["lp"] = time.perf_counter() - tic
+            tic = time.perf_counter()
+            points = potential_calibration_points(instance.jobs, T)
+            times["points"] = time.perf_counter() - tic
+
+            def lp_thunk(backend: str):
+                def run() -> TiseLPSolution:
+                    limit: float | None = None
+                    if budget is not None:
+                        remaining = budget.stage_limit("lp")
+                        if remaining != float("inf"):
+                            limit = max(remaining, 0.0)
+                    return solve_tise_lp(
+                        instance.jobs,
+                        T,
+                        m_prime,
+                        backend=backend,
+                        points=points,
+                        time_limit=limit,
+                    )
+
+                return run
+
+            tic = time.perf_counter()
+            lp = run_with_fallbacks(
+                "lp",
+                [
+                    (name, lp_thunk(name))
+                    for name in policy.lp_candidates(cfg.lp_backend)
+                ],
+                report=report,
+                retry=policy.retry,
+                budget=budget,
+                validate=lambda sol: _check_lp_coverage(instance.jobs, sol),
+            )
+            times["lp"] = time.perf_counter() - tic
 
         tic = time.perf_counter()
         if cfg.rounding_scheme not in ("greedy", "ceil", "best"):
@@ -187,6 +268,7 @@ class LongWindowSolver:
             check_tise(instance, schedule, context="long-window pipeline")
             times["validate"] = time.perf_counter() - tic
 
+        report.record_times(times)
         return LongWindowResult(
             schedule=schedule,
             lp=lp,
@@ -195,6 +277,7 @@ class LongWindowSolver:
             machines_used=machines_used,
             machine_budget=2 * cfg.machine_multiplier * m_prime,
             wall_times=times,
+            resilience=report,
         )
 
     def solve_with_speed(

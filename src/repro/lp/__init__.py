@@ -8,7 +8,7 @@
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Protocol
 
 from .highs import HighsBackend, solve_highs
 from .model import LinearProgram, LPSolution, LPStatus, Sense
@@ -23,11 +23,23 @@ __all__ = [
     "solve_simplex",
     "HighsBackend",
     "SimplexBackend",
+    "LPBackend",
     "get_backend",
     "BACKENDS",
 ]
 
-LPBackend = Callable[[LinearProgram], LPSolution]
+
+class LPBackend(Protocol):
+    """Backend interface: solve a model, optionally under a time limit.
+
+    ``time_limit`` is wall-clock seconds for this one solve; backends raise
+    :class:`~repro.core.errors.StageTimeoutError` when they hit it (and
+    also honor the ambient :func:`~repro.core.resilience.budget_scope`).
+    """
+
+    def __call__(
+        self, model: LinearProgram, *, time_limit: float | None = None
+    ) -> LPSolution: ...
 
 BACKENDS: dict[str, LPBackend] = {
     "highs": HighsBackend(),

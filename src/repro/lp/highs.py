@@ -11,7 +11,7 @@ from __future__ import annotations
 import numpy as np
 from scipy.optimize import linprog
 
-from ..core.errors import SolverError
+from ..core.errors import SolverError, StageTimeoutError
 from .model import LinearProgram, LPSolution, LPStatus
 
 __all__ = ["HighsBackend", "solve_highs"]
@@ -23,13 +23,31 @@ _STATUS_MAP = {
     3: LPStatus.UNBOUNDED,
 }
 
+_TIME_LIMIT_STATUS = 1  # scipy: "iteration or time limit reached"
 
-def solve_highs(model: LinearProgram) -> LPSolution:
-    """Solve ``model`` with HiGHS; never raises on infeasibility/unboundedness."""
+
+def solve_highs(
+    model: LinearProgram, *, time_limit: float | None = None
+) -> LPSolution:
+    """Solve ``model`` with HiGHS; never raises on infeasibility/unboundedness.
+
+    ``time_limit`` (seconds) is forwarded to HiGHS; exceeding it raises
+    :class:`StageTimeoutError` so the resilience layer can fall back.
+    """
     c, a_ub, b_ub, a_eq, b_eq, lb, ub = model.to_standard_arrays()
     if model.num_variables == 0:
         return LPSolution(status=LPStatus.OPTIMAL, objective=0.0, x=np.empty(0))
     bounds = np.column_stack([lb, ub])
+    options = {}
+    if time_limit is not None:
+        if time_limit <= 0:
+            raise StageTimeoutError(
+                "no time left for the HiGHS LP solve",
+                stage="lp",
+                backend="highs",
+                elapsed=0.0,
+            )
+        options["time_limit"] = float(time_limit)
     try:
         result = linprog(
             c,
@@ -39,9 +57,21 @@ def solve_highs(model: LinearProgram) -> LPSolution:
             b_eq=b_eq,
             bounds=bounds,
             method="highs",
+            options=options or None,
         )
     except ValueError as exc:  # malformed model dimensions etc.
-        raise SolverError(f"HiGHS rejected LP {model.name!r}: {exc}") from exc
+        raise SolverError(
+            f"HiGHS rejected LP {model.name!r}: {exc}",
+            stage="lp",
+            backend="highs",
+        ) from exc
+    if time_limit is not None and result.status == _TIME_LIMIT_STATUS:
+        raise StageTimeoutError(
+            f"HiGHS hit the {time_limit:g}s time limit on LP {model.name!r}",
+            stage="lp",
+            backend="highs",
+            elapsed=float(time_limit),
+        )
     status = _STATUS_MAP.get(result.status, LPStatus.ERROR)
     if status is LPStatus.OPTIMAL:
         dual_ineq = (
@@ -70,8 +100,10 @@ class HighsBackend:
 
     name = "highs"
 
-    def __call__(self, model: LinearProgram) -> LPSolution:
-        return solve_highs(model)
+    def __call__(
+        self, model: LinearProgram, *, time_limit: float | None = None
+    ) -> LPSolution:
+        return solve_highs(model, time_limit=time_limit)
 
     def __repr__(self) -> str:  # pragma: no cover
         return "HighsBackend()"

@@ -17,14 +17,19 @@ Model handling:
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
+from ..core.errors import StageTimeoutError
+from ..core.resilience import check_budget
 from .model import LinearProgram, LPSolution, LPStatus
 
 __all__ = ["SimplexBackend", "solve_simplex"]
 
 _TOL = 1e-9
 _MAX_ITERS_FACTOR = 200
+_BUDGET_POLL_ITERS = 64  # pivot iterations between wall-clock checks
 
 
 def _pivot(tableau: np.ndarray, basis: np.ndarray, row: int, col: int) -> None:
@@ -38,16 +43,31 @@ def _pivot(tableau: np.ndarray, basis: np.ndarray, row: int, col: int) -> None:
 
 
 def _run_simplex(
-    tableau: np.ndarray, basis: np.ndarray, cost: np.ndarray, max_iters: int
+    tableau: np.ndarray,
+    basis: np.ndarray,
+    cost: np.ndarray,
+    max_iters: int,
+    deadline: float | None = None,
 ) -> LPStatus:
     """Optimize ``min cost.x`` over the tableau in place; returns status.
 
     ``tableau`` is ``(m, n+1)`` with the rhs in the last column; ``basis``
-    holds the basic column of each row.  Uses Bland's rule.
+    holds the basic column of each row.  Uses Bland's rule.  Every
+    ``_BUDGET_POLL_ITERS`` pivots the loop polls the ambient solve budget
+    and the explicit ``deadline`` (monotonic seconds), raising
+    :class:`StageTimeoutError` when either is exhausted.
     """
     m, _ = tableau.shape
     n = tableau.shape[1] - 1
-    for _ in range(max_iters):
+    for iteration in range(max_iters):
+        if iteration % _BUDGET_POLL_ITERS == 0:
+            check_budget("lp", "simplex")
+            if deadline is not None and time.monotonic() > deadline:
+                raise StageTimeoutError(
+                    "simplex exceeded its time limit",
+                    stage="lp",
+                    backend="simplex",
+                )
         # Reduced costs: c_j - c_B . B^-1 A_j  (tableau rows already are B^-1 A).
         c_b = cost[basis]
         reduced = cost[:n] - c_b @ tableau[:, :n]
@@ -77,8 +97,16 @@ def _run_simplex(
     return LPStatus.ERROR  # iteration limit: numerical trouble
 
 
-def solve_simplex(model: LinearProgram) -> LPSolution:
-    """Solve ``model`` with the in-repo two-phase simplex."""
+def solve_simplex(
+    model: LinearProgram, *, time_limit: float | None = None
+) -> LPSolution:
+    """Solve ``model`` with the in-repo two-phase simplex.
+
+    ``time_limit`` (seconds, across both phases) raises
+    :class:`StageTimeoutError` when exceeded; the ambient solve budget is
+    honored either way.
+    """
+    deadline = time.monotonic() + time_limit if time_limit is not None else None
     c, a_ub, b_ub, a_eq, b_eq, lb, ub = model.to_standard_arrays()
     nvar = model.num_variables
     if nvar == 0:
@@ -204,7 +232,7 @@ def solve_simplex(model: LinearProgram) -> LPSolution:
         cost1 = np.zeros(total_cols)
         for col in art_cols:
             cost1[col] = 1.0
-        status = _run_simplex(tableau, basis, cost1, max_iters)
+        status = _run_simplex(tableau, basis, cost1, max_iters, deadline)
         if status is LPStatus.ERROR:
             return LPSolution(
                 status=LPStatus.ERROR, objective=None, x=None,
@@ -232,7 +260,7 @@ def solve_simplex(model: LinearProgram) -> LPSolution:
     cost2[:n_std] = c_std
     for col in art_cols:
         cost2[col] = 1e18  # any positive cost keeps zero-valued artificials at 0
-    status = _run_simplex(tableau, basis, cost2, max_iters)
+    status = _run_simplex(tableau, basis, cost2, max_iters, deadline)
     if status is LPStatus.UNBOUNDED:
         return LPSolution(status=LPStatus.UNBOUNDED, objective=None, x=None)
     if status is LPStatus.ERROR:
@@ -259,8 +287,10 @@ class SimplexBackend:
 
     name = "simplex"
 
-    def __call__(self, model: LinearProgram) -> LPSolution:
-        return solve_simplex(model)
+    def __call__(
+        self, model: LinearProgram, *, time_limit: float | None = None
+    ) -> LPSolution:
+        return solve_simplex(model, time_limit=time_limit)
 
     def __repr__(self) -> str:  # pragma: no cover
         return "SimplexBackend()"

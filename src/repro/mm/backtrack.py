@@ -15,10 +15,14 @@ black-box abstraction is designed for.
 
 from __future__ import annotations
 
+import time
+
 from dataclasses import dataclass
 from typing import Sequence
 
+from ..core.errors import StageTimeoutError
 from ..core.job import Job
+from ..core.resilience import check_budget
 from ..core.schedule import ScheduledJob
 from ..core.tolerance import EPS, leq
 from .base import MMSchedule, check_mm
@@ -98,10 +102,13 @@ class BacktrackGreedyMM:
     """MM black box: EDF list scheduling with one-level displacement repair.
 
     Grows ``w`` from 1 until the repaired greedy succeeds (``w = n`` always
-    does).
+    does).  ``time_budget`` seconds (checked between ``w`` attempts, along
+    with the ambient solve budget) raises :class:`StageTimeoutError` so the
+    resilience layer can swap in a cheaper black box.
     """
 
     ordering: str = "edf"
+    time_budget: float | None = None
 
     @property
     def name(self) -> str:
@@ -110,9 +117,21 @@ class BacktrackGreedyMM:
     def solve(self, jobs: Sequence[Job], speed: float = 1.0) -> MMSchedule:
         if not jobs:
             return MMSchedule(placements=(), num_machines=0, speed=speed)
+        deadline = (
+            time.monotonic() + self.time_budget
+            if self.time_budget is not None
+            else None
+        )
         key = ORDERINGS[self.ordering]
         ordered = sorted(jobs, key=key)
         for w in range(1, len(jobs) + 1):
+            check_budget("mm", self.name)
+            if deadline is not None and time.monotonic() > deadline:
+                raise StageTimeoutError(
+                    f"{self.name} exceeded its time budget at w={w}",
+                    stage="mm",
+                    backend=self.name,
+                )
             placements = _try_with_displacement(ordered, w, speed)
             if placements is not None:
                 schedule = MMSchedule(

@@ -135,18 +135,27 @@ def check_mm(jobs: Sequence[Job], schedule: MMSchedule, context: str = "") -> No
 
 
 def max_overlap(
-    intervals: Sequence[tuple[float, float]],
+    intervals: Sequence[tuple[float, float]], eps: float = EPS
 ) -> int:
-    """Maximum number of half-open intervals covering any single instant."""
-    events: list[tuple[float, int]] = []
-    for start, end in intervals:
-        events.append((start, 1))
-        events.append((end, -1))
-    events.sort(key=lambda e: (e[0], e[1]))
-    best = cur = 0
-    for _, delta in events:
-        cur += delta
-        best = max(best, cur)
+    """Maximum number of half-open intervals covering any single instant.
+
+    Tolerance-aware: an interval ending within ``eps`` of another's start
+    does not overlap it.  This matches both :func:`color_intervals` (which
+    reuses a machine once ``end <= start + EPS``) and the overlap predicate
+    in :func:`validate_mm`, so a schedule colored with ``max_overlap``
+    machines always validates.  Exact-arithmetic sweeping here used to
+    overcount chains of floating-point-adjacent intervals whose recomputed
+    endpoints differ by an ulp.
+    """
+    import heapq
+
+    ends: list[float] = []
+    best = 0
+    for start, end in sorted(intervals):
+        while ends and ends[0] <= start + eps:
+            heapq.heappop(ends)
+        heapq.heappush(ends, end)
+        best = max(best, len(ends))
     return best
 
 

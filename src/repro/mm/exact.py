@@ -20,11 +20,14 @@ bound.
 
 from __future__ import annotations
 
+import time
+
 from dataclasses import dataclass, field
 from typing import Sequence
 
-from ..core.errors import LimitExceededError
+from ..core.errors import LimitExceededError, StageTimeoutError
 from ..core.job import Job
+from ..core.resilience import check_budget
 from ..core.schedule import ScheduledJob
 from ..core.tolerance import EPS, leq
 from .base import MMSchedule, check_mm
@@ -32,6 +35,8 @@ from .greedy import BestOfGreedyMM
 from .preemptive_bound import preemptive_machine_lower_bound
 
 __all__ = ["ExactMM", "feasible_on_machines"]
+
+_BUDGET_POLL_NODES = 256  # search nodes between wall-clock checks
 
 
 def _round_state(value: float) -> float:
@@ -43,12 +48,14 @@ def feasible_on_machines(
     w: int,
     speed: float = 1.0,
     node_budget: int = 200_000,
+    deadline: float | None = None,
 ) -> MMSchedule | None:
     """Search for a feasible nonpreemptive schedule on ``w`` machines.
 
     Returns a feasible :class:`MMSchedule` or None if none exists.  Raises
     :class:`LimitExceededError` when the node budget runs out before the
-    question is decided.
+    question is decided, and :class:`StageTimeoutError` when the explicit
+    ``deadline`` (monotonic seconds) or the ambient solve budget expires.
     """
     if not jobs:
         return MMSchedule(placements=(), num_machines=max(w, 0), speed=speed)
@@ -72,8 +79,19 @@ def feasible_on_machines(
         if nodes > node_budget:
             raise LimitExceededError(
                 f"exact MM search exceeded node budget {node_budget} "
-                f"(n={n}, w={w})"
+                f"(n={n}, w={w})",
+                stage="mm",
+                backend="exact",
             )
+        if nodes % _BUDGET_POLL_NODES == 0:
+            check_budget("mm", "exact")
+            if deadline is not None and time.monotonic() > deadline:
+                raise StageTimeoutError(
+                    f"exact MM search exceeded its time budget "
+                    f"(n={n}, w={w}, {nodes} nodes)",
+                    stage="mm",
+                    backend="exact",
+                )
         state = (remaining, finishes)
         if state in failed:
             return False
@@ -137,18 +155,26 @@ def feasible_on_machines(
 class ExactMM:
     """MM black box: exact optimum via B&B with binary search on ``w``.
 
-    Raises :class:`LimitExceededError` when the instance is too large for the
-    node budget; wrap with the registry's ``"auto"`` algorithm to fall back
-    to heuristics in that case.
+    Raises :class:`LimitExceededError` when the instance is too large for
+    the node budget and :class:`StageTimeoutError` when ``time_budget``
+    seconds (shared across the whole binary search) run out; wrap with the
+    registry's ``"auto"`` algorithm — or a resilience fallback chain — to
+    fall back to heuristics in either case.
     """
 
     node_budget: int = 200_000
+    time_budget: float | None = None
 
     name: str = "exact"
 
     def solve(self, jobs: Sequence[Job], speed: float = 1.0) -> MMSchedule:
         if not jobs:
             return MMSchedule(placements=(), num_machines=0, speed=speed)
+        deadline = (
+            time.monotonic() + self.time_budget
+            if self.time_budget is not None
+            else None
+        )
         lo = max(1, preemptive_machine_lower_bound(jobs, speed))
         upper_schedule = BestOfGreedyMM().solve(jobs, speed)
         hi = upper_schedule.num_machines
@@ -156,7 +182,8 @@ class ExactMM:
         while lo < hi:
             mid = (lo + hi) // 2
             schedule = feasible_on_machines(
-                jobs, mid, speed, node_budget=self.node_budget
+                jobs, mid, speed, node_budget=self.node_budget,
+                deadline=deadline,
             )
             if schedule is not None:
                 best = schedule
@@ -165,7 +192,8 @@ class ExactMM:
                 lo = mid + 1
         if best.num_machines != lo:
             schedule = feasible_on_machines(
-                jobs, lo, speed, node_budget=self.node_budget
+                jobs, lo, speed, node_budget=self.node_budget,
+                deadline=deadline,
             )
             assert schedule is not None, "binary search invariant violated"
             best = schedule

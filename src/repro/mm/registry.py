@@ -23,7 +23,7 @@ from .greedy import BestOfGreedyMM, GreedyMM
 from .lp_rounding import LPRoundingMM
 from .rigid import RigidExactMM, all_rigid
 
-__all__ = ["AutoMM", "get_mm_algorithm", "MM_ALGORITHMS"]
+__all__ = ["AutoMM", "get_mm_algorithm", "resolve_mm_chain", "MM_ALGORITHMS"]
 
 
 @dataclass
@@ -37,6 +37,7 @@ class AutoMM:
 
     exact_threshold: int = 10
     node_budget: int = 100_000
+    time_budget: float | None = None
 
     name: str = "auto"
 
@@ -47,7 +48,9 @@ class AutoMM:
         if len(jobs) > self.exact_threshold:
             return fallback.solve(jobs, speed)
         try:
-            exact = ExactMM(node_budget=self.node_budget).solve(jobs, speed)
+            exact = ExactMM(
+                node_budget=self.node_budget, time_budget=self.time_budget
+            ).solve(jobs, speed)
         except LimitExceededError:
             return fallback.solve(jobs, speed)
         greedy = fallback.solve(jobs, speed)
@@ -74,7 +77,12 @@ MM_ALGORITHMS: dict[str, MMAlgorithm] = _make_algorithms()
 
 
 def get_mm_algorithm(spec: str | MMAlgorithm) -> MMAlgorithm:
-    """Resolve an algorithm name or pass an instance through."""
+    """Resolve an algorithm name or pass an instance through.
+
+    Names are resolved at *call time* by the pipelines (not cached), so a
+    registry entry swapped out — e.g. by the fault-injection harness in
+    :mod:`repro.testing.faults` — is picked up by the very next solve.
+    """
     if isinstance(spec, str):
         try:
             return MM_ALGORITHMS[spec]
@@ -84,3 +92,24 @@ def get_mm_algorithm(spec: str | MMAlgorithm) -> MMAlgorithm:
                 f"{sorted(MM_ALGORITHMS)}"
             ) from None
     return spec
+
+
+def resolve_mm_chain(
+    primary: str | MMAlgorithm, fallbacks: Sequence[str] = ()
+) -> list[tuple[str, str | MMAlgorithm]]:
+    """Build ``(display_name, spec)`` fallback candidates, primary first.
+
+    Specs stay *unresolved* (names or instances); the pipeline resolves
+    each via :func:`get_mm_algorithm` at attempt time so registry swaps
+    (fault injection, hot reconfiguration) take effect per attempt.
+    Fallback names equal to the primary's name are dropped.
+    """
+    if isinstance(primary, str):
+        primary_name = primary
+    else:
+        primary_name = getattr(primary, "name", type(primary).__name__)
+    chain: list[tuple[str, str | MMAlgorithm]] = [(primary_name, primary)]
+    for name in fallbacks:
+        if name != primary_name:
+            chain.append((name, name))
+    return chain

@@ -17,20 +17,47 @@ preemptive-flow lower bounds needed to check those bounds empirically
 
 from __future__ import annotations
 
+import dataclasses
 import time
+from contextlib import ExitStack
 from dataclasses import dataclass, field
 
 from ..core.errors import InvalidInstanceError
 from ..core.job import Instance
+from ..core.resilience import (
+    DEFAULT_MM_CHAIN,
+    ResiliencePolicy,
+    ResilienceReport,
+    budget_scope,
+    current_budget,
+    run_with_fallbacks,
+)
 from ..core.schedule import Schedule, empty_schedule
 from ..core.validate import check_ise
-from ..mm.base import MMAlgorithm
+from ..mm.base import MMAlgorithm, check_mm
 from ..mm.preemptive_bound import preemptive_machine_lower_bound
-from ..mm.registry import get_mm_algorithm
+from ..mm.registry import get_mm_algorithm, resolve_mm_chain
 from .intervals import IntervalBucket, ShortJobPartition, partition_short_jobs
 from .transform import IntervalTransformResult, interval_mm_to_ise
 
 __all__ = ["ShortWindowConfig", "IntervalReport", "ShortWindowResult", "ShortWindowSolver"]
+
+
+def _with_time_cap(algorithm: MMAlgorithm, cap: float | None) -> MMAlgorithm:
+    """Copy ``algorithm`` with its ``time_budget`` tightened to ``cap``.
+
+    Only applies to dataclass black boxes that expose a ``time_budget``
+    field (exact, backtrack, auto); heuristics without one are near-instant
+    and simply run to completion.
+    """
+    if cap is None or not hasattr(algorithm, "time_budget"):
+        return algorithm
+    current = getattr(algorithm, "time_budget")
+    tightened = cap if current is None else min(cap, current)
+    try:
+        return dataclasses.replace(algorithm, time_budget=tightened)
+    except TypeError:  # not a dataclass — leave it alone
+        return algorithm
 
 
 @dataclass(frozen=True)
@@ -49,6 +76,8 @@ class ShortWindowConfig:
             which calibrations may be invoked less than ``T`` apart; crossing
             jobs then need no extra machines (``w`` instead of ``3w`` per
             interval), only their dedicated calibrations.
+        resilience: failure-handling policy; None means strict (failures
+            propagate, no MM fallback chain).
     """
 
     mm_algorithm: str | MMAlgorithm = "best_greedy"
@@ -58,6 +87,7 @@ class ShortWindowConfig:
     validate: bool = True
     compute_lower_bounds: bool = True
     overlapping_calibrations: bool = False
+    resilience: ResiliencePolicy | None = None
 
 
 @dataclass(frozen=True)
@@ -85,6 +115,7 @@ class ShortWindowResult:
     mm_name: str
     gamma: float
     wall_times: dict[str, float] = field(default_factory=dict, compare=False)
+    resilience: ResilienceReport | None = field(default=None, compare=False)
 
     @property
     def num_calibrations(self) -> int:
@@ -130,10 +161,26 @@ class ShortWindowSolver:
         self.config = config or ShortWindowConfig()
 
     def solve(self, instance: Instance) -> ShortWindowResult:
-        """Partition, per-interval MM + lift, merge; returns schedule + telemetry."""
+        """Partition, per-interval MM + lift, merge; returns schedule + telemetry.
+
+        With a non-strict :class:`ResiliencePolicy` configured, each
+        interval's MM solve runs through the fallback chain (default:
+        configured algorithm ``-> best_greedy -> greedy_edf``) with the
+        output independently re-validated via :func:`check_mm` — Theorem 20
+        is black-box in the MM algorithm, so swapping a failed box only
+        moves the approximation factor, never feasibility.
+        """
         cfg = self.config
+        policy = cfg.resilience or ResiliencePolicy()
+        report = ResilienceReport()
         T = instance.calibration_length
         mm = get_mm_algorithm(cfg.mm_algorithm)
+        fallback_names = (
+            ()
+            if policy.strict
+            else (policy.mm_chain if policy.mm_chain is not None else DEFAULT_MM_CHAIN)
+        )
+        chain = resolve_mm_chain(cfg.mm_algorithm, fallback_names)
         times: dict[str, float] = {}
 
         tic = time.perf_counter()
@@ -147,11 +194,42 @@ class ShortWindowSolver:
         ]
         mm_time = 0.0
         lift_time = 0.0
-        for bucket in partition.buckets:
-            tic = time.perf_counter()
-            mm_schedule = mm.solve(bucket.jobs, speed=cfg.speed)
-            mm_time += time.perf_counter() - tic
+        with ExitStack() as stack:
+            budget = current_budget()
+            if budget is None and policy.budget is not None:
+                budget = stack.enter_context(budget_scope(policy.fresh_budget()))
+            mm_schedules = []
+            for bucket in partition.buckets:
+                tic = time.perf_counter()
 
+                def mm_thunk(spec, jobs=bucket.jobs):
+                    def run():
+                        algorithm = get_mm_algorithm(spec)
+                        cap: float | None = None
+                        if budget is not None:
+                            remaining = budget.stage_limit("mm")
+                            if remaining != float("inf"):
+                                cap = max(remaining, 0.0)
+                        return _with_time_cap(algorithm, cap).solve(
+                            jobs, speed=cfg.speed
+                        )
+
+                    return run
+
+                mm_schedule = run_with_fallbacks(
+                    "mm",
+                    [(name, mm_thunk(spec)) for name, spec in chain],
+                    report=report,
+                    retry=policy.retry,
+                    budget=budget,
+                    validate=lambda s, jobs=bucket.jobs: check_mm(
+                        jobs, s, context="short-window MM output"
+                    ),
+                )
+                mm_time += time.perf_counter() - tic
+                mm_schedules.append(mm_schedule)
+
+        for bucket, mm_schedule in zip(partition.buckets, mm_schedules):
             tic = time.perf_counter()
             lifted = interval_mm_to_ise(
                 bucket.jobs,
@@ -220,6 +298,7 @@ class ShortWindowSolver:
             )
             times["validate"] = time.perf_counter() - tic
 
+        report.record_times(times)
         return ShortWindowResult(
             schedule=merged,
             intervals=tuple(reports),
@@ -228,4 +307,5 @@ class ShortWindowSolver:
             mm_name=getattr(mm, "name", str(mm)),
             gamma=cfg.gamma,
             wall_times=times,
+            resilience=report,
         )

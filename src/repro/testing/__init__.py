@@ -1,0 +1,24 @@
+"""Deterministic testing utilities for the resilience layer.
+
+* :mod:`repro.testing.faults` — fault-injection harness: wrap registered
+  LP backends and MM algorithms so they fail, return garbage, or time out
+  on chosen calls, plus a fake clock for deterministic deadline tests.
+"""
+
+from .faults import (
+    FakeClock,
+    FaultPlan,
+    FaultyLPBackend,
+    FaultyMM,
+    inject_lp_fault,
+    inject_mm_fault,
+)
+
+__all__ = [
+    "FakeClock",
+    "FaultPlan",
+    "FaultyLPBackend",
+    "FaultyMM",
+    "inject_lp_fault",
+    "inject_mm_fault",
+]

@@ -1,0 +1,196 @@
+"""Deterministic fault injection for the resilience layer.
+
+The chaos suite (``tests/resilience/``) needs to make *specific* backends
+fail in *specific* ways at *specific* moments, repeatably.  Rather than
+monkeypatching internals ad hoc, this module wraps the two public plug-in
+surfaces — LP backends (:data:`repro.lp.BACKENDS`) and MM algorithms
+(:data:`repro.mm.registry.MM_ALGORITHMS`) — with wrappers driven by a
+:class:`FaultPlan`:
+
+* ``"fail"``    — raise :class:`~repro.core.errors.SolverError`;
+* ``"timeout"`` — raise :class:`~repro.core.errors.StageTimeoutError`
+  without actually sleeping (simulated deadline expiry);
+* ``"garbage"`` — return a structurally well-formed but *wrong* result,
+  exercising the validators that defend the pipelines against backends
+  that "succeed" with nonsense.
+
+Both registries are resolved by name at call time in the pipelines, so the
+:func:`inject_lp_fault` / :func:`inject_mm_fault` context managers take
+effect on the very next solve and restore the genuine entry on exit, even
+if the body raises.
+
+:class:`FakeClock` makes budget expiry deterministic: tests advance time
+explicitly (or per clock read) instead of sleeping.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from ..core.errors import SolverError, StageTimeoutError
+from ..core.job import Job
+from ..core.schedule import ScheduledJob
+from ..lp import BACKENDS, LinearProgram, LPSolution, LPStatus, get_backend
+from ..mm.base import MMAlgorithm, MMSchedule
+from ..mm.registry import MM_ALGORITHMS, get_mm_algorithm
+
+__all__ = [
+    "FakeClock",
+    "FaultPlan",
+    "FaultyLPBackend",
+    "FaultyMM",
+    "inject_lp_fault",
+    "inject_mm_fault",
+]
+
+_KINDS = ("fail", "garbage", "timeout")
+
+
+@dataclass
+class FakeClock:
+    """A controllable monotonic clock for deterministic timeout tests.
+
+    Pass an instance as ``SolveBudget(clock=...)``; each read returns the
+    current time and then advances it by ``step`` (0 = frozen until
+    :meth:`advance` is called explicitly).
+    """
+
+    now: float = 0.0
+    step: float = 0.0
+
+    def __call__(self) -> float:
+        value = self.now
+        self.now += self.step
+        return value
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@dataclass
+class FaultPlan:
+    """Which calls to a wrapped backend should fault, and how.
+
+    Attributes:
+        kind: ``"fail"``, ``"garbage"``, or ``"timeout"``.
+        at_calls: 1-based call numbers that fault; None means every call.
+            ``at_calls=(1,)`` models a transient failure that a retry or
+            the next fallback candidate survives.
+        calls: running call counter (mutated by :meth:`should_fault`), also
+            letting tests assert how many times the backend was reached.
+    """
+
+    kind: str = "fail"
+    at_calls: Sequence[int] | None = None
+    calls: int = field(default=0)
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; use {_KINDS}")
+
+    def should_fault(self) -> bool:
+        self.calls += 1
+        return self.at_calls is None or self.calls in tuple(self.at_calls)
+
+
+class FaultyLPBackend:
+    """An LP backend wrapper that faults according to a :class:`FaultPlan`.
+
+    The ``"garbage"`` fault returns an all-zeros "optimal" solution — it
+    assigns no job anywhere, so the long-window pipeline's job-coverage
+    validator must reject it.
+    """
+
+    def __init__(self, inner, plan: FaultPlan, name: str = "lp") -> None:
+        self.inner = inner
+        self.plan = plan
+        self.name = name
+
+    def __call__(
+        self, model: LinearProgram, *, time_limit: float | None = None
+    ) -> LPSolution:
+        if self.plan.should_fault():
+            if self.plan.kind == "fail":
+                raise SolverError(
+                    "injected LP backend failure",
+                    stage="lp",
+                    backend=self.name,
+                )
+            if self.plan.kind == "timeout":
+                raise StageTimeoutError(
+                    "injected LP timeout",
+                    stage="lp",
+                    backend=self.name,
+                )
+            return LPSolution(
+                status=LPStatus.OPTIMAL,
+                objective=0.0,
+                x=np.zeros(model.num_variables),
+                message="injected garbage",
+            )
+        return self.inner(model, time_limit=time_limit)
+
+
+@dataclass
+class FaultyMM:
+    """An MM algorithm wrapper that faults according to a :class:`FaultPlan`.
+
+    The ``"garbage"`` fault places every job *before its release* on one
+    machine — structurally a valid :class:`MMSchedule`, semantically
+    infeasible, so the short-window pipeline's :func:`~repro.mm.base.check_mm`
+    re-validation must reject it.
+    """
+
+    inner: MMAlgorithm
+    plan: FaultPlan
+    name: str = "faulty"
+
+    def solve(self, jobs: Sequence[Job], speed: float = 1.0) -> MMSchedule:
+        if self.plan.should_fault():
+            if self.plan.kind == "fail":
+                raise SolverError(
+                    "injected MM failure", stage="mm", backend=self.name
+                )
+            if self.plan.kind == "timeout":
+                raise StageTimeoutError(
+                    "injected MM timeout", stage="mm", backend=self.name
+                )
+            placements = tuple(
+                ScheduledJob(start=job.release - 1.0, machine=0, job_id=job.job_id)
+                for job in jobs
+            )
+            return MMSchedule(
+                placements=placements, num_machines=1, speed=speed
+            )
+        return self.inner.solve(jobs, speed)
+
+
+@contextmanager
+def inject_lp_fault(backend: str, plan: FaultPlan) -> Iterator[FaultPlan]:
+    """Swap the registered LP backend ``backend`` for a faulty wrapper.
+
+    The pipelines look backends up by name per attempt, so the swap is
+    visible to any solve entered inside the ``with`` block, and the genuine
+    backend is restored afterwards no matter how the block exits.
+    """
+    original = get_backend(backend)
+    BACKENDS[backend] = FaultyLPBackend(original, plan, name=backend)
+    try:
+        yield plan
+    finally:
+        BACKENDS[backend] = original
+
+
+@contextmanager
+def inject_mm_fault(name: str, plan: FaultPlan) -> Iterator[FaultPlan]:
+    """Swap the registered MM algorithm ``name`` for a faulty wrapper."""
+    original = get_mm_algorithm(name)
+    MM_ALGORITHMS[name] = FaultyMM(original, plan, name=name)
+    try:
+        yield plan
+    finally:
+        MM_ALGORITHMS[name] = original

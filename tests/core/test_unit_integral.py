@@ -1,0 +1,63 @@
+"""Regression tests for the unit-instance routing predicate.
+
+``_is_unit_integral`` used to hard-code ``1e-9`` comparisons; it now goes
+through :mod:`repro.core.tolerance` like every other float comparison in
+the library, so the unit-specialization routing cannot drift from the
+validators' notion of "integral" if the library-wide EPS ever changes.
+"""
+
+from __future__ import annotations
+
+from repro.core import EPS, Instance, Job
+from repro.core.solver import ISEConfig, _is_unit_integral, solve_ise
+
+
+def _unit_instance(**overrides):
+    jobs = overrides.pop(
+        "jobs",
+        (Job(0, 0.0, 6.0, 1.0), Job(1, 2.0, 9.0, 1.0)),
+    )
+    return Instance(
+        jobs=jobs, machines=1, calibration_length=overrides.pop("T", 3.0)
+    )
+
+
+class TestUnitIntegralBoundary:
+    def test_clean_unit_instance_is_detected(self):
+        assert _is_unit_integral(_unit_instance())
+
+    def test_noise_within_eps_still_counts_as_unit(self):
+        # Values a hair off integral (e.g. accumulated fp error from a
+        # generator) must not silently disable the specialization.
+        jobs = (
+            Job(0, 0.0 + EPS / 2, 6.0 - EPS / 2, 1.0 + EPS / 2),
+            Job(1, 2.0, 9.0, 1.0),
+        )
+        assert _is_unit_integral(_unit_instance(jobs=jobs))
+
+    def test_noise_beyond_eps_disables_the_fast_path(self):
+        jobs = (Job(0, 0.0, 6.0, 1.0 + 100 * EPS), Job(1, 2.0, 9.0, 1.0))
+        assert not _is_unit_integral(_unit_instance(jobs=jobs))
+
+    def test_fractional_t_disables_the_fast_path(self):
+        assert not _is_unit_integral(_unit_instance(T=3.5))
+
+    def test_fractional_release_disables_the_fast_path(self):
+        jobs = (Job(0, 0.25, 6.0, 1.0), Job(1, 2.0, 9.0, 1.0))
+        assert not _is_unit_integral(_unit_instance(jobs=jobs))
+
+    def test_custom_eps_is_respected(self):
+        jobs = (Job(0, 0.0, 6.0, 1.001), Job(1, 2.0, 9.0, 1.0))
+        instance = _unit_instance(jobs=jobs)
+        assert not _is_unit_integral(instance)
+        assert _is_unit_integral(instance, eps=0.01)
+
+    def test_specialized_solve_handles_near_unit_noise(self):
+        jobs = (
+            Job(0, 0.0, 6.0, 1.0 + EPS / 2),
+            Job(1, 2.0, 9.0, 1.0 - EPS / 2),
+        )
+        instance = _unit_instance(jobs=jobs)
+        result = solve_ise(instance, ISEConfig(specialize_unit=True))
+        # The lazy-binning path was taken (no pipeline sub-results).
+        assert result.long_result is None and result.short_result is None

@@ -95,9 +95,8 @@ class TestMaxOverlap:
     @given(
         st.lists(
             st.tuples(
-                # Coarse grid: color_intervals is EPS-tolerant while
-                # max_overlap is exact, so sub-EPS gaps would legitimately
-                # disagree; real schedule data is far coarser than 1e-9.
+                # Coarse grid: both color_intervals and max_overlap are
+                # EPS-tolerant; real schedule data is far coarser than 1e-9.
                 st.integers(0, 5000).map(lambda v: v / 100.0),
                 st.integers(10, 1000).map(lambda v: v / 100.0),
             ),
@@ -119,3 +118,34 @@ class TestMaxOverlap:
             spans.sort()
             for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
                 assert e1 <= s2 + 1e-9
+
+
+class TestMaxOverlapEpsTolerance:
+    """Regression: max_overlap must agree with the EPS-aware coloring.
+
+    Found by hypothesis (rigid family, n=8, machines=2, seed=624): chaining
+    jobs back-to-back through float recomputation can leave one job's start
+    a single ulp before its predecessor's end.  Exact-arithmetic overlap
+    counting then sees a phantom 3-deep overlap in a ~1e-14-wide window
+    while color_intervals (correctly) reuses the machine, making the exact
+    rigid MM report more machines than the instance has.
+    """
+
+    def test_one_ulp_abutment_is_not_an_overlap(self):
+        end = 36.20164205653588
+        start = 36.201642056535874  # one ulp earlier than `end`
+        assert start < end
+        intervals = [(0.0, end), (start, start + 5.0)]
+        assert max_overlap(intervals) == 1
+
+    def test_real_overlap_within_eps_grid_still_counts(self):
+        assert max_overlap([(0.0, 2.0), (1.0, 3.0)]) == 2
+
+    def test_rigid_seed_624_fits_its_machine_count(self):
+        from repro.instances import rigid_instance
+        from repro.mm import RigidExactMM, validate_mm as _validate
+
+        gen = rigid_instance(8, 2, 10.0, 624)
+        schedule = RigidExactMM().solve(gen.instance.jobs)
+        assert _validate(gen.instance.jobs, schedule) == []
+        assert schedule.num_machines <= gen.instance.machines

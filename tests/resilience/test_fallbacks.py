@@ -1,0 +1,259 @@
+"""Unit tests for the generic fallback-chain executor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import (
+    FallbacksExhaustedError,
+    InfeasibleInstanceError,
+    SolverError,
+    StageTimeoutError,
+)
+from repro.core.resilience import (
+    ResilienceReport,
+    RetryPolicy,
+    SolveBudget,
+    run_with_fallbacks,
+)
+from repro.testing import FakeClock
+
+
+def _ok(value="answer"):
+    return value
+
+
+class TestHappyPath:
+    def test_primary_success_records_one_clean_attempt(self):
+        report = ResilienceReport()
+        result = run_with_fallbacks(
+            "lp", [("highs", lambda: _ok())], report=report
+        )
+        assert result == "answer"
+        assert [a.outcome for a in report.attempts] == ["ok"]
+        assert not report.degraded
+
+    def test_no_candidates_is_a_usage_error(self):
+        with pytest.raises(ValueError):
+            run_with_fallbacks("lp", [], report=ResilienceReport())
+
+
+class TestFallbacks:
+    def test_failure_walks_to_the_next_candidate(self):
+        report = ResilienceReport()
+
+        def boom():
+            raise SolverError("no", stage="lp", backend="highs")
+
+        result = run_with_fallbacks(
+            "lp",
+            [("highs", boom), ("simplex", lambda: _ok("fallback"))],
+            report=report,
+        )
+        assert result == "fallback"
+        assert [a.outcome for a in report.attempts] == ["failed", "ok"]
+        assert report.fallbacks == ["lp: highs -> simplex"]
+        assert report.degraded
+
+    def test_non_repro_crash_is_wrapped_and_survivable(self):
+        report = ResilienceReport()
+
+        def crash():
+            raise ZeroDivisionError("backend blew up")
+
+        result = run_with_fallbacks(
+            "lp", [("highs", crash), ("simplex", _ok)], report=report
+        )
+        assert result == "answer"
+        assert "ZeroDivisionError" in report.attempts[0].error
+
+    def test_exhaustion_raises_with_full_attempt_history(self):
+        report = ResilienceReport()
+
+        def boom():
+            raise SolverError("no")
+
+        with pytest.raises(FallbacksExhaustedError) as exc_info:
+            run_with_fallbacks(
+                "lp", [("highs", boom), ("simplex", boom)], report=report
+            )
+        err = exc_info.value
+        assert err.stage == "lp"
+        assert len(err.attempts) == 2
+        assert isinstance(err.last_error, SolverError)
+
+    def test_infeasible_instance_propagates_immediately(self):
+        report = ResilienceReport()
+
+        def infeasible():
+            raise InfeasibleInstanceError("no schedule exists")
+
+        never_called = []
+        with pytest.raises(InfeasibleInstanceError):
+            run_with_fallbacks(
+                "lp",
+                [
+                    ("highs", infeasible),
+                    ("simplex", lambda: never_called.append(1)),
+                ],
+                report=report,
+            )
+        assert never_called == []  # a second backend cannot help
+
+
+class TestStrictSingleShot:
+    def test_single_candidate_reraises_the_original_error(self):
+        original = StageTimeoutError("slow", stage="lp", backend="highs")
+
+        def boom():
+            raise original
+
+        with pytest.raises(StageTimeoutError) as exc_info:
+            run_with_fallbacks(
+                "lp", [("highs", boom)], report=ResilienceReport()
+            )
+        assert exc_info.value is original  # identity, not a re-wrap
+
+    def test_single_candidate_still_records_the_attempt(self):
+        report = ResilienceReport()
+        with pytest.raises(SolverError):
+            run_with_fallbacks(
+                "lp",
+                [("highs", lambda: (_ for _ in ()).throw(SolverError("no")))],
+                report=report,
+            )
+        assert [a.outcome for a in report.attempts] == ["failed"]
+
+
+class TestRetries:
+    def test_transient_failure_recovers_on_retry(self):
+        report = ResilienceReport()
+        state = {"calls": 0}
+
+        def flaky():
+            state["calls"] += 1
+            if state["calls"] == 1:
+                raise SolverError("transient")
+            return "recovered"
+
+        result = run_with_fallbacks(
+            "lp",
+            [("highs", flaky)],
+            report=report,
+            retry=RetryPolicy(attempts=2),
+        )
+        assert result == "recovered"
+        assert [(a.outcome, a.attempt) for a in report.attempts] == [
+            ("failed", 1),
+            ("ok", 2),
+        ]
+        assert report.num_retries == 1
+        assert not report.degraded  # same backend, so not a fallback
+
+    def test_backoff_sleeps_between_retries_only(self):
+        naps: list[float] = []
+
+        def boom():
+            raise SolverError("no")
+
+        with pytest.raises(FallbacksExhaustedError):
+            run_with_fallbacks(
+                "lp",
+                [("highs", boom), ("simplex", boom)],
+                report=ResilienceReport(),
+                retry=RetryPolicy(attempts=2, backoff=0.25, sleep=naps.append),
+            )
+        # One backoff nap per candidate's second attempt.
+        assert naps == [0.25, 0.25]
+
+
+class TestValidation:
+    def test_garbage_result_falls_through_to_next_candidate(self):
+        report = ResilienceReport()
+
+        def validate(result):
+            if result == "garbage":
+                raise SolverError("does not cover the jobs")
+
+        result = run_with_fallbacks(
+            "lp",
+            [("highs", lambda: "garbage"), ("simplex", _ok)],
+            report=report,
+            validate=validate,
+        )
+        assert result == "answer"
+        assert [a.outcome for a in report.attempts] == ["invalid", "ok"]
+
+    def test_validator_crash_counts_as_invalid(self):
+        report = ResilienceReport()
+
+        def validate(result):
+            raise TypeError("garbage broke the validator itself")
+
+        def boom():
+            raise SolverError("also bad")
+
+        with pytest.raises(FallbacksExhaustedError):
+            run_with_fallbacks(
+                "lp",
+                [("highs", lambda: object()), ("simplex", boom)],
+                report=report,
+                validate=validate,
+            )
+        assert report.attempts[0].outcome == "invalid"
+        assert "TypeError" in report.attempts[0].error
+
+
+class TestBudgetInteraction:
+    def test_expired_budget_stops_the_chain_before_trying(self):
+        clock = FakeClock()
+        budget = SolveBudget(wall_clock=1.0, clock=clock).start()
+        clock.advance(2.0)
+        called = []
+        with pytest.raises(StageTimeoutError):
+            run_with_fallbacks(
+                "lp",
+                [("highs", lambda: called.append(1))],
+                report=ResilienceReport(),
+                budget=budget,
+            )
+        assert called == []
+
+    def test_real_deadline_timeout_is_not_swallowed_by_fallbacks(self):
+        clock = FakeClock()
+        budget = SolveBudget(wall_clock=1.0, clock=clock).start()
+
+        def slow():
+            clock.advance(5.0)  # the "work" blows the global deadline
+            raise StageTimeoutError("deadline", stage="lp", backend="highs")
+
+        called = []
+        with pytest.raises(StageTimeoutError):
+            run_with_fallbacks(
+                "lp",
+                [("highs", slow), ("simplex", lambda: called.append(1))],
+                report=ResilienceReport(),
+                budget=budget,
+            )
+        assert called == []  # no point running simplex with no time left
+
+    def test_simulated_timeout_with_time_remaining_falls_back(self):
+        # A StageTimeoutError raised while the global budget still has time
+        # (e.g. a per-stage cap, or an injected fault) is a candidate
+        # failure, not the end of the solve.
+        clock = FakeClock()
+        budget = SolveBudget(wall_clock=100.0, clock=clock).start()
+
+        def fake_timeout():
+            raise StageTimeoutError("stage cap", stage="lp", backend="highs")
+
+        report = ResilienceReport()
+        result = run_with_fallbacks(
+            "lp",
+            [("highs", fake_timeout), ("simplex", _ok)],
+            report=report,
+            budget=budget,
+        )
+        assert result == "answer"
+        assert report.attempts[0].outcome == "timeout"
+        assert report.fallbacks == ["lp: highs -> simplex"]

@@ -1,0 +1,127 @@
+"""Budget-exhaustion paths in the exact and backtracking MM searches.
+
+Covers the node budget (pre-existing) and the time budget (new) in
+``mm/exact.py`` and ``mm/backtrack.py``: both must raise typed
+:class:`LimitExceededError` subclasses with stage context, and both must be
+recoverable — by ``AutoMM``'s built-in fallback and by the registry-level
+fallback chain.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.mm.exact as exact_module
+from repro.core import Instance, Job
+from repro.core.errors import LimitExceededError, StageTimeoutError
+from repro.core.resilience import ResiliencePolicy, SolveBudget, budget_scope
+from repro.mm import AutoMM, BacktrackGreedyMM, ExactMM, validate_mm
+from repro.mm.exact import feasible_on_machines
+from repro.shortwindow import ShortWindowConfig, ShortWindowSolver
+from repro.testing import FakeClock
+
+
+def _hard_jobs():
+    """7 x 2-unit jobs in [0, 7): infeasible on 2 machines, feasible on 3.
+
+    The preemptive lower bound is 2 (14 units of work / 7 of time), so the
+    exact binary search must actually run the B&B at w=2 and exhaust it.
+    """
+    return tuple(Job(i, 0.0, 7.0, 2.0) for i in range(7))
+
+
+class TestNodeBudget:
+    def test_search_raises_typed_error_with_context(self):
+        with pytest.raises(LimitExceededError) as exc_info:
+            feasible_on_machines(_hard_jobs(), w=2, node_budget=1)
+        err = exc_info.value
+        assert err.stage == "mm"
+        assert err.backend == "exact"
+        assert "node budget" in str(err)
+
+    def test_exact_mm_surfaces_the_node_budget(self):
+        with pytest.raises(LimitExceededError):
+            ExactMM(node_budget=1).solve(_hard_jobs())
+
+    def test_ample_budget_solves_the_same_instance(self):
+        schedule = ExactMM().solve(_hard_jobs())
+        assert schedule.num_machines == 3
+        assert validate_mm(_hard_jobs(), schedule) == []
+
+
+class TestTimeBudget:
+    def test_exact_time_budget_raises_stage_timeout(self, monkeypatch):
+        # Poll every node so an already-expired deadline fires immediately
+        # and deterministically, regardless of machine speed.
+        monkeypatch.setattr(exact_module, "_BUDGET_POLL_NODES", 1)
+        with pytest.raises(StageTimeoutError) as exc_info:
+            ExactMM(time_budget=-1.0).solve(_hard_jobs())
+        assert exc_info.value.stage == "mm"
+        assert exc_info.value.backend == "exact"
+
+    def test_exact_ambient_budget_raises_stage_timeout(self, monkeypatch):
+        monkeypatch.setattr(exact_module, "_BUDGET_POLL_NODES", 1)
+        clock = FakeClock(step=10.0)
+        with budget_scope(SolveBudget(wall_clock=5.0, clock=clock)):
+            with pytest.raises(StageTimeoutError):
+                ExactMM().solve(_hard_jobs())
+
+    def test_time_budget_is_a_limit_exceeded_error(self):
+        # StageTimeoutError must subclass LimitExceededError so every
+        # pre-existing node-budget recovery path also covers timeouts.
+        assert issubclass(StageTimeoutError, LimitExceededError)
+
+    def test_backtrack_time_budget_raises_stage_timeout(self):
+        with pytest.raises(StageTimeoutError) as exc_info:
+            BacktrackGreedyMM(time_budget=-1.0).solve(_hard_jobs())
+        assert exc_info.value.stage == "mm"
+        assert "backtrack" in exc_info.value.backend
+
+    def test_backtrack_ambient_budget_raises_stage_timeout(self):
+        clock = FakeClock(step=10.0)
+        with budget_scope(SolveBudget(wall_clock=5.0, clock=clock)):
+            with pytest.raises(StageTimeoutError):
+                BacktrackGreedyMM().solve(_hard_jobs())
+
+    def test_backtrack_without_budget_is_unaffected(self):
+        schedule = BacktrackGreedyMM().solve(_hard_jobs())
+        assert validate_mm(_hard_jobs(), schedule) == []
+
+
+class TestRecovery:
+    def test_auto_mm_recovers_from_node_budget(self):
+        schedule = AutoMM(node_budget=1).solve(_hard_jobs())
+        assert validate_mm(_hard_jobs(), schedule) == []
+
+    def test_auto_mm_recovers_from_time_budget(self, monkeypatch):
+        # The new time budget rides AutoMM's existing except-LimitExceeded
+        # recovery because StageTimeoutError subclasses it.
+        monkeypatch.setattr(exact_module, "_BUDGET_POLL_NODES", 1)
+        schedule = AutoMM(node_budget=10**9, time_budget=-1.0).solve(
+            _hard_jobs()
+        )
+        assert validate_mm(_hard_jobs(), schedule) == []
+
+    def test_registry_chain_recovers_from_exhausted_exact(self):
+        # A non-strict short-window solve whose primary MM box dies on its
+        # node budget must fall back down the chain and still validate.
+        # The hard jobs have windows of 7 < 2T = 20, so they land in one
+        # interval bucket whose B&B genuinely runs (and dies at 1 node).
+        instance = Instance(
+            jobs=_hard_jobs(), machines=3, calibration_length=10.0
+        )
+        cfg = ShortWindowConfig(
+            mm_algorithm=ExactMM(node_budget=1),
+            resilience=ResiliencePolicy(strict=False),
+        )
+        result = ShortWindowSolver(cfg).solve(instance)
+        assert result.resilience.degraded
+        assert any("exact" in f for f in result.resilience.fallbacks)
+
+    def test_strict_short_window_propagates_the_limit(self):
+        instance = Instance(
+            jobs=_hard_jobs(), machines=3, calibration_length=10.0
+        )
+        cfg = ShortWindowConfig(mm_algorithm=ExactMM(node_budget=1))
+        with pytest.raises(LimitExceededError):
+            ShortWindowSolver(cfg).solve(instance)
