@@ -11,6 +11,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Iterable, Sequence
 
+from ..core.tolerance import close
+
 __all__ = ["Table", "format_value", "write_report"]
 
 
@@ -23,7 +25,7 @@ def format_value(value: Any) -> str:
             return "nan"
         if value in (float("inf"), float("-inf")):
             return "inf" if value > 0 else "-inf"
-        if abs(value - round(value)) < 1e-9 and abs(value) < 1e12:
+        if close(value, round(value)) and abs(value) < 1e12:
             return str(int(round(value)))
         return f"{value:.3f}"
     return str(value)

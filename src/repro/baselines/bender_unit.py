@@ -24,23 +24,28 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from ..core.calibration import Calibration, CalibrationSchedule
-from ..core.errors import InfeasibleInstanceError, InvalidInstanceError
+from ..core.errors import (
+    InfeasibleInstanceError,
+    InvalidInstanceError,
+    SolverError,
+)
 from ..core.job import Instance, Job
 from ..core.schedule import Schedule, ScheduledJob
+from ..core.tolerance import close
 
 __all__ = ["lazy_binning", "edf_feasible_from", "simulate_edf_from"]
 
 
 def _require_unit_integral(jobs: Sequence[Job]) -> None:
     for job in jobs:
-        if abs(job.processing - 1.0) > 1e-9:
+        if not close(job.processing, 1.0):
             raise InvalidInstanceError(
                 f"lazy binning requires unit jobs; job {job.job_id} has "
                 f"p = {job.processing}"
             )
-        if abs(job.release - round(job.release)) > 1e-9 or abs(
-            job.deadline - round(job.deadline)
-        ) > 1e-9:
+        if not close(job.release, round(job.release)) or not close(
+            job.deadline, round(job.deadline)
+        ):
             raise InvalidInstanceError(
                 f"lazy binning requires integral times; job {job.job_id} has "
                 f"window [{job.release}, {job.deadline})"
@@ -146,7 +151,7 @@ def lazy_binning(instance: Instance) -> Schedule:
     """
     _require_unit_integral(instance.jobs)
     T = int(instance.calibration_length)
-    if abs(instance.calibration_length - T) > 1e-9:
+    if not close(instance.calibration_length, T):
         raise InvalidInstanceError("lazy binning requires integral T")
     m = instance.machines
 
@@ -165,7 +170,13 @@ def lazy_binning(instance: Instance) -> Schedule:
         lower = min(available)
         t = _latest_feasible_start(jobs_left, lower, available)
         witness = simulate_edf_from(jobs_left, t, available)
-        assert witness is not None, "binary search returned infeasible t"
+        if witness is None:
+            raise SolverError(
+                f"lazy binning's latest-feasible search returned t = {t} "
+                "but EDF simulation from t is infeasible",
+                stage="baseline",
+                backend="bender_unit",
+            )
         commit: list[_SlotAssignment] = []
         for assignment in witness:
             c = max(t, available[assignment.machine])

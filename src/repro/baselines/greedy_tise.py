@@ -25,7 +25,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from ..core.calibration import Calibration, CalibrationSchedule
-from ..core.errors import InvalidInstanceError
+from ..core.errors import InvalidInstanceError, SolverError
 from ..core.job import Instance, Job
 from ..core.schedule import Schedule, ScheduledJob
 from ..core.tolerance import EPS, leq
@@ -65,9 +65,14 @@ def lazy_tise_greedy(instance: Instance) -> Schedule:
             if tise_feasible_for(j, t, T)
         ]
         eligible.sort(key=lambda j: (j.deadline, j.job_id))
-        assert eligible and eligible[0].job_id == urgent.job_id or any(
-            j.job_id == urgent.job_id for j in eligible
-        ), "the urgent job is always eligible at its own latest point"
+        if not any(j.job_id == urgent.job_id for j in eligible):
+            raise SolverError(
+                f"job {urgent.job_id} is not TISE-eligible at its own "
+                "latest calibration point — tise_feasible_for is "
+                "inconsistent with the urgency order",
+                stage="baseline",
+                backend="lazy_tise_greedy",
+            )
         # Guarantee the urgent job a slot by placing it first.
         ordered = [urgent] + [j for j in eligible if j.job_id != urgent.job_id]
         for job in ordered:

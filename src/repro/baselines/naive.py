@@ -20,6 +20,7 @@ import math
 from typing import Sequence
 
 from ..core.calibration import Calibration, CalibrationSchedule
+from ..core.errors import SolverError
 from ..core.job import Instance, Job
 from ..core.schedule import Schedule, ScheduledJob
 from ..core.tolerance import EPS, leq
@@ -84,7 +85,13 @@ def _greedy_into_calendar(
                 start = cell_end
             if best is None or start < best[0] - EPS:
                 best = (start, machine)
-        assert best is not None
+        if best is None:
+            raise SolverError(
+                "always-calibrated packing found no machine slot "
+                f"(w = {w})",
+                stage="baseline",
+                backend="naive",
+            )
         start, machine = best
         if not leq(start + job.processing, job.deadline):
             return None

@@ -143,7 +143,7 @@ class FallbacksExhaustedError(SolverError):
         self,
         message: str,
         *,
-        attempts: tuple = (),
+        attempts: tuple[object, ...] = (),
         last_error: BaseException | None = None,
         stage: str | None = None,
         backend: str | None = None,

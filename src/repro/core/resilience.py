@@ -375,7 +375,7 @@ class ResilienceReport:
             parts.append("fallbacks: " + "; ".join(self.fallbacks))
         return ", ".join(parts)
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, object]:
         """JSON-ready form for logs and the CLI."""
         return {
             "degraded": self.degraded,

@@ -17,6 +17,14 @@ from __future__ import annotations
 EPS: float = 1e-9
 """Absolute tolerance used for all time comparisons."""
 
+LOOSE_EPS: float = 1e-6
+"""Looser tolerance for *accumulated* quantities.
+
+Invariant checks that compare sums of many LP coefficients (the Lemma 5
+carryover audit, flow-value comparisons, coverage totals) accumulate one
+rounding error per term, so they use this 1000x-looser bound instead of
+:data:`EPS`.  Still far below any meaningful job length."""
+
 
 def leq(a: float, b: float, eps: float = EPS) -> bool:
     """Return True if ``a <= b`` up to tolerance (``a`` may exceed by eps)."""

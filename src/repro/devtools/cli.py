@@ -1,0 +1,104 @@
+"""The ``repro-lint`` console entry point.
+
+Usage::
+
+    repro-lint src/repro                 # human output, exit 1 on findings
+    repro-lint --format json src/repro   # machine-readable (CI annotations)
+    repro-lint --select ISE001,ISE003 …  # run a subset of rules
+    repro-lint --list-rules              # print the rule table
+
+Exit codes: 0 clean, 1 findings, 2 usage error (unknown rule / no files).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .rules import iter_rules
+from .runner import LintRunner
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro-lint`` argument parser (exposed for the docs and tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "AST-based invariant linter for the ISE solver stack "
+            "(tolerance discipline, determinism, solver-boundary validation)"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (recurses into directories)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        default="",
+        metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        default="",
+        metavar="CODES",
+        help="comma-separated rule codes to skip",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rules and exit",
+    )
+    return parser
+
+
+def _split_codes(raw: str) -> tuple[str, ...]:
+    return tuple(code.strip() for code in raw.split(",") if code.strip())
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point: lint the given paths; exit 0 clean / 1 findings / 2 usage."""
+    parser = build_parser()
+    options = parser.parse_args(argv)
+
+    if options.list_rules:
+        for rule in iter_rules():
+            print(f"{rule.code}  {rule.name:24s} {rule.summary}")
+        return 0
+
+    if not options.paths:
+        parser.print_usage(sys.stderr)
+        print("repro-lint: error: no paths given", file=sys.stderr)
+        return 2
+
+    try:
+        runner = LintRunner(
+            select=_split_codes(options.select),
+            ignore=_split_codes(options.ignore),
+        )
+        runner.rules()  # validate codes eagerly for a clean usage error
+    except KeyError as exc:
+        print(f"repro-lint: error: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+    report = runner.run(options.paths)
+    if report.files_checked == 0:
+        print("repro-lint: error: no python files found", file=sys.stderr)
+        return 2
+
+    print(report.to_json() if options.format == "json" else report.to_text())
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,159 @@
+"""Diagnostic records, parsed source files, and suppression comments.
+
+A diagnostic pins one rule violation to a ``file:line``; suppressions are
+in-source comments of the form::
+
+    risky_expression()  # repro-lint: disable=ISE001
+    another()           # repro-lint: disable=ISE001,ISE003
+
+which silence the named codes on that physical line, and::
+
+    # repro-lint: disable-file=ISE002
+
+(anywhere in the file, conventionally in the module docstring block) which
+silences a code for the whole file.  Suppressions are deliberately
+per-code — there is no blanket ``disable=all`` — so every escape hatch
+names the invariant it bypasses.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = ["Diagnostic", "SourceFile", "Suppressions"]
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*(disable|disable-file)\s*=\s*([A-Z0-9,\s]+)"
+)
+
+_CODE_RE = re.compile(r"^ISE\d{3}$")
+
+
+def _comment_tokens(text: str) -> list[tuple[int, str]]:
+    """``(line, comment_text)`` for every comment token in ``text``.
+
+    Tokenizing (rather than scanning raw lines) keeps suppression syntax
+    mentioned inside docstrings and string literals — e.g. this module's own
+    documentation — from being parsed as live suppressions.
+    """
+    comments: list[tuple[int, str]] = []
+    try:
+        for tok in tokenize.generate_tokens(io.StringIO(text).readline):
+            if tok.type == tokenize.COMMENT:
+                comments.append((tok.start[0], tok.string))
+    except (tokenize.TokenizeError, IndentationError, SyntaxError):
+        # Unparseable source is reported separately by the runner; any
+        # comments found before the error still count.
+        pass
+    return comments
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    code: str
+    message: str
+
+    def format(self) -> str:
+        """The human one-liner: ``path:line: CODE message``."""
+        return f"{self.path}:{self.line}: {self.code} {self.message}"
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "code": self.code,
+            "message": self.message,
+        }
+
+
+@dataclass
+class Suppressions:
+    """Suppression comments extracted from one file.
+
+    ``by_line`` maps a physical line number to the set of codes disabled on
+    it; ``file_wide`` holds codes disabled for the entire file.
+    """
+
+    by_line: dict[int, set[str]] = field(default_factory=dict)
+    file_wide: set[str] = field(default_factory=set)
+    malformed: list[int] = field(default_factory=list)
+    """Lines carrying a ``repro-lint:`` marker that did not parse (typo'd
+    codes); surfaced as ISE000 so a broken suppression never silently
+    disables nothing."""
+
+    @classmethod
+    def scan(cls, text: str) -> "Suppressions":
+        """Extract all suppression comments from ``text``."""
+        sup = cls()
+        for lineno, comment in _comment_tokens(text):
+            if "repro-lint" not in comment:
+                continue
+            match = _SUPPRESS_RE.search(comment)
+            if match is None:
+                sup.malformed.append(lineno)
+                continue
+            kind, raw_codes = match.groups()
+            codes = {c.strip() for c in raw_codes.split(",") if c.strip()}
+            if not codes or not all(_CODE_RE.match(c) for c in codes):
+                sup.malformed.append(lineno)
+                continue
+            if kind == "disable-file":
+                sup.file_wide |= codes
+            else:
+                sup.by_line.setdefault(lineno, set()).update(codes)
+        return sup
+
+    def is_suppressed(self, code: str, line: int) -> bool:
+        if code in self.file_wide:
+            return True
+        return code in self.by_line.get(line, set())
+
+
+@dataclass
+class SourceFile:
+    """A parsed source file handed to every rule.
+
+    Attributes:
+        path: path as given on the command line (kept relative for stable
+            diagnostics across machines).
+        text: raw source text.
+        tree: parsed AST (with ``parent`` links installed on every node,
+            which several rules use for context checks).
+        suppressions: the file's ``repro-lint`` comments.
+    """
+
+    path: str
+    text: str
+    tree: ast.Module
+    suppressions: Suppressions
+
+    @classmethod
+    def parse(cls, path: str | Path, text: str | None = None) -> "SourceFile":
+        """Read and parse ``path`` (raises ``SyntaxError`` on bad source)."""
+        p = Path(path)
+        if text is None:
+            text = p.read_text(encoding="utf-8")
+        tree = ast.parse(text, filename=str(p))
+        for node in ast.walk(tree):
+            for child in ast.iter_child_nodes(node):
+                child.parent = node  # type: ignore[attr-defined]
+        return cls(
+            path=str(path),
+            text=text,
+            tree=tree,
+            suppressions=Suppressions.scan(text),
+        )
+
+    def diagnostic(self, node: ast.AST, code: str, message: str) -> Diagnostic:
+        """Build a diagnostic anchored at ``node``'s line."""
+        line = getattr(node, "lineno", 1)
+        return Diagnostic(path=self.path, line=line, code=code, message=message)

@@ -67,7 +67,7 @@ class GeneratedInstance:
     instance: Instance
     witness: Schedule
     family: str
-    params: dict = field(default_factory=dict, compare=False)
+    params: dict[str, object] = field(default_factory=dict, compare=False)
 
     @property
     def witness_calibrations(self) -> int:

@@ -8,7 +8,7 @@ instances.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, KeysView
 
 if TYPE_CHECKING:  # built lazily: analysis.sweep imports this package
     from ..analysis.sweep import SweepCase
@@ -78,7 +78,8 @@ class _PresetView(dict):
     def __len__(self) -> int:
         return len(_PRESET_SPECS)
 
-    def keys(self):
+    def keys(self) -> "KeysView[str]":
+        """Preset names, in declaration order."""
         return _PRESET_SPECS.keys()
 
 

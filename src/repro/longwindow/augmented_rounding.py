@@ -24,7 +24,7 @@ from typing import Mapping, Sequence
 
 from ..core.errors import SolverError
 from ..core.job import Job
-from ..core.tolerance import EPS
+from ..core.tolerance import EPS, LOOSE_EPS
 from .tise import tise_feasible_for
 
 __all__ = [
@@ -33,7 +33,7 @@ __all__ = [
     "augmented_round",
 ]
 
-_INVARIANT_TOL = 1e-6
+_INVARIANT_TOL = LOOSE_EPS
 
 
 @dataclass(frozen=True)
@@ -159,9 +159,10 @@ def augmented_round(
         while carryover + c[t] >= threshold - EPS:
             cal_index = len(starts)
             starts.append(t)
-            if c[t] <= EPS:
-                # Degenerate: carryover alone reached the threshold (can only
-                # happen through float accumulation at the boundary).
+            degenerate = c[t] <= EPS
+            if degenerate:
+                # Carryover alone reached the threshold (can only happen
+                # through float accumulation at the boundary).
                 frac = 0.0
             else:
                 frac = max(0.0, (threshold - carryover) / c[t])
@@ -190,8 +191,8 @@ def augmented_round(
                     y[jid] = 0.0
             carryover = 0.0
             c[t] -= frac * c[t]
-            if frac == 0.0:
-                break  # avoid an infinite loop on the degenerate case
+            if degenerate:
+                break  # avoid an infinite loop: no mass left to consume
         carryover += c[t]
         c[t] = 0.0
         for jid in y:

@@ -189,13 +189,12 @@ def solve_tise_lp(
             f"TISE LP infeasible on m' = {machine_budget} machines: the "
             "long-window instance has no feasible TISE schedule there"
         )
-    if not solution.ok:
+    if not solution.ok or solution.x is None:
         raise SolverError(
             f"TISE LP solve failed: {solution.status.value} {solution.message}",
             stage="lp",
             backend=backend,
         )
-    assert solution.x is not None
     calibrations = {
         t: float(solution.x[idx])
         for t, idx in model.c_vars.items()

@@ -40,6 +40,7 @@ from ..core.resilience import (
     run_with_fallbacks,
 )
 from ..core.schedule import Schedule
+from ..core.tolerance import LOOSE_EPS
 from ..core.validate import check_ise, check_tise
 from .calibration_points import potential_calibration_points
 from .lp_relaxation import TiseLPSolution, solve_tise_lp
@@ -49,7 +50,7 @@ from .speed_tradeoff import SpeedTradeoffResult, machines_to_speed
 
 __all__ = ["LongWindowConfig", "LongWindowResult", "LongWindowSolver"]
 
-_COVERAGE_TOL = 1e-6
+_COVERAGE_TOL = LOOSE_EPS
 
 
 @dataclass(frozen=True)
@@ -247,7 +248,12 @@ class LongWindowSolver:
                 or ceil_rounding.num_calibrations < rounding.num_calibrations
             ):
                 rounding = ceil_rounding
-        assert rounding is not None
+        if rounding is None:
+            raise SolverError(
+                f"unknown rounding scheme {cfg.rounding_scheme!r}; "
+                "expected 'greedy', 'ceil', or 'best'",
+                stage="rounding",
+            )
         times["rounding"] = time.perf_counter() - tic
 
         tic = time.perf_counter()

@@ -24,7 +24,7 @@ from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 from ..core.calibration import CalibrationSchedule, pack_round_robin
-from ..core.tolerance import EPS
+from ..core.tolerance import EPS, gt
 
 __all__ = [
     "RoundingResult",
@@ -117,7 +117,7 @@ def round_calibrations(
         fractional_mass=float(sum(fractional.values())),
         threshold=threshold,
         scheme="greedy",
-        support=sum(1 for v in fractional.values() if v > 1e-9),
+        support=sum(1 for v in fractional.values() if gt(v, 0.0)),
     )
 
 
@@ -155,7 +155,7 @@ def round_calibrations_ceil(
         fractional_mass=float(sum(fractional.values())),
         threshold=1.0,
         scheme="ceil",
-        support=sum(1 for v in fractional.values() if v > 1e-9),
+        support=sum(1 for v in fractional.values() if gt(v, 0.0)),
     )
 
 

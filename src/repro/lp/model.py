@@ -166,7 +166,9 @@ class LinearProgram:
         for idx, coeff in terms:
             if not (0 <= idx < nvar):
                 raise IndexError(f"constraint {name!r}: variable index {idx} out of range")
-            if coeff != 0.0:
+            # Exact comparison is deliberate: this drops structurally-zero
+            # coefficients from the sparse matrix, never near-zero ones.
+            if coeff != 0.0:  # repro-lint: disable=ISE001
                 self._rows.append(row)
                 self._cols.append(idx)
                 self._vals.append(float(coeff))

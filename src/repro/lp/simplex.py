@@ -23,11 +23,13 @@ import numpy as np
 
 from ..core.errors import StageTimeoutError
 from ..core.resilience import check_budget
+from ..core.tolerance import EPS
 from .model import LinearProgram, LPSolution, LPStatus
 
 __all__ = ["SimplexBackend", "solve_simplex"]
 
-_TOL = 1e-9
+_TOL = EPS
+_PHASE1_TOL = 100 * EPS  # phase-1 objective accumulates m pivots of error
 _MAX_ITERS_FACTOR = 200
 _BUDGET_POLL_ITERS = 64  # pivot iterations between wall-clock checks
 
@@ -239,7 +241,7 @@ def solve_simplex(
                 message="phase-1 iteration limit",
             )
         phase1_val = float(cost1[basis] @ tableau[:, -1])
-        if phase1_val > 1e-7:
+        if phase1_val > _PHASE1_TOL:
             return LPSolution(status=LPStatus.INFEASIBLE, objective=None, x=None)
         # Drive any remaining artificial out of the basis.
         art_set = set(art_cols)

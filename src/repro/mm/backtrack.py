@@ -115,6 +115,7 @@ class BacktrackGreedyMM:
         return f"backtrack[{self.ordering}]"
 
     def solve(self, jobs: Sequence[Job], speed: float = 1.0) -> MMSchedule:
+        """Grow ``w`` until displacement-repaired list scheduling succeeds."""
         if not jobs:
             return MMSchedule(placements=(), num_machines=0, speed=speed)
         deadline = (

@@ -25,7 +25,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Sequence
 
-from ..core.errors import LimitExceededError, StageTimeoutError
+from ..core.errors import LimitExceededError, SolverError, StageTimeoutError
 from ..core.job import Job
 from ..core.resilience import check_budget
 from ..core.schedule import ScheduledJob
@@ -138,7 +138,13 @@ def feasible_on_machines(
         for i, p in enumerate(placements)
         if p is not None
     ]
-    assert len(chosen) == n
+    if len(chosen) != n:
+        raise SolverError(
+            f"exact MM DFS placed {len(chosen)} of {n} jobs despite "
+            "reporting success",
+            stage="mm",
+            backend="exact",
+        )
     from .base import color_intervals
 
     coloring = color_intervals(chosen)
@@ -168,6 +174,7 @@ class ExactMM:
     name: str = "exact"
 
     def solve(self, jobs: Sequence[Job], speed: float = 1.0) -> MMSchedule:
+        """Binary-search the optimal ``w``, certifying each probe by B&B."""
         if not jobs:
             return MMSchedule(placements=(), num_machines=0, speed=speed)
         deadline = (
@@ -195,6 +202,12 @@ class ExactMM:
                 jobs, lo, speed, node_budget=self.node_budget,
                 deadline=deadline,
             )
-            assert schedule is not None, "binary search invariant violated"
+            if schedule is None:
+                raise SolverError(
+                    "binary search invariant violated: final w probe "
+                    "infeasible after feasibility was certified",
+                    stage="mm",
+                    backend=self.name,
+                )
             best = schedule
         return best

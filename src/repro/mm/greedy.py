@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
+from ..core.errors import SolverError
 from ..core.job import Job
 from ..core.schedule import ScheduledJob
 from ..core.tolerance import EPS, leq
@@ -113,6 +114,7 @@ class GreedyMM:
         return f"greedy[{self.ordering}]"
 
     def solve(self, jobs: Sequence[Job], speed: float = 1.0) -> MMSchedule:
+        """Grow ``w`` from ``start_w`` until list scheduling succeeds."""
         if not jobs:
             return MMSchedule(placements=(), num_machines=0, speed=speed)
         key = ORDERINGS[self.ordering]
@@ -126,7 +128,13 @@ class GreedyMM:
             if w > len(jobs):
                 # w = n always succeeds; reaching here means a bug.
                 schedule = try_schedule_on_w_machines(jobs, len(jobs), speed, key)
-                assert schedule is not None, "n machines must always suffice"
+                if schedule is None:
+                    raise SolverError(
+                        "greedy MM failed with one machine per job; "
+                        "d_j >= r_j + p_j must have been violated",
+                        stage="mm",
+                        backend=self.name,
+                    )
                 check_mm(jobs, schedule, context=self.name)
                 return schedule
 
@@ -140,6 +148,7 @@ class BestOfGreedyMM:
     name: str = "greedy[best]"
 
     def solve(self, jobs: Sequence[Job], speed: float = 1.0) -> MMSchedule:
+        """Run every ordering and keep the schedule using fewest machines."""
         if not jobs:
             return MMSchedule(placements=(), num_machines=0, speed=speed)
         best: MMSchedule | None = None
@@ -147,5 +156,10 @@ class BestOfGreedyMM:
             candidate = GreedyMM(ordering=ordering).solve(jobs, speed)
             if best is None or candidate.num_machines < best.num_machines:
                 best = candidate
-        assert best is not None
+        if best is None:
+            raise SolverError(
+                "best-of-greedy ran zero orderings",
+                stage="mm",
+                backend=self.name,
+            )
         return best

@@ -115,15 +115,15 @@ class LPRoundingMM:
     name: str = "lp_rounding"
 
     def solve(self, jobs: Sequence[Job], speed: float = 1.0) -> MMSchedule:
+        """LP-relax, round ``trials`` times, and keep the best coloring."""
         if not jobs:
             return MMSchedule(placements=(), num_machines=0, speed=speed)
         lp, var_of, _ = _build_lp(jobs, speed)
         solution = get_backend(self.backend)(lp)
-        if not solution.ok:
+        if not solution.ok or solution.x is None:
             raise SolverError(
                 f"MM LP unexpectedly {solution.status.value}: {solution.message}"
             )
-        assert solution.x is not None
         # Per-job start distributions from the LP solution.
         dist: dict[int, tuple[list[float], np.ndarray]] = {}
         for j in jobs:
@@ -167,5 +167,11 @@ class LPRoundingMM:
             )
             check_mm(jobs, candidate, context=self.name)
             best = candidate
-        assert best is not None
+        if best is None:
+            raise SolverError(
+                "LP rounding produced no candidate schedule across "
+                f"{max(1, self.trials)} trial(s)",
+                stage="mm",
+                backend=self.name,
+            )
         return best

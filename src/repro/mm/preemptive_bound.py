@@ -26,7 +26,7 @@ from typing import Sequence
 import networkx as nx
 
 from ..core.job import Job
-from ..core.tolerance import EPS, geq, leq
+from ..core.tolerance import EPS, LOOSE_EPS, geq, leq
 
 __all__ = [
     "elementary_intervals",
@@ -34,7 +34,7 @@ __all__ = [
     "preemptive_machine_lower_bound",
 ]
 
-_FLOW_TOL = 1e-6
+_FLOW_TOL = LOOSE_EPS
 
 
 def elementary_intervals(jobs: Sequence[Job]) -> list[tuple[float, float]]:

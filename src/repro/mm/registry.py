@@ -42,6 +42,7 @@ class AutoMM:
     name: str = "auto"
 
     def solve(self, jobs: Sequence[Job], speed: float = 1.0) -> MMSchedule:
+        """Route to rigid/exact/greedy per the class docstring's policy."""
         fallback = BestOfGreedyMM()
         if all_rigid(jobs, speed):
             return RigidExactMM().solve(jobs, speed)

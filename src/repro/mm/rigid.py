@@ -44,6 +44,7 @@ class RigidExactMM:
     name: str = "rigid_exact"
 
     def solve(self, jobs: Sequence[Job], speed: float = 1.0) -> MMSchedule:
+        """Color the fixed execution intervals (optimal for rigid jobs)."""
         if not jobs:
             return MMSchedule(placements=(), num_machines=0, speed=speed)
         if not all_rigid(jobs, speed):

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from ..core.job import Instance
+from ..core.tolerance import EPS, LOOSE_EPS
 from ..core.validate import validate_ise, validate_tise
 
 if TYPE_CHECKING:
@@ -36,7 +37,7 @@ __all__ = [
     "check_theorem1",
 ]
 
-_TOL = 1e-6
+_TOL = LOOSE_EPS
 
 
 @dataclass(frozen=True)
@@ -172,7 +173,7 @@ def check_theorem20(
         default=1.0,
     )
     w_star = max(result.machine_lower_bound, 1)
-    c_star = max(result.calibration_lower_bound, 1e-9)
+    c_star = max(result.calibration_lower_bound, EPS)
     bounds = (
         BoundCheck(
             "machines <= 6 alpha w*",

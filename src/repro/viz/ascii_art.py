@@ -12,12 +12,13 @@ from typing import Mapping, Sequence
 
 from ..core.job import Instance, Job
 from ..core.schedule import Schedule
+from ..core.tolerance import EPS
 
 __all__ = ["render_windows", "render_schedule", "render_fractional_calibrations"]
 
 
 def _scaler(t0: float, t1: float, width: int):
-    span = max(t1 - t0, 1e-12)
+    span = max(t1 - t0, EPS)
 
     def to_col(t: float) -> int:
         col = int(round((t - t0) / span * (width - 1)))

@@ -15,6 +15,7 @@ from typing import Sequence
 
 from ..core.job import Instance, Job
 from ..core.schedule import Schedule
+from ..core.tolerance import EPS
 
 __all__ = ["schedule_to_svg", "save_schedule_svg"]
 
@@ -62,7 +63,7 @@ def schedule_to_svg(
             if p.job_id in job_map
         ]
     )
-    span = max(t1 - t0, 1e-9)
+    span = max(t1 - t0, EPS)
     plot_width = width - 2 * _MARGIN
 
     def x(t: float) -> float:

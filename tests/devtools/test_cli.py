@@ -1,0 +1,103 @@
+"""Exit codes and output formats of the ``repro-lint`` CLI."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.devtools.cli import main
+
+CLEAN = "def double(x: float) -> float:\n    return 2.0 * x\n"
+DIRTY = "def is_unit(p: float) -> bool:\n    return p == 1.0\n"
+
+
+@pytest.fixture()
+def clean_file(tmp_path: Path) -> Path:
+    target = tmp_path / "clean.py"
+    target.write_text(CLEAN)
+    return target
+
+
+@pytest.fixture()
+def dirty_file(tmp_path: Path) -> Path:
+    target = tmp_path / "dirty.py"
+    target.write_text(DIRTY)
+    return target
+
+
+def test_clean_file_exits_zero(capsys, clean_file: Path) -> None:
+    assert main([str(clean_file)]) == 0
+    out = capsys.readouterr().out
+    assert "[clean]" in out
+
+
+def test_findings_exit_one(capsys, dirty_file: Path) -> None:
+    assert main([str(dirty_file)]) == 1
+    out = capsys.readouterr().out
+    assert "ISE001" in out
+    assert f"{dirty_file}:2:" in out
+
+
+def test_json_format_is_machine_readable(capsys, dirty_file: Path) -> None:
+    assert main(["--format", "json", str(dirty_file)]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["ok"] is False
+    assert payload["counts"].get("ISE001") == 1
+    diag = payload["diagnostics"][0]
+    assert diag["code"] == "ISE001"
+    assert diag["line"] == 2
+
+
+def test_select_restricts_rules(capsys, dirty_file: Path) -> None:
+    assert main(["--select", "ISE009", str(dirty_file)]) == 0
+
+
+def test_ignore_drops_rules(capsys, dirty_file: Path) -> None:
+    assert main(["--ignore", "ISE001", str(dirty_file)]) == 0
+
+
+def test_unknown_rule_is_usage_error(capsys, dirty_file: Path) -> None:
+    assert main(["--select", "ISE999", str(dirty_file)]) == 2
+    assert "unknown rule" in capsys.readouterr().err
+
+
+def test_no_paths_is_usage_error(capsys) -> None:
+    assert main([]) == 2
+    assert "no paths" in capsys.readouterr().err
+
+
+def test_no_python_files_is_usage_error(capsys, tmp_path: Path) -> None:
+    empty = tmp_path / "empty"
+    empty.mkdir()
+    assert main([str(empty)]) == 2
+    assert "no python files" in capsys.readouterr().err
+
+
+def test_list_rules_prints_registry(capsys) -> None:
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for code in ("ISE001", "ISE011"):
+        assert code in out
+
+
+def test_module_invocation_matches_console_script(dirty_file: Path) -> None:
+    """`python -m repro.devtools.cli` is the installless equivalent of the
+    `repro-lint` console script declared in pyproject.toml."""
+    import repro
+
+    env = dict(os.environ)
+    src_dir = str(Path(repro.__file__).resolve().parents[1])
+    env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.devtools.cli", str(dirty_file)],
+        capture_output=True,
+        text=True,
+        env=env,
+    )
+    assert proc.returncode == 1
+    assert "ISE001" in proc.stdout

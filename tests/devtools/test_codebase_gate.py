@@ -1,0 +1,81 @@
+"""The lint gate itself: ``src/repro`` must be clean, and the gate must
+actually bite when a banned pattern is reintroduced.
+
+The mypy/ruff gates run only when those tools are importable — the baked
+container image ships neither, so they skip locally and run in CI's ``lint``
+job (which installs the ``dev`` extra).
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.devtools import lint_paths
+from repro.devtools.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC_REPRO = REPO_ROOT / "src" / "repro"
+
+
+def test_src_repro_is_lint_clean() -> None:
+    """The pytest-integration gate: every rule, every file under src/repro."""
+    report = lint_paths([SRC_REPRO])
+    assert report.files_checked > 50
+    assert report.ok, "\n" + report.to_text()
+
+
+def test_reintroduced_float_equality_fails_the_gate(tmp_path: Path) -> None:
+    """Acceptance check from the issue: putting a raw float ``==`` back into
+    (a copy of) longwindow/rounding.py must make repro-lint exit nonzero
+    with ISE001 at the injected line."""
+    original = (SRC_REPRO / "longwindow" / "rounding.py").read_text()
+    injected = original + (
+        "\n\ndef _reintroduced(v: float) -> bool:\n"
+        "    return v == 0.0\n"
+    )
+    target = tmp_path / "rounding.py"
+    target.write_text(injected)
+
+    report = lint_paths([target])
+    assert not report.ok
+    assert any(d.code == "ISE001" for d in report.diagnostics), report.to_text()
+
+    assert main([str(target)]) == 1
+
+
+def test_longwindow_rounding_is_currently_clean() -> None:
+    report = lint_paths([SRC_REPRO / "longwindow" / "rounding.py"])
+    assert report.ok, report.to_text()
+
+
+@pytest.mark.skipif(
+    importlib.util.find_spec("mypy") is None,
+    reason="mypy not installed (CI lint job installs the dev extra)",
+)
+def test_mypy_strict_src_repro() -> None:
+    proc = subprocess.run(
+        [sys.executable, "-m", "mypy", "--strict", "src/repro"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+@pytest.mark.skipif(
+    importlib.util.find_spec("ruff") is None,
+    reason="ruff not installed (CI lint job installs the dev extra)",
+)
+def test_ruff_check_src_repro() -> None:
+    proc = subprocess.run(
+        [sys.executable, "-m", "ruff", "check", "src", "tests"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr

@@ -1,0 +1,106 @@
+"""Suppression-comment mechanics: line scope, file scope, malformed markers."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.devtools import SourceFile, Suppressions, lint_paths
+from repro.devtools.runner import META_CODE
+
+VIOLATION = (
+    "def is_unit(p: float) -> bool:\n"
+    "    return p == 1.0\n"
+)
+
+
+def _lint(tmp_path: Path, text: str, name: str = "module.py"):
+    target = tmp_path / name
+    target.write_text(text)
+    return lint_paths([target], select=["ISE001"])
+
+
+def test_line_suppression_only_covers_its_line(tmp_path: Path) -> None:
+    text = (
+        "def f(p: float, q: float) -> bool:\n"
+        "    a = p == 1.0  # repro-lint: disable=ISE001\n"
+        "    b = q == 2.0\n"
+        "    return a and b\n"
+    )
+    report = _lint(tmp_path, text)
+    assert len(report.diagnostics) == 1
+    assert report.diagnostics[0].line == 3
+
+
+def test_multiple_codes_in_one_marker(tmp_path: Path) -> None:
+    text = (
+        "def f(p: float) -> bool:\n"
+        "    return p == 1e-9  # repro-lint: disable=ISE001,ISE002\n"
+    )
+    target = tmp_path / "module.py"
+    target.write_text(text)
+    report = lint_paths([target], select=["ISE001", "ISE002"])
+    assert report.ok, report.to_text()
+
+
+def test_file_wide_suppression_covers_every_line(tmp_path: Path) -> None:
+    text = (
+        "# repro-lint: disable-file=ISE001\n"
+        "def f(p: float, q: float) -> bool:\n"
+        "    return p == 1.0 and q == 2.0\n"
+    )
+    report = _lint(tmp_path, text)
+    assert report.ok, report.to_text()
+
+
+def test_malformed_marker_is_reported_as_meta_code(tmp_path: Path) -> None:
+    text = "X = 1  # repro-lint: disable=BOGUS\n"
+    report = _lint(tmp_path, text)
+    assert [d.code for d in report.diagnostics] == [META_CODE]
+
+
+def test_meta_code_is_not_suppressible(tmp_path: Path) -> None:
+    text = "X = 1  # repro-lint: disable=BOGUS,ISE000\n"
+    report = _lint(tmp_path, text)
+    assert any(d.code == META_CODE for d in report.diagnostics)
+
+
+def test_suppression_syntax_in_docstring_is_ignored(tmp_path: Path) -> None:
+    text = (
+        '"""Docs may quote `# repro-lint: disable=ISE001` freely."""\n'
+        "\n"
+        "def f(p: float) -> bool:\n"
+        "    return p == 1.0\n"
+    )
+    report = _lint(tmp_path, text)
+    assert [d.code for d in report.diagnostics] == ["ISE001"]
+    assert report.diagnostics[0].line == 4
+
+
+def test_syntax_error_surfaces_as_meta_code(tmp_path: Path) -> None:
+    target = tmp_path / "broken.py"
+    target.write_text("def f(:\n")
+    report = lint_paths([target])
+    assert [d.code for d in report.diagnostics] == [META_CODE]
+    assert "could not parse" in report.diagnostics[0].message
+
+
+def test_suppressions_scan_roundtrip() -> None:
+    text = (
+        "# repro-lint: disable-file=ISE003\n"
+        "x = 1  # repro-lint: disable=ISE001\n"
+    )
+    sup = Suppressions.scan(text)
+    assert sup.is_suppressed("ISE003", 99)
+    assert sup.is_suppressed("ISE001", 2)
+    assert not sup.is_suppressed("ISE001", 1)
+    assert not sup.malformed
+
+
+def test_source_file_parse_links_parents(tmp_path: Path) -> None:
+    target = tmp_path / "module.py"
+    target.write_text("def f() -> None:\n    x = 1\n")
+    source = SourceFile.parse(target)
+    import ast
+
+    assigns = [n for n in ast.walk(source.tree) if isinstance(n, ast.Assign)]
+    assert assigns and isinstance(assigns[0].parent, ast.FunctionDef)
