@@ -40,7 +40,7 @@ def _best_ms(instance, config) -> float:
     return min(samples)
 
 
-def bench_resilience_overhead(benchmark, report):
+def bench_resilience_overhead(benchmark, report, perf_json):
     table = Table(
         title="RES: happy-path overhead of budgets + fallback chains",
         columns=[
@@ -51,6 +51,7 @@ def bench_resilience_overhead(benchmark, report):
     cases = [("long", long_window_instance, n) for n in LONG_SIZES] + [
         ("short", short_window_instance, n) for n in SHORT_SIZES
     ]
+    rows = []
     for family, generator, n in cases:
         instance = generator(n, 2, 10.0, seed=n).instance
         solve_ise(instance, _BASELINE)  # warm every code path once
@@ -59,6 +60,15 @@ def bench_resilience_overhead(benchmark, report):
         armed = _best_ms(instance, _RESILIENT)
         overhead = (armed - base) / base * 100.0
         overheads.append(overhead)
+        rows.append(
+            {
+                "family": family,
+                "n": n,
+                "strict_ms": round(base, 3),
+                "resilient_ms": round(armed, 3),
+                "overhead_pct": round(overhead, 3),
+            }
+        )
         table.add_row(family, n, base, armed, overhead)
     table.add_note(
         "overhead = (resilient - strict) / strict on best-of-"
@@ -70,6 +80,14 @@ def bench_resilience_overhead(benchmark, report):
         f"(acceptance bar: < 2%)"
     )
     report(table, "resilience_overhead")
+    perf_json(
+        "resilience_overhead",
+        {
+            "repeats": REPEATS,
+            "mean_overhead_pct": round(statistics.mean(overheads), 3),
+            "cases": rows,
+        },
+    )
 
     gen = long_window_instance(16, 2, 10.0, seed=16)
     benchmark(lambda: solve_ise(gen.instance, _RESILIENT))

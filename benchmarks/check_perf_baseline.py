@@ -1,0 +1,67 @@
+"""Gate the compressed-LP model size against the recorded baseline.
+
+Usage:  python benchmarks/check_perf_baseline.py
+
+Reads the ``lp_compression`` section of ``BENCH_perf.json`` (produced by
+``pytest benchmarks/bench_perf_scaling.py``) and compares the compressed
+formulation's structural counters per instance size against
+``benchmarks/results/perf_baseline.json``.  Model structure is fully
+deterministic, so *any* growth in constraint nonzeros over the baseline is
+a formulation regression and fails the check (exit 1).  Sizes the current
+run did not measure (e.g. under ``PERF_SMOKE=1``) are skipped.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+BASELINE_PATH = Path(__file__).resolve().parent / "results" / "perf_baseline.json"
+ARTIFACT_PATH = ROOT / "BENCH_perf.json"
+
+# Structural counters gated against the baseline (timings are not gated).
+GATED = ("nnz", "machine_nnz")
+
+
+def main() -> int:
+    if not ARTIFACT_PATH.exists():
+        print(f"error: {ARTIFACT_PATH} not found — run the perf benches first")
+        return 2
+    baseline = json.loads(BASELINE_PATH.read_text())["compressed"]
+    artifact = json.loads(ARTIFACT_PATH.read_text())
+    section = artifact.get("sections", {}).get("lp_compression")
+    if section is None:
+        print("error: BENCH_perf.json has no lp_compression section — "
+              "run benchmarks/bench_perf_scaling.py first")
+        return 2
+
+    failures = []
+    checked = 0
+    for row in section["sizes"]:
+        n = str(row["n"])
+        if n not in baseline:
+            print(f"n={n}: not in baseline, skipped")
+            continue
+        checked += 1
+        for key in GATED:
+            measured = row["compressed"][key]
+            recorded = baseline[n][key]
+            status = "ok" if measured <= recorded else "REGRESSION"
+            print(f"n={n} {key}: measured {measured} vs baseline {recorded} [{status}]")
+            if measured > recorded:
+                failures.append((n, key, measured, recorded))
+
+    if not checked:
+        print("error: no measured size overlaps the baseline")
+        return 2
+    if failures:
+        print(f"\nFAIL: {len(failures)} compressed-LP counter(s) grew past the baseline")
+        return 1
+    print(f"\nOK: all gated counters within baseline across {checked} size(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -35,8 +35,12 @@ ORDER = [
     ("VAR1", "var_overlapping"),
     ("BASE2", "base_greedy_vs_lp"),
     ("STRESS", "stress_families"),
+    ("PERF", "perf_lp_compression"),
     ("PERF", "perf_scaling_long"),
     ("PERF", "perf_scaling_short"),
+    ("PERF", "perf_parallel_short"),
+    ("PERF", "perf_parallel_sweep"),
+    ("RES", "resilience_overhead"),
 ]
 
 
@@ -68,6 +72,11 @@ def main() -> int:
     out = ROOT / "RESULTS.md"
     out.write_text("\n".join(lines) + "\n")
     print(f"wrote {out} ({len(ORDER) - len(missing)} tables)")
+
+    from perf_artifact import merge_sections  # script-dir import
+
+    bench_perf = merge_sections()
+    print(f"wrote {bench_perf}")
     return 0
 
 

@@ -1,0 +1,63 @@
+"""The machine-readable perf baseline artifact (``BENCH_perf.json``).
+
+Perf-oriented benches record their measurements as JSON *sections* (one
+file per section under ``benchmarks/results/perf/``); every write also
+re-merges all sections into ``BENCH_perf.json`` at the repository root, so
+the artifact is complete after any subset of the benches has run.  The
+``collect_results.py`` aggregator performs the same merge, letting the
+artifact be rebuilt without re-running anything.
+
+Format (schema 1)::
+
+    {
+      "schema": 1,
+      "sections": {
+        "<section>": {...bench-specific payload...},
+        ...
+      }
+    }
+
+Section payloads are documented in docs/performance.md.  Everything in the
+artifact that is structural (LP rows/cols/nonzeros, calibration counts,
+schedule equality) is deterministic; wall-time fields are measurements and
+vary run to run.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+ROOT = Path(__file__).resolve().parent.parent
+PERF_DIR = Path(__file__).resolve().parent / "results" / "perf"
+BENCH_PERF_PATH = ROOT / "BENCH_perf.json"
+SCHEMA_VERSION = 1
+
+__all__ = [
+    "BENCH_PERF_PATH",
+    "PERF_DIR",
+    "SCHEMA_VERSION",
+    "merge_sections",
+    "write_section",
+]
+
+
+def write_section(section: str, payload: dict[str, Any]) -> Path:
+    """Persist one section and refresh the merged artifact."""
+    PERF_DIR.mkdir(parents=True, exist_ok=True)
+    path = PERF_DIR / f"{section}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    merge_sections()
+    return path
+
+
+def merge_sections() -> Path:
+    """Merge every recorded section into ``BENCH_perf.json``."""
+    sections: dict[str, Any] = {}
+    if PERF_DIR.is_dir():
+        for path in sorted(PERF_DIR.glob("*.json")):
+            sections[path.stem] = json.loads(path.read_text())
+    artifact = {"schema": SCHEMA_VERSION, "sections": sections}
+    BENCH_PERF_PATH.write_text(json.dumps(artifact, indent=2, sort_keys=True) + "\n")
+    return BENCH_PERF_PATH

@@ -83,43 +83,65 @@ class SweepOutcome:
         return ratio(self.calibrations_postopt, self.lower_bound)
 
 
+@dataclass(frozen=True)
+class _CaseTask:
+    """Picklable unit of sweep work (case + solve options)."""
+
+    case: SweepCase
+    config: "ISEConfig | None"
+    postopt: bool
+
+
+def _solve_case(task: _CaseTask) -> SweepOutcome:
+    """Solve one sweep case; module-level so process pools can ship it."""
+    from ..core.solver import solve_ise  # deferred: avoids an import cycle
+
+    case = task.case
+    generated = case.generate()
+    instance = generated.instance
+    tic = time.perf_counter()
+    result = solve_ise(instance, task.config)
+    schedule = result.schedule
+    after = result.num_calibrations
+    if task.postopt:
+        improved = consolidate(instance, schedule)
+        schedule = improved.schedule
+        after = improved.final_calibrations
+    wall = time.perf_counter() - tic
+    return SweepOutcome(
+        case=case,
+        calibrations=result.num_calibrations,
+        calibrations_postopt=after,
+        lower_bound=result.lower_bound.best,
+        machines_used=result.machines_used,
+        valid=validate_ise(instance, schedule).ok,
+        wall_seconds=wall,
+    )
+
+
 def run_sweep(
     cases: Iterable[SweepCase],
     config: "ISEConfig | None" = None,
     postopt: bool = True,
+    *,
+    workers: int | None = None,
+    mode: str = "auto",
 ) -> list[SweepOutcome]:
     """Solve every case; returns outcomes in input order.
 
     Each case is validated independently; an infeasible output surfaces as
     ``valid=False`` rather than an exception so sweeps complete.
-    """
-    from ..core.solver import solve_ise  # deferred: avoids an import cycle
 
-    outcomes: list[SweepOutcome] = []
-    for case in cases:
-        generated = case.generate()
-        instance = generated.instance
-        tic = time.perf_counter()
-        result = solve_ise(instance, config)
-        schedule = result.schedule
-        after = result.num_calibrations
-        if postopt:
-            improved = consolidate(instance, schedule)
-            schedule = improved.schedule
-            after = improved.final_calibrations
-        wall = time.perf_counter() - tic
-        outcomes.append(
-            SweepOutcome(
-                case=case,
-                calibrations=result.num_calibrations,
-                calibrations_postopt=after,
-                lower_bound=result.lower_bound.best,
-                machines_used=result.machines_used,
-                valid=validate_ise(instance, schedule).ok,
-                wall_seconds=wall,
-            )
-        )
-    return outcomes
+    With ``workers > 1`` the independent cases fan out over a worker pool
+    (see :func:`repro.core.parallel.parallel_map`); outcomes are identical
+    to the serial run apart from ``wall_seconds``, which is a per-case
+    measurement either way.
+    """
+    from ..core.parallel import parallel_map  # deferred: mirrors solve_ise
+
+    tasks = [_CaseTask(case=case, config=config, postopt=postopt) for case in cases]
+    results = parallel_map(_solve_case, tasks, max_workers=workers, mode=mode)
+    return [outcome for outcome in results if isinstance(outcome, SweepOutcome)]
 
 
 def sweep_table(outcomes: Sequence[SweepOutcome], title: str = "sweep") -> Table:

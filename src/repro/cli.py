@@ -105,6 +105,9 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument("--no-strict", action="store_true",
                        help="degrade through backend fallback chains instead "
                             "of failing; the result is flagged 'degraded'")
+    solve.add_argument("--workers", type=int, default=None, metavar="N",
+                       help="fan independent sub-solves out over N workers "
+                            "(output is identical to the serial run)")
 
     val = sub.add_parser("validate", help="independently validate a schedule")
     val.add_argument("instance")
@@ -139,6 +142,9 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--no-postopt", action="store_true")
     sweep.add_argument("--preset", choices=["smoke", "standard", "large"],
                        help="run a named suite instead of a single family")
+    sweep.add_argument("--workers", type=int, default=None, metavar="N",
+                       help="solve independent cases over N workers "
+                            "(outcomes are identical to the serial run)")
 
     rep = sub.add_parser(
         "report", help="solve and write a self-contained HTML report"
@@ -203,6 +209,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         specialize_unit=args.specialize_unit,
         strict=not args.no_strict,
         timeout=args.timeout,
+        max_workers=args.workers,
     )
     result = solve_ise(instance, config)
     schedule = result.schedule
@@ -307,7 +314,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             for seed in range(args.seeds)
         ]
         title = f"sweep: {args.family} n={args.n} m={args.machines} T={args.T:g}"
-    outcomes = run_sweep(cases, postopt=not args.no_postopt)
+    outcomes = run_sweep(cases, postopt=not args.no_postopt, workers=args.workers)
     table = sweep_table(outcomes, title=title)
     table.print()
     return 0 if all(o.valid for o in outcomes) else 1

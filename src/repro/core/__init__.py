@@ -11,6 +11,7 @@ Submodules:
 * :mod:`repro.core.tolerance` — float comparison policy.
 * :mod:`repro.core.errors` — exception hierarchy.
 * :mod:`repro.core.resilience` — solve budgets, fallback chains, reports.
+* :mod:`repro.core.parallel` — deterministic worker-pool execution.
 """
 
 from .calibration import Calibration, CalibrationSchedule, pack_round_robin
@@ -25,6 +26,7 @@ from .errors import (
     SolverError,
     StageTimeoutError,
 )
+from .parallel import effective_workers, parallel_map
 from .resilience import (
     ResiliencePolicy,
     ResilienceReport,
@@ -89,4 +91,6 @@ __all__ = [
     "current_budget",
     "check_budget",
     "run_with_fallbacks",
+    "effective_workers",
+    "parallel_map",
 ]

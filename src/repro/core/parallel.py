@@ -1,0 +1,176 @@
+"""Deterministic parallel execution for independent sub-solves.
+
+The paper's structure creates three natural fan-out sites: the per-interval
+MM black boxes of Section 4 (Lemma 16 makes the intervals independent by
+construction), the long/short halves of the ISE split (disjoint job sets),
+and sweep case loops (independent instances).  :func:`parallel_map` runs
+such work over a process or thread pool with a strict contract:
+
+* **Determinism.**  Results are collected in input order, and the serial
+  path is the reference semantics: for pure task functions every mode
+  returns exactly what ``[fn(x) for x in items]`` returns (the first
+  exception, by input index, is re-raised unless ``return_exceptions``).
+* **Budget propagation.**  The ambient :class:`~repro.core.resilience
+  .SolveBudget` is a context-local, which does not cross process
+  boundaries.  Process tasks therefore ship a
+  :meth:`~repro.core.resilience.SolveBudget.subbudget` snapshot (the
+  remaining wall clock + stage timeouts) and re-enter it via
+  :func:`~repro.core.resilience.budget_scope` inside the worker, so
+  deadlines keep firing inside parallel solves.  Thread tasks run in a copy
+  of the dispatching context and share the parent budget object directly.
+* **Graceful fallback.**  Anything that prevents pooled execution — one
+  worker requested, a single item, pool creation failing (sandboxes),
+  unpicklable tasks, a broken pool — silently degrades to the serial path
+  rather than erroring.
+* **No nested process pools.**  A process worker that itself reaches a
+  ``parallel_map`` call site (e.g. a sweep case solving its short-window
+  intervals) runs it serially; threads may still fan out to processes.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import pickle
+from concurrent.futures import BrokenExecutor, Future, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable, Sequence, TypeVar
+
+from .resilience import SolveBudget, budget_scope, current_budget
+
+__all__ = ["MODES", "effective_workers", "parallel_map", "resolve_mode"]
+
+ItemT = TypeVar("ItemT")
+ResultT = TypeVar("ResultT")
+
+MODES = ("auto", "serial", "thread", "process")
+
+#: Set to True inside process-pool workers (via the pool initializer) so a
+#: nested ``parallel_map`` reached from worker code degrades to serial
+#: instead of forking pools from pools.
+_IN_WORKER = False
+
+
+def _mark_worker() -> None:
+    global _IN_WORKER
+    _IN_WORKER = True
+
+
+def resolve_mode(mode: str) -> str:
+    """Validate ``mode`` and resolve ``"auto"`` (to ``"process"``)."""
+    if mode not in MODES:
+        raise ValueError(f"unknown parallel mode {mode!r}; expected one of {MODES}")
+    return "process" if mode == "auto" else mode
+
+
+def effective_workers(
+    max_workers: int | None, num_items: int, mode: str = "auto"
+) -> int:
+    """Workers :func:`parallel_map` would actually use for this call."""
+    resolved = resolve_mode(mode)
+    if (
+        resolved == "serial"
+        or _IN_WORKER
+        or max_workers is None
+        or max_workers <= 1
+        or num_items <= 1
+    ):
+        return 1
+    return min(max_workers, num_items)
+
+
+def _run_with_budget(
+    payload: tuple[Callable[[ItemT], ResultT], ItemT, SolveBudget | None],
+) -> ResultT:
+    """Process-worker task entry: re-enter the shipped budget, then run."""
+    fn, item, budget = payload
+    if budget is None:
+        return fn(item)
+    with budget_scope(budget):
+        return fn(item)
+
+
+def _serial_map(
+    fn: Callable[[ItemT], ResultT],
+    items: Sequence[ItemT],
+    return_exceptions: bool,
+) -> list[ResultT | BaseException]:
+    out: list[ResultT | BaseException] = []
+    for item in items:
+        if return_exceptions:
+            try:
+                out.append(fn(item))
+            except Exception as exc:  # noqa: BLE001 — collected by contract
+                out.append(exc)
+        else:
+            out.append(fn(item))
+    return out
+
+
+def _collect(
+    futures: Sequence[Future[ResultT]], return_exceptions: bool
+) -> list[ResultT | BaseException]:
+    """Input-order collection matching serial exception semantics."""
+    out: list[ResultT | BaseException] = []
+    for future in futures:
+        if return_exceptions:
+            exc = future.exception()
+            out.append(exc if exc is not None else future.result())
+        else:
+            out.append(future.result())
+    return out
+
+
+def parallel_map(
+    fn: Callable[[ItemT], ResultT],
+    items: Sequence[ItemT],
+    *,
+    max_workers: int | None = None,
+    mode: str = "auto",
+    return_exceptions: bool = False,
+) -> list[ResultT | BaseException]:
+    """Map ``fn`` over ``items`` with ordered, deterministic collection.
+
+    ``max_workers=None`` or ``<= 1`` runs serially.  ``mode`` is one of
+    ``"auto"`` (process), ``"serial"``, ``"thread"``, or ``"process"``.
+    With ``return_exceptions=True`` task exceptions are returned in their
+    slot instead of raised; otherwise the first failing input index raises,
+    exactly as the serial loop would.
+
+    Process mode requires ``fn`` and every item to be picklable (module-
+    level functions over frozen dataclasses); anything unpicklable, and any
+    pool-infrastructure failure, falls back to the serial path.  The
+    ambient solve budget is propagated into workers (see module docstring),
+    so stage timeouts keep firing inside parallel solves.
+    """
+    items = list(items)
+    workers = effective_workers(max_workers, len(items), mode)
+    resolved = resolve_mode(mode)
+    if workers <= 1 or resolved == "serial":
+        return _serial_map(fn, items, return_exceptions)
+
+    if resolved == "thread":
+        # Each task runs in a copy of the dispatching context: ambient
+        # budget/policy context-locals are visible, and the budget object
+        # (whose clock may be a deterministic fake) is genuinely shared.
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(contextvars.copy_context().run, fn, item)
+                for item in items
+            ]
+            return _collect(futures, return_exceptions)
+
+    budget = current_budget()
+    snapshot = budget.subbudget() if budget is not None else None
+    payloads = [(fn, item, snapshot) for item in items]
+    try:
+        with ProcessPoolExecutor(
+            max_workers=workers, initializer=_mark_worker
+        ) as pool:
+            futures = [pool.submit(_run_with_budget, payload) for payload in payloads]
+            return _collect(futures, return_exceptions)
+    except (BrokenExecutor, OSError, pickle.PicklingError, TypeError, AttributeError):
+        # Pool infrastructure failed (sandboxed environment, unpicklable
+        # task, killed worker).  Task results from a broken pool cannot be
+        # trusted to be complete, so rerun everything serially — fn is
+        # required to be effect-free on the driving process, making the
+        # rerun safe and the output identical to a healthy pool's.
+        return _serial_map(fn, items, return_exceptions)

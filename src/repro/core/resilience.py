@@ -35,6 +35,7 @@ failure into the best feasible answer the chain can still produce.
 
 from __future__ import annotations
 
+import math
 import time
 from contextlib import contextmanager
 from contextvars import ContextVar
@@ -103,6 +104,24 @@ class SolveBudget:
     def fresh(self) -> "SolveBudget":
         """An unstarted copy — budgets held in configs are templates."""
         return replace(self, started_at=None)
+
+    def subbudget(self) -> "SolveBudget":
+        """An unstarted budget carrying the time *remaining* right now.
+
+        This is how a budget crosses an execution boundary that its ambient
+        context-local cannot (a worker process, a thread pool without
+        context propagation): the parent snapshots ``remaining()`` into a
+        fresh budget, ships it to the worker, and the worker re-enters it
+        via :func:`budget_scope`.  Stage timeouts are copied through; an
+        injected test clock is deliberately *not* (a fake clock's ticks do
+        not cross process boundaries — the snapshot freezes its verdict
+        instead: an expired parent yields a ``wall_clock=0`` child).
+        """
+        remaining = self.remaining()
+        wall = None if math.isinf(remaining) else max(0.0, remaining)
+        return SolveBudget(
+            wall_clock=wall, stage_timeouts=dict(self.stage_timeouts)
+        )
 
     def start(self) -> "SolveBudget":
         """Begin the countdown (idempotent); returns self for chaining."""

@@ -25,6 +25,7 @@ from __future__ import annotations
 import time
 from contextlib import ExitStack
 from dataclasses import dataclass, field
+from typing import Callable, TypeVar, cast
 
 from ..analysis.lower_bounds import (
     LowerBoundBreakdown,
@@ -45,6 +46,7 @@ from .errors import (
     SolverError,
 )
 from .job import LONG_WINDOW_FACTOR, Instance
+from .parallel import parallel_map
 from .partition import JobPartition, partition_jobs
 from .resilience import (
     ResiliencePolicy,
@@ -58,6 +60,28 @@ from .tolerance import EPS, close
 from .validate import check_ise
 
 __all__ = ["ISEConfig", "ISEResult", "solve_ise", "ISESolver"]
+
+_HalfT = TypeVar("_HalfT")
+
+# Outcome tuples produced by :func:`_timed_outcome` for the two halves.
+_LongOutcome = tuple["LongWindowResult | None", "BaseException | None", float]
+_ShortOutcome = tuple["ShortWindowResult | None", "BaseException | None", float]
+
+
+def _timed_outcome(
+    thunk: Callable[[], _HalfT],
+) -> tuple[_HalfT | None, BaseException | None, float]:
+    """Run ``thunk``, capturing its result *or* exception plus elapsed time.
+
+    Never raises, which lets two half-solves run concurrently and have their
+    outcomes absorbed afterwards in a fixed order — errors surface with the
+    same precedence as the sequential path.
+    """
+    tic = time.perf_counter()
+    try:
+        return thunk(), None, time.perf_counter() - tic
+    except Exception as exc:  # noqa: BLE001 — re-raised by the handler
+        return None, exc, time.perf_counter() - tic
 
 
 @dataclass(frozen=True)
@@ -90,6 +114,15 @@ class ISEConfig:
             Shorthand for a :class:`SolveBudget`-only resilience policy.
         resilience: full failure-handling policy; when set it overrides
             ``strict``/``timeout``.
+        max_workers: parallelism for the independent sub-solves — the
+            long/short halves run concurrently (thread mode: the halves
+            mostly release the GIL inside HiGHS/numpy) and the short side's
+            per-interval MM solves fan out over a worker pool.  None or 1
+            (the default) is fully serial; the parallel path is
+            output-identical to the serial one.
+        parallel_mode: worker pool kind for the per-interval MM fan-out —
+            ``"auto"``/``"process"``/``"thread"``/``"serial"`` (see
+            :mod:`repro.core.parallel`).
     """
 
     mm_algorithm: str | MMAlgorithm = "best_greedy"
@@ -104,6 +137,8 @@ class ISEConfig:
     strict: bool = True
     timeout: float | None = None
     resilience: ResiliencePolicy | None = None
+    max_workers: int | None = None
+    parallel_mode: str = "auto"
 
     def resilience_policy(self) -> ResiliencePolicy:
         """The effective policy (explicit one, or built from strict/timeout)."""
@@ -134,6 +169,8 @@ class ISEConfig:
             validate=self.validate,
             overlapping_calibrations=self.overlapping_calibrations,
             resilience=self.resilience_policy(),
+            max_workers=self.max_workers,
+            parallel_mode=self.parallel_mode,
         )
 
 
@@ -296,84 +333,145 @@ class ISESolver:
         short_schedule = empty_schedule(T)
         degrade_ok = not policy.strict and policy.pipeline_fallback
 
+        def handle_long(
+            outcome: tuple[LongWindowResult | None, BaseException | None, float],
+            long_instance: Instance,
+        ) -> None:
+            nonlocal long_result, long_schedule
+            result, error, elapsed = outcome
+            tic = time.perf_counter()
+            if error is not None:
+                if isinstance(error, (InfeasibleInstanceError, InvalidInstanceError)):
+                    raise error  # the instance is at fault; degrading cannot help
+                if not degrade_ok:
+                    if isinstance(error, ReproError):
+                        raise error
+                    raise SolverError(
+                        f"long-window pipeline crashed: {error}",
+                        stage="long_pipeline",
+                    ) from error
+                from ..baselines.greedy_tise import lazy_tise_greedy
+
+                long_schedule = self._degrade(
+                    report,
+                    stage="long_pipeline",
+                    primary="theorem12",
+                    fallback_name="greedy_tise",
+                    error=error,
+                    elapsed=elapsed,
+                    rescue=lambda: lazy_tise_greedy(long_instance),
+                )
+                check_ise(
+                    long_instance,
+                    long_schedule,
+                    context="degraded long-window fallback",
+                )
+            elif result is not None:
+                long_result = result
+                long_schedule = result.schedule
+                report.merge(result.resilience)
+            times["long"] = elapsed + (time.perf_counter() - tic)
+
+        def handle_short(
+            outcome: tuple[ShortWindowResult | None, BaseException | None, float],
+            short_instance: Instance,
+        ) -> None:
+            nonlocal short_result, short_schedule
+            result, error, elapsed = outcome
+            tic = time.perf_counter()
+            if error is not None:
+                if isinstance(error, (InfeasibleInstanceError, InvalidInstanceError)):
+                    raise error
+                if not degrade_ok:
+                    if isinstance(error, ReproError):
+                        raise error
+                    raise SolverError(
+                        f"short-window pipeline crashed: {error}",
+                        stage="short_pipeline",
+                    ) from error
+                from ..baselines.naive import one_calibration_per_job
+
+                short_schedule = self._degrade(
+                    report,
+                    stage="short_pipeline",
+                    primary="theorem20",
+                    fallback_name="one_calibration_per_job",
+                    error=error,
+                    elapsed=elapsed,
+                    rescue=lambda: one_calibration_per_job(short_instance),
+                )
+                check_ise(
+                    short_instance,
+                    short_schedule,
+                    context="degraded short-window fallback",
+                )
+            elif result is not None:
+                short_result = result
+                short_schedule = result.schedule
+                report.merge(result.resilience)
+            times["short"] = elapsed + (time.perf_counter() - tic)
+
+        parallel_halves = (
+            cfg.max_workers is not None
+            and cfg.max_workers > 1
+            and cfg.parallel_mode != "serial"
+            and bool(split.long_jobs)
+            and bool(split.short_jobs)
+        )
+
         with ExitStack() as stack:
             budget = policy.fresh_budget()
             if budget is not None:
                 stack.enter_context(budget_scope(budget))
 
-            if split.long_jobs:
-                long_instance = instance.restricted_to(split.long_jobs)
-                tic = time.perf_counter()
-                try:
-                    long_result = LongWindowSolver(cfg.long_config()).solve(
-                        long_instance
-                    )
-                    long_schedule = long_result.schedule
-                    report.merge(long_result.resilience)
-                except (InfeasibleInstanceError, InvalidInstanceError):
-                    raise  # the instance is at fault; degrading cannot help
-                except Exception as exc:  # noqa: BLE001 — degrade, don't die
-                    if not degrade_ok:
-                        if isinstance(exc, ReproError):
-                            raise
-                        raise SolverError(
-                            f"long-window pipeline crashed: {exc}",
-                            stage="long_pipeline",
-                        ) from exc
-                    from ..baselines.greedy_tise import lazy_tise_greedy
+            long_instance: Instance | None = (
+                instance.restricted_to(split.long_jobs) if split.long_jobs else None
+            )
+            short_instance: Instance | None = (
+                instance.restricted_to(split.short_jobs) if split.short_jobs else None
+            )
 
-                    long_schedule = self._degrade(
-                        report,
-                        stage="long_pipeline",
-                        primary="theorem12",
-                        fallback_name="greedy_tise",
-                        error=exc,
-                        elapsed=time.perf_counter() - tic,
-                        rescue=lambda: lazy_tise_greedy(long_instance),
-                    )
-                    check_ise(
-                        long_instance,
-                        long_schedule,
-                        context="degraded long-window fallback",
-                    )
-                times["long"] = time.perf_counter() - tic
+            def run_long(
+                inst: Instance,
+            ) -> tuple[LongWindowResult | None, BaseException | None, float]:
+                return _timed_outcome(
+                    lambda: LongWindowSolver(cfg.long_config()).solve(inst)
+                )
 
-            if split.short_jobs:
-                short_instance = instance.restricted_to(split.short_jobs)
-                tic = time.perf_counter()
-                try:
-                    short_result = ShortWindowSolver(cfg.short_config()).solve(
-                        short_instance
-                    )
-                    short_schedule = short_result.schedule
-                    report.merge(short_result.resilience)
-                except (InfeasibleInstanceError, InvalidInstanceError):
-                    raise
-                except Exception as exc:  # noqa: BLE001 — degrade, don't die
-                    if not degrade_ok:
-                        if isinstance(exc, ReproError):
-                            raise
-                        raise SolverError(
-                            f"short-window pipeline crashed: {exc}",
-                            stage="short_pipeline",
-                        ) from exc
-                    from ..baselines.naive import one_calibration_per_job
+            def run_short(
+                inst: Instance,
+            ) -> tuple[ShortWindowResult | None, BaseException | None, float]:
+                return _timed_outcome(
+                    lambda: ShortWindowSolver(cfg.short_config()).solve(inst)
+                )
 
-                    short_schedule = self._degrade(
-                        report,
-                        stage="short_pipeline",
-                        primary="theorem20",
-                        fallback_name="one_calibration_per_job",
-                        error=exc,
-                        elapsed=time.perf_counter() - tic,
-                        rescue=lambda: one_calibration_per_job(short_instance),
-                    )
-                    check_ise(
-                        short_instance,
-                        short_schedule,
-                        context="degraded short-window fallback",
-                    )
-                times["short"] = time.perf_counter() - tic
+            if (
+                parallel_halves
+                and long_instance is not None
+                and short_instance is not None
+            ):
+                # The halves solve disjoint job sets on disjoint machines, so
+                # they can run concurrently.  Thread mode keeps the ambient
+                # budget (and any deterministic test clock) genuinely shared;
+                # the short side may still fan its MM solves out to a process
+                # pool of its own.  _timed_outcome never raises, so both
+                # outcomes always materialize; they are then absorbed in the
+                # same (long, short) order as the serial path, preserving
+                # error precedence and report ordering exactly.
+                li, si = long_instance, short_instance
+                outcomes = parallel_map(
+                    lambda side: run_long(li) if side == "long" else run_short(si),
+                    ["long", "short"],
+                    max_workers=2,
+                    mode="thread",
+                )
+                handle_long(cast("_LongOutcome", outcomes[0]), li)
+                handle_short(cast("_ShortOutcome", outcomes[1]), si)
+            else:
+                if long_instance is not None:
+                    handle_long(run_long(long_instance), long_instance)
+                if short_instance is not None:
+                    handle_short(run_short(short_instance), short_instance)
 
         merged = long_schedule.merged_with(short_schedule).compact_machines()
         if cfg.validate:

@@ -15,7 +15,11 @@ from .augmented_rounding import (
     FractionalAssignment,
     augmented_round,
 )
-from .calibration_points import potential_calibration_points, raw_calibration_points
+from .calibration_points import (
+    potential_calibration_points,
+    prune_dominated_points,
+    raw_calibration_points,
+)
 from .canonical import CanonicalizationResult, canonicalize
 from .edf import (
     FractionalEDFResult,
@@ -34,13 +38,15 @@ from .rounding import (
     rounded_start_times,
 )
 from .speed_tradeoff import SpeedTradeoffResult, machines_to_speed
-from .tise import TiseTransformTrace, ise_to_tise, tise_feasible_for
+from .tise import TiseTransformTrace, ise_to_tise, tise_feasible_for, tise_feasible_range
 
 __all__ = [
     "tise_feasible_for",
+    "tise_feasible_range",
     "ise_to_tise",
     "TiseTransformTrace",
     "potential_calibration_points",
+    "prune_dominated_points",
     "raw_calibration_points",
     "CanonicalizationResult",
     "canonicalize",

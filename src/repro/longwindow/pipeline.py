@@ -59,6 +59,12 @@ class LongWindowConfig:
 
     Attributes:
         lp_backend: ``"highs"`` (default) or ``"simplex"``.
+        lp_formulation: constraint-(1) encoding — ``"compressed"`` (default,
+            telescoped window-mass variables + dominated-point pruning; same
+            optimum, far fewer nonzeros) or ``"legacy"`` (the literal
+            per-point window copies).
+        lp_names: build the LP with debug variable/constraint names.  Off by
+            default — name strings are pure overhead on the hot path.
         rounding_threshold: Algorithm 1 emission threshold (paper: 1/2).
         rounding_scheme: ``"greedy"`` (Algorithm 1, the paper's scheme with
             the Lemma 7 worst-case bound), ``"ceil"`` (per-point ceiling —
@@ -75,6 +81,8 @@ class LongWindowConfig:
     """
 
     lp_backend: str = "highs"
+    lp_formulation: str = "compressed"
+    lp_names: bool = False
     rounding_threshold: float = 0.5
     rounding_scheme: str = "greedy"
     machine_multiplier: int = 3
@@ -114,6 +122,11 @@ class LongWindowResult:
         return self.lp.objective
 
     @property
+    def lp_stats(self) -> dict[str, int]:
+        """Model-size counters of the solved LP (rows/cols/nnz/points)."""
+        return dict(self.lp.stats)
+
+    @property
     def rounded_calibrations(self) -> int:
         return self.rounding.num_calibrations
 
@@ -144,15 +157,12 @@ def _check_lp_coverage(jobs, solution: TiseLPSolution) -> None:
     numerical breakdown, or an injected fault) — the resilience layer
     treats it as a failed attempt and moves down the chain.
     """
-    coverage = {job.job_id: 0.0 for job in jobs}
-    for (job_id, _), frac in solution.assignments.items():
-        if job_id in coverage:
-            coverage[job_id] += frac
     for job in jobs:
-        if abs(coverage[job.job_id] - 1.0) > _COVERAGE_TOL:
+        covered = solution.job_coverage(job.job_id)
+        if abs(covered - 1.0) > _COVERAGE_TOL:
             raise SolverError(
                 f"LP solution covers job {job.job_id} with mass "
-                f"{coverage[job.job_id]:.6f} != 1",
+                f"{covered:.6f} != 1",
                 stage="lp",
             )
 
@@ -210,6 +220,8 @@ class LongWindowSolver:
                         backend=backend,
                         points=points,
                         time_limit=limit,
+                        formulation=cfg.lp_formulation,
+                        names=cfg.lp_names,
                     )
 
                 return run

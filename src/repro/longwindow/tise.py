@@ -19,7 +19,9 @@ calibrations.  :func:`ise_to_tise` implements that constructive proof exactly
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass
+from typing import Sequence
 
 from ..core.calibration import Calibration, CalibrationSchedule
 from ..core.errors import InvalidScheduleError
@@ -27,7 +29,12 @@ from ..core.job import Instance, Job
 from ..core.schedule import Schedule, ScheduledJob
 from ..core.tolerance import EPS, geq, gt, leq, lt
 
-__all__ = ["tise_feasible_for", "ise_to_tise", "TiseTransformTrace"]
+__all__ = [
+    "tise_feasible_for",
+    "tise_feasible_range",
+    "ise_to_tise",
+    "TiseTransformTrace",
+]
 
 
 def tise_feasible_for(
@@ -37,6 +44,38 @@ def tise_feasible_for(
     return geq(calibration_start, job.release, eps) and leq(
         calibration_start + calibration_length, job.deadline, eps
     )
+
+
+def tise_feasible_range(
+    job: Job,
+    points: Sequence[float],
+    calibration_length: float,
+    eps: float = EPS,
+) -> tuple[int, int]:
+    """The contiguous index range ``[lo, hi)`` of ``points`` feasible for ``job``.
+
+    ``points`` must be sorted ascending.  Because both halves of the TISE
+    test are monotone in ``t``, the feasible subset of a sorted point list
+    is a contiguous slice; this locates it with two bisects plus an O(1)
+    boundary correction (the bisect keys ``r_j - eps`` / ``d_j - T + eps``
+    can drift from the tolerance comparisons by a rounding ulp, so the
+    edges are re-checked against :func:`tise_feasible_for` itself).  The
+    result is exactly ``{i : tise_feasible_for(job, points[i], T)}``
+    without an O(len(points)) scan per job.
+    """
+    T = calibration_length
+    size = len(points)
+    lo = bisect.bisect_left(points, job.release - eps)
+    hi = bisect.bisect_right(points, job.deadline - T + eps, lo=lo)
+    while lo > 0 and tise_feasible_for(job, points[lo - 1], T, eps):
+        lo -= 1
+    while lo < size and not tise_feasible_for(job, points[lo], T, eps):
+        lo += 1
+    while hi < size and tise_feasible_for(job, points[hi], T, eps):
+        hi += 1
+    while hi > lo and not tise_feasible_for(job, points[hi - 1], T, eps):
+        hi -= 1
+    return lo, max(lo, hi)
 
 
 @dataclass(frozen=True)

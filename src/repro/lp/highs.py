@@ -61,13 +61,14 @@ def solve_highs(
         )
     except ValueError as exc:  # malformed model dimensions etc.
         raise SolverError(
-            f"HiGHS rejected LP {model.name!r}: {exc}",
+            f"HiGHS rejected LP {model.name or '<unnamed>'} [{model.dims()}]: {exc}",
             stage="lp",
             backend="highs",
         ) from exc
     if time_limit is not None and result.status == _TIME_LIMIT_STATUS:
         raise StageTimeoutError(
-            f"HiGHS hit the {time_limit:g}s time limit on LP {model.name!r}",
+            f"HiGHS hit the {time_limit:g}s time limit on LP "
+            f"{model.name or '<unnamed>'} [{model.dims()}]",
             stage="lp",
             backend="highs",
             elapsed=float(time_limit),

@@ -101,14 +101,20 @@ class LinearProgram:
 
     Variables are referenced by the integer index returned from
     :meth:`add_variable`; optional names support debugging and tests.
+
+    ``track_names=False`` turns off name storage entirely: on hot builder
+    paths (the TISE LP emits one f-string per variable otherwise) name
+    construction is measurable overhead, and the solver backends never need
+    names.  Nameless models answer :meth:`variable_name` with the positional
+    fallback ``x<index>``.
     """
 
-    def __init__(self, name: str = "") -> None:
+    def __init__(self, name: str = "", *, track_names: bool = True) -> None:
         self.name = name
         self._obj: list[float] = []
         self._lb: list[float] = []
         self._ub: list[float] = []
-        self._names: list[str] = []
+        self._names: list[str] | None = [] if track_names else None
         # Constraint triplets, kept flat for cheap bulk conversion.
         self._rows: list[int] = []
         self._cols: list[int] = []
@@ -127,6 +133,22 @@ class LinearProgram:
     def num_constraints(self) -> int:
         return len(self._rhs)
 
+    @property
+    def num_nonzeros(self) -> int:
+        """Structurally nonzero coefficients across all constraint rows."""
+        return len(self._vals)
+
+    @property
+    def track_names(self) -> bool:
+        return self._names is not None
+
+    def dims(self) -> str:
+        """Compact ``rows x cols (nnz)`` summary for diagnostics."""
+        return (
+            f"{self.num_constraints}x{self.num_variables} "
+            f"({self.num_nonzeros} nnz)"
+        )
+
     def add_variable(
         self,
         objective: float = 0.0,
@@ -140,7 +162,8 @@ class LinearProgram:
         self._obj.append(float(objective))
         self._lb.append(float(lower))
         self._ub.append(float(upper))
-        self._names.append(name or f"x{len(self._obj) - 1}")
+        if self._names is not None:
+            self._names.append(name or f"x{len(self._obj) - 1}")
         return len(self._obj) - 1
 
     def add_variables(
@@ -177,6 +200,10 @@ class LinearProgram:
         return row
 
     def variable_name(self, index: int) -> str:
+        if not (0 <= index < self.num_variables):
+            raise IndexError(f"variable index {index} out of range")
+        if self._names is None:
+            return f"x{index}"
         return self._names[index]
 
     # ------------------------------------------------------------------

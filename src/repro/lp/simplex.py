@@ -50,6 +50,7 @@ def _run_simplex(
     cost: np.ndarray,
     max_iters: int,
     deadline: float | None = None,
+    context: str = "",
 ) -> LPStatus:
     """Optimize ``min cost.x`` over the tableau in place; returns status.
 
@@ -66,7 +67,7 @@ def _run_simplex(
             check_budget("lp", "simplex")
             if deadline is not None and time.monotonic() > deadline:
                 raise StageTimeoutError(
-                    "simplex exceeded its time limit",
+                    f"simplex exceeded its time limit{context}",
                     stage="lp",
                     backend="simplex",
                 )
@@ -109,6 +110,7 @@ def solve_simplex(
     honored either way.
     """
     deadline = time.monotonic() + time_limit if time_limit is not None else None
+    context = f" on LP {model.name or '<unnamed>'} [{model.dims()}]"
     c, a_ub, b_ub, a_eq, b_eq, lb, ub = model.to_standard_arrays()
     nvar = model.num_variables
     if nvar == 0:
@@ -234,7 +236,7 @@ def solve_simplex(
         cost1 = np.zeros(total_cols)
         for col in art_cols:
             cost1[col] = 1.0
-        status = _run_simplex(tableau, basis, cost1, max_iters, deadline)
+        status = _run_simplex(tableau, basis, cost1, max_iters, deadline, context)
         if status is LPStatus.ERROR:
             return LPSolution(
                 status=LPStatus.ERROR, objective=None, x=None,
@@ -262,7 +264,7 @@ def solve_simplex(
     cost2[:n_std] = c_std
     for col in art_cols:
         cost2[col] = 1e18  # any positive cost keeps zero-valued artificials at 0
-    status = _run_simplex(tableau, basis, cost2, max_iters, deadline)
+    status = _run_simplex(tableau, basis, cost2, max_iters, deadline, context)
     if status is LPStatus.UNBOUNDED:
         return LPSolution(status=LPStatus.UNBOUNDED, objective=None, x=None)
     if status is LPStatus.ERROR:

@@ -21,20 +21,23 @@ import dataclasses
 import time
 from contextlib import ExitStack
 from dataclasses import dataclass, field
+from typing import Callable
 
 from ..core.errors import InvalidInstanceError
-from ..core.job import Instance
+from ..core.job import Instance, Job
+from ..core.parallel import effective_workers, parallel_map
 from ..core.resilience import (
     DEFAULT_MM_CHAIN,
     ResiliencePolicy,
     ResilienceReport,
+    RetryPolicy,
     budget_scope,
     current_budget,
     run_with_fallbacks,
 )
 from ..core.schedule import Schedule, empty_schedule
 from ..core.validate import check_ise
-from ..mm.base import MMAlgorithm, check_mm
+from ..mm.base import MMAlgorithm, MMSchedule, check_mm
 from ..mm.preemptive_bound import preemptive_machine_lower_bound
 from ..mm.registry import get_mm_algorithm, resolve_mm_chain
 from .intervals import IntervalBucket, ShortJobPartition, partition_short_jobs
@@ -61,6 +64,59 @@ def _with_time_cap(algorithm: MMAlgorithm, cap: float | None) -> MMAlgorithm:
 
 
 @dataclass(frozen=True)
+class _BucketTask:
+    """One interval's MM solve, self-contained and picklable.
+
+    Everything a worker needs travels in the task: the bucket's jobs, the
+    resolved fallback chain (names or algorithm instances — both pickle),
+    and the retry policy.  The ambient solve budget does NOT travel here;
+    :func:`~repro.core.parallel.parallel_map` snapshots and re-enters it in
+    the worker, so :func:`_solve_bucket_mm` just reads ``current_budget()``
+    exactly like the serial path.
+    """
+
+    jobs: tuple[Job, ...]
+    speed: float
+    chain: tuple[tuple[str, "str | MMAlgorithm"], ...]
+    retry: RetryPolicy
+
+
+def _solve_bucket_mm(task: _BucketTask) -> tuple[MMSchedule, ResilienceReport, float]:
+    """Run one bucket's MM fallback chain; returns (schedule, report, seconds).
+
+    Module-level (not a closure) so process pools can pickle it.  Each
+    bucket gets its own :class:`ResilienceReport`; the caller merges them in
+    bucket order, which makes the merged attempt log identical to the
+    serial loop's.
+    """
+    tic = time.perf_counter()
+    report = ResilienceReport()
+    budget = current_budget()
+
+    def mm_thunk(spec: "str | MMAlgorithm") -> Callable[[], MMSchedule]:
+        def run() -> MMSchedule:
+            algorithm = get_mm_algorithm(spec)
+            cap: float | None = None
+            if budget is not None:
+                remaining = budget.stage_limit("mm")
+                if remaining != float("inf"):
+                    cap = max(remaining, 0.0)
+            return _with_time_cap(algorithm, cap).solve(task.jobs, speed=task.speed)
+
+        return run
+
+    schedule = run_with_fallbacks(
+        "mm",
+        [(name, mm_thunk(spec)) for name, spec in task.chain],
+        report=report,
+        retry=task.retry,
+        budget=budget,
+        validate=lambda s: check_mm(task.jobs, s, context="short-window MM output"),
+    )
+    return schedule, report, time.perf_counter() - tic
+
+
+@dataclass(frozen=True)
 class ShortWindowConfig:
     """Tuning knobs for the short-window pipeline.
 
@@ -78,6 +134,11 @@ class ShortWindowConfig:
             interval), only their dedicated calibrations.
         resilience: failure-handling policy; None means strict (failures
             propagate, no MM fallback chain).
+        max_workers: fan the independent per-interval MM solves (Lemma 16)
+            out over this many workers; None or 1 solves serially.  The
+            parallel path is output-identical to the serial one.
+        parallel_mode: ``"auto"`` (process pool), ``"thread"``,
+            ``"process"``, or ``"serial"`` — see :mod:`repro.core.parallel`.
     """
 
     mm_algorithm: str | MMAlgorithm = "best_greedy"
@@ -88,6 +149,8 @@ class ShortWindowConfig:
     compute_lower_bounds: bool = True
     overlapping_calibrations: bool = False
     resilience: ResiliencePolicy | None = None
+    max_workers: int | None = None
+    parallel_mode: str = "auto"
 
 
 @dataclass(frozen=True)
@@ -116,6 +179,7 @@ class ShortWindowResult:
     gamma: float
     wall_times: dict[str, float] = field(default_factory=dict, compare=False)
     resilience: ResilienceReport | None = field(default=None, compare=False)
+    workers_used: int = field(default=1, compare=False)
 
     @property
     def num_calibrations(self) -> int:
@@ -192,42 +256,37 @@ class ShortWindowSolver:
             empty_schedule(T, num_machines=0, speed=cfg.speed),
             empty_schedule(T, num_machines=0, speed=cfg.speed),
         ]
-        mm_time = 0.0
         lift_time = 0.0
+        tasks = [
+            _BucketTask(
+                jobs=bucket.jobs,
+                speed=cfg.speed,
+                chain=tuple(chain),
+                retry=policy.retry,
+            )
+            for bucket in partition.buckets
+        ]
+        workers_used = effective_workers(
+            cfg.max_workers, len(tasks), cfg.parallel_mode
+        )
         with ExitStack() as stack:
             budget = current_budget()
             if budget is None and policy.budget is not None:
                 budget = stack.enter_context(budget_scope(policy.fresh_budget()))
-            mm_schedules = []
-            for bucket in partition.buckets:
-                tic = time.perf_counter()
-
-                def mm_thunk(spec, jobs=bucket.jobs):
-                    def run():
-                        algorithm = get_mm_algorithm(spec)
-                        cap: float | None = None
-                        if budget is not None:
-                            remaining = budget.stage_limit("mm")
-                            if remaining != float("inf"):
-                                cap = max(remaining, 0.0)
-                        return _with_time_cap(algorithm, cap).solve(
-                            jobs, speed=cfg.speed
-                        )
-
-                    return run
-
-                mm_schedule = run_with_fallbacks(
-                    "mm",
-                    [(name, mm_thunk(spec)) for name, spec in chain],
-                    report=report,
-                    retry=policy.retry,
-                    budget=budget,
-                    validate=lambda s, jobs=bucket.jobs: check_mm(
-                        jobs, s, context="short-window MM output"
-                    ),
-                )
-                mm_time += time.perf_counter() - tic
+            tic = time.perf_counter()
+            outcomes = parallel_map(
+                _solve_bucket_mm,
+                tasks,
+                max_workers=cfg.max_workers,
+                mode=cfg.parallel_mode,
+            )
+            mm_wall = time.perf_counter() - tic
+            mm_schedules: list[MMSchedule] = []
+            mm_cpu = 0.0
+            for mm_schedule, bucket_report, bucket_elapsed in outcomes:
+                report.merge(bucket_report)
                 mm_schedules.append(mm_schedule)
+                mm_cpu += bucket_elapsed
 
         for bucket, mm_schedule in zip(partition.buckets, mm_schedules):
             tic = time.perf_counter()
@@ -275,7 +334,10 @@ class ShortWindowSolver:
                 placements=current.placements + lifted.schedule.placements,
                 speed=cfg.speed,
             )
-        times["mm"] = mm_time
+        times["mm"] = mm_wall
+        # Summed per-bucket solve time: with workers > 1 this exceeds the
+        # "mm" wall time, and their ratio is the realized MM speedup.
+        times["mm_cpu"] = mm_cpu
         times["lift"] = lift_time
 
         merged = pass_schedules[0].merged_with(pass_schedules[1])
@@ -308,4 +370,5 @@ class ShortWindowSolver:
             gamma=cfg.gamma,
             wall_times=times,
             resilience=report,
+            workers_used=workers_used,
         )

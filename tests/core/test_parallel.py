@@ -1,0 +1,196 @@
+"""Tests for :mod:`repro.core.parallel` — the deterministic pool layer.
+
+The contract under test: every mode returns exactly what the serial loop
+would, in input order; budgets cross the process boundary as snapshots and
+keep firing; anything that prevents pooled execution degrades to serial
+rather than erroring.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import StageTimeoutError
+from repro.core.parallel import (
+    MODES,
+    effective_workers,
+    parallel_map,
+    resolve_mode,
+)
+from repro.core.resilience import (
+    SolveBudget,
+    budget_scope,
+    check_budget,
+    current_budget,
+)
+from repro.testing import FakeClock
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+def _raise_on_three(x: int) -> int:
+    if x == 3:
+        raise ValueError("three is right out")
+    return x
+
+
+def _ambient_wall_clock(_: int) -> float | None:
+    budget = current_budget()
+    return None if budget is None else budget.wall_clock
+
+
+def _check_stage_budget(_: int) -> str:
+    check_budget("worker_stage")
+    return "alive"
+
+
+def _nested_effective_workers(_: int) -> int:
+    return effective_workers(4, 4, "process")
+
+
+class TestResolveMode:
+    def test_auto_resolves_to_process(self):
+        assert resolve_mode("auto") == "process"
+
+    def test_explicit_modes_pass_through(self):
+        for mode in ("serial", "thread", "process"):
+            assert resolve_mode(mode) == mode
+
+    def test_unknown_mode_raises(self):
+        with pytest.raises(ValueError, match="unknown parallel mode"):
+            resolve_mode("gpu")
+
+    def test_modes_tuple_is_exhaustive(self):
+        assert MODES == ("auto", "serial", "thread", "process")
+
+
+class TestEffectiveWorkers:
+    def test_none_and_single_worker_are_serial(self):
+        assert effective_workers(None, 10) == 1
+        assert effective_workers(1, 10) == 1
+
+    def test_single_item_is_serial(self):
+        assert effective_workers(8, 1) == 1
+
+    def test_capped_by_items(self):
+        assert effective_workers(8, 3) == 3
+
+    def test_serial_mode_forces_one(self):
+        assert effective_workers(8, 10, "serial") == 1
+
+
+class TestParallelMapModes:
+    ITEMS = list(range(12))
+
+    def test_every_mode_matches_serial(self):
+        expected = [_square(x) for x in self.ITEMS]
+        for mode in MODES:
+            got = parallel_map(_square, self.ITEMS, max_workers=4, mode=mode)
+            assert got == expected, mode
+
+    def test_order_is_input_order(self):
+        # Descending inputs: any completion-order collection would shuffle.
+        items = list(range(20, 0, -1))
+        got = parallel_map(_square, items, max_workers=4, mode="process")
+        assert got == [x * x for x in items]
+
+    def test_empty_items(self):
+        assert parallel_map(_square, [], max_workers=4) == []
+
+    def test_first_exception_by_input_index_raises(self):
+        for mode in MODES:
+            with pytest.raises(ValueError, match="three is right out"):
+                parallel_map(
+                    _raise_on_three, [3, 1, 2], max_workers=4, mode=mode
+                )
+
+    def test_return_exceptions_collects_in_slot(self):
+        for mode in MODES:
+            got = parallel_map(
+                _raise_on_three,
+                [1, 3, 5],
+                max_workers=4,
+                mode=mode,
+                return_exceptions=True,
+            )
+            assert got[0] == 1 and got[2] == 5, mode
+            assert isinstance(got[1], ValueError), mode
+
+    def test_unpicklable_fn_falls_back_to_serial(self):
+        offset = 7
+        got = parallel_map(
+            lambda x: x + offset, self.ITEMS, max_workers=4, mode="process"
+        )
+        assert got == [x + offset for x in self.ITEMS]
+
+
+class TestBudgetPropagation:
+    def test_worker_sees_budget_snapshot(self):
+        with budget_scope(SolveBudget(wall_clock=30.0)):
+            walls = parallel_map(
+                _ambient_wall_clock, [0, 1], max_workers=2, mode="process"
+            )
+        for wall in walls:
+            assert wall is not None
+            assert 0.0 < wall <= 30.0
+
+    def test_no_budget_means_no_worker_budget(self):
+        walls = parallel_map(
+            _ambient_wall_clock, [0, 1], max_workers=2, mode="process"
+        )
+        assert walls == [None, None]
+
+    def test_expired_budget_fires_inside_process_worker(self):
+        with budget_scope(SolveBudget(wall_clock=0.0)):
+            with pytest.raises(StageTimeoutError, match="worker_stage"):
+                parallel_map(
+                    _check_stage_budget, [0, 1], max_workers=2, mode="process"
+                )
+
+    def test_thread_mode_shares_deterministic_clock(self):
+        # The fake clock never advances on its own: expiry is driven purely
+        # by the explicit advance, so the thread-pool path is deterministic.
+        clock = FakeClock()
+        budget = SolveBudget(wall_clock=10.0, clock=clock)
+        with budget_scope(budget):
+            assert parallel_map(
+                _check_stage_budget, [0, 1], max_workers=2, mode="thread"
+            ) == ["alive", "alive"]
+            clock.advance(20.0)
+            with pytest.raises(StageTimeoutError, match="worker_stage"):
+                parallel_map(
+                    _check_stage_budget, [0, 1], max_workers=2, mode="thread"
+                )
+
+    def test_subbudget_drops_injected_clock(self):
+        clock = FakeClock()
+        budget = SolveBudget(wall_clock=10.0, clock=clock).start()
+        clock.advance(4.0)
+        sub = budget.subbudget()
+        assert sub.wall_clock is not None
+        assert sub.wall_clock == pytest.approx(6.0)
+        assert sub.clock is not budget.clock
+
+    def test_subbudget_of_unlimited_budget_is_unlimited(self):
+        sub = SolveBudget().start().subbudget()
+        assert sub.wall_clock is None
+
+    def test_subbudget_of_expired_budget_is_born_expired(self):
+        clock = FakeClock()
+        budget = SolveBudget(wall_clock=5.0, clock=clock).start()
+        clock.advance(9.0)
+        sub = budget.subbudget().start()
+        assert sub.expired
+
+
+class TestNestedPools:
+    def test_process_worker_degrades_nested_map_to_serial(self):
+        inner = parallel_map(
+            _nested_effective_workers, [0, 1], max_workers=2, mode="process"
+        )
+        assert inner == [1, 1]
+
+    def test_main_process_is_not_a_worker(self):
+        assert _nested_effective_workers(0) == 4

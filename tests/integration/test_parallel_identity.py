@@ -1,0 +1,114 @@
+"""Serial-vs-parallel output identity for the solver and sweep layers.
+
+The parallel execution paths (per-interval MM fan-out, concurrent
+long/short halves, sweep case pools) are pure optimizations: schedules,
+resilience reports, and sweep tables must be *byte-identical* to the
+serial run.  These tests pin that contract across seeds and modes, plus
+the regression that a solve budget keeps firing inside a parallel
+interval solve (the context-local does not silently vanish at the process
+boundary).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.sweep import SweepCase, run_sweep
+from repro.core.errors import StageTimeoutError
+from repro.core.resilience import ResiliencePolicy, SolveBudget
+from repro.core.solver import ISEConfig, solve_ise
+from repro.instances import mixed_instance, short_window_instance
+from repro.shortwindow import ShortWindowConfig, ShortWindowSolver
+
+SEEDS = [0, 1, 2]
+
+
+class TestSolveIseIdentity:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_parallel_solve_matches_serial(self, seed):
+        instance = mixed_instance(20, 3, 2.0, seed=seed).instance
+        serial = solve_ise(instance, ISEConfig())
+        for mode in ("auto", "thread", "process"):
+            parallel = solve_ise(
+                instance, ISEConfig(max_workers=4, parallel_mode=mode)
+            )
+            assert parallel.schedule == serial.schedule, mode
+            assert parallel.num_calibrations == serial.num_calibrations, mode
+            assert parallel.machines_used == serial.machines_used, mode
+            assert parallel.lower_bound.best == serial.lower_bound.best, mode
+
+    def test_serial_mode_ignores_workers(self):
+        instance = mixed_instance(16, 2, 2.0, seed=7).instance
+        serial = solve_ise(instance, ISEConfig())
+        forced = solve_ise(
+            instance, ISEConfig(max_workers=8, parallel_mode="serial")
+        )
+        assert forced.schedule == serial.schedule
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_shortwindow_reports_match_serial(self, seed):
+        instance = short_window_instance(24, 2, 10.0, seed=seed).instance
+        serial = ShortWindowSolver(ShortWindowConfig()).solve(instance)
+        pooled = ShortWindowSolver(
+            ShortWindowConfig(max_workers=4)
+        ).solve(instance)
+        assert pooled.schedule == serial.schedule
+        assert pooled.intervals == serial.intervals
+        assert pooled.workers_used > 1
+        assert serial.workers_used == 1
+        # The merged resilience report replays the buckets in input order,
+        # so the attempt log is identical to the serial one.
+        assert [a.stage for a in pooled.resilience.attempts] == [
+            a.stage for a in serial.resilience.attempts
+        ]
+        assert [a.backend for a in pooled.resilience.attempts] == [
+            a.backend for a in serial.resilience.attempts
+        ]
+
+
+class TestSweepIdentity:
+    CASES = [
+        SweepCase(family=family, n=14, machines=2, calibration_length=2.0, seed=seed)
+        for family in ("mixed", "short")
+        for seed in SEEDS
+    ]
+
+    @staticmethod
+    def _strip(outcome):
+        # wall_seconds is a measurement, not an output: exclude it.
+        return (
+            outcome.case,
+            outcome.calibrations,
+            outcome.calibrations_postopt,
+            outcome.lower_bound,
+            outcome.machines_used,
+            outcome.valid,
+        )
+
+    def test_parallel_sweep_matches_serial(self):
+        serial = run_sweep(self.CASES)
+        for mode in ("auto", "thread"):
+            pooled = run_sweep(self.CASES, workers=4, mode=mode)
+            assert [self._strip(o) for o in pooled] == [
+                self._strip(o) for o in serial
+            ], mode
+
+    def test_sweep_outcomes_in_input_order(self):
+        pooled = run_sweep(self.CASES, workers=4)
+        assert [o.case for o in pooled] == [c for c in self.CASES]
+
+
+class TestBudgetAcrossWorkers:
+    """Regression: budgets are context-locals, which do not cross process
+    boundaries on their own — the pool layer must snapshot and re-enter
+    them, or a parallel solve would simply never time out."""
+
+    @pytest.mark.parametrize("mode", ["serial", "thread", "process"])
+    def test_timeout_fires_inside_parallel_interval_solve(self, mode):
+        instance = short_window_instance(12, 2, 10.0, seed=3).instance
+        policy = ResiliencePolicy(budget=SolveBudget(wall_clock=0.0))
+        config = ShortWindowConfig(
+            resilience=policy, max_workers=2, parallel_mode=mode
+        )
+        with pytest.raises(StageTimeoutError, match="budget of 0s exhausted"):
+            ShortWindowSolver(config).solve(instance)

@@ -1,0 +1,169 @@
+"""Equivalence and structure tests for the compressed TISE LP.
+
+The telescoped constraint-(1) encoding and the domination prune are pure
+reformulations: on every instance the compressed LP must reach the same
+optimum as the legacy literal encoding (and the same Algorithm 1 rounded
+calibration count), while being strictly smaller.  These tests pin that,
+plus the supporting machinery: per-job feasible ranges, the point prune,
+nameless builds, and the indexed ``job_coverage``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.tolerance import EPS, close
+from repro.instances import long_window_instance
+from repro.longwindow import (
+    build_tise_lp,
+    potential_calibration_points,
+    prune_dominated_points,
+    raw_calibration_points,
+    round_calibrations,
+    solve_tise_lp,
+    tise_feasible_for,
+    tise_feasible_range,
+)
+
+# The TISE LP requires every window to fit a calibration (|window| >= T),
+# so the suite draws from the long-window generator across sizes, machine
+# counts, calibration lengths, and seeds.
+SUITE = [
+    (6, 1, 5.0, 0),
+    (8, 2, 10.0, 1),
+    (10, 2, 10.0, 2),
+    (12, 3, 5.0, 3),
+    (14, 2, 10.0, 4),
+    (16, 2, 2.5, 5),
+]
+
+
+def _case_id(case):
+    n, machines, T, seed = case
+    return f"n{n}-m{machines}-T{T:g}-s{seed}"
+
+
+@pytest.fixture(params=SUITE, ids=_case_id)
+def jobs_and_T(request):
+    n, machines, T, seed = request.param
+    instance = long_window_instance(n, machines, T, seed=seed).instance
+    return instance.jobs, instance.calibration_length
+
+
+class TestFormulationEquivalence:
+    @pytest.mark.parametrize("machine_budget", [1, 2, 3])
+    def test_same_objective(self, jobs_and_T, machine_budget):
+        jobs, T = jobs_and_T
+        legacy = solve_tise_lp(jobs, T, machine_budget, formulation="legacy")
+        compressed = solve_tise_lp(
+            jobs, T, machine_budget, formulation="compressed"
+        )
+        assert close(legacy.objective, compressed.objective), (
+            f"legacy {legacy.objective!r} vs compressed "
+            f"{compressed.objective!r}"
+        )
+
+    def test_same_rounded_calibration_count(self, jobs_and_T):
+        jobs, T = jobs_and_T
+        legacy = solve_tise_lp(jobs, T, 3, formulation="legacy")
+        compressed = solve_tise_lp(jobs, T, 3, formulation="compressed")
+        rounded_legacy = round_calibrations(legacy.calibrations, 3, T)
+        rounded_compressed = round_calibrations(compressed.calibrations, 3, T)
+        assert (
+            rounded_legacy.schedule.num_calibrations
+            == rounded_compressed.schedule.num_calibrations
+        )
+
+    def test_compressed_is_never_larger(self, jobs_and_T):
+        jobs, T = jobs_and_T
+        legacy = build_tise_lp(jobs, T, 3, formulation="legacy", names=False)
+        compressed = build_tise_lp(
+            jobs, T, 3, formulation="compressed", names=False
+        )
+        assert compressed.stats["nnz"] <= legacy.stats["nnz"]
+        assert compressed.stats["machine_nnz"] <= legacy.stats["machine_nnz"]
+        assert compressed.stats["points"] <= legacy.stats["points"]
+
+    def test_unknown_formulation_rejected(self, jobs_and_T):
+        jobs, T = jobs_and_T
+        with pytest.raises(ValueError, match="formulation"):
+            build_tise_lp(jobs, T, 2, formulation="quantum")
+
+
+class TestDominationPrune:
+    def test_prune_preserves_lp_optimum(self, jobs_and_T):
+        jobs, T = jobs_and_T
+        points = potential_calibration_points(jobs, T)
+        pruned = prune_dominated_points(points, jobs, T)
+        full = solve_tise_lp(jobs, T, 2, points=points, formulation="legacy")
+        thin = solve_tise_lp(jobs, T, 2, points=pruned, formulation="legacy")
+        assert close(full.objective, thin.objective)
+
+    def test_prune_returns_sorted_subset(self, jobs_and_T):
+        jobs, T = jobs_and_T
+        points = potential_calibration_points(jobs, T)
+        pruned = prune_dominated_points(points, jobs, T)
+        assert set(pruned) <= set(points)
+        assert pruned == sorted(pruned)
+
+    def test_prune_is_idempotent(self, jobs_and_T):
+        jobs, T = jobs_and_T
+        points = potential_calibration_points(jobs, T)
+        once = prune_dominated_points(points, jobs, T)
+        twice = prune_dominated_points(once, jobs, T)
+        assert once == twice
+
+
+class TestFeasibleRange:
+    def test_range_matches_bruteforce_scan(self, jobs_and_T):
+        jobs, T = jobs_and_T
+        points = raw_calibration_points(jobs, T)
+        for job in jobs:
+            lo, hi = tise_feasible_range(job, points, T)
+            feasible = [
+                i
+                for i, t in enumerate(points)
+                if tise_feasible_for(job, t, T, EPS)
+            ]
+            expected = list(range(lo, hi))
+            assert feasible == expected, f"job {job.job_id}"
+
+    def test_empty_range_when_no_point_fits(self):
+        instance = long_window_instance(6, 2, 10.0, seed=5).instance
+        T = instance.calibration_length
+        job = instance.jobs[0]
+        # Points far outside the job's window: empty feasible range.
+        far = [job.deadline + T, job.deadline + 2 * T]
+        lo, hi = tise_feasible_range(job, far, T)
+        assert lo == hi
+
+
+class TestSolutionIndexes:
+    def test_job_coverage_matches_manual_sum(self, jobs_and_T):
+        jobs, T = jobs_and_T
+        solution = solve_tise_lp(jobs, T, 3)
+        for job in jobs:
+            manual = sum(
+                frac
+                for (job_id, _), frac in solution.assignments.items()
+                if job_id == job.job_id
+            )
+            assert solution.job_coverage(job.job_id) == pytest.approx(manual)
+        assert solution.job_coverage(10_000) == 0.0
+
+    def test_nameless_build_still_reports_names(self, jobs_and_T):
+        jobs, T = jobs_and_T
+        named = build_tise_lp(jobs, T, 2, names=True)
+        nameless = build_tise_lp(jobs, T, 2, names=False)
+        assert not nameless.lp.track_names
+        assert named.lp.track_names
+        # The fallback synthesizes positional names instead of crashing.
+        assert nameless.lp.variable_name(0) == "x0"
+        assert named.lp.variable_name(0) != "x0" or named.lp.num_cols == 0
+
+    def test_stats_attached_to_solution(self, jobs_and_T):
+        jobs, T = jobs_and_T
+        solution = solve_tise_lp(jobs, T, 2)
+        for key in ("rows", "cols", "nnz", "machine_nnz", "points"):
+            assert key in solution.stats
+            assert solution.stats[key] >= 0
