@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from pathlib import Path
 
+from repro.core.atomicio import atomic_write_text
+
 ROOT = Path(__file__).resolve().parent.parent
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
 
@@ -41,6 +43,7 @@ ORDER = [
     ("PERF", "perf_parallel_short"),
     ("PERF", "perf_parallel_sweep"),
     ("RES", "resilience_overhead"),
+    ("CKPT", "checkpoint_overhead"),
 ]
 
 
@@ -70,7 +73,7 @@ def main() -> int:
             f"_missing (bench not yet run): {', '.join(missing)}_"
         )
     out = ROOT / "RESULTS.md"
-    out.write_text("\n".join(lines) + "\n")
+    atomic_write_text(out, "\n".join(lines) + "\n")
     print(f"wrote {out} ({len(ORDER) - len(missing)} tables)")
 
     from perf_artifact import merge_sections  # script-dir import

@@ -29,6 +29,8 @@ import json
 from pathlib import Path
 from typing import Any
 
+from repro.core.atomicio import atomic_write_text
+
 ROOT = Path(__file__).resolve().parent.parent
 PERF_DIR = Path(__file__).resolve().parent / "results" / "perf"
 BENCH_PERF_PATH = ROOT / "BENCH_perf.json"
@@ -47,7 +49,7 @@ def write_section(section: str, payload: dict[str, Any]) -> Path:
     """Persist one section and refresh the merged artifact."""
     PERF_DIR.mkdir(parents=True, exist_ok=True)
     path = PERF_DIR / f"{section}.json"
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    atomic_write_text(path, json.dumps(payload, indent=2, sort_keys=True) + "\n")
     merge_sections()
     return path
 
@@ -59,5 +61,7 @@ def merge_sections() -> Path:
         for path in sorted(PERF_DIR.glob("*.json")):
             sections[path.stem] = json.loads(path.read_text())
     artifact = {"schema": SCHEMA_VERSION, "sections": sections}
-    BENCH_PERF_PATH.write_text(json.dumps(artifact, indent=2, sort_keys=True) + "\n")
+    atomic_write_text(
+        BENCH_PERF_PATH, json.dumps(artifact, indent=2, sort_keys=True) + "\n"
+    )
     return BENCH_PERF_PATH

@@ -22,7 +22,13 @@ from .sweep import (
     FAMILY_GENERATORS,
     SweepCase,
     SweepOutcome,
+    SweepReport,
+    case_key,
+    load_sweep_outcomes,
     run_sweep,
+    run_sweep_report,
+    save_sweep_report,
+    sweep_fingerprint,
     sweep_table,
 )
 
@@ -41,7 +47,13 @@ __all__ = [
     "write_report",
     "SweepCase",
     "SweepOutcome",
+    "SweepReport",
+    "case_key",
+    "load_sweep_outcomes",
     "run_sweep",
+    "run_sweep_report",
+    "save_sweep_report",
+    "sweep_fingerprint",
     "sweep_table",
     "FAMILY_GENERATORS",
     "render_html_report",

@@ -14,6 +14,7 @@ from typing import Sequence
 
 from typing import TYPE_CHECKING
 
+from ..core.atomicio import atomic_write_text
 from ..core.job import Instance
 from ..sim import SimulationResult
 from ..viz.svg import schedule_to_svg
@@ -137,5 +138,5 @@ def save_html_report(
 ) -> Path:
     """Write the HTML report to ``path``; returns the path."""
     path = Path(path)
-    path.write_text(render_html_report(instance, result, simulation, title))
+    atomic_write_text(path, render_html_report(instance, result, simulation, title))
     return path

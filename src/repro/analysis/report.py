@@ -11,6 +11,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Iterable, Sequence
 
+from ..core.atomicio import atomic_write_text
 from ..core.tolerance import close
 
 __all__ = ["Table", "format_value", "write_report"]
@@ -83,5 +84,5 @@ def write_report(table: Table, directory: str | Path, name: str) -> Path:
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     path = directory / f"{name}.txt"
-    path.write_text(table.render() + "\n")
+    atomic_write_text(path, table.render() + "\n")
     return path

@@ -4,17 +4,37 @@ A light harness for "solve this family across these parameters and tabulate
 quality" studies — the programmatic form of what the benchmark files do,
 exposed so users can run their own sweeps (and via ``repro-ise sweep`` on
 the command line).
+
+Crash safety: pass ``checkpoint_dir`` to :func:`run_sweep_report` and every
+completed case is journaled as it finishes (see
+:mod:`repro.core.checkpoint`); after a crash, ``resume=True`` (the CLI's
+``--resume``) replays the journal, skips the ``done`` shards, and re-solves
+only the remainder — the final report is byte-identical to an uninterrupted
+run.  A case whose worker process dies is retried with backoff and then
+*quarantined* (recorded ``failed`` and surfaced on the
+:class:`SweepReport`) instead of aborting the whole sweep.
 """
 
 from __future__ import annotations
 
+import json
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Sequence
+from pathlib import Path
+from typing import Any, Callable, Iterable, Sequence
 
 from typing import TYPE_CHECKING
 
+from ..core.atomicio import checksum, dump_artifact, load_artifact
+from ..core.checkpoint import (
+    CheckpointedRun,
+    ShardJournal,
+    ShardOutcome,
+    shard_error_context,
+)
+from ..core.errors import InvalidArtifactError, LimitExceededError
 from ..core.job import Instance
+from ..core.resilience import ResilienceReport, SolveBudget, budget_scope
 from ..core.validate import validate_ise
 
 if TYPE_CHECKING:  # import at runtime inside run_sweep: core.solver imports
@@ -34,7 +54,21 @@ from ..postopt import consolidate
 from .metrics import ratio
 from .report import Table
 
-__all__ = ["SweepCase", "SweepOutcome", "run_sweep", "sweep_table", "FAMILY_GENERATORS"]
+__all__ = [
+    "SweepCase",
+    "SweepOutcome",
+    "SweepReport",
+    "case_key",
+    "load_sweep_outcomes",
+    "outcome_from_dict",
+    "outcome_to_dict",
+    "sweep_fingerprint",
+    "run_sweep",
+    "run_sweep_report",
+    "save_sweep_report",
+    "sweep_table",
+    "FAMILY_GENERATORS",
+]
 
 FAMILY_GENERATORS: dict[str, Callable[..., GeneratedInstance]] = {
     "long": long_window_instance,
@@ -81,6 +115,65 @@ class SweepOutcome:
     @property
     def quality_ratio(self) -> float:
         return ratio(self.calibrations_postopt, self.lower_bound)
+
+
+def case_key(case: SweepCase) -> str:
+    """Stable shard identity of one case across runs (checkpoint journals)."""
+    return (
+        f"{case.family}/n{case.n}/m{case.machines}"
+        f"/T{case.calibration_length:g}/s{case.seed}"
+    )
+
+
+def _case_to_dict(case: SweepCase) -> dict[str, Any]:
+    return {
+        "family": case.family,
+        "n": case.n,
+        "machines": case.machines,
+        "calibration_length": case.calibration_length,
+        "seed": case.seed,
+    }
+
+
+def _case_from_dict(payload: dict[str, Any]) -> SweepCase:
+    return SweepCase(
+        family=str(payload["family"]),
+        n=int(payload["n"]),
+        machines=int(payload["machines"]),
+        calibration_length=float(payload["calibration_length"]),
+        seed=int(payload["seed"]),
+    )
+
+
+def outcome_to_dict(outcome: SweepOutcome) -> dict[str, Any]:
+    """JSON-able form of one outcome (journal payloads, sweep artifacts)."""
+    return {
+        "case": _case_to_dict(outcome.case),
+        "calibrations": outcome.calibrations,
+        "calibrations_postopt": outcome.calibrations_postopt,
+        "lower_bound": outcome.lower_bound,
+        "machines_used": outcome.machines_used,
+        "valid": outcome.valid,
+        "wall_seconds": outcome.wall_seconds,
+    }
+
+
+def outcome_from_dict(payload: dict[str, Any]) -> SweepOutcome:
+    """Inverse of :func:`outcome_to_dict` — lossless round trip."""
+    try:
+        return SweepOutcome(
+            case=_case_from_dict(payload["case"]),
+            calibrations=int(payload["calibrations"]),
+            calibrations_postopt=int(payload["calibrations_postopt"]),
+            lower_bound=float(payload["lower_bound"]),
+            machines_used=int(payload["machines_used"]),
+            valid=bool(payload["valid"]),
+            wall_seconds=float(payload["wall_seconds"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise InvalidArtifactError(
+            f"malformed sweep outcome payload: {exc}"
+        ) from exc
 
 
 @dataclass(frozen=True)
@@ -142,6 +235,232 @@ def run_sweep(
     tasks = [_CaseTask(case=case, config=config, postopt=postopt) for case in cases]
     results = parallel_map(_solve_case, tasks, max_workers=workers, mode=mode)
     return [outcome for outcome in results if isinstance(outcome, SweepOutcome)]
+
+
+SWEEP_ARTIFACT_KIND = "ise-sweep-report"
+SWEEP_ARTIFACT_VERSION = 1
+
+
+@dataclass
+class SweepReport:
+    """Everything a (possibly checkpointed) sweep run produced.
+
+    ``outcomes`` holds solved (or journal-restored) cases in input order.
+    Shards that were quarantined after the retry policy gave up land in
+    ``failed`` (key + structured error context + attempts); shards a budget
+    expiry left unsolved land in ``pending`` — both are *surfaced* here
+    instead of aborting the sweep, and ``pending`` shards re-solve on a
+    later ``resume=True`` run.
+    """
+
+    outcomes: list[SweepOutcome] = field(default_factory=list)
+    failed: list[dict[str, Any]] = field(default_factory=list)
+    pending: list[str] = field(default_factory=list)
+    restored: int = 0
+    solved: int = 0
+    journal_path: str | None = None
+    parallel_fallback: str | None = None
+    resilience: ResilienceReport = field(default_factory=ResilienceReport)
+
+    @property
+    def ok(self) -> bool:
+        """True when every shard produced an outcome this run."""
+        return not self.failed and not self.pending
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": SWEEP_ARTIFACT_KIND,
+            "version": SWEEP_ARTIFACT_VERSION,
+            "outcomes": [outcome_to_dict(o) for o in self.outcomes],
+            "failed": [dict(record) for record in self.failed],
+            "pending": list(self.pending),
+            "restored": self.restored,
+            "solved": self.solved,
+            "journal_path": self.journal_path,
+            "parallel_fallback": self.parallel_fallback,
+            "resilience": self.resilience.to_dict(),
+        }
+
+
+def sweep_fingerprint(
+    cases: Sequence[SweepCase], config: "ISEConfig | None", postopt: bool
+) -> str:
+    """Run identity for checkpoint journals: cases + solve configuration."""
+    identity = json.dumps(
+        {
+            "keys": [case_key(case) for case in cases],
+            "config": repr(config),
+            "postopt": postopt,
+        },
+        sort_keys=True,
+    )
+    return checksum(identity)
+
+
+def _report_from_shards(
+    shards: Sequence[ShardOutcome], keys: Sequence[str]
+) -> SweepReport:
+    """Fold per-shard outcomes into a :class:`SweepReport`."""
+    report = SweepReport()
+    for shard in shards:
+        if shard.status == "restored":
+            report.restored += 1
+            report.outcomes.append(shard.value)
+        elif shard.status == "done":
+            report.solved += 1
+            report.outcomes.append(shard.value)
+        elif shard.status == "pending":
+            report.pending.append(shard.key)
+        else:
+            report.failed.append(
+                {
+                    "key": shard.key,
+                    "error": shard.error_context or {},
+                    "attempts": shard.attempts,
+                }
+            )
+            report.resilience.record_note(
+                f"sweep shard {shard.key} quarantined after "
+                f"{shard.attempts} attempt(s): "
+                f"{(shard.error_context or {}).get('type', 'Exception')}"
+            )
+            report.resilience.degraded = True
+    if report.pending:
+        report.resilience.record_note(
+            f"{len(report.pending)} of {len(keys)} shard(s) left pending by "
+            "budget expiry; resume to complete them"
+        )
+    if report.restored:
+        report.resilience.record_note(
+            f"{report.restored} shard(s) restored from checkpoint journal"
+        )
+    return report
+
+
+def run_sweep_report(
+    cases: Iterable[SweepCase],
+    config: "ISEConfig | None" = None,
+    postopt: bool = True,
+    *,
+    workers: int | None = None,
+    mode: str = "auto",
+    checkpoint_dir: str | Path | None = None,
+    resume: bool = False,
+    max_shard_retries: int = 2,
+    budget: "SolveBudget | None" = None,
+) -> SweepReport:
+    """Solve every case, surfacing failures on the report instead of raising.
+
+    With ``checkpoint_dir`` each completed case is durably journaled as it
+    finishes (``<checkpoint_dir>/sweep.journal.jsonl``) and ``resume=True``
+    skips the journal's ``done`` shards — see the module docstring for the
+    crash-safety contract.  ``budget`` installs a sweep-level ambient
+    :class:`~repro.core.resilience.SolveBudget` around the whole fan-out;
+    cases that run after it expires are left pending (and journaled state
+    stays resumable).  Without ``checkpoint_dir`` the same classification
+    applies but nothing is journaled.
+    """
+    from ..core.parallel import last_fallback_reason, parallel_map
+
+    tasks = [_CaseTask(case=case, config=config, postopt=postopt) for case in cases]
+    keys = [case_key(task.case) for task in tasks]
+
+    with budget_scope(budget.start() if budget is not None else None):
+        if checkpoint_dir is not None:
+            journal = ShardJournal(Path(checkpoint_dir) / "sweep.journal.jsonl")
+            run = CheckpointedRun(
+                journal=journal,
+                fingerprint=sweep_fingerprint(
+                    [task.case for task in tasks], config, postopt
+                ),
+                resume=resume,
+                max_shard_retries=max_shard_retries,
+            )
+            shards = run.map(
+                _solve_case,
+                tasks,
+                keys,
+                encode=outcome_to_dict,
+                decode=outcome_from_dict,
+                max_workers=workers,
+                mode=mode,
+            )
+            report = _report_from_shards(shards, keys)
+            report.journal_path = str(journal.path)
+            report.parallel_fallback = run.parallel_fallback
+        else:
+            results = parallel_map(
+                _solve_case,
+                tasks,
+                max_workers=workers,
+                mode=mode,
+                return_exceptions=True,
+            )
+            shards = []
+            for key, value in zip(keys, results):
+                if isinstance(value, SweepOutcome):
+                    shards.append(ShardOutcome(key=key, status="done", value=value, attempts=1))
+                elif isinstance(value, LimitExceededError):
+                    shards.append(
+                        ShardOutcome(
+                            key=key,
+                            status="pending",
+                            error=value,
+                            error_context=shard_error_context(value),
+                            attempts=1,
+                        )
+                    )
+                else:
+                    shards.append(
+                        ShardOutcome(
+                            key=key,
+                            status="failed",
+                            error=value if isinstance(value, BaseException) else None,
+                            error_context=shard_error_context(value)
+                            if isinstance(value, BaseException)
+                            else {"type": "UnknownResult", "message": repr(value)},
+                            attempts=1,
+                        )
+                    )
+            report = _report_from_shards(shards, keys)
+            report.parallel_fallback = last_fallback_reason()
+
+    if report.parallel_fallback:
+        report.resilience.record_note(
+            f"parallel pool degraded to serial: {report.parallel_fallback}"
+        )
+    return report
+
+
+def save_sweep_report(report: SweepReport, path: str | Path) -> None:
+    """Atomically write a sweep report artifact (checksummed envelope)."""
+    dump_artifact(report.to_dict(), path)
+
+
+def load_sweep_outcomes(path: str | Path) -> list[SweepOutcome]:
+    """Read the outcomes of a saved sweep report artifact.
+
+    Raises :class:`~repro.core.errors.InvalidArtifactError` (with the path)
+    for payloads that are not sweep reports or have malformed outcomes.
+    """
+    payload = load_artifact(path)
+    try:
+        if payload.get("kind") != SWEEP_ARTIFACT_KIND:
+            raise InvalidArtifactError(
+                f"not a sweep report artifact: kind={payload.get('kind')!r}",
+                field="kind",
+            )
+        if payload.get("version") != SWEEP_ARTIFACT_VERSION:
+            raise InvalidArtifactError(
+                f"unsupported sweep report version {payload.get('version')!r}",
+                field="version",
+            )
+        rows = payload.get("outcomes", [])
+        return [outcome_from_dict(row) for row in rows]
+    except InvalidArtifactError as exc:
+        if exc.path is None:
+            exc.path = str(path)
+        raise
 
 
 def sweep_table(outcomes: Sequence[SweepOutcome], title: str = "sweep") -> Table:

@@ -24,8 +24,9 @@ from .analysis import (
     FAMILY_GENERATORS,
     SweepCase,
     combined_lower_bound,
-    run_sweep,
+    run_sweep_report,
     save_html_report,
+    save_sweep_report,
     summarize_schedule,
     sweep_table,
 )
@@ -145,6 +146,18 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--workers", type=int, default=None, metavar="N",
                        help="solve independent cases over N workers "
                             "(outcomes are identical to the serial run)")
+    sweep.add_argument("--checkpoint-dir", metavar="DIR",
+                       help="journal each case as it completes so a crashed "
+                            "sweep can --resume instead of starting over")
+    sweep.add_argument("--resume", action="store_true",
+                       help="replay an existing checkpoint journal, skipping "
+                            "its completed cases (requires --checkpoint-dir)")
+    sweep.add_argument("--max-shard-retries", type=int, default=2, metavar="K",
+                       help="retries for a case whose worker process died "
+                            "before it is quarantined as failed")
+    sweep.add_argument("--out", metavar="PATH",
+                       help="also write the sweep report artifact "
+                            "(atomic, checksummed JSON)")
 
     rep = sub.add_parser(
         "report", help="solve and write a self-contained HTML report"
@@ -314,10 +327,41 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             for seed in range(args.seeds)
         ]
         title = f"sweep: {args.family} n={args.n} m={args.machines} T={args.T:g}"
-    outcomes = run_sweep(cases, postopt=not args.no_postopt, workers=args.workers)
-    table = sweep_table(outcomes, title=title)
+    if args.resume and not args.checkpoint_dir:
+        print("error: --resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
+    report = run_sweep_report(
+        cases,
+        postopt=not args.no_postopt,
+        workers=args.workers,
+        checkpoint_dir=args.checkpoint_dir,
+        resume=args.resume,
+        max_shard_retries=args.max_shard_retries,
+    )
+    table = sweep_table(report.outcomes, title=title)
     table.print()
-    return 0 if all(o.valid for o in outcomes) else 1
+    if args.checkpoint_dir:
+        print(
+            f"checkpoint   : {report.journal_path} "
+            f"({report.restored} restored, {report.solved} solved)"
+        )
+    for record in report.failed:
+        error = record.get("error", {})
+        print(
+            f"QUARANTINED  : {record.get('key')} after "
+            f"{record.get('attempts')} attempt(s): "
+            f"{error.get('type')}: {error.get('message')}"
+        )
+    for key in report.pending:
+        print(f"PENDING      : {key} (budget expired; --resume re-solves it)")
+    if report.resilience.notes:
+        print("notes        : " + "; ".join(report.resilience.notes))
+    if args.out:
+        save_sweep_report(report, args.out)
+        print(f"wrote sweep report to {args.out}")
+    if not report.ok:
+        return 1
+    return 0 if all(o.valid for o in report.outcomes) else 1
 
 
 def _cmd_report(args: argparse.Namespace) -> int:

@@ -12,13 +12,33 @@ Submodules:
 * :mod:`repro.core.errors` — exception hierarchy.
 * :mod:`repro.core.resilience` — solve budgets, fallback chains, reports.
 * :mod:`repro.core.parallel` — deterministic worker-pool execution.
+* :mod:`repro.core.atomicio` — atomic, checksummed artifact writes.
+* :mod:`repro.core.checkpoint` — resumable shard journals + recovery.
 """
 
+from .atomicio import (
+    atomic_write_bytes,
+    atomic_write_text,
+    checksum,
+    dump_artifact,
+    load_artifact,
+)
 from .calibration import Calibration, CalibrationSchedule, pack_round_robin
+from .checkpoint import (
+    CheckpointedRun,
+    JournalState,
+    ShardJournal,
+    ShardOutcome,
+    TornTailWarning,
+    shard_error_context,
+)
 from .errors import (
+    ArtifactError,
+    CorruptArtifactError,
     FallbacksExhaustedError,
     InfeasibleInstanceError,
     InfeasibleScheduleError,
+    InvalidArtifactError,
     InvalidInstanceError,
     InvalidScheduleError,
     LimitExceededError,
@@ -26,7 +46,12 @@ from .errors import (
     SolverError,
     StageTimeoutError,
 )
-from .parallel import effective_workers, parallel_map
+from .parallel import (
+    ParallelFallbackWarning,
+    effective_workers,
+    last_fallback_reason,
+    parallel_map,
+)
 from .resilience import (
     ResiliencePolicy,
     ResilienceReport,
@@ -82,6 +107,22 @@ __all__ = [
     "LimitExceededError",
     "StageTimeoutError",
     "FallbacksExhaustedError",
+    "ArtifactError",
+    "InvalidArtifactError",
+    "CorruptArtifactError",
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "checksum",
+    "dump_artifact",
+    "load_artifact",
+    "CheckpointedRun",
+    "JournalState",
+    "ShardJournal",
+    "ShardOutcome",
+    "TornTailWarning",
+    "shard_error_context",
+    "ParallelFallbackWarning",
+    "last_fallback_reason",
     "SolveBudget",
     "RetryPolicy",
     "ResiliencePolicy",

@@ -24,6 +24,9 @@ __all__ = [
     "LimitExceededError",
     "StageTimeoutError",
     "FallbacksExhaustedError",
+    "ArtifactError",
+    "InvalidArtifactError",
+    "CorruptArtifactError",
 ]
 
 
@@ -128,6 +131,57 @@ class StageTimeoutError(LimitExceededError):
     Subclasses :class:`LimitExceededError` so existing recovery paths (e.g.
     ``AutoMM``'s exact-to-greedy fallback) treat a time-budget exhaustion
     exactly like a node-budget exhaustion.
+    """
+
+
+class ArtifactError(ReproError):
+    """A persisted artifact (instance, schedule, journal, bench JSON) is bad.
+
+    Attributes:
+        path: filesystem path of the offending artifact, or None.
+        field: the offending payload field, when one can be named.
+    """
+
+    def __init__(
+        self,
+        *args: object,
+        path: object = None,
+        field: str | None = None,
+        stage: str | None = None,
+        backend: str | None = None,
+        elapsed: float | None = None,
+    ) -> None:
+        super().__init__(*args, stage=stage, backend=backend, elapsed=elapsed)
+        self.path = str(path) if path is not None else None
+        self.field = field
+
+    def context_suffix(self) -> str:
+        parts = []
+        if self.path is not None:
+            parts.append(f"path={self.path}")
+        if self.field is not None:
+            parts.append(f"field={self.field}")
+        tail = super().context_suffix()
+        return (f" [{' '.join(parts)}]" if parts else "") + tail
+
+
+class InvalidArtifactError(ArtifactError, ValueError):
+    """An artifact parsed as JSON but its payload is malformed.
+
+    Examples: a missing or mistyped field, a NaN where a finite float is
+    required, an unknown format version.  Loaders raise this instead of the
+    raw ``KeyError``/``TypeError``/``json.JSONDecodeError`` so callers can
+    distinguish "bad file" from a library bug.
+    """
+
+
+class CorruptArtifactError(InvalidArtifactError):
+    """An artifact is damaged at the byte level.
+
+    Examples: truncated JSON from a torn write, a checksum-envelope mismatch,
+    a journal line whose embedded checksum does not match its content.
+    Subclasses :class:`InvalidArtifactError` so one ``except`` covers both
+    byte-level and payload-level damage.
     """
 
 

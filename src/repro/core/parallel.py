@@ -18,10 +18,17 @@ such work over a process or thread pool with a strict contract:
   :func:`~repro.core.resilience.budget_scope` inside the worker, so
   deadlines keep firing inside parallel solves.  Thread tasks run in a copy
   of the dispatching context and share the parent budget object directly.
-* **Graceful fallback.**  Anything that prevents pooled execution — one
+* **Observable fallback.**  Anything that prevents pooled execution — one
   worker requested, a single item, pool creation failing (sandboxes),
-  unpicklable tasks, a broken pool — silently degrades to the serial path
-  rather than erroring.
+  unpicklable tasks, a broken pool — degrades to the serial path rather
+  than erroring.  The degradation is *not* silent: a
+  :class:`ParallelFallbackWarning` is emitted and the reason is recorded on
+  the :func:`last_fallback_reason` hook so chaos tests and resilience
+  reports can assert on it.
+* **Incremental observation.**  ``on_result`` is invoked once per input
+  index, in input order, as results become available — the hook the
+  checkpoint layer (:mod:`repro.core.checkpoint`) uses to journal each
+  shard as it completes rather than only after the whole batch returns.
 * **No nested process pools.**  A process worker that itself reaches a
   ``parallel_map`` call site (e.g. a sweep case solving its short-window
   intervals) runs it serially; threads may still fan out to processes.
@@ -31,27 +38,68 @@ from __future__ import annotations
 
 import contextvars
 import pickle
+import warnings
 from concurrent.futures import BrokenExecutor, Future, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Callable, Sequence, TypeVar
 
 from .resilience import SolveBudget, budget_scope, current_budget
 
-__all__ = ["MODES", "effective_workers", "parallel_map", "resolve_mode"]
+__all__ = [
+    "MODES",
+    "ParallelFallbackWarning",
+    "effective_workers",
+    "last_fallback_reason",
+    "parallel_map",
+    "resolve_mode",
+]
 
 ItemT = TypeVar("ItemT")
 ResultT = TypeVar("ResultT")
 
 MODES = ("auto", "serial", "thread", "process")
 
+
+class ParallelFallbackWarning(RuntimeWarning):
+    """A worker pool could not be used and execution degraded to serial."""
+
+
 #: Set to True inside process-pool workers (via the pool initializer) so a
 #: nested ``parallel_map`` reached from worker code degrades to serial
 #: instead of forking pools from pools.
 _IN_WORKER = False
 
+#: Why the most recent :func:`parallel_map` call that *attempted* pooled
+#: execution fell back to the serial path, or None when it did not.
+_LAST_FALLBACK_REASON: str | None = None
+
 
 def _mark_worker() -> None:
     global _IN_WORKER
     _IN_WORKER = True
+
+
+def last_fallback_reason() -> str | None:
+    """Reason the last pool-attempting :func:`parallel_map` went serial.
+
+    None when the last pooled call genuinely ran on a pool.  Calls that
+    never attempt a pool (``mode="serial"``, one worker, one item) leave
+    the hook untouched.  Chaos tests and sweep reports read this instead of
+    pools being allowed to degrade invisibly.
+    """
+    return _LAST_FALLBACK_REASON
+
+
+def _record_pool_fallback(error: BaseException) -> str:
+    """Record and warn that pooled execution degraded to the serial path."""
+    global _LAST_FALLBACK_REASON
+    reason = f"{type(error).__name__}: {error}"
+    _LAST_FALLBACK_REASON = reason
+    warnings.warn(
+        f"parallel_map fell back to serial execution: {reason}",
+        ParallelFallbackWarning,
+        stacklevel=3,
+    )
+    return reason
 
 
 def resolve_mode(mode: str) -> str:
@@ -92,30 +140,50 @@ def _serial_map(
     fn: Callable[[ItemT], ResultT],
     items: Sequence[ItemT],
     return_exceptions: bool,
+    on_result: Callable[[int, "ResultT | BaseException"], None] | None = None,
+    skip_notify: int = 0,
 ) -> list[ResultT | BaseException]:
     out: list[ResultT | BaseException] = []
-    for item in items:
+    for index, item in enumerate(items):
+        value: ResultT | BaseException
         if return_exceptions:
             try:
-                out.append(fn(item))
+                value = fn(item)
             except Exception as exc:  # noqa: BLE001 — collected by contract
-                out.append(exc)
+                value = exc
         else:
-            out.append(fn(item))
+            value = fn(item)
+        out.append(value)
+        if on_result is not None and index >= skip_notify:
+            on_result(index, value)
     return out
 
 
 def _collect(
-    futures: Sequence[Future[ResultT]], return_exceptions: bool
+    futures: Sequence[Future[ResultT]],
+    return_exceptions: bool,
+    on_result: Callable[[int, "ResultT | BaseException"], None] | None = None,
+    delivered: list[int] | None = None,
 ) -> list[ResultT | BaseException]:
-    """Input-order collection matching serial exception semantics."""
+    """Input-order collection matching serial exception semantics.
+
+    ``delivered`` (when given) is mutated to count how many input slots had
+    their ``on_result`` callback fired, so a serial rerun after a pool
+    failure can avoid double-notifying the prefix that already completed.
+    """
     out: list[ResultT | BaseException] = []
-    for future in futures:
+    for index, future in enumerate(futures):
+        value: ResultT | BaseException
         if return_exceptions:
             exc = future.exception()
-            out.append(exc if exc is not None else future.result())
+            value = exc if exc is not None else future.result()
         else:
-            out.append(future.result())
+            value = future.result()
+        out.append(value)
+        if on_result is not None:
+            on_result(index, value)
+        if delivered is not None:
+            delivered[0] = index + 1
     return out
 
 
@@ -126,6 +194,7 @@ def parallel_map(
     max_workers: int | None = None,
     mode: str = "auto",
     return_exceptions: bool = False,
+    on_result: Callable[[int, "ResultT | BaseException"], None] | None = None,
 ) -> list[ResultT | BaseException]:
     """Map ``fn`` over ``items`` with ordered, deterministic collection.
 
@@ -133,19 +202,26 @@ def parallel_map(
     ``"auto"`` (process), ``"serial"``, ``"thread"``, or ``"process"``.
     With ``return_exceptions=True`` task exceptions are returned in their
     slot instead of raised; otherwise the first failing input index raises,
-    exactly as the serial loop would.
+    exactly as the serial loop would.  ``on_result(index, value)`` is
+    invoked once per input index, in input order, as soon as that slot's
+    result (or, under ``return_exceptions``, exception) is available —
+    never twice for one index, even across a pool-failure rerun.
 
     Process mode requires ``fn`` and every item to be picklable (module-
     level functions over frozen dataclasses); anything unpicklable, and any
-    pool-infrastructure failure, falls back to the serial path.  The
-    ambient solve budget is propagated into workers (see module docstring),
-    so stage timeouts keep firing inside parallel solves.
+    pool-infrastructure failure, falls back to the serial path with a
+    :class:`ParallelFallbackWarning` and a recorded
+    :func:`last_fallback_reason`.  The ambient solve budget is propagated
+    into workers (see module docstring), so stage timeouts keep firing
+    inside parallel solves.
     """
+    global _LAST_FALLBACK_REASON
     items = list(items)
     workers = effective_workers(max_workers, len(items), mode)
     resolved = resolve_mode(mode)
     if workers <= 1 or resolved == "serial":
-        return _serial_map(fn, items, return_exceptions)
+        return _serial_map(fn, items, return_exceptions, on_result)
+    _LAST_FALLBACK_REASON = None
 
     if resolved == "thread":
         # Each task runs in a copy of the dispatching context: ambient
@@ -156,21 +232,28 @@ def parallel_map(
                 pool.submit(contextvars.copy_context().run, fn, item)
                 for item in items
             ]
-            return _collect(futures, return_exceptions)
+            return _collect(futures, return_exceptions, on_result)
 
     budget = current_budget()
     snapshot = budget.subbudget() if budget is not None else None
     payloads = [(fn, item, snapshot) for item in items]
+    delivered = [0]
     try:
         with ProcessPoolExecutor(
             max_workers=workers, initializer=_mark_worker
         ) as pool:
             futures = [pool.submit(_run_with_budget, payload) for payload in payloads]
-            return _collect(futures, return_exceptions)
-    except (BrokenExecutor, OSError, pickle.PicklingError, TypeError, AttributeError):
+            return _collect(futures, return_exceptions, on_result, delivered)
+    except (BrokenExecutor, OSError, pickle.PicklingError, TypeError, AttributeError) as exc:
         # Pool infrastructure failed (sandboxed environment, unpicklable
         # task, killed worker).  Task results from a broken pool cannot be
         # trusted to be complete, so rerun everything serially — fn is
         # required to be effect-free on the driving process, making the
-        # rerun safe and the output identical to a healthy pool's.
-        return _serial_map(fn, items, return_exceptions)
+        # rerun safe and the output identical to a healthy pool's.  The
+        # degradation is recorded (warning + last_fallback_reason hook) so
+        # it never happens invisibly, and on_result is not re-fired for the
+        # prefix of slots that already reported before the pool broke.
+        _record_pool_fallback(exc)
+        return _serial_map(
+            fn, items, return_exceptions, on_result, skip_notify=delivered[0]
+        )

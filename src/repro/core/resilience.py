@@ -349,6 +349,7 @@ class ResilienceReport:
     fallbacks: list[str] = field(default_factory=list)
     degraded: bool = False
     wall_times: dict[str, float] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
 
     def record(self, attempt: StageAttempt) -> None:
         self.attempts.append(attempt)
@@ -356,6 +357,15 @@ class ResilienceReport:
     def record_fallback(self, stage: str, primary: str, winner: str) -> None:
         self.fallbacks.append(f"{stage}: {primary} -> {winner}")
         self.degraded = True
+
+    def record_note(self, note: str) -> None:
+        """Attach an operational note (e.g. a pool-to-serial degradation).
+
+        Notes do not flip ``degraded`` — the *answer* is unaffected; only
+        how it was computed changed — but they surface in :meth:`summary`
+        and :meth:`to_dict` so the degradation is never invisible.
+        """
+        self.notes.append(note)
 
     def record_times(self, times: Mapping[str, float], prefix: str = "") -> None:
         for key, value in times.items():
@@ -369,6 +379,7 @@ class ResilienceReport:
         self.attempts.extend(other.attempts)
         self.fallbacks.extend(other.fallbacks)
         self.degraded = self.degraded or other.degraded
+        self.notes.extend(other.notes)
         self.record_times(other.wall_times, prefix=prefix)
 
     @property
@@ -392,13 +403,16 @@ class ResilienceReport:
         ]
         if self.fallbacks:
             parts.append("fallbacks: " + "; ".join(self.fallbacks))
+        if self.notes:
+            parts.append("notes: " + "; ".join(self.notes))
         return ", ".join(parts)
 
     def to_dict(self) -> dict[str, object]:
-        """JSON-ready form for logs and the CLI."""
+        """JSON-ready form for logs, the CLI, and checkpoint journals."""
         return {
             "degraded": self.degraded,
             "fallbacks": list(self.fallbacks),
+            "notes": list(self.notes),
             "attempts": [
                 {
                     "stage": a.stage,
@@ -412,6 +426,43 @@ class ResilienceReport:
             ],
             "wall_times": dict(self.wall_times),
         }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "ResilienceReport":
+        """Rebuild a report from :meth:`to_dict` output (journal replay).
+
+        ``to_dict`` -> ``from_dict`` is lossless: the checkpoint layer
+        relies on a restored shard's report being equal to the one a fresh
+        solve would have produced.
+        """
+        def as_list(value: object) -> list[object]:
+            return list(value) if isinstance(value, list) else []
+
+        attempts = [
+            StageAttempt(
+                stage=str(a.get("stage", "")),
+                backend=str(a.get("backend", "")),
+                outcome=str(a.get("outcome", "")),
+                attempt=int(str(a.get("attempt", 1))),
+                elapsed=float(str(a.get("elapsed", 0.0))),
+                error=str(a.get("error", "")),
+            )
+            for a in as_list(payload.get("attempts"))
+            if isinstance(a, dict)
+        ]
+        wall_raw = payload.get("wall_times")
+        wall_times = (
+            {str(k): float(str(v)) for k, v in wall_raw.items()}
+            if isinstance(wall_raw, dict)
+            else {}
+        )
+        return cls(
+            attempts=attempts,
+            fallbacks=[str(f) for f in as_list(payload.get("fallbacks"))],
+            degraded=bool(payload.get("degraded", False)),
+            wall_times=wall_times,
+            notes=[str(n) for n in as_list(payload.get("notes"))],
+        )
 
 
 # ---------------------------------------------------------------------------

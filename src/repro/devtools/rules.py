@@ -1,4 +1,4 @@
-"""The project rule set: codes ``ISE001``–``ISE011``.
+"""The project rule set: codes ``ISE001``–``ISE013``.
 
 Every rule encodes one convention the paper's guarantees or the PR-1
 resilience layer depend on.  Rules are pure functions from a parsed
@@ -742,4 +742,93 @@ def _check_bare_generic(source: SourceFile) -> Iterator[Diagnostic]:
                 f"bare generic {name.id!r} in annotation of {where}; "
                 f"parameterize (e.g. {name.id}[str, float]) — bare generics "
                 "are implicit Any under mypy --strict",
+            )
+
+
+# ---------------------------------------------------------------------------
+# ISE012 — non-atomic artifact writes
+# ---------------------------------------------------------------------------
+
+_ATOMICIO_MODULE = "atomicio.py"
+_RAW_WRITE_ATTRS = {"write_text"}
+
+
+@register(
+    "ISE012",
+    "non-atomic-write",
+    "raw Path.write_text / json.dump bypasses atomicio; a crash mid-write leaves a torn artifact",
+)
+def _check_non_atomic_write(source: SourceFile) -> Iterator[Diagnostic]:
+    if _path_parts(source)[-1] == _ATOMICIO_MODULE:
+        return  # the one module allowed to touch the raw primitives
+    imports = _import_map(source.tree)
+    for node in ast.walk(source.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in _RAW_WRITE_ATTRS:
+            yield source.diagnostic(
+                node,
+                "ISE012",
+                f".{func.attr}() writes in place — a crash mid-write tears "
+                "the file; route results through "
+                "repro.core.atomicio.atomic_write_text()/dump_artifact()",
+            )
+            continue
+        if _resolve(func, imports) == "json.dump":
+            yield source.diagnostic(
+                node,
+                "ISE012",
+                "json.dump() streams into an open handle — a crash mid-write "
+                "tears the file; build the text and use "
+                "repro.core.atomicio.dump_artifact()/atomic_write_text()",
+            )
+
+
+# ---------------------------------------------------------------------------
+# ISE013 — silent pool-death handling
+# ---------------------------------------------------------------------------
+
+_POOL_DEATH_ERRORS = {
+    "BrokenExecutor",
+    "BrokenProcessPool",
+    "BrokenThreadPool",
+}
+
+
+def _body_records_fallback(body: list[ast.stmt]) -> bool:
+    """True when the handler body visibly records the degradation: any call
+    whose name mentions ``fallback``/``quarantine`` or a ``warnings.warn``,
+    or the handler re-raises."""
+    for node in body:
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Raise):
+                return True
+            if not isinstance(sub, ast.Call):
+                continue
+            dotted = _dotted_name(sub.func) or ""
+            tail = dotted.split(".")[-1].lower()
+            if "fallback" in tail or "quarantine" in tail or tail == "warn":
+                return True
+    return False
+
+
+@register(
+    "ISE013",
+    "silent-pool-death",
+    "BrokenExecutor caught without recording a fallback reason; worker deaths must be observable",
+)
+def _check_silent_pool_death(source: SourceFile) -> Iterator[Diagnostic]:
+    for node in ast.walk(source.tree):
+        if (
+            isinstance(node, ast.ExceptHandler)
+            and _handler_catches(node, _POOL_DEATH_ERRORS)
+            and not _body_records_fallback(node.body)
+        ):
+            yield source.diagnostic(
+                node,
+                "ISE013",
+                "BrokenExecutor caught without recording why (no fallback/"
+                "quarantine call, warnings.warn, or re-raise); a dead worker "
+                "pool degrading silently hides real crashes",
             )

@@ -3,16 +3,26 @@
 Plain-JSON round-tripping so workloads and solutions can be saved, diffed,
 and shared.  The format is versioned; loaders reject unknown versions rather
 than silently misreading them.
+
+Crash safety: saves go through :mod:`repro.core.atomicio` — an atomic
+temp-file + fsync + rename write wrapped in a checksummed envelope — so a
+crash mid-save can never leave a truncated file, and bit-level damage is
+detected on load (:class:`~repro.core.errors.CorruptArtifactError`).
+Files written before the envelope format still load (without checksum
+verification).  Malformed payloads raise the typed
+:class:`~repro.core.errors.InvalidArtifactError` carrying the path and the
+offending field, never a raw ``KeyError``/``json.JSONDecodeError``.
 """
 
 from __future__ import annotations
 
-import json
+import math
 from pathlib import Path
 from typing import Any
 
+from ..core.atomicio import dump_artifact, load_artifact
 from ..core.calibration import Calibration, CalibrationSchedule
-from ..core.errors import ReproError
+from ..core.errors import InvalidArtifactError, ReproError
 from ..core.job import Instance, Job
 from ..core.schedule import Schedule, ScheduledJob
 
@@ -28,6 +38,45 @@ __all__ = [
 ]
 
 FORMAT_VERSION = 1
+
+
+def _finite(value: Any, field: str) -> float:
+    """Coerce ``value`` to a finite float or raise a field-naming error."""
+    try:
+        number = float(value)
+    except (TypeError, ValueError) as exc:
+        raise InvalidArtifactError(
+            f"field {field!r} is not a number: {value!r}", field=field
+        ) from exc
+    if not math.isfinite(number):
+        raise InvalidArtifactError(
+            f"field {field!r} is not finite: {value!r}", field=field
+        )
+    return number
+
+
+def _integer(value: Any, field: str) -> int:
+    try:
+        return int(value)
+    except (TypeError, ValueError) as exc:
+        raise InvalidArtifactError(
+            f"field {field!r} is not an integer: {value!r}", field=field
+        ) from exc
+
+
+def _require(payload: dict[str, Any], key: str, field: str | None = None) -> Any:
+    """Fetch ``payload[key]``, raising a typed error naming ``field``.
+
+    ``field`` is the human-facing (possibly indexed) field label, e.g.
+    ``jobs[3].release``; it defaults to ``key`` for top-level fields.
+    """
+    label = field if field is not None else key
+    try:
+        return payload[key]
+    except (KeyError, TypeError) as exc:
+        raise InvalidArtifactError(
+            f"required field {label!r} is missing", field=label
+        ) from exc
 
 
 def instance_to_dict(instance: Instance) -> dict[str, Any]:
@@ -51,26 +100,45 @@ def instance_to_dict(instance: Instance) -> dict[str, Any]:
 
 
 def instance_from_dict(payload: dict[str, Any]) -> Instance:
-    """Deserialize an instance; validates version and kind."""
+    """Deserialize an instance; validates version, kind, and field types."""
     if payload.get("kind") != "ise-instance":
         raise ReproError(f"not an ISE instance payload: kind={payload.get('kind')!r}")
     if payload.get("version") != FORMAT_VERSION:
         raise ReproError(
             f"unsupported instance format version {payload.get('version')!r}"
         )
+    rows = _require(payload, "jobs")
+    if not isinstance(rows, list):
+        raise InvalidArtifactError(
+            f"field 'jobs' must be a list, got {type(rows).__name__}",
+            field="jobs",
+        )
     jobs = tuple(
         Job(
-            job_id=int(row["id"]),
-            release=float(row["release"]),
-            deadline=float(row["deadline"]),
-            processing=float(row["processing"]),
+            job_id=_integer(
+                _require(row, "id", f"jobs[{i}].id"), f"jobs[{i}].id"
+            ),
+            release=_finite(
+                _require(row, "release", f"jobs[{i}].release"),
+                f"jobs[{i}].release",
+            ),
+            deadline=_finite(
+                _require(row, "deadline", f"jobs[{i}].deadline"),
+                f"jobs[{i}].deadline",
+            ),
+            processing=_finite(
+                _require(row, "processing", f"jobs[{i}].processing"),
+                f"jobs[{i}].processing",
+            ),
         )
-        for row in payload["jobs"]
+        for i, row in enumerate(rows)
     )
     return Instance(
         jobs=jobs,
-        machines=int(payload["machines"]),
-        calibration_length=float(payload["calibration_length"]),
+        machines=_integer(_require(payload, "machines"), "machines"),
+        calibration_length=_finite(
+            _require(payload, "calibration_length"), "calibration_length"
+        ),
         name=str(payload.get("name", "")),
     )
 
@@ -95,7 +163,7 @@ def schedule_to_dict(schedule: Schedule) -> dict[str, Any]:
 
 
 def schedule_from_dict(payload: dict[str, Any]) -> Schedule:
-    """Deserialize a schedule; validates version and kind."""
+    """Deserialize a schedule; validates version, kind, and field types."""
     if payload.get("kind") != "ise-schedule":
         raise ReproError(f"not an ISE schedule payload: kind={payload.get('kind')!r}")
     if payload.get("version") != FORMAT_VERSION:
@@ -104,40 +172,80 @@ def schedule_from_dict(payload: dict[str, Any]) -> Schedule:
         )
     calibrations = CalibrationSchedule(
         calibrations=tuple(
-            Calibration(start=float(c["start"]), machine=int(c["machine"]))
-            for c in payload["calibrations"]
+            Calibration(
+                start=_finite(
+                    _require(c, "start", f"calibrations[{i}].start"),
+                    f"calibrations[{i}].start",
+                ),
+                machine=_integer(
+                    _require(c, "machine", f"calibrations[{i}].machine"),
+                    f"calibrations[{i}].machine",
+                ),
+            )
+            for i, c in enumerate(_require(payload, "calibrations"))
         ),
-        num_machines=int(payload["num_machines"]),
-        calibration_length=float(payload["calibration_length"]),
+        num_machines=_integer(_require(payload, "num_machines"), "num_machines"),
+        calibration_length=_finite(
+            _require(payload, "calibration_length"), "calibration_length"
+        ),
     )
     placements = tuple(
         ScheduledJob(
-            start=float(p["start"]), machine=int(p["machine"]), job_id=int(p["job"])
+            start=_finite(
+                _require(p, "start", f"placements[{i}].start"),
+                f"placements[{i}].start",
+            ),
+            machine=_integer(
+                _require(p, "machine", f"placements[{i}].machine"),
+                f"placements[{i}].machine",
+            ),
+            job_id=_integer(
+                _require(p, "job", f"placements[{i}].job"),
+                f"placements[{i}].job",
+            ),
         )
-        for p in payload["placements"]
+        for i, p in enumerate(_require(payload, "placements"))
     )
     return Schedule(
         calibrations=calibrations,
         placements=placements,
-        speed=float(payload.get("speed", 1.0)),
+        speed=_finite(payload.get("speed", 1.0), "speed"),
     )
 
 
 def save_instance(instance: Instance, path: str | Path) -> None:
-    """Write an instance to ``path`` as indented JSON."""
-    Path(path).write_text(json.dumps(instance_to_dict(instance), indent=2))
+    """Atomically write an instance to ``path`` in a checksummed envelope."""
+    dump_artifact(instance_to_dict(instance), path)
 
 
 def load_instance(path: str | Path) -> Instance:
-    """Read an instance written by :func:`save_instance`."""
-    return instance_from_dict(json.loads(Path(path).read_text()))
+    """Read an instance written by :func:`save_instance` (or legacy plain JSON).
+
+    Raises :class:`~repro.core.errors.CorruptArtifactError` for byte-level
+    damage and :class:`~repro.core.errors.InvalidArtifactError` for
+    malformed payloads, both carrying the offending path.
+    """
+    try:
+        return instance_from_dict(load_artifact(path))
+    except InvalidArtifactError as exc:
+        if exc.path is None:
+            exc.path = str(path)
+        raise
 
 
 def save_schedule(schedule: Schedule, path: str | Path) -> None:
-    """Write a schedule to ``path`` as indented JSON."""
-    Path(path).write_text(json.dumps(schedule_to_dict(schedule), indent=2))
+    """Atomically write a schedule to ``path`` in a checksummed envelope."""
+    dump_artifact(schedule_to_dict(schedule), path)
 
 
 def load_schedule(path: str | Path) -> Schedule:
-    """Read a schedule written by :func:`save_schedule`."""
-    return schedule_from_dict(json.loads(Path(path).read_text()))
+    """Read a schedule written by :func:`save_schedule` (or legacy plain JSON).
+
+    Same typed-error contract as :func:`load_instance`.
+    """
+    try:
+        return schedule_from_dict(load_artifact(path))
+    except InvalidArtifactError as exc:
+        if exc.path is None:
+            exc.path = str(path)
+        raise

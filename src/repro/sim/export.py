@@ -11,6 +11,7 @@ import csv
 import io
 from pathlib import Path
 
+from ..core.atomicio import atomic_write_text
 from .engine import SimulationResult
 
 __all__ = ["events_to_csv", "machine_stats_to_csv", "save_simulation_csv"]
@@ -59,6 +60,6 @@ def save_simulation_csv(
     directory.mkdir(parents=True, exist_ok=True)
     events_path = directory / f"{prefix}_events.csv"
     machines_path = directory / f"{prefix}_machines.csv"
-    events_path.write_text(events_to_csv(result))
-    machines_path.write_text(machine_stats_to_csv(result))
+    atomic_write_text(events_path, events_to_csv(result))
+    atomic_write_text(machines_path, machine_stats_to_csv(result))
     return events_path, machines_path

@@ -21,13 +21,27 @@ if the body raises.
 
 :class:`FakeClock` makes budget expiry deterministic: tests advance time
 explicitly (or per clock read) instead of sleeping.
+
+The crash-recovery suite (``tests/resilience/test_crash_recovery.py``)
+additionally needs *process-death* and *torn-write* faults:
+
+* :class:`SimulatedProcessKill` / :class:`CrashAfter` — abort the driving
+  process at exactly shard ``k`` (a ``BaseException``, so it escapes every
+  ``except Exception`` the way a real SIGKILL escapes everything);
+* :class:`KillWorkerOnce` — hard-kill a *worker* process
+  (``os._exit``) on its first call, producing a genuine
+  ``BrokenProcessPool``; a marker file makes the retry succeed;
+* :func:`tear_file` / :func:`corrupt_journal_tail` — simulate a crash
+  mid-append by truncating or garbling an artifact's tail bytes.
 """
 
 from __future__ import annotations
 
+import os
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Iterator, Sequence
+from pathlib import Path
+from typing import Any, Callable, Iterator, Sequence
 
 import numpy as np
 
@@ -39,12 +53,17 @@ from ..mm.base import MMAlgorithm, MMSchedule
 from ..mm.registry import MM_ALGORITHMS, get_mm_algorithm
 
 __all__ = [
+    "CrashAfter",
     "FakeClock",
     "FaultPlan",
     "FaultyLPBackend",
     "FaultyMM",
+    "KillWorkerOnce",
+    "SimulatedProcessKill",
+    "corrupt_journal_tail",
     "inject_lp_fault",
     "inject_mm_fault",
+    "tear_file",
 ]
 
 _KINDS = ("fail", "garbage", "timeout")
@@ -167,6 +186,80 @@ class FaultyMM:
                 placements=placements, num_machines=1, speed=speed
             )
         return self.inner.solve(jobs, speed)
+
+
+class SimulatedProcessKill(BaseException):
+    """A simulated SIGKILL of the *driving* process.
+
+    Deliberately a ``BaseException``: it escapes ``except Exception``
+    handlers (including ``parallel_map``'s ``return_exceptions`` net)
+    exactly the way a real kill escapes everything, so whatever a chaos
+    test observes afterwards — a journal with only the completed prefix —
+    is what a genuine crash would have left behind.
+    """
+
+
+@dataclass
+class CrashAfter:
+    """Wrap a shard function so call number ``crash_at`` kills the run.
+
+    Calls before ``crash_at`` delegate to ``inner``; the ``crash_at``-th
+    call (1-based) raises :class:`SimulatedProcessKill`.  ``crash_at=1``
+    dies before any shard completes.  Serial-mode only (the wrapper holds
+    a local counter, which a process pool would copy, not share).
+    """
+
+    inner: Callable[[Any], Any]
+    crash_at: int
+    calls: int = field(default=0)
+
+    def __call__(self, item: Any) -> Any:
+        self.calls += 1
+        if self.calls == self.crash_at:
+            raise SimulatedProcessKill(
+                f"simulated process kill at shard call {self.calls}"
+            )
+        return self.inner(item)
+
+
+@dataclass(frozen=True)
+class KillWorkerOnce:
+    """Hard-kill the first worker process that runs this task.
+
+    The first call (no ``marker`` file yet) creates the marker and
+    ``os._exit``s the worker — the parent pool observes a genuine
+    ``BrokenProcessPool``, the fault the checkpoint layer's retry policy
+    exists for.  Subsequent calls (the retry, in a fresh worker) see the
+    marker and delegate to ``inner``.  Picklable as long as ``inner`` is a
+    module-level function; the marker file is the cross-process state.
+    """
+
+    inner: Callable[[Any], Any]
+    marker: str
+
+    def __call__(self, item: Any) -> Any:
+        path = Path(self.marker)
+        if not path.exists():
+            path.write_bytes(b"worker killed here\n")
+            os._exit(13)
+        return self.inner(item)
+
+
+def tear_file(path: str | Path, drop_bytes: int = 16) -> None:
+    """Simulate a crash mid-write by truncating ``drop_bytes`` off the tail."""
+    path = Path(path)
+    size = path.stat().st_size
+    with open(path, "r+b") as handle:
+        handle.truncate(max(0, size - drop_bytes))
+
+
+def corrupt_journal_tail(
+    path: str | Path,
+    garbage: bytes = b'{"seq": 999, "kind": "shard", "status": "done", "pay',
+) -> None:
+    """Append a torn (unterminated, checksum-less) record to a journal."""
+    with open(path, "ab") as handle:
+        handle.write(garbage)
 
 
 @contextmanager

@@ -13,6 +13,7 @@ import html
 from pathlib import Path
 from typing import Sequence
 
+from ..core.atomicio import atomic_write_text
 from ..core.job import Instance, Job
 from ..core.schedule import Schedule
 from ..core.tolerance import EPS
@@ -163,7 +164,7 @@ def save_schedule_svg(
 ) -> Path:
     """Write the SVG rendering to ``path``; returns the path."""
     path = Path(path)
-    path.write_text(
-        schedule_to_svg(instance, schedule, width, include_windows)
+    atomic_write_text(
+        path, schedule_to_svg(instance, schedule, width, include_windows)
     )
     return path

@@ -87,7 +87,10 @@ class TestSolveValidateSimulate:
     def test_validate_catches_corruption(self, instance_path, tmp_path, capsys):
         sched_path = tmp_path / "sched.json"
         main(["solve", str(instance_path), "--out", str(sched_path)])
-        payload = json.loads(sched_path.read_text())
+        # Unwrap the checksummed envelope and corrupt the *semantic* payload,
+        # rewriting as legacy plain JSON: the checksum layer must not mask
+        # the validator's own corruption detection.
+        payload = json.loads(sched_path.read_text())["payload"]
         del payload["placements"][0]
         sched_path.write_text(json.dumps(payload))
         code = main(["validate", str(instance_path), str(sched_path)])
@@ -97,7 +100,7 @@ class TestSolveValidateSimulate:
     def test_simulate_catches_corruption(self, instance_path, tmp_path):
         sched_path = tmp_path / "sched.json"
         main(["solve", str(instance_path), "--out", str(sched_path)])
-        payload = json.loads(sched_path.read_text())
+        payload = json.loads(sched_path.read_text())["payload"]
         payload["placements"][0]["start"] -= 1000.0
         sched_path.write_text(json.dumps(payload))
         assert main(["simulate", str(instance_path), str(sched_path)]) == 1

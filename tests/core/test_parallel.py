@@ -13,7 +13,9 @@ import pytest
 from repro.core.errors import StageTimeoutError
 from repro.core.parallel import (
     MODES,
+    ParallelFallbackWarning,
     effective_workers,
+    last_fallback_reason,
     parallel_map,
     resolve_mode,
 )
@@ -120,10 +122,79 @@ class TestParallelMapModes:
 
     def test_unpicklable_fn_falls_back_to_serial(self):
         offset = 7
-        got = parallel_map(
-            lambda x: x + offset, self.ITEMS, max_workers=4, mode="process"
-        )
+        with pytest.warns(ParallelFallbackWarning):
+            got = parallel_map(
+                lambda x: x + offset, self.ITEMS, max_workers=4, mode="process"
+            )
         assert got == [x + offset for x in self.ITEMS]
+
+
+class TestObservableFallback:
+    """The serial degradation is never silent: it warns and records why."""
+
+    def test_fallback_warns_and_records_reason(self):
+        with pytest.warns(ParallelFallbackWarning, match="fell back to serial"):
+            parallel_map(
+                lambda x: x, [1, 2, 3], max_workers=2, mode="process"
+            )
+        reason = last_fallback_reason()
+        assert reason is not None
+        assert "pickle" in reason.lower() or "lambda" in reason
+
+    def test_healthy_pool_clears_reason(self):
+        with pytest.warns(ParallelFallbackWarning):
+            parallel_map(lambda x: x, [1, 2], max_workers=2, mode="process")
+        assert last_fallback_reason() is not None
+        parallel_map(_square, [1, 2], max_workers=2, mode="process")
+        assert last_fallback_reason() is None
+
+    def test_serial_paths_do_not_touch_the_hook(self):
+        parallel_map(_square, [1, 2], max_workers=2, mode="process")
+        assert last_fallback_reason() is None
+        parallel_map(_square, [1, 2, 3], mode="serial")
+        parallel_map(_square, [1], max_workers=8, mode="process")
+        assert last_fallback_reason() is None
+
+
+class TestOnResult:
+    """``on_result`` fires once per input index, in input order."""
+
+    def test_serial_notifies_in_order(self):
+        seen: list[tuple[int, int]] = []
+        parallel_map(
+            _square, [3, 1, 2], mode="serial",
+            on_result=lambda i, v: seen.append((i, v)),
+        )
+        assert seen == [(0, 9), (1, 1), (2, 4)]
+
+    def test_process_notifies_in_order(self):
+        seen: list[tuple[int, int]] = []
+        parallel_map(
+            _square, [5, 4, 3, 2], max_workers=2, mode="process",
+            on_result=lambda i, v: seen.append((i, v)),
+        )
+        assert seen == [(0, 25), (1, 16), (2, 9), (3, 4)]
+
+    def test_exceptions_delivered_under_return_exceptions(self):
+        seen: list[tuple[int, object]] = []
+        parallel_map(
+            _raise_on_three, [1, 3], mode="serial", return_exceptions=True,
+            on_result=lambda i, v: seen.append((i, v)),
+        )
+        assert seen[0] == (0, 1)
+        assert seen[1][0] == 1 and isinstance(seen[1][1], ValueError)
+
+    def test_pool_failure_rerun_never_double_notifies(self):
+        # Unpicklable fn: the pool attempt fails before any future reports,
+        # and the serial rerun must notify each index exactly once.
+        seen: list[int] = []
+        offset = 1
+        with pytest.warns(ParallelFallbackWarning):
+            parallel_map(
+                lambda x: x + offset, [1, 2, 3], max_workers=2, mode="process",
+                on_result=lambda i, v: seen.append(i),
+            )
+        assert seen == [0, 1, 2]
 
 
 class TestBudgetPropagation:

@@ -291,6 +291,67 @@ CASES = [
             "    return {x: 1 for x in xs}\n"
         ),
     ),
+    RuleCase(
+        code="ISE012",
+        hit=(
+            "import json\n"
+            "from pathlib import Path\n"
+            "\n"
+            "def save(path: Path, payload: dict[str, int]) -> None:\n"
+            "    path.write_text(json.dumps(payload))\n"
+            "\n"
+            "def stream(path: Path, payload: dict[str, int]) -> None:\n"
+            "    with open(path, 'w') as handle:\n"
+            "        json.dump(payload, handle)\n"
+        ),
+        suppressed=(
+            "import json\n"
+            "from pathlib import Path\n"
+            "\n"
+            "def save(path: Path, payload: dict[str, int]) -> None:\n"
+            "    path.write_text(json.dumps(payload))  # repro-lint: disable=ISE012\n"
+        ),
+        clean=(
+            "from pathlib import Path\n"
+            "\n"
+            "from repro.core.atomicio import dump_artifact\n"
+            "\n"
+            "def save(path: Path, payload: dict[str, int]) -> None:\n"
+            "    dump_artifact(payload, path)\n"
+        ),
+    ),
+    RuleCase(
+        code="ISE013",
+        hit=(
+            "from concurrent.futures import BrokenExecutor\n"
+            "\n"
+            "def collect(future) -> object | None:\n"
+            "    try:\n"
+            "        return future.result()\n"
+            "    except BrokenExecutor:\n"
+            "        return None\n"
+        ),
+        suppressed=(
+            "from concurrent.futures import BrokenExecutor\n"
+            "\n"
+            "def collect(future) -> object | None:\n"
+            "    try:\n"
+            "        return future.result()\n"
+            "    except BrokenExecutor:  # repro-lint: disable=ISE013\n"
+            "        return None\n"
+        ),
+        clean=(
+            "import warnings\n"
+            "from concurrent.futures import BrokenExecutor\n"
+            "\n"
+            "def collect(future) -> object | None:\n"
+            "    try:\n"
+            "        return future.result()\n"
+            "    except BrokenExecutor as exc:\n"
+            "        warnings.warn(f'worker pool died: {exc}', stacklevel=2)\n"
+            "        return None\n"
+        ),
+    ),
 ]
 
 CASE_IDS = [case.code for case in CASES]
@@ -334,6 +395,34 @@ def test_every_registered_rule_has_a_fixture() -> None:
     from repro.devtools import ALL_RULES
 
     assert sorted(ALL_RULES) == sorted(CASE_IDS)
+
+
+def test_ise012_exempts_the_atomicio_module(tmp_path: Path) -> None:
+    # atomicio.py is the one module allowed to use the raw primitives —
+    # it IS the atomic-write implementation.
+    target = tmp_path / "core" / "atomicio.py"
+    target.parent.mkdir(parents=True)
+    target.write_text(
+        "from pathlib import Path\n"
+        "\n"
+        "def raw(path: Path, text: str) -> None:\n"
+        "    path.write_text(text)\n"
+    )
+    assert lint_paths([target], select=["ISE012"]).ok
+
+
+def test_ise013_reraise_counts_as_recorded(tmp_path: Path) -> None:
+    target = tmp_path / "module.py"
+    target.write_text(
+        "from concurrent.futures import BrokenExecutor\n"
+        "\n"
+        "def collect(future) -> object:\n"
+        "    try:\n"
+        "        return future.result()\n"
+        "    except BrokenExecutor as exc:\n"
+        "        raise RuntimeError('pool died') from exc\n"
+    )
+    assert lint_paths([target], select=["ISE013"]).ok
 
 
 def test_diagnostic_format_is_path_line_code(tmp_path: Path) -> None:

@@ -2,9 +2,11 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
-from repro.core import ReproError
+from repro.core import CorruptArtifactError, InvalidArtifactError, ReproError
 from repro.instances import (
     instance_from_dict,
     instance_to_dict,
@@ -81,3 +83,78 @@ class TestScheduleRoundTrip:
         payload["kind"] = "nope"
         with pytest.raises(ReproError):
             schedule_from_dict(payload)
+
+
+class TestTypedArtifactErrors:
+    """Malformed payloads raise :class:`InvalidArtifactError` carrying the
+    offending path and field — never a raw ``KeyError`` or
+    ``json.JSONDecodeError``."""
+
+    def test_truncated_file(self, generated, tmp_path):
+        path = tmp_path / "inst.json"
+        save_instance(generated.instance, path)
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 3])
+        with pytest.raises(CorruptArtifactError) as info:
+            load_instance(path)
+        assert info.value.path == str(path)
+
+    def test_missing_field_names_the_field(self, generated, tmp_path):
+        payload = instance_to_dict(generated.instance)
+        del payload["jobs"][0]["release"]
+        path = tmp_path / "inst.json"
+        path.write_text(json.dumps(payload))
+        with pytest.raises(InvalidArtifactError) as info:
+            load_instance(path)
+        assert info.value.field == "jobs[0].release"
+        assert info.value.path == str(path)
+
+    def test_missing_toplevel_field(self, generated, tmp_path):
+        payload = instance_to_dict(generated.instance)
+        del payload["machines"]
+        path = tmp_path / "inst.json"
+        path.write_text(json.dumps(payload))
+        with pytest.raises(InvalidArtifactError) as info:
+            load_instance(path)
+        assert info.value.field == "machines"
+
+    def test_nan_payload_rejected(self, generated, tmp_path):
+        payload = instance_to_dict(generated.instance)
+        payload["jobs"][1]["deadline"] = float("nan")
+        path = tmp_path / "inst.json"
+        path.write_text(json.dumps(payload))  # json emits bare NaN
+        with pytest.raises(InvalidArtifactError) as info:
+            load_instance(path)
+        assert info.value.field == "jobs[1].deadline"
+
+    def test_non_numeric_field_rejected(self, generated):
+        payload = instance_to_dict(generated.instance)
+        payload["calibration_length"] = "soon"
+        with pytest.raises(InvalidArtifactError) as info:
+            instance_from_dict(payload)
+        assert info.value.field == "calibration_length"
+
+    def test_schedule_missing_placement_field(self, generated, tmp_path):
+        payload = schedule_to_dict(generated.witness)
+        del payload["placements"][0]["job"]
+        path = tmp_path / "sched.json"
+        path.write_text(json.dumps(payload))
+        with pytest.raises(InvalidArtifactError) as info:
+            load_schedule(path)
+        assert info.value.field == "placements[0].job"
+        assert info.value.path == str(path)
+
+    def test_invalid_artifact_error_is_a_value_error(self):
+        # so pre-existing `except ValueError` call sites keep working
+        assert issubclass(InvalidArtifactError, ValueError)
+
+    def test_error_message_carries_context(self, generated, tmp_path):
+        payload = instance_to_dict(generated.instance)
+        del payload["machines"]
+        path = tmp_path / "inst.json"
+        path.write_text(json.dumps(payload))
+        with pytest.raises(InvalidArtifactError) as info:
+            load_instance(path)
+        rendered = str(info.value)
+        assert "machines" in rendered
+        assert str(path) in rendered

@@ -13,12 +13,14 @@ from __future__ import annotations
 
 import pytest
 
-from repro.analysis.sweep import SweepCase, run_sweep
+from repro.analysis.sweep import SweepCase, outcome_to_dict, run_sweep, run_sweep_report
+from repro.core.checkpoint import ShardJournal
 from repro.core.errors import StageTimeoutError
 from repro.core.resilience import ResiliencePolicy, SolveBudget
 from repro.core.solver import ISEConfig, solve_ise
 from repro.instances import mixed_instance, short_window_instance
 from repro.shortwindow import ShortWindowConfig, ShortWindowSolver
+from repro.testing import FakeClock
 
 SEEDS = [0, 1, 2]
 
@@ -112,3 +114,55 @@ class TestBudgetAcrossWorkers:
         )
         with pytest.raises(StageTimeoutError, match="budget of 0s exhausted"):
             ShortWindowSolver(config).solve(instance)
+
+
+class TestBudgetExpiryDuringSweep:
+    """A sweep-level budget that expires mid-sweep must still flush the
+    checkpoint journal and leave a *resumable* state: every case completed
+    before the deadline stays journaled, the rest are reported pending, and
+    a later resume completes the sweep with results identical to an
+    uninterrupted run."""
+
+    CASES = [
+        SweepCase(family="mixed", n=6, machines=2, calibration_length=10.0, seed=s)
+        for s in range(4)
+    ]
+
+    @staticmethod
+    def _strip(outcome):
+        payload = outcome_to_dict(outcome)
+        del payload["wall_seconds"]  # a measurement, not an output
+        return payload
+
+    def test_expiry_mid_sweep_flushes_journal_and_resumes(self, tmp_path):
+        baseline = run_sweep_report(self.CASES, mode="serial")
+        assert baseline.ok
+
+        # A fake clock that ticks per read: the budget genuinely expires
+        # part-way through the case loop, deterministically.
+        budget = SolveBudget(wall_clock=3.0, clock=FakeClock(step=0.5))
+        interrupted = run_sweep_report(
+            self.CASES,
+            mode="serial",
+            checkpoint_dir=tmp_path,
+            budget=budget,
+        )
+        n = len(self.CASES)
+        assert interrupted.pending, "budget never expired — test is vacuous"
+        assert 0 <= interrupted.solved < n
+        assert len(interrupted.pending) == n - interrupted.solved
+        assert not interrupted.ok
+
+        # the journal was flushed per completed shard: exactly the solved
+        # prefix is durably recorded, nothing for the pending cases
+        journal = ShardJournal(tmp_path / "sweep.journal.jsonl")
+        assert len(journal.load().done_payloads()) == interrupted.solved
+
+        resumed = run_sweep_report(
+            self.CASES, mode="serial", checkpoint_dir=tmp_path, resume=True
+        )
+        assert resumed.ok
+        assert resumed.restored == interrupted.solved
+        assert [self._strip(o) for o in resumed.outcomes] == [
+            self._strip(o) for o in baseline.outcomes
+        ]
