@@ -1,0 +1,102 @@
+"""SRV — solve-path overhead of the supervised solve service.
+
+The service wraps every solve in admission (bounded queue + watermarks),
+deadline bookkeeping (a started :class:`SolveBudget` per request), the
+breaker board, and a worker-thread handoff.  That supervision must be
+effectively free relative to the solve itself: the acceptance bar is <5%
+end-to-end overhead on instances where the solve dominates.
+
+Measured here: best-of-N wall time for ``solve_ise(instance, config)``
+called directly vs ``service.solve(instance)`` through a running
+:class:`SolveService` configured with the *same* solver config.  The
+served path therefore pays exactly the supervision delta: submit, queue,
+budget, dispatch, future wake-up.  ``PERF_SMOKE=1`` shrinks sizes and
+repeats for CI.
+"""
+
+from __future__ import annotations
+
+import os
+import statistics
+import time
+
+from repro.analysis import Table
+from repro.core.solver import ISEConfig, solve_ise
+from repro.instances import mixed_instance
+from repro.serve import ServiceConfig, SolveService
+
+PERF_SMOKE = bool(os.environ.get("PERF_SMOKE"))
+
+SIZES = [12, 24] if PERF_SMOKE else [12, 24, 40, 60]
+REPEATS = 3 if PERF_SMOKE else 7
+
+_SOLVER = ISEConfig(strict=False)
+
+
+def _best_direct_ms(instance) -> float:
+    samples = []
+    for _ in range(REPEATS):
+        tic = time.perf_counter()
+        solve_ise(instance, _SOLVER)
+        samples.append((time.perf_counter() - tic) * 1e3)
+    return min(samples)
+
+
+def _best_served_ms(service: SolveService, instance) -> float:
+    samples = []
+    for _ in range(REPEATS):
+        tic = time.perf_counter()
+        service.solve(instance, deadline=600.0, timeout=600.0)
+        samples.append((time.perf_counter() - tic) * 1e3)
+    return min(samples)
+
+
+def bench_serve_overhead(benchmark, report, perf_json):
+    table = Table(
+        title="SRV: solve-path overhead of the supervised service",
+        columns=["n", "direct ms", "served ms", "overhead %"],
+    )
+    config = ServiceConfig(workers=1, queue_capacity=8, solver=_SOLVER)
+    rows = []
+    overheads = []
+    with SolveService(config) as service:
+        for n in SIZES:
+            instance = mixed_instance(n, 2, 10.0, seed=n).instance
+            solve_ise(instance, _SOLVER)  # warm every code path once
+            service.solve(instance, timeout=600.0)
+            direct = _best_direct_ms(instance)
+            served = _best_served_ms(service, instance)
+            overhead = (served - direct) / direct * 100.0
+            overheads.append(overhead)
+            rows.append(
+                {
+                    "n": n,
+                    "direct_ms": round(direct, 3),
+                    "served_ms": round(served, 3),
+                    "overhead_pct": round(overhead, 3),
+                }
+            )
+            table.add_row(n, direct, served, overhead)
+    table.add_note(
+        "overhead = (served - direct) / direct on best-of-"
+        f"{REPEATS} solves; served = SolveService.solve() with one worker, "
+        "same solver config, 600 s deadline (admission + budget + handoff)"
+    )
+    table.add_note(
+        f"mean overhead {statistics.mean(overheads):+.2f}% "
+        "(acceptance bar: < 5%)"
+    )
+    report(table, "serve_overhead")
+    perf_json(
+        "serve_overhead",
+        {
+            "repeats": REPEATS,
+            "smoke": PERF_SMOKE,
+            "mean_overhead_pct": round(statistics.mean(overheads), 3),
+            "cases": rows,
+        },
+    )
+
+    instance = mixed_instance(SIZES[-1], 2, 10.0, seed=SIZES[-1]).instance
+    with SolveService(config) as service:
+        benchmark(lambda: service.solve(instance, timeout=600.0))

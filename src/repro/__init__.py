@@ -48,12 +48,14 @@ from .core import (
     Job,
     JobPartition,
     LimitExceededError,
+    OverloadError,
     ReproError,
     ResiliencePolicy,
     ResilienceReport,
     RetryPolicy,
     Schedule,
     ScheduledJob,
+    ServiceShutdownError,
     SolveBudget,
     SolverError,
     StageTimeoutError,
@@ -104,6 +106,8 @@ __all__ = [
     "LimitExceededError",
     "StageTimeoutError",
     "FallbacksExhaustedError",
+    "OverloadError",
+    "ServiceShutdownError",
     # resilience
     "SolveBudget",
     "RetryPolicy",

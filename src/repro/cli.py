@@ -9,6 +9,7 @@ Installed as the ``repro-ise`` console script::
     repro-ise simulate instance.json schedule.json
     repro-ise render instance.json schedule.json
     repro-ise bounds instance.json
+    repro-ise serve --port 8080 --workers 2
 
 Every subcommand is a thin shell over the library API, so anything the CLI
 does is equally scriptable from Python.
@@ -185,6 +186,35 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--machines", type=int, default=2)
     fuzz.add_argument("--T", type=float, default=10.0)
     fuzz.add_argument("--start-seed", type=int, default=0)
+
+    serve = sub.add_parser(
+        "serve", help="run the supervised solve service over HTTP"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="listen port (0 picks a free one)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="solver worker threads")
+    serve.add_argument("--queue-capacity", type=int, default=64,
+                       help="admission queue bound; beyond it requests are "
+                            "rejected with HTTP 429")
+    serve.add_argument("--default-deadline", type=float, default=30.0,
+                       metavar="SECONDS",
+                       help="deadline for requests that name none")
+    serve.add_argument("--max-deadline", type=float, default=None,
+                       metavar="SECONDS",
+                       help="cap on client-requested deadlines")
+    serve.add_argument("--drain-deadline", type=float, default=10.0,
+                       metavar="SECONDS",
+                       help="on SIGTERM/SIGINT, wait this long for queued "
+                            "and in-flight solves before abandoning them")
+    serve.add_argument("--mm", default="best_greedy",
+                       help="MM black box for the short-window side")
+    serve.add_argument("--lp-backend", default="highs",
+                       choices=["highs", "simplex"])
+    serve.add_argument("--strict", action="store_true",
+                       help="propagate solve failures instead of degrading "
+                            "through fallback chains")
 
     return parser
 
@@ -430,6 +460,71 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     return 0 if not failures else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the HTTP solve service until SIGTERM/SIGINT, then drain.
+
+    The signal handler only asks the HTTP loop to stop; the actual drain —
+    close admission, finish queued + in-flight solves within the drain
+    deadline, abandon the rest with typed errors — happens on the main
+    thread afterwards.  Exit code 5 reports an unclean drain (work was
+    abandoned), so process supervisors can tell "stopped politely" from
+    "stopped on time but dropped requests".
+    """
+    import signal
+    import threading
+
+    from .serve import ServiceConfig, SolveService, make_server
+
+    solver = ISEConfig(
+        mm_algorithm=args.mm,
+        lp_backend=args.lp_backend,
+        strict=args.strict,
+    )
+    config = ServiceConfig(
+        workers=args.workers,
+        queue_capacity=args.queue_capacity,
+        default_deadline=args.default_deadline,
+        max_deadline=args.max_deadline,
+        drain_deadline=args.drain_deadline,
+        solver=solver,
+    )
+    service = SolveService(config)
+    server = make_server(service, host=args.host, port=args.port)
+
+    def _on_signal(signum: int, frame: object) -> None:
+        # serve_forever() must be stopped from another thread; shutdown()
+        # called from this handler (which runs on the serving thread's
+        # interpreter loop) would deadlock.
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    previous = {
+        sig: signal.signal(sig, _on_signal)
+        for sig in (signal.SIGTERM, signal.SIGINT)
+    }
+    print(
+        f"repro-ise serve: http://{args.host}:{server.port} "
+        f"({config.workers} workers, queue {config.queue_capacity}, "
+        f"default deadline {config.default_deadline}s)",
+        flush=True,
+    )
+    try:
+        server.serve_forever(poll_interval=0.1)
+    finally:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+    print("repro-ise serve: draining ...", flush=True)
+    report = service.shutdown(args.drain_deadline)
+    server.server_close()
+    abandoned = report.abandoned_queued + report.abandoned_in_flight
+    print(
+        f"repro-ise serve: drained {report.drained} request(s), "
+        f"abandoned {abandoned} in {report.duration:.2f}s "
+        f"({'clean' if report.clean else 'UNCLEAN'})",
+        flush=True,
+    )
+    return 0 if report.clean else 5
+
+
 _DISPATCH = {
     "generate": _cmd_generate,
     "solve": _cmd_solve,
@@ -441,6 +536,7 @@ _DISPATCH = {
     "report": _cmd_report,
     "frontier": _cmd_frontier,
     "fuzz": _cmd_fuzz,
+    "serve": _cmd_serve,
 }
 
 
@@ -449,7 +545,8 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     Exit codes: 0 success, 1 check failed (invalid/infeasible/falsified),
     2 usage or input error (missing file, malformed JSON, bad instance),
-    3 solve budget exceeded (``--timeout``), 4 solver/backend failure.
+    3 solve budget exceeded (``--timeout``), 4 solver/backend failure,
+    5 unclean service drain (``serve`` abandoned requests at shutdown).
     Codes 3 and 4 are retryable from an operator's point of view (more
     time, another backend); code 2 is not.
     """

@@ -42,7 +42,9 @@ from .errors import (
     InvalidInstanceError,
     InvalidScheduleError,
     LimitExceededError,
+    OverloadError,
     ReproError,
+    ServiceShutdownError,
     SolverError,
     StageTimeoutError,
 )
@@ -53,6 +55,7 @@ from .parallel import (
     parallel_map,
 )
 from .resilience import (
+    FallbackGate,
     ResiliencePolicy,
     ResilienceReport,
     RetryPolicy,
@@ -107,6 +110,8 @@ __all__ = [
     "LimitExceededError",
     "StageTimeoutError",
     "FallbacksExhaustedError",
+    "OverloadError",
+    "ServiceShutdownError",
     "ArtifactError",
     "InvalidArtifactError",
     "CorruptArtifactError",
@@ -126,6 +131,7 @@ __all__ = [
     "SolveBudget",
     "RetryPolicy",
     "ResiliencePolicy",
+    "FallbackGate",
     "ResilienceReport",
     "StageAttempt",
     "budget_scope",

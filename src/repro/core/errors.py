@@ -27,6 +27,8 @@ __all__ = [
     "ArtifactError",
     "InvalidArtifactError",
     "CorruptArtifactError",
+    "OverloadError",
+    "ServiceShutdownError",
 ]
 
 
@@ -182,6 +184,49 @@ class CorruptArtifactError(InvalidArtifactError):
     a journal line whose embedded checksum does not match its content.
     Subclasses :class:`InvalidArtifactError` so one ``except`` covers both
     byte-level and payload-level damage.
+    """
+
+
+class OverloadError(ReproError):
+    """The solve service's admission queue is full; the request was shed.
+
+    This is backpressure, not failure: the service rejects immediately
+    instead of buffering unboundedly, so a client sees a fast typed "try
+    later" rather than a slow timeout.  ``depth`` and ``capacity`` describe
+    the queue at rejection time so clients and dashboards can size their
+    retry behavior.
+    """
+
+    def __init__(
+        self,
+        *args: object,
+        depth: int | None = None,
+        capacity: int | None = None,
+        stage: str | None = None,
+        backend: str | None = None,
+        elapsed: float | None = None,
+    ) -> None:
+        super().__init__(*args, stage=stage, backend=backend, elapsed=elapsed)
+        self.depth = depth
+        self.capacity = capacity
+
+    def context_suffix(self) -> str:
+        parts = []
+        if self.depth is not None:
+            parts.append(f"depth={self.depth}")
+        if self.capacity is not None:
+            parts.append(f"capacity={self.capacity}")
+        tail = super().context_suffix()
+        return (f" [{' '.join(parts)}]" if parts else "") + tail
+
+
+class ServiceShutdownError(ReproError):
+    """The solve service is draining or stopped and cannot take the request.
+
+    Raised for submissions after admission closed, and set on the futures
+    of queued requests abandoned when a graceful drain ran out of its drain
+    deadline.  Distinct from :class:`OverloadError` so clients can tell
+    "back off and retry here" from "this server is going away".
     """
 
 

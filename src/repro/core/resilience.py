@@ -40,7 +40,15 @@ import time
 from contextlib import contextmanager
 from contextvars import ContextVar
 from dataclasses import dataclass, field, replace
-from typing import Callable, Iterator, Mapping, Sequence, TypeVar
+from typing import (
+    Callable,
+    Iterator,
+    Mapping,
+    Protocol,
+    Sequence,
+    TypeVar,
+    runtime_checkable,
+)
 
 from .errors import (
     FallbacksExhaustedError,
@@ -56,6 +64,7 @@ __all__ = [
     "StageGuard",
     "RetryPolicy",
     "ResiliencePolicy",
+    "FallbackGate",
     "StageAttempt",
     "ResilienceReport",
     "budget_scope",
@@ -263,10 +272,48 @@ class RetryPolicy:
     backoff: float = 0.0
     sleep: Callable[[float], None] = time.sleep
 
-    def pause_before(self, attempt: int) -> None:
-        """Sleep before retry number ``attempt`` (2-based; 1 never sleeps)."""
-        if attempt > 1 and self.backoff > 0.0:
-            self.sleep(self.backoff * (2 ** (attempt - 2)))
+    def pause_before(
+        self, attempt: int, budget: SolveBudget | None = None
+    ) -> None:
+        """Sleep before retry number ``attempt`` (2-based; 1 never sleeps).
+
+        With a ``budget``, the sleep is clamped to the budget's remaining
+        wall clock — an exponential backoff must never out-sleep an
+        almost-expired deadline — and skipped entirely when nothing
+        remains (the caller's next ``ensure()`` then raises instead of
+        this method burning real time first).
+        """
+        if attempt <= 1 or self.backoff <= 0.0:
+            return
+        delay = self.backoff * (2 ** (attempt - 2))
+        if budget is not None:
+            remaining = budget.remaining()
+            if remaining <= 0.0:
+                return
+            if not math.isinf(remaining):
+                delay = min(delay, remaining)
+        self.sleep(delay)
+
+
+@runtime_checkable
+class FallbackGate(Protocol):
+    """Admission control over individual fallback-chain candidates.
+
+    A gate lets an external supervisor — in practice the per-backend
+    circuit breakers of :mod:`repro.serve.breaker` — veto candidates
+    *before* :func:`run_with_fallbacks` spends budget on them, and observe
+    every attempt's outcome so it can learn which backends are currently
+    failing.  The core layer defines only this protocol; it never imports
+    the service layer.
+    """
+
+    def allow(self, stage: str, backend: str) -> str | None:
+        """None to admit the candidate; a human-readable reason to skip it."""
+        ...
+
+    def record_outcome(self, stage: str, backend: str, ok: bool) -> None:
+        """Observe one attempt's outcome (success or any kind of failure)."""
+        ...
 
 
 @dataclass(frozen=True)
@@ -287,6 +334,11 @@ class ResiliencePolicy:
         pipeline_fallback: allow whole-pipeline degradation (long side to
             the lazy TISE greedy, short side to one-calibration-per-job)
             when a pipeline fails outright in non-strict mode.
+        gate: optional :class:`FallbackGate` consulted per candidate (the
+            solve service plugs its circuit-breaker board in here).  Gates
+            hold locks, so they are shared only within a process: the
+            short-window pipeline applies the gate in serial and thread
+            modes and drops it for process pools.
     """
 
     strict: bool = True
@@ -295,6 +347,7 @@ class ResiliencePolicy:
     lp_chain: tuple[str, ...] | None = None
     mm_chain: tuple[str, ...] | None = None
     pipeline_fallback: bool = True
+    gate: FallbackGate | None = None
 
     def lp_candidates(self, primary: str) -> tuple[str, ...]:
         """Primary backend first, then the rest of the chain (non-strict)."""
@@ -325,7 +378,7 @@ class StageAttempt:
 
     stage: str
     backend: str
-    outcome: str  # "ok" | "failed" | "timeout" | "invalid"
+    outcome: str  # "ok" | "failed" | "timeout" | "invalid" | "skipped"
     attempt: int = 1
     elapsed: float = 0.0
     error: str = ""
@@ -488,6 +541,7 @@ def run_with_fallbacks(
     retry: RetryPolicy | None = None,
     budget: SolveBudget | None = None,
     validate: Callable[[T], None] | None = None,
+    gate: FallbackGate | None = None,
 ) -> T:
     """Try ``candidates`` in order until one returns a validated result.
 
@@ -498,11 +552,16 @@ def run_with_fallbacks(
     defense against a backend returning garbage.  Every attempt is recorded
     in ``report``; a success on a non-primary candidate records a fallback.
 
+    A ``gate`` (circuit breakers, in practice) is consulted before each
+    candidate: a vetoed candidate is recorded as a ``"skipped"`` attempt
+    and the chain moves on without spending budget on it.  Every real
+    attempt's outcome is reported back to the gate so it can trip or reset.
+
     Raises:
         The original error, when there was a single candidate and a single
         attempt (strict mode — preserves the typed error).
         StageTimeoutError: the global budget expired (no point continuing).
-        FallbacksExhaustedError: every candidate failed.
+        FallbacksExhaustedError: every candidate failed (or was skipped).
     """
     retry = retry or RetryPolicy()
     if not candidates:
@@ -513,11 +572,25 @@ def run_with_fallbacks(
     clock = budget.clock if budget is not None else time.monotonic
 
     for backend, thunk in candidates:
+        if gate is not None:
+            reason = gate.allow(stage, backend)
+            if reason is not None:
+                report.record(
+                    StageAttempt(
+                        stage=stage,
+                        backend=backend,
+                        outcome="skipped",
+                        error=reason,
+                    )
+                )
+                continue
         for attempt in range(1, max(1, retry.attempts) + 1):
+            # Clamped backoff first, then the deadline check: a retry whose
+            # budget ran out mid-backoff is skipped, not started.
+            retry.pause_before(attempt, budget=budget)
             if budget is not None:
                 # A globally-exhausted budget ends the whole chain.
                 budget.ensure(stage, backend)
-            retry.pause_before(attempt)
             tic = clock()
             try:
                 result = thunk()
@@ -535,6 +608,8 @@ def run_with_fallbacks(
                         error=str(exc),
                     )
                 )
+                if gate is not None:
+                    gate.record_outcome(stage, backend, ok=False)
                 last_error = exc
                 if single_shot:
                     raise
@@ -557,6 +632,8 @@ def run_with_fallbacks(
                         error=f"{type(exc).__name__}: {exc}",
                     )
                 )
+                if gate is not None:
+                    gate.record_outcome(stage, backend, ok=False)
                 wrapped = SolverError(
                     f"backend {backend!r} crashed: {exc}",
                     stage=stage,
@@ -585,6 +662,8 @@ def run_with_fallbacks(
                             error=f"{type(exc).__name__}: {exc}",
                         )
                     )
+                    if gate is not None:
+                        gate.record_outcome(stage, backend, ok=False)
                     if isinstance(exc, ReproError):
                         last_error = exc
                     else:
@@ -610,6 +689,8 @@ def run_with_fallbacks(
                     elapsed=elapsed,
                 )
             )
+            if gate is not None:
+                gate.record_outcome(stage, backend, ok=True)
             if backend != primary:
                 report.record_fallback(stage, primary, backend)
             return result

@@ -86,6 +86,25 @@ class ValidationReport:
         parts = ", ".join(f"{k.value}={c}" for k, c in sorted(counts.items(), key=lambda kv: kv[0].value))
         return f"{len(self.violations)} violations ({parts})"
 
+    def detail(self, limit: int = 5) -> str:
+        """The first ``limit`` violations, one per line, with identifiers.
+
+        Meant for exception messages and service error payloads: a count
+        alone ("3 violations") is not actionable, but "[deadline] job 7
+        completes at 31 after its deadline 30" is.  Lines beyond ``limit``
+        are elided with a count so messages stay bounded.
+        """
+        if self.ok:
+            return "feasible"
+        lines = [
+            f"[{v.kind.value}] {v.message}"
+            for v in self.violations[: max(0, limit)]
+        ]
+        hidden = len(self.violations) - len(lines)
+        if hidden > 0:
+            lines.append(f"... and {hidden} more")
+        return "\n".join(lines)
+
 
 def _window_violations(
     job: Job, placement: ScheduledJob, speed: float, eps: float
@@ -313,7 +332,8 @@ def check_ise(
     if not report.ok:
         prefix = f"{context}: " if context else ""
         raise InfeasibleScheduleError(
-            f"{prefix}schedule failed ISE validation: {report.summary()}",
+            f"{prefix}schedule failed ISE validation: {report.summary()}\n"
+            f"{report.detail()}",
             report=report,
         )
 
@@ -336,6 +356,7 @@ def check_tise(
     if not report.ok:
         prefix = f"{context}: " if context else ""
         raise InfeasibleScheduleError(
-            f"{prefix}schedule failed TISE validation: {report.summary()}",
+            f"{prefix}schedule failed TISE validation: {report.summary()}\n"
+            f"{report.detail()}",
             report=report,
         )

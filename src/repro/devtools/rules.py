@@ -1,4 +1,4 @@
-"""The project rule set: codes ``ISE001``–``ISE013``.
+"""The project rule set: codes ``ISE001``–``ISE014``.
 
 Every rule encodes one convention the paper's guarantees or the PR-1
 resilience layer depend on.  Rules are pure functions from a parsed
@@ -831,4 +831,39 @@ def _check_silent_pool_death(source: SourceFile) -> Iterator[Diagnostic]:
                 "BrokenExecutor caught without recording why (no fallback/"
                 "quarantine call, warnings.warn, or re-raise); a dead worker "
                 "pool degrading silently hides real crashes",
+            )
+
+
+# ---------------------------------------------------------------------------
+# ISE014 — direct time.sleep calls
+# ---------------------------------------------------------------------------
+
+
+@register(
+    "ISE014",
+    "direct-sleep",
+    "time.sleep() called directly; inject a sleeper so tests and budgets control time",
+)
+def _check_direct_sleep(source: SourceFile) -> Iterator[Diagnostic]:
+    """Flag *calls* to ``time.sleep``, not references to it.
+
+    Binding ``time.sleep`` as an injectable default — ``sleep:
+    Callable[[float], None] = time.sleep`` on :class:`RetryPolicy`, say —
+    is the sanctioned pattern and is an attribute *reference*, so it never
+    triggers this rule.  A direct call, by contrast, burns real wall clock
+    that no FakeClock can advance past and no SolveBudget can clamp: the
+    retry-backoff bug class this rule exists for.
+    """
+    imports = _import_map(source.tree)
+    for node in ast.walk(source.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        if _resolve(node.func, imports) == "time.sleep":
+            yield source.diagnostic(
+                node,
+                "ISE014",
+                "time.sleep() called directly; take an injectable "
+                "`sleep: Callable[[float], None] = time.sleep` parameter "
+                "(RetryPolicy convention) so tests stay fast and budget "
+                "clamping applies",
             )

@@ -237,6 +237,7 @@ class LongWindowSolver:
                 retry=policy.retry,
                 budget=budget,
                 validate=lambda sol: _check_lp_coverage(instance.jobs, sol),
+                gate=policy.gate,
             )
             times["lp"] = time.perf_counter() - tic
 

@@ -1,0 +1,40 @@
+"""The supervised solve service (serve layer).
+
+Everything the library needs to run as a long-lived service rather than a
+one-shot solver: bounded admission with typed overload rejection
+(:mod:`repro.serve.queue`), per-backend circuit breakers
+(:mod:`repro.serve.breaker`), the worker-pool supervisor with deadline
+propagation, load shedding, and graceful drain
+(:mod:`repro.serve.service`), and a stdlib JSON/HTTP frontend
+(:mod:`repro.serve.http`), wired into the CLI as ``repro-ise serve``.
+
+The dependency points one way: this package imports :mod:`repro.core`;
+the core never imports this package (the breaker board plugs into the
+fallback chains through the :class:`~repro.core.resilience.FallbackGate`
+protocol).
+"""
+
+from .breaker import BreakerBoard, CircuitBreaker
+from .http import SolveHTTPServer, make_server
+from .queue import AdmissionQueue, SolveRequest
+from .service import (
+    DrainReport,
+    ServeOutcome,
+    ServiceConfig,
+    ServiceStats,
+    SolveService,
+)
+
+__all__ = [
+    "AdmissionQueue",
+    "SolveRequest",
+    "CircuitBreaker",
+    "BreakerBoard",
+    "ServiceConfig",
+    "ServeOutcome",
+    "ServiceStats",
+    "DrainReport",
+    "SolveService",
+    "SolveHTTPServer",
+    "make_server",
+]

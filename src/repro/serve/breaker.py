@@ -1,0 +1,218 @@
+"""Per-backend circuit breakers for the solve service's fallback chains.
+
+A failing backend inside a fallback chain still costs every request its
+timeout before the chain moves on.  A circuit breaker remembers: after
+``failure_threshold`` consecutive failures the breaker *opens* and the
+chain skips that backend outright (recorded as a ``"skipped"``
+:class:`~repro.core.resilience.StageAttempt` on the
+:class:`~repro.core.resilience.ResilienceReport`).  After
+``reset_timeout`` seconds the breaker goes *half-open* and admits a
+bounded number of probe attempts: one success closes it, one failure
+re-opens it for another full timeout.
+
+The board (:class:`BreakerBoard`) implements the core layer's
+:class:`~repro.core.resilience.FallbackGate` protocol, which is how an
+open breaker plugs into :func:`~repro.core.resilience.run_with_fallbacks`
+without the core layer ever importing this module.
+
+Clocks are injectable (the :class:`~repro.testing.faults.FakeClock`
+convention), so breaker timing is deterministic in tests.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+__all__ = ["CircuitBreaker", "BreakerBoard"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Failure-counting state machine: closed -> open -> half-open.
+
+    Not thread-safe on its own; :class:`BreakerBoard` serializes access
+    under one lock (breaker operations are a handful of float/int updates,
+    so one board-wide lock is cheaper than a lock per breaker).
+    """
+
+    def __init__(
+        self,
+        *,
+        failure_threshold: int = 3,
+        reset_timeout: float = 30.0,
+        half_open_trials: int = 1,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if reset_timeout <= 0.0:
+            raise ValueError(f"reset_timeout must be > 0, got {reset_timeout}")
+        if half_open_trials < 1:
+            raise ValueError(
+                f"half_open_trials must be >= 1, got {half_open_trials}"
+            )
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self.half_open_trials = half_open_trials
+        self.clock = clock
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probes_admitted = 0
+        self.times_opened = 0
+        self.successes = 0
+        self.failures = 0
+        self.skips = 0
+
+    @property
+    def state(self) -> str:
+        """Current state, applying the open -> half-open timer lazily."""
+        if self._state == OPEN and (
+            self.clock() - self._opened_at >= self.reset_timeout
+        ):
+            self._state = HALF_OPEN
+            self._probes_admitted = 0
+        return self._state
+
+    def allow(self) -> str | None:
+        """None to admit an attempt; a human-readable reason to skip it."""
+        state = self.state
+        if state == CLOSED:
+            return None
+        if state == HALF_OPEN:
+            if self._probes_admitted < self.half_open_trials:
+                self._probes_admitted += 1
+                return None
+            self.skips += 1
+            return (
+                f"circuit breaker half-open: {self.half_open_trials} probe(s) "
+                "already in flight"
+            )
+        self.skips += 1
+        retry_in = max(
+            0.0, self.reset_timeout - (self.clock() - self._opened_at)
+        )
+        return (
+            f"circuit breaker open after {self._consecutive_failures} "
+            f"consecutive failure(s); probes resume in {retry_in:.1f}s"
+        )
+
+    def record(self, ok: bool) -> None:
+        """Observe one attempt's outcome and advance the state machine."""
+        state = self.state
+        if ok:
+            self.successes += 1
+            self._consecutive_failures = 0
+            self._state = CLOSED
+            return
+        self.failures += 1
+        self._consecutive_failures += 1
+        if state == HALF_OPEN or self._consecutive_failures >= self.failure_threshold:
+            # A failed probe, or the threshold reached: (re)open for a
+            # full reset_timeout from now.
+            if self._state != OPEN:
+                self.times_opened += 1
+            self._state = OPEN
+            self._opened_at = self.clock()
+
+    def snapshot(self) -> dict[str, object]:
+        """JSON-ready state for ``/stats`` and drain logs."""
+        return {
+            "state": self.state,
+            "consecutive_failures": self._consecutive_failures,
+            "failure_threshold": self.failure_threshold,
+            "times_opened": self.times_opened,
+            "successes": self.successes,
+            "failures": self.failures,
+            "skips": self.skips,
+        }
+
+
+class BreakerBoard:
+    """One breaker per ``(stage, backend)`` pair, as a FallbackGate.
+
+    Breakers are created lazily on first sight of a backend, all sharing
+    the board's thresholds and clock.  The board is thread-safe: the
+    worker pool's threads consult and update it concurrently.
+    """
+
+    def __init__(
+        self,
+        *,
+        failure_threshold: int = 3,
+        reset_timeout: float = 30.0,
+        half_open_trials: int = 1,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self.half_open_trials = half_open_trials
+        self.clock = clock
+        self._breakers: dict[str, CircuitBreaker] = {}
+        self._lock = threading.Lock()
+
+    @staticmethod
+    def _key(stage: str, backend: str) -> str:
+        return f"{stage}:{backend}"
+
+    def _breaker_locked(self, stage: str, backend: str) -> CircuitBreaker:
+        key = self._key(stage, backend)
+        breaker = self._breakers.get(key)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                failure_threshold=self.failure_threshold,
+                reset_timeout=self.reset_timeout,
+                half_open_trials=self.half_open_trials,
+                clock=self.clock,
+            )
+            self._breakers[key] = breaker
+        return breaker
+
+    # -- FallbackGate protocol ---------------------------------------------
+
+    def allow(self, stage: str, backend: str) -> str | None:
+        """Veto reason when the breaker for this backend is open."""
+        with self._lock:
+            reason = self._breaker_locked(stage, backend).allow()
+        if reason is None:
+            return None
+        return f"{self._key(stage, backend)}: {reason}"
+
+    def record_outcome(self, stage: str, backend: str, ok: bool) -> None:
+        """Feed one attempt outcome into the backend's breaker."""
+        with self._lock:
+            self._breaker_locked(stage, backend).record(ok)
+
+    # -- Observability ------------------------------------------------------
+
+    def states(self) -> dict[str, str]:
+        with self._lock:
+            return {key: b.state for key, b in self._breakers.items()}
+
+    def dark(self, stage: str | None = None) -> bool:
+        """True when every known breaker (for ``stage``, if given) is open.
+
+        "Dark" means no backend the service has ever used is currently
+        admitting work — the readiness probe turns not-ready so load
+        balancers route elsewhere.  A board that has seen no traffic is
+        not dark.
+        """
+        with self._lock:
+            states = [
+                b.state
+                for key, b in self._breakers.items()
+                if stage is None or key.startswith(f"{stage}:")
+            ]
+        return bool(states) and all(s == OPEN for s in states)
+
+    def snapshot(self) -> dict[str, dict[str, object]]:
+        """JSON-ready per-breaker state for ``/stats``."""
+        with self._lock:
+            return {key: b.snapshot() for key, b in sorted(self._breakers.items())}

@@ -1,0 +1,207 @@
+"""Stdlib JSON/HTTP frontend for :class:`~repro.serve.service.SolveService`.
+
+Endpoints:
+
+* ``POST /solve`` — body ``{"instance": <ise-instance JSON>, "deadline":
+  seconds?, "include_schedule": bool?}``; the instance may be the raw wire
+  dict or a checksummed artifact envelope as written by ``repro-ise
+  generate``; replies with solve metrics (and
+  the full schedule when asked).  Failures map to honest status codes:
+  400 malformed payload, 422 infeasible/invalid instance, 429 overloaded
+  (with ``Retry-After``), 503 draining, 504 deadline exceeded, 500 solver
+  failure.
+* ``GET /healthz`` — liveness: 200 whenever the process can answer at all.
+* ``GET /readyz`` — readiness: 503 (with a reason) while the service is
+  draining or its breaker board is dark, so load balancers stop routing
+  new work here before it would be wasted.
+* ``GET /stats`` — the service's counters, queue state, and per-backend
+  breaker states as JSON.
+
+Built on :class:`http.server.ThreadingHTTPServer` — no framework, no new
+dependencies — which is plenty for an internal solve service whose unit of
+work is seconds of CPU, not microseconds of IO.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+from ..core.errors import (
+    InfeasibleInstanceError,
+    InfeasibleScheduleError,
+    InvalidInstanceError,
+    LimitExceededError,
+    OverloadError,
+    ReproError,
+    ServiceShutdownError,
+    StageTimeoutError,
+)
+from ..instances import instance_from_dict, schedule_to_dict
+from .service import ServeOutcome, SolveService
+
+__all__ = ["SolveHTTPServer", "make_server"]
+
+#: Suggested client back-off (seconds) sent with 429 responses.
+_RETRY_AFTER = "1"
+
+
+class SolveHTTPServer(ThreadingHTTPServer):
+    """A ThreadingHTTPServer that owns the :class:`SolveService` it fronts."""
+
+    daemon_threads = True
+
+    def __init__(self, address: tuple[str, int], service: SolveService) -> None:
+        super().__init__(address, _Handler)
+        self.service = service
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+
+def _error_status(exc: BaseException) -> int:
+    """Map a typed solve failure to an HTTP status code."""
+    if isinstance(exc, OverloadError):
+        return 429
+    if isinstance(exc, ServiceShutdownError):
+        return 503
+    if isinstance(exc, (StageTimeoutError, LimitExceededError)):
+        return 504
+    if isinstance(
+        exc,
+        (InvalidInstanceError, InfeasibleInstanceError, InfeasibleScheduleError),
+    ):
+        return 422
+    return 500
+
+
+def _outcome_payload(outcome: ServeOutcome, include_schedule: bool) -> dict[str, Any]:
+    result = outcome.result
+    payload: dict[str, Any] = {
+        "request_id": outcome.request_id,
+        "shed": outcome.shed,
+        "queue_wait": outcome.queue_wait,
+        "solve_seconds": outcome.solve_seconds,
+        "num_calibrations": result.num_calibrations,
+        "machines_used": result.machines_used,
+        "lower_bound": result.lower_bound.best,
+        "approximation_ratio": result.approximation_ratio,
+        "degraded": result.degraded,
+    }
+    if result.resilience is not None:
+        payload["resilience"] = result.resilience.to_dict()
+    if include_schedule:
+        payload["schedule"] = schedule_to_dict(result.schedule)
+    return payload
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: SolveHTTPServer  # narrowed for type checkers
+
+    # The default handler logs every request to stderr; a service's access
+    # log belongs to its operator, not hard-coded prints.
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        pass
+
+    def _send_json(
+        self, status: int, payload: dict[str, Any], headers: dict[str, str] | None = None
+    ) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    # -- GET -----------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 — http.server naming
+        service = self.server.service
+        if self.path == "/healthz":
+            self._send_json(200, {"status": "ok"})
+        elif self.path == "/readyz":
+            if service.ready:
+                self._send_json(200, {"status": "ready"})
+            else:
+                if not service.started:
+                    reason = "not started"
+                elif service.draining:
+                    reason = "draining"
+                else:
+                    reason = "all solver backends dark (circuit breakers open)"
+                self._send_json(503, {"status": "not ready", "reason": reason})
+        elif self.path == "/stats":
+            self._send_json(200, service.stats_snapshot())
+        else:
+            self._send_json(404, {"error": f"no such path: {self.path}"})
+
+    # -- POST ----------------------------------------------------------------
+
+    def do_POST(self) -> None:  # noqa: N802 — http.server naming
+        if self.path != "/solve":
+            self._send_json(404, {"error": f"no such path: {self.path}"})
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+            payload = json.loads(self.rfile.read(length) or b"{}")
+        except (ValueError, json.JSONDecodeError) as exc:
+            self._send_json(400, {"error": f"malformed JSON body: {exc}"})
+            return
+        if not isinstance(payload, dict) or "instance" not in payload:
+            self._send_json(
+                400, {"error": 'body must be a JSON object with an "instance" key'}
+            )
+            return
+        deadline = payload.get("deadline")
+        if deadline is not None and not isinstance(deadline, (int, float)):
+            self._send_json(400, {"error": '"deadline" must be a number of seconds'})
+            return
+        instance_payload = payload["instance"]
+        if isinstance(instance_payload, dict) and "envelope" in instance_payload:
+            # Accept checksummed artifact files (repro-ise generate output)
+            # verbatim, so `--data @instance.json` round-trips from the CLI.
+            instance_payload = instance_payload.get("payload")
+        try:
+            instance = instance_from_dict(instance_payload)
+        except (ReproError, ValueError, TypeError, KeyError) as exc:
+            self._send_json(400, {"error": f"invalid instance payload: {exc}"})
+            return
+
+        service = self.server.service
+        try:
+            outcome = service.solve(instance, deadline=deadline)
+        except ValueError as exc:  # e.g. non-positive deadline
+            self._send_json(400, {"error": str(exc)})
+            return
+        except ReproError as exc:
+            status = _error_status(exc)
+            headers = {"Retry-After": _RETRY_AFTER} if status == 429 else None
+            self._send_json(
+                status,
+                {"error": str(exc), "error_type": type(exc).__name__},
+                headers=headers,
+            )
+            return
+        self._send_json(
+            200,
+            _outcome_payload(
+                outcome, include_schedule=bool(payload.get("include_schedule"))
+            ),
+        )
+
+
+def make_server(
+    service: SolveService, host: str = "127.0.0.1", port: int = 8080
+) -> SolveHTTPServer:
+    """Bind a :class:`SolveHTTPServer` (``port=0`` picks a free port).
+
+    Starts the service's worker pool; the caller owns ``serve_forever`` /
+    ``shutdown`` so tests can run the server on a thread and the CLI can
+    install signal handlers around it.
+    """
+    service.start()
+    return SolveHTTPServer((host, port), service)

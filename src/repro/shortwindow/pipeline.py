@@ -28,9 +28,10 @@ from ..core.atomicio import checksum
 from ..core.checkpoint import CheckpointedRun, ShardJournal
 from ..core.errors import InvalidInstanceError
 from ..core.job import Instance, Job
-from ..core.parallel import effective_workers, parallel_map
+from ..core.parallel import effective_workers, parallel_map, resolve_mode
 from ..core.resilience import (
     DEFAULT_MM_CHAIN,
+    FallbackGate,
     ResiliencePolicy,
     ResilienceReport,
     RetryPolicy,
@@ -76,12 +77,18 @@ class _BucketTask:
     :func:`~repro.core.parallel.parallel_map` snapshots and re-enters it in
     the worker, so :func:`_solve_bucket_mm` just reads ``current_budget()``
     exactly like the serial path.
+
+    The optional ``gate`` (a circuit-breaker board) is in-process-only
+    state: it is set only for serial/thread execution and excluded from
+    ``repr`` so checkpoint fingerprints — ``checksum(repr(tasks))`` — stay
+    stable whether or not a gate is attached.
     """
 
     jobs: tuple[Job, ...]
     speed: float
     chain: tuple[tuple[str, "str | MMAlgorithm"], ...]
     retry: RetryPolicy
+    gate: FallbackGate | None = field(default=None, repr=False, compare=False)
 
 
 def _solve_bucket_mm(task: _BucketTask) -> tuple[MMSchedule, ResilienceReport, float]:
@@ -115,6 +122,7 @@ def _solve_bucket_mm(task: _BucketTask) -> tuple[MMSchedule, ResilienceReport, f
         retry=task.retry,
         budget=budget,
         validate=lambda s: check_mm(task.jobs, s, context="short-window MM output"),
+        gate=task.gate,
     )
     return schedule, report, time.perf_counter() - tic
 
@@ -322,18 +330,32 @@ class ShortWindowSolver:
             empty_schedule(T, num_machines=0, speed=cfg.speed),
         ]
         lift_time = 0.0
+        workers_used = effective_workers(
+            cfg.max_workers, len(partition.buckets), cfg.parallel_mode
+        )
+        # A gate (circuit-breaker board) holds locks and lives in this
+        # process; it rides along only when the buckets run here (serial)
+        # or in threads.  A process pool would pickle a dead copy whose
+        # trips never propagate back, so the gate is dropped — visibly.
+        gate = policy.gate
+        if gate is not None and workers_used > 1 and (
+            resolve_mode(cfg.parallel_mode) == "process"
+        ):
+            gate = None
+            report.record_note(
+                "fallback gate not applied to process-pool MM solves "
+                "(breaker state does not cross process boundaries)"
+            )
         tasks = [
             _BucketTask(
                 jobs=bucket.jobs,
                 speed=cfg.speed,
                 chain=tuple(chain),
                 retry=policy.retry,
+                gate=gate,
             )
             for bucket in partition.buckets
         ]
-        workers_used = effective_workers(
-            cfg.max_workers, len(tasks), cfg.parallel_mode
-        )
         with ExitStack() as stack:
             budget = current_budget()
             if budget is None and policy.budget is not None:

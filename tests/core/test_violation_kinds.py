@@ -1,0 +1,208 @@
+"""One targeted reachability test per :class:`ViolationKind`.
+
+Each test constructs the smallest schedule that violates exactly one
+feasibility rule and asserts the validator (a) classifies it with the right
+kind and (b) identifies the offending job and/or machine — the identifiers
+``ValidationReport.detail()`` puts into exception messages and service
+error payloads.  Together they prove no member of the enum is dead code.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    Calibration,
+    CalibrationSchedule,
+    InfeasibleScheduleError,
+    Instance,
+    Job,
+    Schedule,
+    ScheduledJob,
+    ViolationKind,
+    check_ise,
+    check_tise,
+    validate_ise,
+    validate_tise,
+)
+
+
+def _schedule(t10, calibrations, placements, speed=1.0):
+    machines = max((c.machine for c in calibrations), default=0) + 1
+    return Schedule(
+        calibrations=CalibrationSchedule(
+            calibrations=tuple(calibrations),
+            num_machines=machines,
+            calibration_length=t10,
+        ),
+        placements=tuple(placements),
+        speed=speed,
+    )
+
+
+@pytest.fixture
+def instance(t10):
+    jobs = (
+        Job(job_id=0, release=0.0, deadline=25.0, processing=3.0),
+        Job(job_id=1, release=2.0, deadline=30.0, processing=4.0),
+    )
+    return Instance(jobs=jobs, machines=2, calibration_length=t10)
+
+
+def _only(report, kind):
+    """The violations of ``kind``, asserting the kind was reached at all."""
+    found = report.by_kind(kind)
+    assert found, (
+        f"{kind} not reached; got "
+        f"{[v.kind for v in report.violations]}"
+    )
+    return found
+
+
+class TestEachKindIsReachable:
+    def test_unknown_job(self, instance, t10):
+        sched = _schedule(
+            t10,
+            [Calibration(2.0, 0)],
+            [ScheduledJob(2.0, 0, 0), ScheduledJob(5.0, 0, 1), ScheduledJob(8.0, 0, 99)],
+        )
+        violation = _only(validate_ise(instance, sched), ViolationKind.UNKNOWN_JOB)[0]
+        assert violation.job_id == 99
+        assert "99" in violation.message
+
+    def test_missing_job(self, instance, t10):
+        sched = _schedule(t10, [Calibration(2.0, 0)], [ScheduledJob(2.0, 0, 0)])
+        violation = _only(validate_ise(instance, sched), ViolationKind.MISSING_JOB)[0]
+        assert violation.job_id == 1
+        assert "job 1" in violation.message
+
+    def test_release(self, instance, t10):
+        # Job 1 (release 2.0) starts at 1.0.
+        sched = _schedule(
+            t10,
+            [Calibration(0.0, 0)],
+            [ScheduledJob(5.0, 0, 0), ScheduledJob(1.0, 0, 1)],
+        )
+        violation = _only(validate_ise(instance, sched), ViolationKind.RELEASE)[0]
+        assert violation.job_id == 1
+        assert violation.machine == 0
+
+    def test_deadline(self, t10):
+        # Ends at 28.0, past the deadline 27.0.
+        jobs = (Job(job_id=0, release=0.0, deadline=27.0, processing=3.0),)
+        inst = Instance(jobs=jobs, machines=1, calibration_length=t10)
+        sched = _schedule(t10, [Calibration(25.0, 0)], [ScheduledJob(25.0, 0, 0)])
+        violation = _only(validate_ise(inst, sched), ViolationKind.DEADLINE)[0]
+        assert violation.job_id == 0
+        assert violation.machine == 0
+
+    def test_no_calibration(self, instance, t10):
+        # Job 1 runs during [20, 24), entirely outside the one calibrated
+        # interval [2, 12).
+        sched = _schedule(
+            t10,
+            [Calibration(2.0, 0)],
+            [ScheduledJob(2.0, 0, 0), ScheduledJob(20.0, 0, 1)],
+        )
+        violation = _only(validate_ise(instance, sched), ViolationKind.NO_CALIBRATION)[0]
+        assert violation.job_id == 1
+        assert violation.machine == 0
+
+    def test_job_overlap(self, instance, t10):
+        # Job 0 occupies [2, 5); job 1 starts at 4 on the same machine.
+        sched = _schedule(
+            t10,
+            [Calibration(2.0, 0)],
+            [ScheduledJob(2.0, 0, 0), ScheduledJob(4.0, 0, 1)],
+        )
+        violation = _only(validate_ise(instance, sched), ViolationKind.JOB_OVERLAP)[0]
+        assert violation.job_id == 1
+        assert violation.machine == 0
+        assert "jobs 0 and 1" in violation.message
+
+    def test_calibration_overlap(self, instance, t10):
+        # Two calibrations 5 apart on one machine with T=10.
+        sched = _schedule(
+            t10,
+            [Calibration(0.0, 0), Calibration(5.0, 0)],
+            [ScheduledJob(0.0, 0, 0), ScheduledJob(5.0, 0, 1)],
+        )
+        violation = _only(
+            validate_ise(instance, sched), ViolationKind.CALIBRATION_OVERLAP
+        )[0]
+        assert violation.machine == 0
+
+    def test_tise_window(self, instance, t10):
+        # ISE-feasible, but job 1's calibration [0, 10) starts before its
+        # release 2.0 — exactly the TISE restriction.
+        sched = _schedule(
+            t10,
+            [Calibration(0.0, 0)],
+            [ScheduledJob(0.0, 0, 0), ScheduledJob(5.0, 0, 1)],
+        )
+        assert validate_ise(instance, sched).ok
+        violation = _only(validate_tise(instance, sched), ViolationKind.TISE_WINDOW)[0]
+        assert violation.job_id == 1
+        assert violation.machine == 0
+
+    def test_machine_budget(self, instance, t10):
+        # Feasible on two machines, validated against a budget of one.
+        sched = _schedule(
+            t10,
+            [Calibration(0.0, 0), Calibration(2.0, 1)],
+            [ScheduledJob(0.0, 0, 0), ScheduledJob(2.0, 1, 1)],
+        )
+        violation = _only(
+            validate_ise(instance, sched, max_machines=1),
+            ViolationKind.MACHINE_BUDGET,
+        )[0]
+        assert "2 machines" in violation.message
+        assert "budget is 1" in violation.message
+
+
+def test_every_kind_has_a_reachability_test():
+    tested = {
+        name[len("test_"):]
+        for name in dir(TestEachKindIsReachable)
+        if name.startswith("test_")
+    }
+    assert {k.value for k in ViolationKind} <= tested
+
+
+class TestExceptionMessagesCarryDetail:
+    def test_check_ise_names_the_offending_job(self, instance, t10):
+        sched = _schedule(
+            t10,
+            [Calibration(25.0, 0)],
+            [ScheduledJob(2.0, 0, 0), ScheduledJob(27.0, 0, 1)],
+        )
+        with pytest.raises(InfeasibleScheduleError) as excinfo:
+            check_ise(instance, sched)
+        message = str(excinfo.value)
+        # The summary line counts; the detail lines identify.
+        assert "[deadline]" in message
+        assert "job 1" in message
+
+    def test_check_tise_names_the_offending_job(self, instance, t10):
+        sched = _schedule(
+            t10,
+            [Calibration(0.0, 0)],
+            [ScheduledJob(0.0, 0, 0), ScheduledJob(5.0, 0, 1)],
+        )
+        with pytest.raises(InfeasibleScheduleError) as excinfo:
+            check_tise(instance, sched)
+        message = str(excinfo.value)
+        assert "[tise_window]" in message
+        assert "job 1" in message
+
+    def test_detail_is_bounded(self, t10):
+        # 30 unplaced jobs, detail limit 5: five lines plus an elision.
+        jobs = tuple(
+            Job(job_id=i, release=0.0, deadline=30.0, processing=1.0)
+            for i in range(30)
+        )
+        inst = Instance(jobs=jobs, machines=1, calibration_length=t10)
+        report = validate_ise(inst, _schedule(t10, [Calibration(0.0, 0)], []))
+        detail = report.detail(limit=5)
+        assert detail.count("\n") == 5  # 5 violations + "... and N more"
+        assert "... and 25 more" in detail

@@ -352,6 +352,30 @@ CASES = [
             "        return None\n"
         ),
     ),
+    RuleCase(
+        code="ISE014",
+        hit=(
+            "import time\n"
+            "\n"
+            "def backoff(seconds: float) -> None:\n"
+            "    time.sleep(seconds)\n"
+        ),
+        suppressed=(
+            "import time\n"
+            "\n"
+            "def backoff(seconds: float) -> None:\n"
+            "    time.sleep(seconds)  # repro-lint: disable=ISE014\n"
+        ),
+        clean=(
+            "import time\n"
+            "from typing import Callable\n"
+            "\n"
+            "def backoff(\n"
+            "    seconds: float, sleep: Callable[[float], None] = time.sleep\n"
+            ") -> None:\n"
+            "    sleep(seconds)\n"
+        ),
+    ),
 ]
 
 CASE_IDS = [case.code for case in CASES]
@@ -423,6 +447,38 @@ def test_ise013_reraise_counts_as_recorded(tmp_path: Path) -> None:
         "        raise RuntimeError('pool died') from exc\n"
     )
     assert lint_paths([target], select=["ISE013"]).ok
+
+
+def test_ise014_catches_from_import_alias(tmp_path: Path) -> None:
+    # `from time import sleep` must not dodge the rule: the import map
+    # resolves the local name back to time.sleep.
+    target = tmp_path / "module.py"
+    target.write_text(
+        "from time import sleep\n"
+        "\n"
+        "def backoff(seconds: float) -> None:\n"
+        "    sleep(seconds)\n"
+    )
+    report = lint_paths([target], select=["ISE014"])
+    assert not report.ok
+    assert report.diagnostics[0].code == "ISE014"
+
+
+def test_ise014_ignores_injected_sleeper_calls(tmp_path: Path) -> None:
+    # Calling a *parameter* named sleep is the sanctioned pattern; only a
+    # call that resolves to the time module's sleep is a violation.
+    target = tmp_path / "module.py"
+    target.write_text(
+        "import time\n"
+        "from typing import Callable\n"
+        "\n"
+        "class Retry:\n"
+        "    sleep: Callable[[float], None] = time.sleep\n"
+        "\n"
+        "    def pause(self, seconds: float) -> None:\n"
+        "        self.sleep(seconds)\n"
+    )
+    assert lint_paths([target], select=["ISE014"]).ok
 
 
 def test_diagnostic_format_is_path_line_code(tmp_path: Path) -> None:

@@ -1,0 +1,137 @@
+"""Regression tests: retry backoff must respect the solve budget.
+
+The bug class: an exponential backoff sleeping *past* an almost-expired
+deadline, so a request that should fail fast at t=T instead fails slow at
+t=T+backoff.  ``RetryPolicy.pause_before`` therefore clamps every sleep to
+the budget's remaining wall clock and skips the sleep entirely when
+nothing remains.  All timing here is driven by a :class:`FakeClock` — no
+test ever sleeps for real.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import SolverError, StageTimeoutError
+from repro.core.resilience import (
+    ResilienceReport,
+    RetryPolicy,
+    SolveBudget,
+    run_with_fallbacks,
+)
+from repro.testing.faults import FakeClock
+
+
+class RecordingSleeper:
+    """An injectable sleeper that logs delays and advances the fake clock."""
+
+    def __init__(self, clock: FakeClock) -> None:
+        self.clock = clock
+        self.slept: list[float] = []
+
+    def __call__(self, seconds: float) -> None:
+        self.slept.append(seconds)
+        self.clock.advance(seconds)
+
+
+def test_backoff_is_clamped_to_remaining_wall_clock() -> None:
+    clock = FakeClock()
+    sleeper = RecordingSleeper(clock)
+    budget = SolveBudget(wall_clock=5.0, clock=clock).start()
+    clock.advance(4.0)  # 1.0s remaining
+    policy = RetryPolicy(attempts=3, backoff=2.0, sleep=sleeper)
+
+    policy.pause_before(2, budget=budget)
+
+    assert sleeper.slept == [1.0]  # 2.0s backoff clamped to the 1.0s left
+
+
+def test_backoff_is_skipped_when_budget_already_expired() -> None:
+    clock = FakeClock()
+    sleeper = RecordingSleeper(clock)
+    budget = SolveBudget(wall_clock=5.0, clock=clock).start()
+    clock.advance(6.0)  # expired
+
+    RetryPolicy(attempts=3, backoff=2.0, sleep=sleeper).pause_before(
+        2, budget=budget
+    )
+
+    assert sleeper.slept == []  # no real time burned before ensure() raises
+
+
+def test_backoff_unclamped_without_budget() -> None:
+    sleeper = RecordingSleeper(FakeClock())
+    policy = RetryPolicy(attempts=4, backoff=2.0, sleep=sleeper)
+
+    policy.pause_before(2)
+    policy.pause_before(3)
+    policy.pause_before(4)
+
+    assert sleeper.slept == [2.0, 4.0, 8.0]  # plain exponential schedule
+
+
+def test_first_attempt_never_sleeps() -> None:
+    clock = FakeClock()
+    sleeper = RecordingSleeper(clock)
+    budget = SolveBudget(wall_clock=5.0, clock=clock).start()
+
+    RetryPolicy(attempts=3, backoff=2.0, sleep=sleeper).pause_before(
+        1, budget=budget
+    )
+
+    assert sleeper.slept == []
+
+
+def test_run_with_fallbacks_never_outsleeps_the_deadline() -> None:
+    """End-to-end: a flaky backend with a huge backoff under a tight budget.
+
+    The first attempt fails with 3s left; the 10s backoff must be clamped
+    to exactly those 3s, after which the deadline check fires instead of a
+    second attempt starting.
+    """
+    clock = FakeClock()
+    sleeper = RecordingSleeper(clock)
+    budget = SolveBudget(wall_clock=5.0, clock=clock).start()
+    report = ResilienceReport()
+    calls = {"n": 0}
+
+    def flaky() -> None:
+        calls["n"] += 1
+        clock.advance(2.0)  # the attempt itself costs 2s
+        raise SolverError("injected", stage="mm", backend="flaky")
+
+    with pytest.raises(StageTimeoutError):
+        run_with_fallbacks(
+            "mm",
+            [("flaky", flaky)],
+            report=report,
+            retry=RetryPolicy(attempts=3, backoff=10.0, sleep=sleeper),
+            budget=budget,
+        )
+
+    assert calls["n"] == 1  # the retry was never started
+    assert sleeper.slept == [3.0]  # 10s backoff clamped to the 3s remaining
+    assert [a.outcome for a in report.attempts] == ["failed"]
+
+
+def test_expired_budget_skips_sleep_and_raises_promptly() -> None:
+    """When the attempt itself exhausts the budget, the retry costs nothing."""
+    clock = FakeClock()
+    sleeper = RecordingSleeper(clock)
+    budget = SolveBudget(wall_clock=5.0, clock=clock).start()
+    report = ResilienceReport()
+
+    def exhausting() -> None:
+        clock.advance(7.0)  # blows straight through the deadline
+        raise SolverError("injected", stage="mm", backend="slow")
+
+    with pytest.raises(StageTimeoutError):
+        run_with_fallbacks(
+            "mm",
+            [("slow", exhausting)],
+            report=report,
+            retry=RetryPolicy(attempts=2, backoff=4.0, sleep=sleeper),
+            budget=budget,
+        )
+
+    assert sleeper.slept == []  # pause skipped: nothing remained

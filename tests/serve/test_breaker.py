@@ -1,0 +1,147 @@
+"""The circuit-breaker state machine, driven by a deterministic FakeClock."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import BreakerBoard, CircuitBreaker
+from repro.testing.faults import FakeClock
+
+
+def make_breaker(clock: FakeClock, **kwargs: object) -> CircuitBreaker:
+    defaults = dict(failure_threshold=3, reset_timeout=30.0, half_open_trials=1)
+    defaults.update(kwargs)
+    return CircuitBreaker(clock=clock, **defaults)  # type: ignore[arg-type]
+
+
+class TestCircuitBreaker:
+    def test_starts_closed_and_admits(self) -> None:
+        breaker = make_breaker(FakeClock())
+        assert breaker.state == "closed"
+        assert breaker.allow() is None
+
+    def test_trips_after_consecutive_failures(self) -> None:
+        breaker = make_breaker(FakeClock())
+        breaker.record(ok=False)
+        breaker.record(ok=False)
+        assert breaker.state == "closed"  # threshold is 3
+        breaker.record(ok=False)
+        assert breaker.state == "open"
+        reason = breaker.allow()
+        assert reason is not None and "open" in reason
+        assert breaker.times_opened == 1
+
+    def test_success_resets_the_failure_streak(self) -> None:
+        breaker = make_breaker(FakeClock())
+        breaker.record(ok=False)
+        breaker.record(ok=False)
+        breaker.record(ok=True)
+        breaker.record(ok=False)
+        breaker.record(ok=False)
+        assert breaker.state == "closed"  # streak broken; never reached 3
+
+    def test_half_open_after_reset_timeout(self) -> None:
+        clock = FakeClock()
+        breaker = make_breaker(clock)
+        for _ in range(3):
+            breaker.record(ok=False)
+        assert breaker.state == "open"
+        clock.advance(29.0)
+        assert breaker.state == "open"
+        clock.advance(1.0)
+        assert breaker.state == "half_open"
+
+    def test_half_open_admits_bounded_probes(self) -> None:
+        clock = FakeClock()
+        breaker = make_breaker(clock)
+        for _ in range(3):
+            breaker.record(ok=False)
+        clock.advance(30.0)
+        assert breaker.allow() is None  # the one probe
+        reason = breaker.allow()
+        assert reason is not None and "half-open" in reason
+
+    def test_probe_success_closes(self) -> None:
+        clock = FakeClock()
+        breaker = make_breaker(clock)
+        for _ in range(3):
+            breaker.record(ok=False)
+        clock.advance(30.0)
+        assert breaker.allow() is None
+        breaker.record(ok=True)
+        assert breaker.state == "closed"
+        assert breaker.allow() is None
+
+    def test_probe_failure_reopens_for_a_full_timeout(self) -> None:
+        clock = FakeClock()
+        breaker = make_breaker(clock)
+        for _ in range(3):
+            breaker.record(ok=False)
+        clock.advance(30.0)
+        assert breaker.allow() is None
+        breaker.record(ok=False)  # the probe fails
+        assert breaker.state == "open"
+        assert breaker.times_opened == 2
+        clock.advance(29.0)
+        assert breaker.state == "open"  # a fresh full reset_timeout
+        clock.advance(1.0)
+        assert breaker.state == "half_open"
+
+    def test_invalid_tuning_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            make_breaker(FakeClock(), failure_threshold=0)
+        with pytest.raises(ValueError):
+            make_breaker(FakeClock(), reset_timeout=0.0)
+        with pytest.raises(ValueError):
+            make_breaker(FakeClock(), half_open_trials=0)
+
+    def test_snapshot_is_json_ready(self) -> None:
+        breaker = make_breaker(FakeClock())
+        breaker.record(ok=False)
+        snap = breaker.snapshot()
+        assert snap["state"] == "closed"
+        assert snap["consecutive_failures"] == 1
+        assert snap["failures"] == 1
+
+
+class TestBreakerBoard:
+    def test_implements_the_fallback_gate_protocol(self) -> None:
+        from repro.core.resilience import FallbackGate
+
+        board = BreakerBoard(clock=FakeClock())
+        assert isinstance(board, FallbackGate)
+
+    def test_per_backend_isolation(self) -> None:
+        board = BreakerBoard(
+            failure_threshold=2, reset_timeout=30.0, clock=FakeClock()
+        )
+        for _ in range(2):
+            board.record_outcome("mm", "best_greedy", ok=False)
+        assert board.allow("mm", "best_greedy") is not None
+        assert board.allow("mm", "greedy_edf") is None  # untouched backend
+        assert board.allow("lp", "best_greedy") is None  # same name, other stage
+
+    def test_allow_reason_names_the_backend(self) -> None:
+        board = BreakerBoard(failure_threshold=1, clock=FakeClock())
+        board.record_outcome("mm", "best_greedy", ok=False)
+        reason = board.allow("mm", "best_greedy")
+        assert reason is not None
+        assert "mm:best_greedy" in reason
+
+    def test_dark_requires_every_known_breaker_open(self) -> None:
+        clock = FakeClock()
+        board = BreakerBoard(failure_threshold=1, clock=clock)
+        assert not board.dark()  # no traffic yet
+        board.record_outcome("mm", "best_greedy", ok=False)
+        assert board.dark()
+        board.record_outcome("mm", "greedy_edf", ok=True)
+        assert not board.dark()  # one backend still lit
+        board.record_outcome("mm", "greedy_edf", ok=False)
+        assert board.dark()
+        assert board.dark(stage="mm")
+
+    def test_snapshot_keys_are_stage_backend(self) -> None:
+        board = BreakerBoard(clock=FakeClock())
+        board.record_outcome("mm", "best_greedy", ok=True)
+        board.record_outcome("lp", "highs", ok=True)
+        assert sorted(board.snapshot()) == ["lp:highs", "mm:best_greedy"]

@@ -1,0 +1,213 @@
+"""Chaos tests: the full service under misbehaving backends and load.
+
+Three acceptance scenarios from the serve milestone:
+
+* a failing/stalling MM backend trips its circuit breaker and later
+  requests are routed around it (``skipped`` attempts, not repeated
+  failures) while every solve still succeeds within its deadline;
+* a thundering herd against a tiny queue yields *typed* rejections
+  (:class:`OverloadError`) and zero crashes, and the service stays
+  healthy afterwards;
+* the CLI process drains cleanly on SIGTERM — in-flight work completes,
+  the exit code is 0, and the drain summary says so.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import threading
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from repro.core import OverloadError
+from repro.core.solver import ISEConfig
+from repro.core.validate import check_ise
+from repro.instances import instance_to_dict, mixed_instance, short_window_instance
+from repro.serve import ServiceConfig, SolveService
+from repro.testing.faults import FaultPlan, inject_mm_fault
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _short(seed: int):
+    return short_window_instance(
+        n=8, machines=2, calibration_length=10.0, seed=seed
+    ).instance
+
+
+@pytest.mark.parametrize("kind", ["fail", "timeout"])
+def test_bad_backend_trips_breaker_and_is_routed_around(kind: str) -> None:
+    """After the threshold, the service stops even *trying* the bad backend."""
+    config = ServiceConfig(
+        workers=1,
+        queue_capacity=16,
+        breaker_failure_threshold=2,
+        default_deadline=30.0,
+    )
+    service = SolveService(config).start()
+    try:
+        with inject_mm_fault("best_greedy", FaultPlan(kind)) as plan:
+            outcomes = [
+                service.solve(_short(seed), timeout=60.0) for seed in range(4)
+            ]
+        # Every request succeeded (routed to the fallback) within deadline.
+        for seed, outcome in enumerate(outcomes):
+            check_ise(_short(seed), outcome.result.schedule, context="chaos")
+        assert service.breakers.states()["mm:best_greedy"] == "open"
+        # The last solves skipped the dead backend instead of re-failing it:
+        # the faulty wrapper was reached exactly failure_threshold times.
+        assert plan.calls == config.breaker_failure_threshold
+        last = outcomes[-1].result.resilience
+        assert last is not None
+        assert any(
+            a.stage == "mm" and a.backend == "best_greedy" and a.outcome == "skipped"
+            for a in last.attempts
+        ), [a.outcome for a in last.attempts]
+        # The fallback backend is still lit, so the service stays ready.
+        assert service.ready
+    finally:
+        service.shutdown()
+
+
+def test_breaker_probe_recovers_after_the_fault_clears() -> None:
+    """Once the reset timeout passes, one probe succeeds and closes the breaker."""
+    from repro.testing.faults import FakeClock
+
+    clock = FakeClock()
+    config = ServiceConfig(
+        workers=1,
+        queue_capacity=16,
+        breaker_failure_threshold=1,
+        breaker_reset_timeout=5.0,
+    )
+    service = SolveService(config, clock=clock).start()
+    try:
+        with inject_mm_fault("best_greedy", FaultPlan("fail")):
+            service.solve(_short(0), timeout=60.0)
+        assert service.breakers.states()["mm:best_greedy"] == "open"
+        clock.advance(5.0)  # fault is gone; the probe should succeed
+        outcome = service.solve(_short(1), timeout=60.0)
+        assert not outcome.result.degraded
+        assert service.breakers.states()["mm:best_greedy"] == "closed"
+    finally:
+        service.shutdown()
+
+
+def test_concurrent_overload_yields_only_typed_rejections() -> None:
+    """A herd against a tiny queue: OverloadError or success, nothing else."""
+    gate = threading.Event()
+
+    def slow(instance: object, config: ISEConfig) -> str:
+        gate.wait(timeout=30.0)
+        return "done"
+
+    service = SolveService(
+        ServiceConfig(workers=1, queue_capacity=2), solve_fn=slow
+    ).start()
+    outcomes: list[str] = []
+    lock = threading.Lock()
+
+    def hammer() -> None:
+        try:
+            service.solve(_short(0), timeout=30.0)
+            label = "ok"
+        except OverloadError:
+            label = "overload"
+        except BaseException as exc:  # pragma: no cover - the failure we hunt
+            label = f"CRASH:{type(exc).__name__}"
+        with lock:
+            outcomes.append(label)
+
+    threads = [threading.Thread(target=hammer) for _ in range(12)]
+    try:
+        for thread in threads:
+            thread.start()
+        # Let the herd pile up against the full queue before opening the gate.
+        deadline = 100
+        while service.stats.get("rejected_overload") == 0 and deadline:
+            threading.Event().wait(0.02)
+            deadline -= 1
+        gate.set()
+        for thread in threads:
+            thread.join(timeout=30.0)
+
+        assert len(outcomes) == 12
+        assert not [o for o in outcomes if o.startswith("CRASH")], outcomes
+        assert outcomes.count("overload") >= 1
+        assert outcomes.count("ok") + outcomes.count("overload") == 12
+        assert service.stats.get("rejected_overload") == outcomes.count("overload")
+        # The service is still healthy: a fresh request sails through.
+        assert service.ready
+        assert service.solve(_short(1), timeout=10.0).result == "done"
+    finally:
+        gate.set()
+        service.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# End-to-end: the CLI process under SIGTERM
+# ---------------------------------------------------------------------------
+
+
+def _post_solve(port: int, body: dict) -> int:
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}/solve",
+        data=json.dumps(body).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=30) as response:
+        return response.status
+
+
+@pytest.mark.skipif(os.name == "nt", reason="POSIX signals")
+def test_cli_serve_drains_cleanly_on_sigterm() -> None:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "--port", "0", "--workers", "1"],
+        cwd=REPO_ROOT,
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    try:
+        banner = process.stdout.readline()
+        match = re.search(r"http://127\.0\.0\.1:(\d+)", banner)
+        assert match, f"no listening banner, got: {banner!r}"
+        port = int(match.group(1))
+
+        body = {"instance": instance_to_dict(mixed_instance(8, 2, 10.0, 0).instance)}
+        statuses: list[int] = []
+        poster = threading.Thread(
+            target=lambda: statuses.append(_post_solve(port, body))
+        )
+        poster.start()
+        # Wait until the request is inside the service, then pull the plug.
+        for _ in range(200):
+            with urllib.request.urlopen(
+                f"http://127.0.0.1:{port}/stats", timeout=10
+            ) as response:
+                stats = json.loads(response.read())
+            if stats["counters"]["submitted"] >= 1:
+                break
+            threading.Event().wait(0.02)
+        process.send_signal(signal.SIGTERM)
+
+        poster.join(timeout=30.0)
+        output, _ = process.communicate(timeout=30)
+        # The in-flight request was answered, not dropped.
+        assert statuses == [200], (statuses, output)
+        assert process.returncode == 0, output
+        assert "clean" in output and "UNCLEAN" not in output, output
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.communicate(timeout=10)

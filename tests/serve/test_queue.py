@@ -1,0 +1,97 @@
+"""Unit tests for the bounded admission queue and its watermarks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import OverloadError, ServiceShutdownError
+from repro.serve import AdmissionQueue
+
+
+def test_fifo_order() -> None:
+    queue: AdmissionQueue[int] = AdmissionQueue(4)
+    for item in (1, 2, 3):
+        queue.put(item)
+    assert [queue.get(timeout=0.0) for _ in range(3)] == [1, 2, 3]
+
+
+def test_get_times_out_with_none() -> None:
+    queue: AdmissionQueue[int] = AdmissionQueue(4)
+    assert queue.get(timeout=0.01) is None
+
+
+def test_full_queue_rejects_with_typed_overload() -> None:
+    queue: AdmissionQueue[int] = AdmissionQueue(2)
+    queue.put(1)
+    queue.put(2)
+    with pytest.raises(OverloadError) as excinfo:
+        queue.put(3)
+    assert excinfo.value.depth == 2
+    assert excinfo.value.capacity == 2
+    assert queue.rejected == 1
+    assert queue.depth == 2  # the rejected item was never enqueued
+
+
+def test_closed_queue_rejects_with_shutdown_error() -> None:
+    queue: AdmissionQueue[int] = AdmissionQueue(2)
+    queue.put(1)
+    queue.close()
+    with pytest.raises(ServiceShutdownError):
+        queue.put(2)
+    # Items admitted before the close are still drainable.
+    assert queue.get(timeout=0.0) == 1
+
+
+def test_close_is_idempotent() -> None:
+    queue: AdmissionQueue[int] = AdmissionQueue(2)
+    queue.close()
+    queue.close()
+    assert queue.closed
+
+
+def test_watermark_hysteresis() -> None:
+    queue: AdmissionQueue[int] = AdmissionQueue(
+        8, high_watermark=6, low_watermark=2
+    )
+    for item in range(6):
+        queue.put(item)
+    assert queue.shedding  # crossed high
+    queue.get(timeout=0.0)
+    queue.get(timeout=0.0)
+    queue.get(timeout=0.0)
+    assert queue.shedding  # depth 3: between the watermarks, still shedding
+    queue.get(timeout=0.0)
+    assert not queue.shedding  # depth 2: reached low, cleared
+
+
+def test_default_watermarks() -> None:
+    queue: AdmissionQueue[int] = AdmissionQueue(64)
+    assert queue.high_watermark == 48
+    assert queue.low_watermark == 16
+
+
+def test_invalid_watermarks_rejected() -> None:
+    with pytest.raises(ValueError):
+        AdmissionQueue(4, high_watermark=2, low_watermark=2)
+    with pytest.raises(ValueError):
+        AdmissionQueue(4, high_watermark=5, low_watermark=1)
+    with pytest.raises(ValueError):
+        AdmissionQueue(0)
+
+
+def test_drain_remaining_empties_the_queue() -> None:
+    queue: AdmissionQueue[int] = AdmissionQueue(4)
+    for item in (1, 2, 3):
+        queue.put(item)
+    queue.close()
+    assert queue.drain_remaining() == [1, 2, 3]
+    assert queue.depth == 0
+
+
+def test_peak_depth_tracks_high_water() -> None:
+    queue: AdmissionQueue[int] = AdmissionQueue(4)
+    queue.put(1)
+    queue.put(2)
+    queue.get(timeout=0.0)
+    queue.put(3)
+    assert queue.peak_depth == 2
