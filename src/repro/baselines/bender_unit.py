@@ -165,7 +165,11 @@ def lazy_binning(instance: Instance) -> Schedule:
     while remaining:
         guard += 1
         if guard > 4 * len(instance.jobs) + 8:
-            raise RuntimeError("lazy binning failed to make progress")
+            raise SolverError(
+                "lazy binning failed to make progress",
+                stage="baseline",
+                backend="bender_unit",
+            )
         jobs_left = list(remaining.values())
         lower = min(available)
         t = _latest_feasible_start(jobs_left, lower, available)

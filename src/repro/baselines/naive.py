@@ -149,9 +149,11 @@ def always_calibrated(instance: Instance, max_machines: int | None = None) -> Sc
             if placements is not None:
                 break
         if placements is None:
-            raise RuntimeError(
+            raise SolverError(
                 f"always_calibrated failed with up to {limit} machines — "
-                "greedy calendar packing could not fit the jobs"
+                "greedy calendar packing could not fit the jobs",
+                stage="baseline",
+                backend="always_calibrated",
             )
     calibrations = [
         Calibration(start=origin + k * T, machine=machine)

@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import contextvars
 import pickle
+import threading
 import warnings
 from concurrent.futures import BrokenExecutor, Future, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Callable, Sequence, TypeVar
@@ -70,12 +71,17 @@ _IN_WORKER = False
 
 #: Why the most recent :func:`parallel_map` call that *attempted* pooled
 #: execution fell back to the serial path, or None when it did not.
+#: Guarded by :data:`_FALLBACK_LOCK` — thread-mode workers that recurse
+#: into ``parallel_map`` write it concurrently with the dispatching thread.
 _LAST_FALLBACK_REASON: str | None = None
+_FALLBACK_LOCK = threading.Lock()
 
 
 def _mark_worker() -> None:
+    # Runs once per pool worker *process* via the executor initializer;
+    # the flag is process-local state, never shared across threads.
     global _IN_WORKER
-    _IN_WORKER = True
+    _IN_WORKER = True  # repro-lint: disable=ISE102
 
 
 def last_fallback_reason() -> str | None:
@@ -86,14 +92,23 @@ def last_fallback_reason() -> str | None:
     the hook untouched.  Chaos tests and sweep reports read this instead of
     pools being allowed to degrade invisibly.
     """
-    return _LAST_FALLBACK_REASON
+    with _FALLBACK_LOCK:
+        return _LAST_FALLBACK_REASON
+
+
+def _clear_pool_fallback() -> None:
+    """Reset the fallback hook at the start of a pool-attempting call."""
+    global _LAST_FALLBACK_REASON
+    with _FALLBACK_LOCK:
+        _LAST_FALLBACK_REASON = None
 
 
 def _record_pool_fallback(error: BaseException) -> str:
     """Record and warn that pooled execution degraded to the serial path."""
     global _LAST_FALLBACK_REASON
     reason = f"{type(error).__name__}: {error}"
-    _LAST_FALLBACK_REASON = reason
+    with _FALLBACK_LOCK:
+        _LAST_FALLBACK_REASON = reason
     warnings.warn(
         f"parallel_map fell back to serial execution: {reason}",
         ParallelFallbackWarning,
@@ -215,13 +230,12 @@ def parallel_map(
     into workers (see module docstring), so stage timeouts keep firing
     inside parallel solves.
     """
-    global _LAST_FALLBACK_REASON
     items = list(items)
     workers = effective_workers(max_workers, len(items), mode)
     resolved = resolve_mode(mode)
     if workers <= 1 or resolved == "serial":
         return _serial_map(fn, items, return_exceptions, on_result)
-    _LAST_FALLBACK_REASON = None
+    _clear_pool_fallback()
 
     if resolved == "thread":
         # Each task runs in a copy of the dispatching context: ambient

@@ -2,24 +2,42 @@
 
 Usage::
 
-    repro-lint src/repro                 # human output, exit 1 on findings
-    repro-lint --format json src/repro   # machine-readable (CI annotations)
-    repro-lint --select ISE001,ISE003 …  # run a subset of rules
-    repro-lint --list-rules              # print the rule table
+    repro-lint src/repro                  # per-file rules, exit 1 on findings
+    repro-lint --flow src/repro           # + whole-program ISE100+ analysis
+    repro-lint --changed a.py b.py        # incremental: lint only these files,
+                                          #   cross-module rules still fire
+    repro-lint --format json src/repro    # machine-readable (CI annotations)
+    repro-lint --format sarif --flow …    # SARIF 2.1.0 for code scanning
+    repro-lint --select ISE001,ISE104 …   # run a subset of rules
+    repro-lint --show-suppressed …        # audit what disable= comments hide
+    repro-lint --flow --update-baseline … # grandfather current findings
+    repro-lint --list-rules               # print the rule table
 
 Exit codes: 0 clean, 1 findings, 2 usage error (unknown rule / no files).
+
+Findings listed in the baseline file (``.repro-lint-baseline.json`` by
+default, ``--baseline`` to override) are reported separately and do not
+fail the run — the committed-baseline workflow for grandfathered debt.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Sequence
 
-from .rules import iter_rules
-from .runner import LintRunner
+from .flow.baseline import Baseline
+from .flow.registry import FLOW_RULES, iter_flow_rules
+from .flow.runner import analyze_package, find_package_root
+from .flow.sarif import to_sarif_json
+from .rules import ALL_RULES, iter_rules
+from .runner import LintReport, LintRunner
 
 __all__ = ["main", "build_parser"]
+
+#: Default committed-baseline location (repo root, next to pyproject.toml).
+DEFAULT_BASELINE = ".repro-lint-baseline.json"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -28,7 +46,8 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-lint",
         description=(
             "AST-based invariant linter for the ISE solver stack "
-            "(tolerance discipline, determinism, solver-boundary validation)"
+            "(tolerance discipline, determinism, solver-boundary validation, "
+            "and whole-program architecture/concurrency/budget-flow checks)"
         ),
     )
     parser.add_argument(
@@ -38,7 +57,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="output format (default: text)",
     )
@@ -59,11 +78,92 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the registered rules and exit",
     )
+    parser.add_argument(
+        "--flow",
+        action="store_true",
+        help=(
+            "also run the whole-program ISE100+ rules (layer DAG, "
+            "concurrency hazards, budget propagation, exception contracts)"
+        ),
+    )
+    parser.add_argument(
+        "--changed",
+        action="store_true",
+        help=(
+            "incremental mode: per-file rules run only on the given files, "
+            "but the whole-program graph is (re)built from the cache so "
+            "cross-module rules still fire; flow findings are filtered to "
+            "the given files"
+        ),
+    )
+    parser.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help="also print findings silenced by # repro-lint: disable= comments",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help=(
+            "baseline file of grandfathered findings "
+            f"(default: {DEFAULT_BASELINE} when it exists)"
+        ),
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline to accept all current findings and exit 0",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="graph-cache directory for --flow/--changed (default: .repro-lint-cache)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the whole-program graph cache (always re-parse)",
+    )
     return parser
 
 
 def _split_codes(raw: str) -> tuple[str, ...]:
     return tuple(code.strip() for code in raw.split(",") if code.strip())
+
+
+def _validate_codes(codes: Sequence[str]) -> str | None:
+    """First unknown code across both registries, or None."""
+    for code in codes:
+        if code not in ALL_RULES and code not in FLOW_RULES:
+            return code
+    return None
+
+
+def _package_roots(paths: Sequence[str]) -> list[Path]:
+    """Unique package roots covering the given files/directories."""
+    roots: list[Path] = []
+    seen: set[Path] = set()
+    for raw in paths:
+        root = find_package_root(Path(raw))
+        if root is None:
+            continue
+        resolved = root.resolve()
+        if resolved not in seen:
+            seen.add(resolved)
+            roots.append(root)
+    return roots
+
+
+def _filter_to_paths(
+    diagnostics: Sequence["object"], allowed: set[Path]
+) -> list["object"]:
+    return [
+        diag
+        for diag in diagnostics
+        if Path(diag.path).resolve() in allowed  # type: ignore[attr-defined]
+    ]
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -74,6 +174,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     if options.list_rules:
         for rule in iter_rules():
             print(f"{rule.code}  {rule.name:24s} {rule.summary}")
+        for flow_rule in iter_flow_rules():
+            print(f"{flow_rule.code}  {flow_rule.name:24s} {flow_rule.summary}")
         return 0
 
     if not options.paths:
@@ -81,22 +183,101 @@ def main(argv: Sequence[str] | None = None) -> int:
         print("repro-lint: error: no paths given", file=sys.stderr)
         return 2
 
-    try:
-        runner = LintRunner(
-            select=_split_codes(options.select),
-            ignore=_split_codes(options.ignore),
-        )
-        runner.rules()  # validate codes eagerly for a clean usage error
-    except KeyError as exc:
-        print(f"repro-lint: error: {exc.args[0]}", file=sys.stderr)
+    select = _split_codes(options.select)
+    ignore = _split_codes(options.ignore)
+    unknown = _validate_codes([*select, *ignore])
+    if unknown is not None:
+        print(f"repro-lint: error: unknown rule {unknown!r}", file=sys.stderr)
         return 2
 
-    report = runner.run(options.paths)
+    run_flow = options.flow or options.changed
+
+    # Per-file rules.  With an explicit --select that names only flow
+    # rules, the per-file pass runs nothing.
+    per_file_select = tuple(code for code in select if code in ALL_RULES)
+    report = LintReport()
+    if not select or per_file_select:
+        runner = LintRunner(select=per_file_select, ignore=ignore)
+        report = runner.run(options.paths)
+    else:
+        # count the files anyway so "no python files" detection still works
+        probe = LintRunner(select=(), ignore=tuple(ALL_RULES))
+        report = probe.run(options.paths)
+        report.rules_run = ()
+
     if report.files_checked == 0:
         print("repro-lint: error: no python files found", file=sys.stderr)
         return 2
 
-    print(report.to_json() if options.format == "json" else report.to_text())
+    if run_flow:
+        roots = _package_roots(options.paths)
+        if not roots and not options.changed:
+            print(
+                "repro-lint: error: --flow needs paths inside an importable "
+                "package (a directory tree with __init__.py files)",
+                file=sys.stderr,
+            )
+            return 2
+        flow_codes: set[str] = set()
+        changed_paths = {Path(raw).resolve() for raw in options.paths}
+        for root in roots:
+            result = analyze_package(
+                root,
+                select=select,
+                ignore=ignore,
+                cache_dir=Path(options.cache_dir)
+                if options.cache_dir is not None
+                else None,
+                use_cache=not options.no_cache,
+            )
+            flow_codes.update(result.rules_run)
+            diags = result.diagnostics
+            suppressed = result.suppressed
+            if options.changed:
+                diags = _filter_to_paths(diags, changed_paths)
+                suppressed = _filter_to_paths(suppressed, changed_paths)
+            report.diagnostics.extend(diags)
+            report.suppressed.extend(suppressed)
+        report.rules_run = tuple([*report.rules_run, *sorted(flow_codes)])
+
+    baseline_path = (
+        Path(options.baseline)
+        if options.baseline is not None
+        else Path(DEFAULT_BASELINE)
+    )
+    if options.update_baseline:
+        Baseline.write(baseline_path, report.diagnostics)
+        print(
+            f"repro-lint: baseline updated: {len(report.diagnostics)} "
+            f"finding(s) written to {baseline_path}"
+        )
+        return 0
+    if options.baseline is not None or baseline_path.is_file():
+        try:
+            baseline = Baseline.load(baseline_path)
+        except ValueError as exc:
+            print(f"repro-lint: error: {exc}", file=sys.stderr)
+            return 2
+        report.diagnostics, report.baselined = baseline.split(report.diagnostics)
+
+    if options.format == "json":
+        print(report.to_json(show_suppressed=options.show_suppressed))
+    elif options.format == "sarif":
+        rule_meta = {
+            rule.code: (rule.name, rule.summary) for rule in iter_rules()
+        }
+        rule_meta.update(
+            (rule.code, (rule.name, rule.summary)) for rule in iter_flow_rules()
+        )
+        print(
+            to_sarif_json(
+                report.diagnostics,
+                suppressed=report.suppressed if options.show_suppressed else (),
+                rule_meta=rule_meta,
+            )
+        )
+    else:
+        print(report.to_text(show_suppressed=options.show_suppressed))
     return 0 if report.ok else 1
 
 

@@ -1,0 +1,100 @@
+"""Committed-baseline mechanism for grandfathered findings.
+
+A baseline file records findings that are *known and accepted for now*;
+CI fails only on findings not in the baseline, so the analyzer can land
+with strict rules while legacy violations are burned down incrementally.
+At merge time this repository's baseline is empty — the file exists so
+the workflow (and the ``--update-baseline`` flag) is exercised.
+
+Entries match on ``(code, path, message)`` — not the line number, which
+drifts under unrelated edits.  The line is stored for human review only.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from ..diagnostics import Diagnostic
+
+__all__ = ["BASELINE_VERSION", "Baseline"]
+
+BASELINE_VERSION = 1
+
+
+def _fingerprint(diag: Diagnostic) -> tuple[str, str, str]:
+    return (diag.code, diag.path, diag.message)
+
+
+@dataclass
+class Baseline:
+    """The set of grandfathered findings."""
+
+    entries: set[tuple[str, str, str]] = field(default_factory=set)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        try:
+            raw = json.loads(path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            return cls()
+        except (OSError, ValueError) as exc:
+            raise ValueError(f"unreadable baseline {path}: {exc}") from exc
+        if not isinstance(raw, dict) or raw.get("version") != BASELINE_VERSION:
+            raise ValueError(
+                f"baseline {path} has unsupported format "
+                f"(expected version {BASELINE_VERSION})"
+            )
+        entries: set[tuple[str, str, str]] = set()
+        for item in raw.get("findings", []):
+            entries.add((str(item["code"]), str(item["path"]), str(item["message"])))
+        return cls(entries=entries)
+
+    def split(
+        self, diagnostics: Iterable[Diagnostic]
+    ) -> tuple[list[Diagnostic], list[Diagnostic]]:
+        """``(new, baselined)`` partition of ``diagnostics``."""
+        new: list[Diagnostic] = []
+        baselined: list[Diagnostic] = []
+        for diag in diagnostics:
+            if _fingerprint(diag) in self.entries:
+                baselined.append(diag)
+            else:
+                new.append(diag)
+        return new, baselined
+
+    @staticmethod
+    def write(path: Path, diagnostics: Sequence[Diagnostic]) -> None:
+        """Atomically write a baseline accepting ``diagnostics``."""
+        payload = {
+            "version": BASELINE_VERSION,
+            "findings": [
+                {
+                    "code": diag.code,
+                    "path": diag.path,
+                    "line": diag.line,
+                    "message": diag.message,
+                }
+                for diag in sorted(diagnostics)
+            ],
+        }
+        text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=str(path.parent), prefix=path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            os.replace(tmp_name, path)
+        except OSError:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise

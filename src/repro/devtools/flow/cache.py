@@ -1,0 +1,92 @@
+"""File-hash-keyed cache of module summaries for incremental flow runs.
+
+The cache stores every :class:`~repro.devtools.flow.summary.ModuleSummary`
+as JSON keyed by module name; on the next run, any module whose file
+sha256 still matches is reused without re-parsing, so ``repro-lint
+--changed`` pays only for the files that actually changed while the
+cross-module rules still see the whole program.
+
+Corruption is never fatal: an unreadable or version-mismatched cache is
+treated as empty.  Writes go through a temp-file + ``os.replace`` so a
+crash mid-write cannot tear the cache (devtools cannot import
+``repro.core.atomicio`` — the devtools layer is isolated — so it carries
+its own minimal atomic write).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Mapping
+
+from .summary import SUMMARY_VERSION, ModuleSummary
+
+__all__ = ["CACHE_VERSION", "GraphCache", "default_cache_dir"]
+
+#: Bump on any change to the cache file layout itself.
+CACHE_VERSION = 1
+
+
+def default_cache_dir() -> Path:
+    """Where the cache lives unless overridden: ``.repro-lint-cache/``."""
+    return Path(".repro-lint-cache")
+
+
+class GraphCache:
+    """Load/store summaries for one analyzed package."""
+
+    def __init__(self, cache_dir: Path, package: str) -> None:
+        self.path = cache_dir / f"flow-{package}.json"
+
+    def load(self) -> dict[str, ModuleSummary]:
+        """Cached summaries by module name ({} on miss/corruption)."""
+        try:
+            raw = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return {}
+        if not isinstance(raw, dict):
+            return {}
+        if raw.get("cache_version") != CACHE_VERSION:
+            return {}
+        if raw.get("summary_version") != SUMMARY_VERSION:
+            return {}
+        modules = raw.get("modules")
+        if not isinstance(modules, dict):
+            return {}
+        out: dict[str, ModuleSummary] = {}
+        for name, entry in modules.items():
+            try:
+                out[name] = ModuleSummary.from_dict(entry)
+            except (KeyError, TypeError, ValueError):
+                return {}  # partial corruption: rebuild everything
+        return out
+
+    def store(self, summaries: Mapping[str, ModuleSummary]) -> None:
+        """Atomically persist ``summaries`` (best-effort: IO errors pass)."""
+        payload = {
+            "cache_version": CACHE_VERSION,
+            "summary_version": SUMMARY_VERSION,
+            "modules": {
+                name: summary.to_dict() for name, summary in sorted(summaries.items())
+            },
+        }
+        text = json.dumps(payload, sort_keys=True)
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(
+                dir=str(self.path.parent), prefix=self.path.name, suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    handle.write(text)
+                os.replace(tmp_name, self.path)
+            except OSError:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            return

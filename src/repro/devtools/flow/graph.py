@@ -1,0 +1,732 @@
+"""Whole-program import + approximate call graph over one package.
+
+Built from per-module :class:`~repro.devtools.flow.summary.ModuleSummary`
+records (cached by file hash), so a warm build re-parses only changed
+files.  Resolution is module-level name resolution plus a few deliberate
+extensions that the repository's architecture makes reliable:
+
+* instantiate-then-call (``ExactMM(...).solve(...)``) and one-step local
+  typing (``algo = get_mm_algorithm(spec); algo.solve(...)``);
+* registry fan-out: a call through an explicit registry table
+  (``MM_ALGORITHMS``-style dict of instances) targets every registered
+  class's method;
+* ``self.attr(...)`` where ``__init__`` bound ``attr`` from a parameter
+  with a function default (the serve layer's ``solve_fn`` injection);
+* higher-order "ref" edges for functions passed as arguments, which is
+  how ``parallel_map`` worker entry points are discovered.
+
+Function identity is ``"module:qualname"`` (e.g.
+``repro.core.solver:ISESolver.solve``).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Mapping
+
+from .summary import (
+    CallRecord,
+    ClassSummary,
+    FunctionSummary,
+    ModuleSummary,
+    file_sha256,
+    summarize_module,
+)
+
+__all__ = [
+    "CallEdge",
+    "ImportEdge",
+    "ProgramGraph",
+    "WorkerEntry",
+    "build_graph",
+    "discover_modules",
+]
+
+_POOL_CLASSES = {
+    "concurrent.futures.ProcessPoolExecutor": "process",
+    "concurrent.futures.process.ProcessPoolExecutor": "process",
+    "concurrent.futures.ThreadPoolExecutor": "thread",
+    "concurrent.futures.thread.ThreadPoolExecutor": "thread",
+}
+
+_THREAD_CLASSES = {"threading.Thread", "threading.Timer"}
+
+
+@dataclass(frozen=True)
+class ImportEdge:
+    """``src`` imports ``dst`` at ``line`` (both in-program modules)."""
+
+    src: str
+    dst: str
+    line: int
+    deferred: bool
+
+
+@dataclass(frozen=True)
+class CallEdge:
+    """``caller`` may invoke ``target``.
+
+    ``kind`` is ``"call"`` for a direct call expression and ``"ref"`` for
+    a function passed as a value (higher-order / callback edge).
+    ``budgeted`` marks call sites that visibly forward a budget
+    (``budget=`` / ``resilience=`` keyword with a non-None value).
+    """
+
+    caller: str
+    target: str
+    line: int
+    kind: str
+    budgeted: bool = False
+
+
+@dataclass(frozen=True)
+class WorkerEntry:
+    """A function handed to a pool: runs on worker threads/processes."""
+
+    fqid: str
+    kind: str
+    """``"thread"`` or ``"process"`` (``"process"`` when the dispatch mode
+    is dynamic — auto resolves to process)."""
+    site_module: str
+    line: int
+
+
+@dataclass
+class ProgramGraph:
+    """The resolved whole-program view handed to every flow rule."""
+
+    package: str
+    root: Path
+    summaries: dict[str, ModuleSummary] = field(default_factory=dict)
+    parse_failures: list[tuple[str, int, str]] = field(default_factory=list)
+    """``(path, line, message)`` for files that failed to parse."""
+    import_edges: list[ImportEdge] = field(default_factory=list)
+    call_edges: dict[str, list[CallEdge]] = field(default_factory=dict)
+    reverse_edges: dict[str, list[CallEdge]] = field(default_factory=dict)
+    worker_entries: list[WorkerEntry] = field(default_factory=list)
+    functions: dict[str, FunctionSummary] = field(default_factory=dict)
+    classes: dict[str, ClassSummary] = field(default_factory=dict)
+    registries: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    """``module:NAME`` registry table -> class fqids it holds."""
+    symbols: dict[str, dict[str, str]] = field(default_factory=dict)
+    """module -> local binding -> absolute dotted target."""
+
+    # ------------------------------------------------------------------
+    # lookups
+    # ------------------------------------------------------------------
+
+    def module_of(self, fqid: str) -> str:
+        return fqid.partition(":")[0]
+
+    def path_of(self, module: str) -> str:
+        summary = self.summaries.get(module)
+        return summary.path if summary is not None else module
+
+    def function(self, fqid: str) -> FunctionSummary | None:
+        return self.functions.get(fqid)
+
+    def out_edges(self, fqid: str) -> list[CallEdge]:
+        return self.call_edges.get(fqid, [])
+
+    def in_edges(self, fqid: str) -> list[CallEdge]:
+        return self.reverse_edges.get(fqid, [])
+
+    def reachable(
+        self,
+        starts: Iterable[str],
+        *,
+        include_refs: bool = True,
+        reverse: bool = False,
+        stop: "set[str] | None" = None,
+    ) -> dict[str, tuple[str, int] | None]:
+        """BFS over call edges; maps each reached fqid to its BFS parent
+        ``(predecessor, line)`` (None for the start nodes), which is what
+        rule messages use to reconstruct the offending chain."""
+        parents: dict[str, tuple[str, int] | None] = {}
+        queue: deque[str] = deque()
+        for start in starts:
+            if start not in parents:
+                parents[start] = None
+                queue.append(start)
+        while queue:
+            current = queue.popleft()
+            if stop is not None and current in stop:
+                continue
+            edges = self.in_edges(current) if reverse else self.out_edges(current)
+            for edge in edges:
+                if not include_refs and edge.kind == "ref":
+                    continue
+                nxt = edge.caller if reverse else edge.target
+                if nxt in parents:
+                    continue
+                parents[nxt] = (current, edge.line)
+                queue.append(nxt)
+        return parents
+
+    def chain(
+        self, parents: Mapping[str, tuple[str, int] | None], target: str
+    ) -> list[str]:
+        """Start-to-target fqid path out of a :meth:`reachable` parent map."""
+        path = [target]
+        seen = {target}
+        current: str | None = target
+        while current is not None:
+            step = parents.get(current)
+            if step is None:
+                break
+            current = step[0]
+            if current in seen:
+                break
+            seen.add(current)
+            path.append(current)
+        path.reverse()
+        return path
+
+
+def discover_modules(root: Path, package: str) -> Iterator[tuple[str, Path]]:
+    """``(module_name, path)`` for every ``*.py`` under ``root``."""
+    for path in sorted(root.rglob("*.py")):
+        relative = path.relative_to(root)
+        parts = list(relative.parts)
+        if parts[-1] == "__init__.py":
+            parts = parts[:-1]
+        else:
+            parts[-1] = parts[-1][: -len(".py")]
+        name = ".".join([package, *parts]) if parts else package
+        yield name, path
+
+
+def build_graph(
+    root: Path,
+    *,
+    package: str | None = None,
+    cached: Mapping[str, ModuleSummary] | None = None,
+) -> ProgramGraph:
+    """Summarize every module under ``root`` and resolve the graphs.
+
+    ``cached`` maps module names to previously computed summaries; entries
+    whose ``sha256`` still matches the on-disk file are reused without
+    re-parsing.
+    """
+    package_name = package if package is not None else root.name
+    graph = ProgramGraph(package=package_name, root=root)
+    for module_name, path in discover_modules(root, package_name):
+        try:
+            data = path.read_bytes()
+        except OSError as exc:
+            graph.parse_failures.append((str(path), 1, f"could not read: {exc}"))
+            continue
+        sha = file_sha256(data)
+        previous = cached.get(module_name) if cached is not None else None
+        if previous is not None and previous.sha256 == sha:
+            summary = previous
+            if summary.path != str(path):
+                summary = ModuleSummary.from_dict(
+                    {**previous.to_dict(), "path": str(path)}
+                )
+        else:
+            try:
+                summary = summarize_module(
+                    module_name,
+                    path,
+                    text=data.decode("utf-8"),
+                    is_package=path.name == "__init__.py",
+                )
+            except SyntaxError as exc:
+                graph.parse_failures.append(
+                    (str(path), exc.lineno or 1, f"could not parse: {exc.msg}")
+                )
+                continue
+            except UnicodeDecodeError as exc:
+                graph.parse_failures.append((str(path), 1, f"could not decode: {exc}"))
+                continue
+        graph.summaries[module_name] = summary
+
+    _build_symbols(graph)
+    _build_import_edges(graph)
+    _index_definitions(graph)
+    _build_registries(graph)
+    _build_call_edges(graph)
+    _find_worker_entries(graph)
+    return graph
+
+
+# ---------------------------------------------------------------------------
+# build passes
+# ---------------------------------------------------------------------------
+
+
+def _build_symbols(graph: ProgramGraph) -> None:
+    modules = graph.summaries
+    for name, summary in modules.items():
+        table: dict[str, str] = {}
+        for record in summary.imports:
+            if not record.is_from:
+                for target, binding in record.names:
+                    table[binding] = target
+                continue
+            base = record.module
+            for imported, binding in record.names:
+                if imported == "*":
+                    star_target = modules.get(base)
+                    if star_target is not None:
+                        for fn in star_target.functions:
+                            if "." not in fn:
+                                table.setdefault(fn, f"{base}.{fn}")
+                        for cls in star_target.classes:
+                            if "." not in cls:
+                                table.setdefault(cls, f"{base}.{cls}")
+                    continue
+                table[binding] = f"{base}.{imported}" if base else imported
+        graph.symbols[name] = table
+
+
+def _build_import_edges(graph: ProgramGraph) -> None:
+    modules = graph.summaries
+    for name, summary in modules.items():
+        seen: set[tuple[str, bool]] = set()
+        for record in summary.imports:
+            targets: list[str] = []
+            if record.is_from:
+                base = record.module
+                if base in modules:
+                    for imported, _ in record.names:
+                        sub = f"{base}.{imported}"
+                        targets.append(sub if sub in modules else base)
+                else:
+                    # `from repro.core import x` where repro.core itself is
+                    # not summarized (outside the root) — skip.
+                    prefix = _longest_module_prefix(modules, base)
+                    if prefix is not None:
+                        targets.append(prefix)
+            else:
+                prefix = _longest_module_prefix(modules, record.module)
+                if prefix is not None:
+                    targets.append(prefix)
+            for target in targets:
+                if target == name:
+                    continue
+                key = (target, record.deferred)
+                if key in seen:
+                    continue
+                seen.add(key)
+                graph.import_edges.append(
+                    ImportEdge(
+                        src=name,
+                        dst=target,
+                        line=record.line,
+                        deferred=record.deferred,
+                    )
+                )
+
+
+def _longest_module_prefix(
+    modules: Mapping[str, ModuleSummary], dotted: str
+) -> str | None:
+    parts = dotted.split(".")
+    for length in range(len(parts), 0, -1):
+        candidate = ".".join(parts[:length])
+        if candidate in modules:
+            return candidate
+    return None
+
+
+def _index_definitions(graph: ProgramGraph) -> None:
+    for name, summary in graph.summaries.items():
+        for qual, fn in summary.functions.items():
+            graph.functions[f"{name}:{qual}"] = fn
+        for qual, cls in summary.classes.items():
+            graph.classes[f"{name}:{qual}"] = cls
+
+
+def _build_registries(graph: ProgramGraph) -> None:
+    for name, summary in graph.summaries.items():
+        tables: dict[str, tuple[str, ...]] = {}
+        for table, class_names in summary.registry_tables.items():
+            tables[table] = class_names
+        for table, factory in summary.registry_factories.items():
+            fn = summary.functions.get(factory)
+            if fn is not None and fn.registry_return_classes:
+                tables.setdefault(table, fn.registry_return_classes)
+        for table, class_names in tables.items():
+            resolved: list[str] = []
+            for cls_name in class_names:
+                hit = _resolve_name(graph, name, cls_name)
+                if hit is not None and hit[0] == "class":
+                    resolved.append(hit[1])
+            if resolved:
+                graph.registries[f"{name}:{table}"] = tuple(dict.fromkeys(resolved))
+
+
+def _resolve_name(
+    graph: ProgramGraph, module: str, dotted: str
+) -> tuple[str, str] | None:
+    """Resolve a dotted name as seen from ``module``.
+
+    Returns ``("func", fqid)``, ``("class", fqid)``, ``("registry",
+    regid)``, or ``("external", absolute_dotted)``; None when the head is
+    an unknown bare name (a local, a builtin, a parameter).
+    """
+    parts = dotted.split(".")
+    head, rest = parts[0], parts[1:]
+    summary = graph.summaries.get(module)
+    if summary is None:
+        return None
+
+    if head in summary.classes:
+        return _resolve_in_module(graph, module, [head, *rest])
+    if head in summary.functions and not rest:
+        return ("func", f"{module}:{head}")
+    if head in summary.functions and rest:
+        # nested def: outer.inner
+        return _resolve_in_module(graph, module, [head, *rest])
+    if f"{module}:{head}" in graph.registries:
+        return ("registry", f"{module}:{head}")
+
+    table = graph.symbols.get(module, {})
+    if head in table:
+        absolute = table[head] + ("." + ".".join(rest) if rest else "")
+        return _resolve_absolute(graph, absolute)
+    return None
+
+
+def _resolve_absolute(graph: ProgramGraph, dotted: str) -> tuple[str, str] | None:
+    target_module = _longest_module_prefix(graph.summaries, dotted)
+    if target_module is None:
+        return ("external", dotted)
+    remainder = dotted[len(target_module) :].lstrip(".")
+    if not remainder:
+        return ("external", dotted)  # a module object, not a callable
+    return _resolve_in_module(graph, target_module, remainder.split("."))
+
+
+def _resolve_in_module(
+    graph: ProgramGraph, module: str, parts: list[str]
+) -> tuple[str, str] | None:
+    summary = graph.summaries.get(module)
+    if summary is None:
+        return None
+    name = parts[0]
+    rest = parts[1:]
+    if name in summary.classes:
+        if not rest:
+            return ("class", f"{module}:{name}")
+        method = _lookup_method(graph, f"{module}:{name}", ".".join(rest))
+        if method is not None:
+            return ("func", method)
+        return ("external", f"{module}.{'.'.join(parts)}")
+    qual = ".".join(parts)
+    if qual in summary.functions:
+        return ("func", f"{module}:{qual}")
+    if name in summary.functions:
+        return ("func", f"{module}:{name}")
+    if f"{module}:{name}" in graph.registries:
+        return ("registry", f"{module}:{name}")
+    return ("external", f"{module}.{qual}")
+
+
+def _lookup_method(graph: ProgramGraph, class_fqid: str, method: str) -> str | None:
+    """Find ``method`` on a class or its (resolvable) bases."""
+    seen: set[str] = set()
+    stack = [class_fqid]
+    while stack:
+        current = stack.pop()
+        if current in seen:
+            continue
+        seen.add(current)
+        cls = graph.classes.get(current)
+        if cls is None:
+            continue
+        module = current.partition(":")[0]
+        candidate = f"{module}:{cls.name}.{method}"
+        if candidate in graph.functions:
+            return candidate
+        for base in cls.bases:
+            hit = _resolve_name(graph, module, base)
+            if hit is not None and hit[0] == "class":
+                stack.append(hit[1])
+    return None
+
+
+def _class_targets(graph: ProgramGraph, class_fqid: str) -> list[str]:
+    """Call targets of instantiating a class: __init__ and class-body code."""
+    out: list[str] = []
+    module, _, qual = class_fqid.partition(":")
+    for suffix in ("__init__", "__post_init__", "<body>"):
+        candidate = f"{module}:{qual}.{suffix}"
+        if candidate in graph.functions:
+            out.append(candidate)
+    return out
+
+
+def _callable_targets(
+    graph: ProgramGraph, resolution: tuple[str, str] | None, *, method: str | None = None
+) -> list[str]:
+    """Concrete function fqids for a resolution (fanning out registries)."""
+    if resolution is None:
+        return []
+    kind, ident = resolution
+    if kind == "func":
+        return [ident]
+    if kind == "class":
+        if method is None:
+            return _class_targets(graph, ident)
+        hit = _lookup_method(graph, ident, method)
+        return [hit] if hit is not None else []
+    if kind == "registry":
+        out: list[str] = []
+        for cls in graph.registries.get(ident, ()):
+            if method is None:
+                out.extend(_class_targets(graph, cls))
+            else:
+                hit = _lookup_method(graph, cls, method)
+                if hit is not None:
+                    out.append(hit)
+        return out
+    return []
+
+
+def _local_env(
+    graph: ProgramGraph, module: str, fn: FunctionSummary
+) -> dict[str, tuple[str, str]]:
+    """One-step local type environment: var -> ("class"/"registry", ident)."""
+    env: dict[str, tuple[str, str]] = {}
+    for assign in fn.assign_calls:
+        callee = assign.callee
+        if "()." in callee:
+            continue
+        hit = _resolve_name(graph, module, callee)
+        if hit is None:
+            continue
+        kind, ident = hit
+        if kind == "class":
+            env[assign.target] = ("class", ident)
+        elif kind == "external" and ident in _POOL_CLASSES:
+            env[assign.target] = ("pool", _POOL_CLASSES[ident])
+        elif kind == "func":
+            target_fn = graph.functions.get(ident)
+            if target_fn is not None and target_fn.registry_lookup_tables:
+                target_module = ident.partition(":")[0]
+                for table in target_fn.registry_lookup_tables:
+                    regid = f"{target_module}:{table}"
+                    if regid in graph.registries:
+                        env[assign.target] = ("registry", regid)
+                        break
+    return env
+
+
+def _owner_class(graph: ProgramGraph, module: str, qualname: str) -> str | None:
+    """Enclosing class fqid of a method-like qualname, if any."""
+    parts = qualname.split(".")
+    for length in range(len(parts) - 1, 0, -1):
+        candidate = ".".join(parts[:length])
+        if f"{module}:{candidate}" in graph.classes:
+            return f"{module}:{candidate}"
+    return None
+
+
+def _is_budgeted_call(call: CallRecord) -> bool:
+    return "budget" in call.kwargs or "resilience" in call.kwargs
+
+
+def _resolve_call_targets(
+    graph: ProgramGraph,
+    module: str,
+    fn: FunctionSummary,
+    call: CallRecord,
+    env: Mapping[str, tuple[str, str]],
+) -> list[str]:
+    callee = call.callee
+    if "()." in callee:
+        ctor, _, method = callee.partition("().")
+        hit = _resolve_name(graph, module, ctor)
+        targets = _callable_targets(graph, hit, method=method)
+        if hit is not None and hit[0] == "class":
+            targets.extend(_class_targets(graph, hit[1]))
+        return targets
+
+    parts = callee.split(".")
+    head = parts[0]
+    if head in ("self", "cls") and len(parts) > 1:
+        owner = _owner_class(graph, module, fn.qualname)
+        if owner is None:
+            return []
+        method = ".".join(parts[1:])
+        hit = _lookup_method(graph, owner, method)
+        if hit is not None:
+            return [hit]
+        cls = graph.classes.get(owner)
+        if cls is not None and len(parts) == 2:
+            for attr, target_name in cls.attr_callables:
+                if attr == parts[1]:
+                    resolution = _resolve_name(graph, module, target_name)
+                    return _callable_targets(graph, resolution)
+        return []
+
+    if head in env and len(parts) > 1:
+        kind, ident = env[head]
+        if kind == "class":
+            hit = _lookup_method(graph, ident, ".".join(parts[1:]))
+            return [hit] if hit is not None else []
+        if kind == "registry":
+            return _callable_targets(
+                graph, ("registry", ident), method=".".join(parts[1:])
+            )
+        return []
+
+    # nested defs are visible under the enclosing function's qualname
+    if len(parts) == 1:
+        nested = f"{module}:{fn.qualname}.{head}"
+        if nested in graph.functions:
+            return [nested]
+        enclosing = fn.qualname.rpartition(".")[0]
+        while enclosing:
+            sibling = f"{module}:{enclosing}.{head}"
+            if sibling in graph.functions:
+                return [sibling]
+            enclosing = enclosing.rpartition(".")[0]
+
+    resolution = _resolve_name(graph, module, callee)
+    return _callable_targets(graph, resolution)
+
+
+def _resolve_ref_name(
+    graph: ProgramGraph,
+    module: str,
+    fn: FunctionSummary,
+    name: str,
+) -> list[str]:
+    """Resolve a bare name passed as a value to function targets."""
+    nested = f"{module}:{fn.qualname}.{name}"
+    if nested in graph.functions:
+        return [nested]
+    enclosing = fn.qualname.rpartition(".")[0]
+    while enclosing:
+        sibling = f"{module}:{enclosing}.{name}"
+        if sibling in graph.functions:
+            return [sibling]
+        enclosing = enclosing.rpartition(".")[0]
+    resolution = _resolve_name(graph, module, name)
+    return _callable_targets(graph, resolution)
+
+
+def _build_call_edges(graph: ProgramGraph) -> None:
+    for module, summary in graph.summaries.items():
+        for qual, fn in summary.functions.items():
+            caller = f"{module}:{qual}"
+            edges: list[CallEdge] = []
+            env = _local_env(graph, module, fn)
+            for call in fn.calls:
+                budgeted = _is_budgeted_call(call)
+                for target in _resolve_call_targets(graph, module, fn, call, env):
+                    edges.append(
+                        CallEdge(
+                            caller=caller,
+                            target=target,
+                            line=call.line,
+                            kind="call",
+                            budgeted=budgeted,
+                        )
+                    )
+                ref_names = [name for _, name in call.pos_names]
+                ref_names.extend(name for _, name in call.kw_names)
+                for name in ref_names:
+                    for target in _resolve_ref_name(graph, module, fn, name):
+                        edges.append(
+                            CallEdge(
+                                caller=caller,
+                                target=target,
+                                line=call.line,
+                                kind="ref",
+                                budgeted=budgeted,
+                            )
+                        )
+                for lam in call.lambda_args:
+                    target = f"{module}:{lam}"
+                    if target in graph.functions:
+                        edges.append(
+                            CallEdge(
+                                caller=caller,
+                                target=target,
+                                line=call.line,
+                                kind="ref",
+                                budgeted=budgeted,
+                            )
+                        )
+            # a lambda defined in a function is conservatively assumed to run
+            if "." in qual:
+                parent_qual = qual.rpartition(".")[0]
+                parent = f"{module}:{parent_qual}"
+                if qual.endswith(">") and parent in graph.functions:
+                    edges.append(
+                        CallEdge(
+                            caller=parent,
+                            target=caller,
+                            line=fn.line,
+                            kind="ref",
+                        )
+                    )
+            for edge in edges:
+                graph.call_edges.setdefault(edge.caller, []).append(edge)
+                graph.reverse_edges.setdefault(edge.target, []).append(edge)
+
+
+def _worker_kind_for_mode(call: CallRecord) -> str | None:
+    mode = dict(call.str_kwargs).get("mode")
+    if mode == "serial":
+        return None
+    if mode == "thread":
+        return "thread"
+    return "process"
+
+
+def _find_worker_entries(graph: ProgramGraph) -> None:
+    parallel_map_fqid = f"{graph.package}.core.parallel:parallel_map"
+    entries: list[WorkerEntry] = []
+    for module, summary in graph.summaries.items():
+        for qual, fn in summary.functions.items():
+            env = _local_env(graph, module, fn)
+            for call in fn.calls:
+                kind: str | None = None
+                is_dispatch = False
+                targets = _resolve_call_targets(graph, module, fn, call, env)
+                if parallel_map_fqid in targets:
+                    is_dispatch = True
+                    kind = _worker_kind_for_mode(call)
+                else:
+                    head, _, attr = call.callee.rpartition(".")
+                    if attr == "submit" and head in env and env[head][0] == "pool":
+                        is_dispatch = True
+                        kind = env[head][1]
+                    else:
+                        resolution = _resolve_name(graph, module, call.callee)
+                        if (
+                            resolution is not None
+                            and resolution[0] == "external"
+                            and resolution[1] in _THREAD_CLASSES
+                        ):
+                            is_dispatch = True
+                            kind = "thread"
+                if not is_dispatch or kind is None:
+                    continue
+                task_names = [name for _, name in call.pos_names]
+                task_names.extend(name for _, name in call.kw_names)
+                task_fqids: list[str] = []
+                for name in task_names:
+                    task_fqids.extend(_resolve_ref_name(graph, module, fn, name))
+                for lam in call.lambda_args:
+                    candidate = f"{module}:{lam}"
+                    if candidate in graph.functions:
+                        task_fqids.append(candidate)
+                for fqid in dict.fromkeys(task_fqids):
+                    entries.append(
+                        WorkerEntry(
+                            fqid=fqid,
+                            kind=kind,
+                            site_module=module,
+                            line=call.line,
+                        )
+                    )
+    graph.worker_entries = entries

@@ -1,0 +1,73 @@
+"""Registry of whole-program (ISE100+) flow rules.
+
+Flow rules are deliberately a *separate* registry from the per-file rules
+in :mod:`repro.devtools.rules`: a flow rule sees the whole
+:class:`~repro.devtools.flow.graph.ProgramGraph` plus the layer
+configuration, not a single file, so it cannot run in the per-file
+pipeline (and the per-file registry's completeness tests would
+mis-classify it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from ..diagnostics import Diagnostic
+from .config import FlowConfig
+from .graph import ProgramGraph
+
+__all__ = [
+    "FLOW_RULES",
+    "FlowRule",
+    "get_flow_rule",
+    "iter_flow_rules",
+    "register_flow",
+]
+
+CheckFn = Callable[[ProgramGraph, FlowConfig], Iterator[Diagnostic]]
+
+
+@dataclass(frozen=True)
+class FlowRule:
+    """One registered whole-program rule."""
+
+    code: str
+    name: str
+    summary: str
+    check: CheckFn
+
+    def run(self, graph: ProgramGraph, config: FlowConfig) -> Iterator[Diagnostic]:
+        return self.check(graph, config)
+
+
+FLOW_RULES: dict[str, FlowRule] = {}
+
+
+def register_flow(
+    code: str, name: str, summary: str
+) -> Callable[[CheckFn], CheckFn]:
+    """Decorator registering a flow rule under ``code`` (ISE1xx)."""
+
+    def wrap(fn: CheckFn) -> CheckFn:
+        if code in FLOW_RULES:
+            raise ValueError(f"duplicate flow rule code {code}")
+        FLOW_RULES[code] = FlowRule(code=code, name=name, summary=summary, check=fn)
+        return fn
+
+    return wrap
+
+
+def get_flow_rule(code: str) -> FlowRule:
+    """Look up a registered flow rule; ``KeyError`` on unknown codes."""
+    try:
+        return FLOW_RULES[code]
+    except KeyError:
+        known = ", ".join(sorted(FLOW_RULES))
+        raise KeyError(f"unknown flow rule {code!r}; registered: {known}") from None
+
+
+def iter_flow_rules() -> Iterator[FlowRule]:
+    """All registered flow rules in code order."""
+    for code in sorted(FLOW_RULES):
+        yield FLOW_RULES[code]

@@ -1,0 +1,274 @@
+"""ISE100/ISE101 — architecture conformance against the declared layer DAG.
+
+* **ISE100 layer-violation**: an import edge whose target layer is not in
+  the importing layer's (transitively closed) allow-list, plus
+  reachability checks for explicitly ``forbid``-den layer pairs.  Reach
+  findings report the full module chain and are skipped when any edge on
+  the path is already reported as a direct violation, so one bad import
+  yields exactly one finding.
+* **ISE101 import-cycle**: strongly connected components of the
+  *immediate* (non-deferred) import graph.  Function-scoped and
+  ``TYPE_CHECKING`` imports are the sanctioned cycle-breaking idiom and
+  do not participate.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from fnmatch import fnmatchcase
+from typing import Callable, Iterator
+
+from ..diagnostics import Diagnostic
+from .config import FlowConfig
+from .graph import ImportEdge, ProgramGraph
+from .registry import register_flow
+
+__all__: list[str] = []
+
+
+@register_flow(
+    "ISE100",
+    "layer-violation",
+    "import crosses the declared layer DAG the wrong way (or reaches a forbidden layer)",
+)
+def _check_layers(graph: ProgramGraph, config: FlowConfig) -> Iterator[Diagnostic]:
+    layer_cache: dict[str, str | None] = {}
+
+    def layer_of(module: str) -> str | None:
+        if module not in layer_cache:
+            layer_cache[module] = config.layer_of(module)
+        return layer_cache[module]
+
+    for module in sorted(graph.summaries):
+        if layer_of(module) is None:
+            summary = graph.summaries[module]
+            yield Diagnostic(
+                path=summary.path,
+                line=1,
+                code="ISE100",
+                message=(
+                    f"module '{module}' is not covered by any layer in "
+                    "[tool.repro-lint.layers]; assign it so the architecture "
+                    "check can see it"
+                ),
+            )
+
+    allowed_cache: dict[str, frozenset[str]] = {}
+
+    def allowed(layer: str) -> frozenset[str]:
+        if layer not in allowed_cache:
+            allowed_cache[layer] = config.allowed_layers(layer)
+        return allowed_cache[layer]
+
+    violating_edges: set[tuple[str, str]] = set()
+    for edge in sorted(graph.import_edges, key=lambda e: (e.src, e.line)):
+        src_layer = layer_of(edge.src)
+        dst_layer = layer_of(edge.dst)
+        if src_layer is None or dst_layer is None:
+            continue
+        if dst_layer in allowed(src_layer):
+            continue
+        violating_edges.add((edge.src, edge.dst))
+        allow_list = sorted(allowed(src_layer) - {src_layer})
+        may = ", ".join(allow_list) if allow_list else "nothing"
+        yield Diagnostic(
+            path=graph.path_of(edge.src),
+            line=edge.line,
+            code="ISE100",
+            message=(
+                f"layer violation: '{edge.src}' (layer '{src_layer}') imports "
+                f"'{edge.dst}' (layer '{dst_layer}'); '{src_layer}' may import "
+                f"only: {may}; chain: {edge.src} -> {edge.dst}"
+            ),
+        )
+
+    # Reachability for forbidden pairs, over edges that are individually
+    # legal (a path through an already-reported bad edge is not re-reported).
+    if not config.forbid:
+        return
+    adjacency: dict[str, list[ImportEdge]] = {}
+    for edge in graph.import_edges:
+        if (edge.src, edge.dst) in violating_edges:
+            continue
+        adjacency.setdefault(edge.src, []).append(edge)
+    for src_layer_name, dst_layer_name in config.forbid:
+        sources = sorted(
+            m for m in graph.summaries if layer_of(m) == src_layer_name
+        )
+        for start in sources:
+            hit = _first_reach(
+                adjacency, start, lambda m: layer_of(m) == dst_layer_name
+            )
+            if hit is None:
+                continue
+            chain, first_edge = hit
+            yield Diagnostic(
+                path=graph.path_of(start),
+                line=first_edge.line,
+                code="ISE100",
+                message=(
+                    f"forbidden reach: '{start}' (layer '{src_layer_name}') "
+                    f"reaches layer '{dst_layer_name}' via import chain: "
+                    f"{' -> '.join(chain)}"
+                ),
+            )
+
+
+def _first_reach(
+    adjacency: dict[str, list[ImportEdge]],
+    start: str,
+    is_target: Callable[[str], bool],
+) -> tuple[list[str], ImportEdge] | None:
+    """Shortest import path from ``start`` to any module satisfying
+    ``is_target``; returns the module chain and the first edge taken."""
+    parents: dict[str, tuple[str, ImportEdge] | None] = {start: None}
+    queue: deque[str] = deque([start])
+    while queue:
+        current = queue.popleft()
+        for edge in adjacency.get(current, ()):
+            if edge.dst in parents:
+                continue
+            parents[edge.dst] = (current, edge)
+            if is_target(edge.dst):
+                chain = [edge.dst]
+                node: str | None = current
+                while node is not None:
+                    chain.append(node)
+                    step = parents[node]
+                    if step is None:
+                        break
+                    node = step[0]
+                chain.reverse()
+                return chain, _edge_from(adjacency, chain[0], chain[1])
+            queue.append(edge.dst)
+    return None
+
+
+def _edge_from(
+    adjacency: dict[str, list[ImportEdge]], src: str, dst: str
+) -> ImportEdge:
+    for edge in adjacency.get(src, ()):
+        if edge.dst == dst:
+            return edge
+    return ImportEdge(src=src, dst=dst, line=1, deferred=False)
+
+
+@register_flow(
+    "ISE101",
+    "import-cycle",
+    "modules form an import-time cycle (deferred imports are the sanctioned breaker)",
+)
+def _check_cycles(graph: ProgramGraph, config: FlowConfig) -> Iterator[Diagnostic]:
+    del config
+    adjacency: dict[str, set[str]] = {}
+    edge_lines: dict[tuple[str, str], int] = {}
+    for edge in graph.import_edges:
+        if edge.deferred:
+            continue
+        adjacency.setdefault(edge.src, set()).add(edge.dst)
+        key = (edge.src, edge.dst)
+        if key not in edge_lines or edge.line < edge_lines[key]:
+            edge_lines[key] = edge.line
+    for component in _strongly_connected(adjacency):
+        if len(component) < 2:
+            only = next(iter(component))
+            if only not in adjacency.get(only, set()):
+                continue
+        ordered = sorted(component)
+        anchor = ordered[0]
+        cycle = _cycle_path(adjacency, anchor, component)
+        line = edge_lines.get((cycle[0], cycle[1]), 1) if len(cycle) > 1 else 1
+        yield Diagnostic(
+            path=graph.path_of(anchor),
+            line=line,
+            code="ISE101",
+            message=(
+                "import cycle at module load time: "
+                + " -> ".join(cycle)
+                + "; break it with a function-scoped or TYPE_CHECKING import"
+            ),
+        )
+
+
+def _strongly_connected(adjacency: dict[str, set[str]]) -> list[set[str]]:
+    """Tarjan SCCs (iterative), deterministic order."""
+    index: dict[str, int] = {}
+    lowlink: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    components: list[set[str]] = []
+    counter = [0]
+
+    nodes = sorted(set(adjacency) | {d for ds in adjacency.values() for d in ds})
+
+    def strongconnect(root: str) -> None:
+        work: list[tuple[str, Iterator[str]]] = [
+            (root, iter(sorted(adjacency.get(root, ()))))
+        ]
+        index[root] = lowlink[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for succ in it:
+                if succ not in index:
+                    index[succ] = lowlink[succ] = counter[0]
+                    counter[0] += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(sorted(adjacency.get(succ, ())))))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                component: set[str] = set()
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.add(member)
+                    if member == node:
+                        break
+                components.append(component)
+
+    for node in nodes:
+        if node not in index:
+            strongconnect(node)
+    return components
+
+
+def _cycle_path(
+    adjacency: dict[str, set[str]], start: str, component: set[str]
+) -> list[str]:
+    """A concrete cycle through ``start`` inside one SCC, for the message."""
+    path = [start]
+    seen = {start}
+    current = start
+    while True:
+        next_nodes = sorted(
+            n for n in adjacency.get(current, ()) if n in component
+        )
+        if not next_nodes:
+            return path
+        preferred = [n for n in next_nodes if n not in seen]
+        if not preferred:
+            path.append(start if start in next_nodes else next_nodes[0])
+            return path
+        current = preferred[0]
+        seen.add(current)
+        path.append(current)
+
+
+def module_matches(module: str, patterns: tuple[str, ...]) -> bool:
+    """Shared fnmatch helper for module-glob config fields."""
+    return any(
+        module == pattern or fnmatchcase(module, pattern) for pattern in patterns
+    )

@@ -1,0 +1,173 @@
+"""ISE102/ISE103 — concurrency hazards visible in the call graph.
+
+* **ISE102 unlocked-shared-state**: a function reachable from a worker
+  entry point (anything handed to ``parallel_map`` / ``pool.submit`` /
+  ``threading.Thread``, plus every function in the configured
+  ``concurrent_roots`` modules — the serve layer is multi-threaded by
+  construction) writes module-level mutable state without holding a
+  lock.  Writes inside a ``with <something lock-like>:`` block are
+  considered guarded.
+* **ISE103 nested-process-pool**: a ``ProcessPoolExecutor`` constructed
+  outside the sanctioned wrapper module(s), or reachable from a
+  process-pool worker entry — pools forked from pools oversubscribe the
+  machine and silently lose the budget snapshot the sanctioned wrapper
+  ships.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..diagnostics import Diagnostic
+from .config import FlowConfig
+from .graph import ProgramGraph, WorkerEntry
+from .registry import register_flow
+from .rules_arch import module_matches
+
+__all__: list[str] = []
+
+_PROCESS_POOL_NAMES = {
+    "concurrent.futures.ProcessPoolExecutor",
+    "concurrent.futures.process.ProcessPoolExecutor",
+}
+
+
+def _concurrent_root_fqids(graph: ProgramGraph, config: FlowConfig) -> list[str]:
+    out: list[str] = []
+    for module, summary in graph.summaries.items():
+        if not module_matches(module, config.concurrent_roots):
+            continue
+        out.extend(f"{module}:{qual}" for qual in summary.functions)
+    return out
+
+
+def _entry_label(entry: WorkerEntry) -> str:
+    return f"{entry.fqid} ({entry.kind} worker, dispatched at {entry.site_module}:{entry.line})"
+
+
+@register_flow(
+    "ISE102",
+    "unlocked-shared-state",
+    "module-level state written without a lock in code reachable from worker threads",
+)
+def _check_shared_state(
+    graph: ProgramGraph, config: FlowConfig
+) -> Iterator[Diagnostic]:
+    roots: dict[str, str] = {}
+    for entry in graph.worker_entries:
+        roots.setdefault(entry.fqid, _entry_label(entry))
+    for fqid in _concurrent_root_fqids(graph, config):
+        roots.setdefault(fqid, f"{fqid} (concurrent root)")
+    if not roots:
+        return
+    parents = graph.reachable(roots)
+    reported: set[tuple[str, int, str]] = set()
+    for fqid in sorted(parents):
+        fn = graph.function(fqid)
+        if fn is None:
+            continue
+        module = graph.module_of(fqid)
+        summary = graph.summaries[module]
+        shared = set(summary.module_level_names)
+        for mutation in fn.mutations:
+            if mutation.locked:
+                continue
+            if not mutation.is_global_decl and mutation.name not in shared:
+                continue
+            key = (module, mutation.line, mutation.name)
+            if key in reported:
+                continue
+            reported.add(key)
+            chain = graph.chain(parents, fqid)
+            root_label = roots.get(chain[0], chain[0])
+            verb = {
+                "rebind": "rebinds",
+                "mutate": "mutates",
+                "consume": "consumes (next())",
+            }.get(mutation.kind, "writes")
+            yield Diagnostic(
+                path=summary.path,
+                line=mutation.line,
+                code="ISE102",
+                message=(
+                    f"unlocked shared state: {fqid} {verb} module-level "
+                    f"'{mutation.name}' without a lock; reachable from "
+                    f"{root_label} via {' -> '.join(chain)}; guard the write "
+                    "with a threading.Lock or make the state worker-local"
+                ),
+            )
+
+
+@register_flow(
+    "ISE103",
+    "nested-process-pool",
+    "ProcessPoolExecutor created outside the sanctioned wrapper or inside worker code",
+)
+def _check_nested_pools(
+    graph: ProgramGraph, config: FlowConfig
+) -> Iterator[Diagnostic]:
+    process_roots: dict[str, str] = {}
+    for entry in graph.worker_entries:
+        if entry.kind == "process":
+            process_roots.setdefault(entry.fqid, _entry_label(entry))
+    parents = graph.reachable(process_roots) if process_roots else {}
+
+    def sanctioned(module: str, fqid: str) -> bool:
+        for pattern in config.pool_sanctioned:
+            if ":" in pattern:
+                if fqid == pattern:
+                    return True
+            elif module == pattern or module_matches(module, (pattern,)):
+                return True
+        return False
+
+    for module in sorted(graph.summaries):
+        summary = graph.summaries[module]
+        for qual in sorted(summary.functions):
+            fqid = f"{module}:{qual}"
+            fn = summary.functions[qual]
+            if sanctioned(module, fqid):
+                continue
+            env_hits: list[int] = []
+            for call in fn.calls:
+                resolved = _pool_ctor_line(graph, module, call.callee, call.line)
+                if resolved is not None:
+                    env_hits.append(resolved)
+            for line in sorted(set(env_hits)):
+                if fqid in parents:
+                    chain = graph.chain(parents, fqid)
+                    root_label = process_roots.get(chain[0], chain[0])
+                    message = (
+                        f"nested process pool: {fqid} creates a "
+                        "ProcessPoolExecutor while itself reachable from "
+                        f"{root_label} via {' -> '.join(chain)}; route the "
+                        "fan-out through repro.core.parallel.parallel_map "
+                        "(which degrades to serial inside workers)"
+                    )
+                else:
+                    message = (
+                        f"unsanctioned process pool: {fqid} creates a "
+                        "ProcessPoolExecutor directly; only the sanctioned "
+                        "wrapper(s) "
+                        + (", ".join(config.pool_sanctioned) or "(none configured)")
+                        + " may — they ship budget snapshots and guard "
+                        "against pool-in-pool recursion"
+                    )
+                yield Diagnostic(
+                    path=summary.path, line=line, code="ISE103", message=message
+                )
+
+
+def _pool_ctor_line(
+    graph: ProgramGraph, module: str, callee: str, line: int
+) -> int | None:
+    """``line`` when ``callee`` resolves to ProcessPoolExecutor, else None."""
+    base = callee.partition("().")[0]
+    table = graph.symbols.get(module, {})
+    parts = base.split(".")
+    head = parts[0]
+    if head in table:
+        absolute = table[head] + ("." + ".".join(parts[1:]) if parts[1:] else "")
+    else:
+        absolute = base
+    return line if absolute in _PROCESS_POOL_NAMES else None

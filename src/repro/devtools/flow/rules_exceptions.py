@@ -1,0 +1,85 @@
+"""ISE105 — exception contracts across layer boundaries.
+
+A ``raise`` of a generic exception (``Exception``, ``BaseException``,
+``RuntimeError``) in a function reachable from *another* layer escapes
+the typed :class:`~repro.core.errors.ReproError` hierarchy that the
+resilience machinery (``run_with_fallbacks`` rescue lists, the serve
+layer's error mapping) dispatches on: the caller either swallows too much
+or crashes on an error it could have degraded around.  Raises that stay
+within one layer are that layer's own business and are not flagged;
+``ValueError``/``TypeError`` argument validation is sanctioned anywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..diagnostics import Diagnostic
+from .config import FlowConfig
+from .graph import ProgramGraph
+from .registry import register_flow
+
+__all__: list[str] = []
+
+_GENERIC_EXCEPTIONS = {"Exception", "BaseException", "RuntimeError"}
+
+
+@register_flow(
+    "ISE105",
+    "cross-layer-raise",
+    "generic Exception/RuntimeError raised in code reachable from another layer",
+)
+def _check_cross_layer_raises(
+    graph: ProgramGraph, config: FlowConfig
+) -> Iterator[Diagnostic]:
+    layer_cache: dict[str, str | None] = {}
+
+    def layer_of(module: str) -> str | None:
+        if module not in layer_cache:
+            layer_cache[module] = config.layer_of(module)
+        return layer_cache[module]
+
+    for fqid in sorted(graph.functions):
+        fn = graph.functions[fqid]
+        generic_raises = [
+            record
+            for record in fn.raises
+            if record.exc.split(".")[-1] in _GENERIC_EXCEPTIONS
+        ]
+        if not generic_raises:
+            continue
+        module = graph.module_of(fqid)
+        own_layer = layer_of(module)
+        if own_layer is None:
+            continue
+        parents = graph.reachable([fqid], reverse=True)
+        foreign: str | None = None
+        for ancestor in sorted(parents):
+            if ancestor == fqid:
+                continue
+            ancestor_layer = layer_of(graph.module_of(ancestor))
+            if ancestor_layer is not None and ancestor_layer != own_layer:
+                foreign = ancestor
+                break
+        if foreign is None:
+            continue
+        chain = graph.chain(parents, foreign)
+        # parents is a *reverse* reachability map rooted at fqid, so the
+        # reconstructed path runs fqid -> ... -> foreign; flip it for the
+        # caller-to-raiser reading.
+        chain.reverse()
+        foreign_layer = layer_of(graph.module_of(foreign))
+        for record in generic_raises:
+            yield Diagnostic(
+                path=graph.path_of(module),
+                line=record.line,
+                code="ISE105",
+                message=(
+                    f"cross-layer raise: {record.exc} raised in {fqid} "
+                    f"(layer '{own_layer}'), reachable from layer "
+                    f"'{foreign_layer}' via {' -> '.join(chain)}; raise a "
+                    "typed ReproError subclass (SolverError, "
+                    "InvalidInstanceError, ...) so cross-layer handlers can "
+                    "dispatch on it"
+                ),
+            )

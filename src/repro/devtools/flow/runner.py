@@ -1,0 +1,130 @@
+"""Driving the whole-program analysis: build graph, run rules, suppress.
+
+The flow runner is the piece the CLI calls for ``--flow`` / ``--changed``:
+it locates the package root, builds (or incrementally rebuilds, via the
+hash-keyed cache) the :class:`~repro.devtools.flow.graph.ProgramGraph`,
+runs the selected ISE100+ rules, and applies in-source suppressions.
+
+Cross-module findings are anchored at the **edge source line** — the
+import statement, call site, mutation, or raise in the file where the
+developer can act — so the ordinary ``# repro-lint: disable=ISE1xx``
+comment on that line suppresses them, exactly like per-file rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+from ..diagnostics import Diagnostic
+from .cache import GraphCache, default_cache_dir
+from .config import FlowConfig
+from .graph import ProgramGraph, build_graph
+from .registry import FLOW_RULES, FlowRule, get_flow_rule
+
+# Importing the rule modules registers them.
+from . import rules_arch  # noqa: F401  (registration side effect)
+from . import rules_budget  # noqa: F401
+from . import rules_concurrency  # noqa: F401
+from . import rules_exceptions  # noqa: F401
+
+__all__ = ["FlowResult", "analyze_package", "find_package_root", "select_flow_rules"]
+
+#: Runner-level problems (parse failures) — same meta code as the per-file
+#: runner, and likewise not suppressible.
+META_CODE = "ISE000"
+
+
+@dataclass
+class FlowResult:
+    """One flow-analysis run over one package."""
+
+    graph: ProgramGraph
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    suppressed: list[Diagnostic] = field(default_factory=list)
+    rules_run: tuple[str, ...] = ()
+
+
+def find_package_root(path: Path) -> Path | None:
+    """Topmost enclosing directory that is an importable package.
+
+    For ``src/repro/core/parallel.py`` this walks up through every parent
+    carrying an ``__init__.py`` and returns ``src/repro``; for a directory
+    argument it starts at the directory itself.  None when ``path`` is not
+    inside a package at all.
+    """
+    current = path if path.is_dir() else path.parent
+    if not (current / "__init__.py").is_file():
+        return None
+    while (current.parent / "__init__.py").is_file():
+        current = current.parent
+    return current
+
+
+def select_flow_rules(
+    select: Sequence[str] = (), ignore: Sequence[str] = ()
+) -> list[FlowRule]:
+    """Flow rules matching a ``--select``/``--ignore`` spec.
+
+    ``select`` may contain per-file codes too (the CLI shares one flag);
+    they are ignored here, but a fully unknown code raises ``KeyError``
+    like the per-file runner's validation does.
+    """
+    if select:
+        codes = [code for code in select if code in FLOW_RULES]
+    else:
+        codes = sorted(FLOW_RULES)
+    chosen = [get_flow_rule(code) for code in codes]
+    ignored = set(ignore)
+    return [rule for rule in chosen if rule.code not in ignored]
+
+
+def analyze_package(
+    root: Path,
+    *,
+    config: FlowConfig | None = None,
+    select: Sequence[str] = (),
+    ignore: Sequence[str] = (),
+    cache_dir: Path | None = None,
+    use_cache: bool = True,
+) -> FlowResult:
+    """Run the ISE100+ rules over the package rooted at ``root``."""
+    if config is None:
+        config = FlowConfig.discover(root)
+    cache: GraphCache | None = None
+    cached = None
+    if use_cache:
+        cache = GraphCache(
+            cache_dir if cache_dir is not None else default_cache_dir(),
+            root.name,
+        )
+        cached = cache.load()
+    graph = build_graph(root, cached=cached)
+    if cache is not None:
+        cache.store(graph.summaries)
+
+    rules = select_flow_rules(select, ignore)
+    result = FlowResult(graph=graph, rules_run=tuple(rule.code for rule in rules))
+
+    for path, line, message in graph.parse_failures:
+        result.diagnostics.append(
+            Diagnostic(path=path, line=line, code=META_CODE, message=message)
+        )
+
+    suppressions_by_path = {
+        summary.path: summary.suppressions()
+        for summary in graph.summaries.values()
+    }
+    for rule in rules:
+        for diag in rule.run(graph, config):
+            suppressions = suppressions_by_path.get(diag.path)
+            if suppressions is not None and suppressions.is_suppressed(
+                diag.code, diag.line
+            ):
+                result.suppressed.append(diag)
+            else:
+                result.diagnostics.append(diag)
+    result.diagnostics.sort()
+    result.suppressed.sort()
+    return result

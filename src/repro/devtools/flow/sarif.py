@@ -1,0 +1,104 @@
+"""Minimal SARIF 2.1.0 emission for CI code-scanning upload.
+
+Emits one run with one rule descriptor per distinct code and one result
+per diagnostic.  Suppressed findings (when included for auditing) carry a
+SARIF ``suppressions`` entry with kind ``inSource``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable, Mapping, Sequence
+
+from ..diagnostics import Diagnostic
+
+__all__ = ["to_sarif", "to_sarif_json"]
+
+_SARIF_VERSION = "2.1.0"
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def _rule_descriptor(code: str, meta: Mapping[str, tuple[str, str]]) -> dict[str, Any]:
+    name, summary = meta.get(code, (code, ""))
+    return {
+        "id": code,
+        "name": name,
+        "shortDescription": {"text": summary or name},
+    }
+
+
+def _result(
+    diag: Diagnostic, rule_index: Mapping[str, int], *, suppressed: bool
+) -> dict[str, Any]:
+    result: dict[str, Any] = {
+        "ruleId": diag.code,
+        "ruleIndex": rule_index[diag.code],
+        "level": "error",
+        "message": {"text": diag.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": diag.path.replace("\\", "/"),
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {"startLine": max(1, diag.line)},
+                }
+            }
+        ],
+    }
+    if suppressed:
+        result["suppressions"] = [{"kind": "inSource"}]
+    return result
+
+
+def to_sarif(
+    diagnostics: Sequence[Diagnostic],
+    *,
+    suppressed: Iterable[Diagnostic] = (),
+    rule_meta: Mapping[str, tuple[str, str]] | None = None,
+    tool_version: str = "1.0.0",
+) -> dict[str, Any]:
+    """Build the SARIF log structure for one run."""
+    meta = dict(rule_meta or {})
+    suppressed = list(suppressed)
+    codes = sorted({d.code for d in [*diagnostics, *suppressed]})
+    rule_index = {code: i for i, code in enumerate(codes)}
+    results = [
+        _result(diag, rule_index, suppressed=False) for diag in sorted(diagnostics)
+    ]
+    results.extend(
+        _result(diag, rule_index, suppressed=True) for diag in sorted(suppressed)
+    )
+    return {
+        "$schema": _SARIF_SCHEMA,
+        "version": _SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": "https://example.invalid/repro-lint",
+                        "version": tool_version,
+                        "rules": [_rule_descriptor(code, meta) for code in codes],
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def to_sarif_json(
+    diagnostics: Sequence[Diagnostic],
+    *,
+    suppressed: Iterable[Diagnostic] = (),
+    rule_meta: Mapping[str, tuple[str, str]] | None = None,
+) -> str:
+    """The SARIF log as pretty-printed JSON text."""
+    return json.dumps(
+        to_sarif(diagnostics, suppressed=suppressed, rule_meta=rule_meta), indent=2
+    )

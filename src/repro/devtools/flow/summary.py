@@ -1,0 +1,1000 @@
+"""Per-module AST summaries — the unit of the whole-program graph cache.
+
+A :class:`ModuleSummary` is everything the flow analyzer needs to know
+about one file, extracted in a single AST pass and serializable to JSON so
+the graph cache (:mod:`repro.devtools.flow.cache`) can skip re-parsing
+unchanged files.  Summaries are deliberately *syntactic*: name resolution
+against the rest of the program happens later, in
+:mod:`repro.devtools.flow.graph`, so a summary never goes stale when a
+*different* module changes.
+
+Notation used for recorded callee expressions:
+
+* ``"f"`` / ``"pkg.mod.f"`` — plain dotted call;
+* ``"C().m"`` — method call on a fresh instantiation
+  (``ShortWindowSolver(cfg).solve(...)``);
+* ``"self.m"`` / ``"cls.m"`` — method call on the enclosing class.
+
+Lambdas become their own pseudo-functions (qualname
+``owner.<lambda-L{line}>``), because worker-entry detection needs to treat
+``parallel_map(lambda ...: ..., items)`` exactly like a named task
+function.  Class-body code (dataclass ``default_factory`` lambdas and the
+like) lands in a ``ClassName.<body>`` pseudo-function that the graph wires
+to every instantiation of the class.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterator
+
+from ..diagnostics import SourceFile, Suppressions
+
+__all__ = [
+    "SUMMARY_VERSION",
+    "AssignCall",
+    "CallRecord",
+    "ClassSummary",
+    "FunctionSummary",
+    "ImportRecord",
+    "ModuleSummary",
+    "MutationRecord",
+    "RaiseRecord",
+    "summarize_module",
+]
+
+#: Bump when the summary shape or extraction logic changes; cached entries
+#: written under a different version are discarded wholesale.
+SUMMARY_VERSION = 1
+
+#: Method names whose call on a module-level object counts as a mutation.
+_MUTATOR_METHODS = {
+    "add",
+    "append",
+    "appendleft",
+    "clear",
+    "discard",
+    "extend",
+    "insert",
+    "pop",
+    "popleft",
+    "popitem",
+    "put",
+    "remove",
+    "setdefault",
+    "update",
+}
+
+#: Context-manager name fragments that count as "holding a lock".
+_LOCKISH_FRAGMENTS = ("lock", "cond", "mutex", "sem")
+
+
+@dataclass(frozen=True)
+class ImportRecord:
+    """One import statement, with relative levels already made absolute."""
+
+    module: str
+    names: tuple[tuple[str, str], ...]
+    """``(imported_name, local_binding)`` pairs; ``("*", "*")`` for a star
+    import; empty for ``import a.b`` (which binds ``a``)."""
+    line: int
+    deferred: bool
+    """Function-scoped or under ``if TYPE_CHECKING:`` — not part of the
+    import-time dependency cycle."""
+    is_from: bool
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "module": self.module,
+            "names": [list(pair) for pair in self.names],
+            "line": self.line,
+            "deferred": self.deferred,
+            "is_from": self.is_from,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict[str, Any]) -> "ImportRecord":
+        return cls(
+            module=raw["module"],
+            names=tuple((n, b) for n, b in raw["names"]),
+            line=int(raw["line"]),
+            deferred=bool(raw["deferred"]),
+            is_from=bool(raw["is_from"]),
+        )
+
+
+@dataclass(frozen=True)
+class CallRecord:
+    """One call expression inside a function body."""
+
+    callee: str
+    line: int
+    kwargs: tuple[str, ...]
+    """Keyword names passed with a non-``None`` value."""
+    none_kwargs: tuple[str, ...]
+    """Keyword names passed as a literal ``None``."""
+    pos_names: tuple[tuple[int, str], ...]
+    """Positional arguments that are bare names (or names inside a
+    list/tuple literal, recorded at the literal's position) — the
+    higher-order-function hooks."""
+    kw_names: tuple[tuple[str, str], ...]
+    """``(keyword, bare_name_value)`` pairs."""
+    str_kwargs: tuple[tuple[str, str], ...]
+    """``(keyword, literal_string_value)`` pairs (e.g. ``mode="thread"``)."""
+    lambda_args: tuple[str, ...]
+    """Qualnames of lambda pseudo-functions passed as arguments."""
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "callee": self.callee,
+            "line": self.line,
+            "kwargs": list(self.kwargs),
+            "none_kwargs": list(self.none_kwargs),
+            "pos_names": [list(p) for p in self.pos_names],
+            "kw_names": [list(p) for p in self.kw_names],
+            "str_kwargs": [list(p) for p in self.str_kwargs],
+            "lambda_args": list(self.lambda_args),
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict[str, Any]) -> "CallRecord":
+        return cls(
+            callee=raw["callee"],
+            line=int(raw["line"]),
+            kwargs=tuple(raw["kwargs"]),
+            none_kwargs=tuple(raw["none_kwargs"]),
+            pos_names=tuple((int(i), n) for i, n in raw["pos_names"]),
+            kw_names=tuple((k, n) for k, n in raw["kw_names"]),
+            str_kwargs=tuple((k, v) for k, v in raw["str_kwargs"]),
+            lambda_args=tuple(raw["lambda_args"]),
+        )
+
+
+@dataclass(frozen=True)
+class AssignCall:
+    """``target = callee(...)`` or ``with callee(...) as target`` — the
+    one-step type inference the call-graph resolver runs on locals."""
+
+    target: str
+    callee: str
+    line: int
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"target": self.target, "callee": self.callee, "line": self.line}
+
+    @classmethod
+    def from_dict(cls, raw: dict[str, Any]) -> "AssignCall":
+        return cls(target=raw["target"], callee=raw["callee"], line=int(raw["line"]))
+
+
+@dataclass(frozen=True)
+class MutationRecord:
+    """A write to a name that is not local to the enclosing function."""
+
+    name: str
+    line: int
+    kind: str
+    """``"rebind"`` (``global`` + assignment), ``"mutate"`` (mutating
+    method / subscript store / augmented assignment), or ``"consume"``
+    (``next()`` on a shared iterator)."""
+    locked: bool
+    """The write happens inside a ``with <something lock-like>:`` block."""
+    is_global_decl: bool
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "line": self.line,
+            "kind": self.kind,
+            "locked": self.locked,
+            "is_global_decl": self.is_global_decl,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict[str, Any]) -> "MutationRecord":
+        return cls(
+            name=raw["name"],
+            line=int(raw["line"]),
+            kind=raw["kind"],
+            locked=bool(raw["locked"]),
+            is_global_decl=bool(raw["is_global_decl"]),
+        )
+
+
+@dataclass(frozen=True)
+class RaiseRecord:
+    """One ``raise`` with a resolvable exception name (bare re-raise skipped)."""
+
+    exc: str
+    line: int
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"exc": self.exc, "line": self.line}
+
+    @classmethod
+    def from_dict(cls, raw: dict[str, Any]) -> "RaiseRecord":
+        return cls(exc=raw["exc"], line=int(raw["line"]))
+
+
+@dataclass(frozen=True)
+class FunctionSummary:
+    """Everything the flow rules need to know about one function body."""
+
+    qualname: str
+    line: int
+    params: tuple[str, ...]
+    optional_params: tuple[str, ...]
+    """Parameters with a default value — the ones a call site can silently
+    omit (required params are enforced by Python itself)."""
+    calls: tuple[CallRecord, ...]
+    assign_calls: tuple[AssignCall, ...]
+    mutations: tuple[MutationRecord, ...]
+    raises: tuple[RaiseRecord, ...]
+    registry_return_classes: tuple[str, ...]
+    """Class names instantiated inside dict-literal values in a function
+    that returns — the ``_make_algorithms()`` registry-factory pattern."""
+    registry_lookup_tables: tuple[str, ...]
+    """Module-level dict names this function subscripts — the
+    ``get_mm_algorithm`` registry-resolver pattern."""
+    reads_budget: bool
+    """Touches an existing budget: a ``*budget*`` parameter, a ``.budget``
+    / ``.subbudget`` attribute read, or a ``current_budget()`` call."""
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "qualname": self.qualname,
+            "line": self.line,
+            "params": list(self.params),
+            "optional_params": list(self.optional_params),
+            "calls": [c.to_dict() for c in self.calls],
+            "assign_calls": [a.to_dict() for a in self.assign_calls],
+            "mutations": [m.to_dict() for m in self.mutations],
+            "raises": [r.to_dict() for r in self.raises],
+            "registry_return_classes": list(self.registry_return_classes),
+            "registry_lookup_tables": list(self.registry_lookup_tables),
+            "reads_budget": self.reads_budget,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict[str, Any]) -> "FunctionSummary":
+        return cls(
+            qualname=raw["qualname"],
+            line=int(raw["line"]),
+            params=tuple(raw["params"]),
+            optional_params=tuple(raw.get("optional_params", ())),
+            calls=tuple(CallRecord.from_dict(c) for c in raw["calls"]),
+            assign_calls=tuple(AssignCall.from_dict(a) for a in raw["assign_calls"]),
+            mutations=tuple(MutationRecord.from_dict(m) for m in raw["mutations"]),
+            raises=tuple(RaiseRecord.from_dict(r) for r in raw["raises"]),
+            registry_return_classes=tuple(raw["registry_return_classes"]),
+            registry_lookup_tables=tuple(raw["registry_lookup_tables"]),
+            reads_budget=bool(raw["reads_budget"]),
+        )
+
+
+@dataclass(frozen=True)
+class ClassSummary:
+    """One class: bases for method lookup, callable attributes for the
+    ``self.solve_fn(...)``-style dispatch the serve layer uses."""
+
+    name: str
+    line: int
+    bases: tuple[str, ...]
+    methods: tuple[str, ...]
+    attr_callables: tuple[tuple[str, str], ...]
+    """``(attribute, dotted_default)`` for ``self.attr = param`` in
+    ``__init__`` where ``param`` has a bare-name default, and for
+    ``self.attr = some_function`` directly."""
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "line": self.line,
+            "bases": list(self.bases),
+            "methods": list(self.methods),
+            "attr_callables": [list(p) for p in self.attr_callables],
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict[str, Any]) -> "ClassSummary":
+        return cls(
+            name=raw["name"],
+            line=int(raw["line"]),
+            bases=tuple(raw["bases"]),
+            methods=tuple(raw["methods"]),
+            attr_callables=tuple((a, d) for a, d in raw["attr_callables"]),
+        )
+
+
+@dataclass
+class ModuleSummary:
+    """The cacheable digest of one source file."""
+
+    module: str
+    path: str
+    sha256: str
+    imports: tuple[ImportRecord, ...] = ()
+    functions: dict[str, FunctionSummary] = field(default_factory=dict)
+    classes: dict[str, ClassSummary] = field(default_factory=dict)
+    module_level_names: tuple[str, ...] = ()
+    registry_tables: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    """Module-level ``NAME = {"k": Class(), ...}`` dict-of-instances."""
+    registry_factories: dict[str, str] = field(default_factory=dict)
+    """Module-level ``NAME = factory()`` — resolved against the factory's
+    ``registry_return_classes`` at graph-build time."""
+    suppress_by_line: dict[int, tuple[str, ...]] = field(default_factory=dict)
+    suppress_file: tuple[str, ...] = ()
+    suppress_malformed: tuple[int, ...] = ()
+
+    def suppressions(self) -> Suppressions:
+        """Rehydrate the :class:`Suppressions` view (cache-safe)."""
+        return Suppressions(
+            by_line={line: set(codes) for line, codes in self.suppress_by_line.items()},
+            file_wide=set(self.suppress_file),
+            malformed=list(self.suppress_malformed),
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "module": self.module,
+            "path": self.path,
+            "sha256": self.sha256,
+            "imports": [i.to_dict() for i in self.imports],
+            "functions": {q: f.to_dict() for q, f in sorted(self.functions.items())},
+            "classes": {n: c.to_dict() for n, c in sorted(self.classes.items())},
+            "module_level_names": list(self.module_level_names),
+            "registry_tables": {
+                n: list(v) for n, v in sorted(self.registry_tables.items())
+            },
+            "registry_factories": dict(sorted(self.registry_factories.items())),
+            "suppress_by_line": {
+                str(line): sorted(codes)
+                for line, codes in sorted(self.suppress_by_line.items())
+            },
+            "suppress_file": sorted(self.suppress_file),
+            "suppress_malformed": list(self.suppress_malformed),
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict[str, Any]) -> "ModuleSummary":
+        return cls(
+            module=raw["module"],
+            path=raw["path"],
+            sha256=raw["sha256"],
+            imports=tuple(ImportRecord.from_dict(i) for i in raw["imports"]),
+            functions={
+                q: FunctionSummary.from_dict(f) for q, f in raw["functions"].items()
+            },
+            classes={n: ClassSummary.from_dict(c) for n, c in raw["classes"].items()},
+            module_level_names=tuple(raw["module_level_names"]),
+            registry_tables={
+                n: tuple(v) for n, v in raw["registry_tables"].items()
+            },
+            registry_factories=dict(raw["registry_factories"]),
+            suppress_by_line={
+                int(line): tuple(codes)
+                for line, codes in raw["suppress_by_line"].items()
+            },
+            suppress_file=tuple(raw["suppress_file"]),
+            suppress_malformed=tuple(raw["suppress_malformed"]),
+        )
+
+
+def file_sha256(data: bytes) -> str:
+    """Hex digest keying the graph cache."""
+    return hashlib.sha256(data).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# extraction
+# ---------------------------------------------------------------------------
+
+
+def _is_type_checking_test(test: ast.expr) -> bool:
+    for node in ast.walk(test):
+        if isinstance(node, ast.Name) and node.id == "TYPE_CHECKING":
+            return True
+        if isinstance(node, ast.Attribute) and node.attr == "TYPE_CHECKING":
+            return True
+    return False
+
+
+def _dotted(node: ast.expr) -> str | None:
+    """``a.b.c`` for Name/Attribute chains; ``C().m`` for call-result
+    attribute access when the inner call target itself has a dotted name."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = _dotted(node.value)
+        if base is None and isinstance(node.value, ast.Call):
+            inner = _dotted(node.value.func)
+            if inner is not None:
+                return f"{inner}().{node.attr}"
+            return None
+        if base is None:
+            return None
+        return f"{base}.{node.attr}"
+    return None
+
+
+def _under_lock(node: ast.AST) -> bool:
+    parent = getattr(node, "parent", None)
+    while parent is not None:
+        if isinstance(parent, (ast.With, ast.AsyncWith)):
+            for item in parent.items:
+                expr = _dotted(item.context_expr)
+                if expr is None and isinstance(item.context_expr, ast.Call):
+                    expr = _dotted(item.context_expr.func)
+                if expr is None:
+                    continue
+                tail = expr.split(".")[-1].split("(")[0].lower()
+                if any(frag in tail for frag in _LOCKISH_FRAGMENTS):
+                    return True
+        parent = getattr(parent, "parent", None)
+    return parent is not None
+
+
+def _resolve_relative(module_name: str, is_package: bool, level: int, base: str) -> str:
+    """Make a ``from ...x import y`` target absolute inside ``module_name``."""
+    if level == 0:
+        return base
+    parts = module_name.split(".")
+    if not is_package:
+        parts = parts[:-1]
+    drop = level - 1
+    if drop:
+        parts = parts[: len(parts) - drop] if drop < len(parts) else []
+    prefix = ".".join(parts)
+    if base:
+        return f"{prefix}.{base}" if prefix else base
+    return prefix
+
+
+class _Scope:
+    """Accumulator for one function-like body."""
+
+    def __init__(
+        self,
+        qualname: str,
+        line: int,
+        params: tuple[str, ...],
+        optional_params: tuple[str, ...] = (),
+    ) -> None:
+        self.qualname = qualname
+        self.line = line
+        self.params = params
+        self.optional_params = optional_params
+        self.calls: list[CallRecord] = []
+        self.assign_calls: list[AssignCall] = []
+        self.mutations: list[MutationRecord] = []
+        self.raises: list[RaiseRecord] = []
+        self.registry_return_classes: list[str] = []
+        self.registry_lookup_tables: list[str] = []
+        self.reads_budget = any("budget" in p for p in self.params)
+        self.globals: set[str] = set()
+        self.locals: set[str] = set(self.params)
+
+    def build(self) -> FunctionSummary:
+        return FunctionSummary(
+            qualname=self.qualname,
+            line=self.line,
+            params=self.params,
+            optional_params=self.optional_params,
+            calls=tuple(self.calls),
+            assign_calls=tuple(self.assign_calls),
+            mutations=tuple(self.mutations),
+            raises=tuple(self.raises),
+            registry_return_classes=tuple(dict.fromkeys(self.registry_return_classes)),
+            registry_lookup_tables=tuple(dict.fromkeys(self.registry_lookup_tables)),
+            reads_budget=self.reads_budget,
+        )
+
+
+def _param_names(args: ast.arguments) -> tuple[str, ...]:
+    every = list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+    if args.vararg is not None:
+        every.append(args.vararg)
+    if args.kwarg is not None:
+        every.append(args.kwarg)
+    return tuple(a.arg for a in every)
+
+
+def _optional_param_names(args: ast.arguments) -> tuple[str, ...]:
+    """Parameters a call site may omit: defaulted, keyword-defaulted, **kw."""
+    optional: list[str] = []
+    positional = list(args.posonlyargs) + list(args.args)
+    if args.defaults:
+        optional.extend(a.arg for a in positional[-len(args.defaults) :])
+    for arg, default in zip(args.kwonlyargs, args.kw_defaults):
+        if default is not None:
+            optional.append(arg.arg)
+    if args.kwarg is not None:
+        optional.append(args.kwarg.arg)
+    return tuple(optional)
+
+
+def _class_qualname(node: ast.AST) -> str | None:
+    """Qualname prefix from enclosing class/function defs (outermost first)."""
+    chain: list[str] = []
+    parent = getattr(node, "parent", None)
+    while parent is not None:
+        if isinstance(parent, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            chain.append(parent.name)
+        parent = getattr(parent, "parent", None)
+    if not chain:
+        return None
+    return ".".join(reversed(chain))
+
+
+def summarize_module(
+    module_name: str,
+    path: Path,
+    *,
+    text: str | None = None,
+    is_package: bool | None = None,
+) -> ModuleSummary:
+    """One-pass extraction of a :class:`ModuleSummary` from source.
+
+    Raises ``SyntaxError`` (and IO errors) like :meth:`SourceFile.parse`;
+    the graph builder converts those into ISE000 diagnostics.
+    """
+    if text is None:
+        text = path.read_text(encoding="utf-8")
+    if is_package is None:
+        is_package = path.name == "__init__.py"
+    source = SourceFile.parse(path, text)
+    sup = source.suppressions
+    summary = ModuleSummary(
+        module=module_name,
+        path=str(path),
+        sha256=file_sha256(text.encode("utf-8")),
+        suppress_by_line={
+            line: tuple(sorted(codes)) for line, codes in sup.by_line.items()
+        },
+        suppress_file=tuple(sorted(sup.file_wide)),
+        suppress_malformed=tuple(sup.malformed),
+    )
+
+    _collect_imports(source.tree, module_name, is_package, summary)
+    _collect_toplevel(source.tree, summary)
+    _collect_scopes(source.tree, summary)
+    return summary
+
+
+def _collect_imports(
+    tree: ast.Module, module_name: str, is_package: bool, summary: ModuleSummary
+) -> None:
+    records: list[ImportRecord] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.Import, ast.ImportFrom)):
+            continue
+        deferred = False
+        parent = getattr(node, "parent", None)
+        while parent is not None:
+            if isinstance(parent, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                deferred = True
+            if isinstance(parent, ast.If) and _is_type_checking_test(parent.test):
+                deferred = True
+            parent = getattr(parent, "parent", None)
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                binding = alias.asname if alias.asname else alias.name.split(".")[0]
+                target = alias.name if alias.asname else alias.name.split(".")[0]
+                # `import a.b` binds `a` but creates a dependency on a.b.
+                records.append(
+                    ImportRecord(
+                        module=alias.name,
+                        names=((target, binding),),
+                        line=node.lineno,
+                        deferred=deferred,
+                        is_from=False,
+                    )
+                )
+        else:
+            base = _resolve_relative(
+                module_name, is_package, node.level, node.module or ""
+            )
+            names = tuple(
+                (alias.name, alias.asname if alias.asname else alias.name)
+                for alias in node.names
+            )
+            records.append(
+                ImportRecord(
+                    module=base,
+                    names=names,
+                    line=node.lineno,
+                    deferred=deferred,
+                    is_from=True,
+                )
+            )
+    summary.imports = tuple(records)
+
+
+def _registry_dict_classes(node: ast.Dict) -> list[str]:
+    """Class-call names in a dict literal's values (``{"k": Cls()}``)."""
+    out: list[str] = []
+    for value in node.values:
+        if isinstance(value, ast.Call):
+            name = _dotted(value.func)
+            if name is not None:
+                out.append(name)
+    return out
+
+
+def _collect_toplevel(tree: ast.Module, summary: ModuleSummary) -> None:
+    names: list[str] = []
+    for node in tree.body:
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+            value = node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+            value = node.value
+        for target in targets:
+            if not isinstance(target, ast.Name):
+                continue
+            names.append(target.id)
+            if isinstance(value, ast.Dict):
+                classes = _registry_dict_classes(value)
+                if classes:
+                    summary.registry_tables[target.id] = tuple(classes)
+            elif isinstance(value, ast.Call):
+                callee = _dotted(value.func)
+                if callee is not None and "." not in callee:
+                    summary.registry_factories[target.id] = callee
+    summary.module_level_names = tuple(dict.fromkeys(names))
+
+
+def _iter_scope_nodes(
+    tree: ast.Module,
+) -> Iterator[tuple[ast.AST, str]]:
+    """Every function-like node with its flow qualname.
+
+    Nested defs are ``outer.inner``; lambdas are ``owner.<lambda-LN>``;
+    class-body lambdas fold into ``ClassName.<body>``.
+    """
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            prefix = _class_qualname(node)
+            qual = f"{prefix}.{node.name}" if prefix else node.name
+            yield node, qual
+        elif isinstance(node, ast.Lambda):
+            prefix = _class_qualname(node)
+            owner_is_class = False
+            parent = getattr(node, "parent", None)
+            while parent is not None:
+                if isinstance(parent, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    break
+                if isinstance(parent, ast.ClassDef):
+                    owner_is_class = True
+                    break
+                parent = getattr(parent, "parent", None)
+            if owner_is_class:
+                yield node, f"{prefix}.<body>"
+            elif prefix:
+                yield node, f"{prefix}.<lambda-L{node.lineno}>"
+            else:
+                yield node, f"<lambda-L{node.lineno}>"
+
+
+def _owning_scope(
+    node: ast.AST, scope_of: dict[int, str]
+) -> str | None:
+    parent = getattr(node, "parent", None)
+    while parent is not None:
+        qual = scope_of.get(id(parent))
+        if qual is not None:
+            return qual
+        parent = getattr(parent, "parent", None)
+    return None
+
+
+def _record_call(scope: _Scope, node: ast.Call, scope_of: dict[int, str]) -> None:
+    callee = _dotted(node.func)
+    if callee is None:
+        return
+    kwargs: list[str] = []
+    none_kwargs: list[str] = []
+    kw_names: list[tuple[str, str]] = []
+    str_kwargs: list[tuple[str, str]] = []
+    pos_names: list[tuple[int, str]] = []
+    lambda_args: list[str] = []
+    for index, arg in enumerate(node.args):
+        if isinstance(arg, ast.Name):
+            pos_names.append((index, arg.id))
+        elif isinstance(arg, (ast.List, ast.Tuple)):
+            for element in arg.elts:
+                if isinstance(element, ast.Name):
+                    pos_names.append((index, element.id))
+        elif isinstance(arg, ast.Lambda):
+            qual = scope_of.get(id(arg))
+            if qual is not None:
+                lambda_args.append(qual)
+    for keyword in node.keywords:
+        if keyword.arg is None:
+            continue
+        if isinstance(keyword.value, ast.Constant) and keyword.value.value is None:
+            none_kwargs.append(keyword.arg)
+            continue
+        kwargs.append(keyword.arg)
+        if isinstance(keyword.value, ast.Name):
+            kw_names.append((keyword.arg, keyword.value.id))
+        elif isinstance(keyword.value, ast.Constant) and isinstance(
+            keyword.value.value, str
+        ):
+            str_kwargs.append((keyword.arg, keyword.value.value))
+        elif isinstance(keyword.value, ast.Lambda):
+            qual = scope_of.get(id(keyword.value))
+            if qual is not None:
+                lambda_args.append(qual)
+    scope.calls.append(
+        CallRecord(
+            callee=callee,
+            line=node.lineno,
+            kwargs=tuple(kwargs),
+            none_kwargs=tuple(none_kwargs),
+            pos_names=tuple(pos_names),
+            kw_names=tuple(kw_names),
+            str_kwargs=tuple(str_kwargs),
+            lambda_args=tuple(lambda_args),
+        )
+    )
+    if callee.split(".")[-1] in ("current_budget", "subbudget"):
+        scope.reads_budget = True
+    if callee == "next":
+        for _, name in pos_names[:1]:
+            if name not in scope.locals:
+                scope.mutations.append(
+                    MutationRecord(
+                        name=name,
+                        line=node.lineno,
+                        kind="consume",
+                        locked=_under_lock(node),
+                        is_global_decl=name in scope.globals,
+                    )
+                )
+    head, _, attr = callee.rpartition(".")
+    if head and attr in _MUTATOR_METHODS and "." not in head and "(" not in head:
+        if head not in scope.locals:
+            scope.mutations.append(
+                MutationRecord(
+                    name=head,
+                    line=node.lineno,
+                    kind="mutate",
+                    locked=_under_lock(node),
+                    is_global_decl=head in scope.globals,
+                )
+            )
+
+
+def _collect_scopes(tree: ast.Module, summary: ModuleSummary) -> None:
+    scope_nodes = list(_iter_scope_nodes(tree))
+    scope_of = {id(node): qual for node, qual in scope_nodes}
+
+    scopes: dict[str, _Scope] = {}
+    for node, qual in scope_nodes:
+        if qual in scopes:  # class-body lambdas share one <body> scope
+            continue
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            scopes[qual] = _Scope(
+                qual,
+                node.lineno,
+                _param_names(node.args),
+                _optional_param_names(node.args),
+            )
+        else:
+            scopes[qual] = _Scope(
+                qual,
+                node.lineno,
+                _param_names(node.args),
+                _optional_param_names(node.args),
+            )
+
+    # First pass: locals / global declarations per scope (shadowing filter).
+    for node in ast.walk(tree):
+        owner = _owning_scope(node, scope_of)
+        if owner is None or owner not in scopes:
+            continue
+        scope = scopes[owner]
+        if isinstance(node, ast.Global):
+            scope.globals.update(node.names)
+        elif isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                for sub in ast.walk(target):
+                    if isinstance(sub, ast.Name):
+                        scope.locals.add(sub.id)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            for sub in ast.walk(node.target):
+                if isinstance(sub, ast.Name):
+                    scope.locals.add(sub.id)
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if item.optional_vars is not None:
+                    for sub in ast.walk(item.optional_vars):
+                        if isinstance(sub, ast.Name):
+                            scope.locals.add(sub.id)
+        elif isinstance(node, ast.comprehension):
+            for sub in ast.walk(node.target):
+                if isinstance(sub, ast.Name):
+                    scope.locals.add(sub.id)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            scope.locals.add(node.name)
+    for scope in scopes.values():
+        scope.locals -= scope.globals
+
+    # Second pass: calls, assignments, mutations, raises, registry shapes.
+    for node in ast.walk(tree):
+        owner = _owning_scope(node, scope_of)
+        if owner is None or owner not in scopes:
+            continue
+        scope = scopes[owner]
+        if isinstance(node, ast.Call):
+            _record_call(scope, node, scope_of)
+        elif isinstance(node, ast.Assign):
+            if (
+                len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and isinstance(node.value, ast.Call)
+            ):
+                callee = _dotted(node.value.func)
+                if callee is not None:
+                    scope.assign_calls.append(
+                        AssignCall(
+                            target=node.targets[0].id,
+                            callee=callee,
+                            line=node.lineno,
+                        )
+                    )
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id in scope.globals:
+                    scope.mutations.append(
+                        MutationRecord(
+                            name=target.id,
+                            line=node.lineno,
+                            kind="rebind",
+                            locked=_under_lock(node),
+                            is_global_decl=True,
+                        )
+                    )
+                elif isinstance(target, ast.Subscript) and isinstance(
+                    target.value, ast.Name
+                ):
+                    name = target.value.id
+                    if name not in scope.locals:
+                        scope.mutations.append(
+                            MutationRecord(
+                                name=name,
+                                line=node.lineno,
+                                kind="mutate",
+                                locked=_under_lock(node),
+                                is_global_decl=name in scope.globals,
+                            )
+                        )
+        elif isinstance(node, ast.AugAssign):
+            target = node.target
+            if isinstance(target, ast.Name) and target.id in scope.globals:
+                scope.mutations.append(
+                    MutationRecord(
+                        name=target.id,
+                        line=node.lineno,
+                        kind="rebind",
+                        locked=_under_lock(node),
+                        is_global_decl=True,
+                    )
+                )
+            elif isinstance(target, ast.Subscript) and isinstance(
+                target.value, ast.Name
+            ):
+                name = target.value.id
+                if name not in scope.locals:
+                    scope.mutations.append(
+                        MutationRecord(
+                            name=name,
+                            line=node.lineno,
+                            kind="mutate",
+                            locked=_under_lock(node),
+                            is_global_decl=name in scope.globals,
+                        )
+                    )
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if isinstance(item.optional_vars, ast.Name) and isinstance(
+                    item.context_expr, ast.Call
+                ):
+                    callee = _dotted(item.context_expr.func)
+                    if callee is not None:
+                        scope.assign_calls.append(
+                            AssignCall(
+                                target=item.optional_vars.id,
+                                callee=callee,
+                                line=node.lineno,
+                            )
+                        )
+        elif isinstance(node, ast.Raise) and node.exc is not None:
+            exc = node.exc
+            if isinstance(exc, ast.Call):
+                exc = exc.func
+            name = _dotted(exc)
+            if name is not None:
+                scope.raises.append(RaiseRecord(exc=name, line=node.lineno))
+        elif isinstance(node, ast.Attribute) and isinstance(node.ctx, ast.Load):
+            if node.attr in ("budget", "subbudget"):
+                scope.reads_budget = True
+        elif isinstance(node, ast.Dict):
+            classes = _registry_dict_classes(node)
+            scope.registry_return_classes.extend(classes)
+        elif isinstance(node, ast.Subscript) and isinstance(node.value, ast.Name):
+            if isinstance(node.ctx, ast.Load) and node.value.id not in scope.locals:
+                scope.registry_lookup_tables.append(node.value.id)
+
+    # Classes: bases, methods, callable attributes.
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        prefix = _class_qualname(node)
+        qual = f"{prefix}.{node.name}" if prefix else node.name
+        bases = tuple(
+            name for name in (_dotted(b) for b in node.bases) if name is not None
+        )
+        methods = tuple(
+            item.name
+            for item in node.body
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+        )
+        attr_callables = _collect_attr_callables(node)
+        summary.classes[qual] = ClassSummary(
+            name=qual,
+            line=node.lineno,
+            bases=bases,
+            methods=methods,
+            attr_callables=attr_callables,
+        )
+
+    summary.functions = {qual: scope.build() for qual, scope in scopes.items()}
+
+
+def _collect_attr_callables(node: ast.ClassDef) -> tuple[tuple[str, str], ...]:
+    """``self.attr = <callable>`` bindings visible from ``__init__``."""
+    out: list[tuple[str, str]] = []
+    for item in node.body:
+        if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        defaults_map: dict[str, str] = {}
+        args = item.args
+        positional = list(args.posonlyargs) + list(args.args)
+        for arg, default in zip(
+            positional[len(positional) - len(args.defaults) :], args.defaults
+        ):
+            name = _dotted(default)
+            if name is not None:
+                defaults_map[arg.arg] = name
+        for arg, kw_default in zip(args.kwonlyargs, args.kw_defaults):
+            if kw_default is None:
+                continue
+            name = _dotted(kw_default)
+            if name is not None:
+                defaults_map[arg.arg] = name
+        for stmt in ast.walk(item):
+            if not isinstance(stmt, ast.Assign) or len(stmt.targets) != 1:
+                continue
+            target = stmt.targets[0]
+            if not (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                continue
+            value_name = _dotted(stmt.value)
+            if value_name is None:
+                continue
+            if value_name in defaults_map:
+                out.append((target.attr, defaults_map[value_name]))
+            elif "." not in value_name:
+                out.append((target.attr, value_name))
+    return tuple(dict.fromkeys(out))

@@ -29,9 +29,18 @@ META_CODE = "ISE000"
 
 @dataclass
 class LintReport:
-    """Everything one lint run produced."""
+    """Everything one lint run produced.
+
+    ``suppressed`` holds the findings silenced by in-source
+    ``# repro-lint: disable=`` comments — normally hidden, surfaced by the
+    ``--show-suppressed`` audit flag (and carried into SARIF as
+    in-source suppressions).  ``baselined`` holds findings matched by a
+    committed baseline file; neither affects :attr:`ok`.
+    """
 
     diagnostics: list[Diagnostic] = field(default_factory=list)
+    suppressed: list[Diagnostic] = field(default_factory=list)
+    baselined: list[Diagnostic] = field(default_factory=list)
     files_checked: int = 0
     rules_run: tuple[str, ...] = ()
 
@@ -45,31 +54,43 @@ class LintReport:
             counts[diag.code] = counts.get(diag.code, 0) + 1
         return dict(sorted(counts.items()))
 
-    def to_text(self) -> str:
+    def to_text(self, *, show_suppressed: bool = False) -> str:
         lines = [d.format() for d in sorted(self.diagnostics)]
+        if show_suppressed:
+            lines.extend(
+                f"{d.format()} [suppressed]" for d in sorted(self.suppressed)
+            )
         counts = self.counts_by_code()
         tail = (
             ", ".join(f"{code} x{n}" for code, n in counts.items())
             if counts
             else "clean"
         )
+        extras = []
+        if self.suppressed:
+            extras.append(f"{len(self.suppressed)} suppressed")
+        if self.baselined:
+            extras.append(f"{len(self.baselined)} baselined")
+        extra_note = f" ({', '.join(extras)})" if extras else ""
         lines.append(
             f"repro-lint: {len(self.diagnostics)} finding(s) in "
-            f"{self.files_checked} file(s) [{tail}]"
+            f"{self.files_checked} file(s) [{tail}]{extra_note}"
         )
         return "\n".join(lines)
 
-    def to_json(self) -> str:
-        return json.dumps(
-            {
-                "ok": self.ok,
-                "files_checked": self.files_checked,
-                "rules_run": list(self.rules_run),
-                "counts": self.counts_by_code(),
-                "diagnostics": [d.to_dict() for d in sorted(self.diagnostics)],
-            },
-            indent=2,
-        )
+    def to_json(self, *, show_suppressed: bool = False) -> str:
+        payload: dict[str, object] = {
+            "ok": self.ok,
+            "files_checked": self.files_checked,
+            "rules_run": list(self.rules_run),
+            "counts": self.counts_by_code(),
+            "diagnostics": [d.to_dict() for d in sorted(self.diagnostics)],
+            "suppressed_count": len(self.suppressed),
+            "baselined_count": len(self.baselined),
+        }
+        if show_suppressed:
+            payload["suppressed"] = [d.to_dict() for d in sorted(self.suppressed)]
+        return json.dumps(payload, indent=2)
 
 
 def _collect_files(paths: Sequence[str | Path]) -> Iterator[Path]:
@@ -106,13 +127,23 @@ class LintRunner:
         ignored = set(self.ignore)
         return [rule for rule in chosen if rule.code not in ignored]
 
-    def run_source(self, source: SourceFile) -> list[Diagnostic]:
-        """All non-suppressed diagnostics for one parsed file."""
+    def run_source(
+        self,
+        source: SourceFile,
+        suppressed_out: "list[Diagnostic] | None" = None,
+    ) -> list[Diagnostic]:
+        """All non-suppressed diagnostics for one parsed file.
+
+        Suppressed findings are appended to ``suppressed_out`` when given,
+        so callers can audit what the in-source comments hide.
+        """
         found: list[Diagnostic] = []
         for rule in self.rules():
             for diag in rule.run(source):
                 if not source.suppressions.is_suppressed(diag.code, diag.line):
                     found.append(diag)
+                elif suppressed_out is not None:
+                    suppressed_out.append(diag)
         for lineno in source.suppressions.malformed:
             found.append(
                 Diagnostic(
@@ -143,7 +174,9 @@ class LintRunner:
                     )
                 )
                 continue
-            report.diagnostics.extend(self.run_source(source))
+            report.diagnostics.extend(
+                self.run_source(source, suppressed_out=report.suppressed)
+            )
         return report
 
 

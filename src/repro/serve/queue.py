@@ -38,7 +38,16 @@ __all__ = ["AdmissionQueue", "SolveRequest"]
 
 T = TypeVar("T")
 
+#: Request-id allocation is lock-guarded: ``SolveRequest`` is constructed
+#: from every submitting client thread concurrently, and ``next()`` on a
+#: shared iterator is not guaranteed atomic across implementations.
 _REQUEST_IDS = itertools.count(1)
+_REQUEST_ID_LOCK = threading.Lock()
+
+
+def _next_request_id() -> str:
+    with _REQUEST_ID_LOCK:
+        return f"req-{next(_REQUEST_IDS)}"
 
 
 @dataclass
@@ -68,7 +77,7 @@ class SolveRequest:
 
     def __post_init__(self) -> None:
         if not self.request_id:
-            self.request_id = f"req-{next(_REQUEST_IDS)}"
+            self.request_id = _next_request_id()
 
     def queue_wait(self, now: float) -> float:
         """Seconds between admission and ``now`` on the service clock."""

@@ -1,0 +1,1 @@
+"""Tests for the whole-program flow analyzer (``repro-lint --flow``)."""

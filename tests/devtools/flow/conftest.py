@@ -1,0 +1,109 @@
+"""Shared fixtures: materialize tiny packages and analyze them.
+
+The flow rules are whole-program, so unlike the per-file rule tests the
+fixtures here are *package trees* — a dict of relative paths to sources —
+written to a tmp dir and analyzed against a deliberately small layer DAG
+(``core`` at the bottom, ``app`` above it, a sanctioned ``pkg.core.pool``
+module, and budget machinery in ``pkg.core.budget``).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Mapping
+
+import pytest
+
+from repro.devtools.flow import FlowConfig, analyze_package
+from repro.devtools.flow.config import LayerSpec
+from repro.devtools.flow.runner import FlowResult
+
+#: The miniature architecture every rule fixture is checked against.
+MINI_CONFIG = FlowConfig(
+    layers=(
+        LayerSpec("core", ("pkg.core", "pkg.core.*"), ()),
+        LayerSpec("app", ("pkg", "pkg.app", "pkg.app.*"), ("core",)),
+    ),
+    forbid=(("core", "app"),),
+    entrypoints=("pkg.app.main:run",),
+    concurrent_roots=("pkg.app.serve",),
+    pool_sanctioned=("pkg.core.pool",),
+    budget_class="pkg.core.budget.SolveBudget",
+    budget_module="pkg.core.budget",
+)
+
+#: Budget machinery for the ISE104 fixtures, mirroring the real
+#: ``repro.core.resilience`` surface the rule recognizes.
+BUDGET_MODULE = '''\
+"""Mini budget machinery."""
+
+
+class SolveBudget:
+    """Deadline holder."""
+
+    def subbudget(self):
+        return self
+
+    def start(self):
+        return self
+
+
+def current_budget():
+    return None
+
+
+def check_budget():
+    return None
+
+
+def budget_scope(budget):
+    return budget
+'''
+
+
+#: ``pyproject.toml`` mirroring :data:`MINI_CONFIG`, written next to every
+#: fixture tree so the CLI's config discovery finds the mini DAG instead of
+#: walking up to the repository's real one.
+MINI_PYPROJECT = """\
+[tool.repro-lint.layers]
+core = { members = ["pkg.core", "pkg.core.*"], allow = [] }
+app = { members = ["pkg", "pkg.app", "pkg.app.*"], allow = ["core"] }
+
+[tool.repro-lint.flow]
+forbid = [["core", "app"]]
+entrypoints = ["pkg.app.main:run"]
+concurrent_roots = ["pkg.app.serve"]
+pool_sanctioned = ["pkg.core.pool"]
+budget_class = "pkg.core.budget.SolveBudget"
+budget_module = "pkg.core.budget"
+"""
+
+
+def write_tree(root: Path, files: Mapping[str, str]) -> Path:
+    """Materialize ``files`` under ``root/pkg`` with package __init__ files."""
+    pkg = root / "pkg"
+    (root / "pyproject.toml").write_text(MINI_PYPROJECT, encoding="utf-8")
+    for rel, source in files.items():
+        target = pkg / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(source, encoding="utf-8")
+        current = target.parent
+        while current != root:
+            init = current / "__init__.py"
+            if not init.exists():
+                init.write_text('"""Fixture package."""\n', encoding="utf-8")
+            current = current.parent
+    return pkg
+
+
+@pytest.fixture()
+def analyze(tmp_path: Path):
+    """Analyze a fixture tree with the mini config; cache disabled."""
+
+    def _run(files: Mapping[str, str], **kwargs) -> FlowResult:
+        pkg = write_tree(tmp_path, files)
+        kwargs.setdefault("config", MINI_CONFIG)
+        kwargs.setdefault("use_cache", False)
+        return analyze_package(pkg, **kwargs)
+
+    return _run

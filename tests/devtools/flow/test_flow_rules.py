@@ -1,0 +1,470 @@
+"""Fixture triples for every whole-program (ISE100+) rule.
+
+Mirrors ``tests/devtools/test_rules.py``: each rule gets a package tree
+that must trigger it, the same tree with a ``# repro-lint: disable=CODE``
+comment on the *edge source line* (must be clean), and a compliant rewrite
+(clean without suppressions).  A completeness check keeps the case table
+in lockstep with the ``FLOW_RULES`` registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import pytest
+
+from repro.devtools.flow import FLOW_RULES
+
+from .conftest import BUDGET_MODULE
+
+APP_HANDLERS = '"""Handlers."""\n\n\ndef handle():\n    return 1\n'
+
+
+@dataclass(frozen=True)
+class FlowCase:
+    """One flow rule's (hit, suppressed, clean) fixture-tree triple."""
+
+    code: str
+    hit: Mapping[str, str]
+    suppressed: Mapping[str, str]
+    clean: Mapping[str, str]
+
+
+CASES = [
+    FlowCase(
+        code="ISE100",
+        hit={
+            "app/handlers.py": APP_HANDLERS,
+            "core/util.py": (
+                '"""Util."""\n'
+                "\n"
+                "from ..app.handlers import handle\n"
+                "\n"
+                "\n"
+                "def use():\n"
+                "    return handle()\n"
+            ),
+        },
+        suppressed={
+            "app/handlers.py": APP_HANDLERS,
+            "core/util.py": (
+                '"""Util."""\n'
+                "\n"
+                "from ..app.handlers import handle  # repro-lint: disable=ISE100\n"
+                "\n"
+                "\n"
+                "def use():\n"
+                "    return handle()\n"
+            ),
+        },
+        clean={
+            "core/util.py": (
+                '"""Util."""\n\n\ndef helper():\n    return 1\n'
+            ),
+            "app/handlers.py": (
+                '"""Handlers."""\n'
+                "\n"
+                "from ..core.util import helper\n"
+                "\n"
+                "\n"
+                "def handle():\n"
+                "    return helper()\n"
+            ),
+        },
+    ),
+    FlowCase(
+        code="ISE101",
+        hit={
+            "core/a.py": (
+                '"""A."""\n'
+                "\n"
+                "from . import b\n"
+                "\n"
+                "\n"
+                "def fa():\n"
+                "    return b\n"
+            ),
+            "core/b.py": (
+                '"""B."""\n'
+                "\n"
+                "from . import a\n"
+                "\n"
+                "\n"
+                "def fb():\n"
+                "    return a\n"
+            ),
+        },
+        suppressed={
+            "core/a.py": (
+                '"""A."""\n'
+                "\n"
+                "from . import b  # repro-lint: disable=ISE101\n"
+                "\n"
+                "\n"
+                "def fa():\n"
+                "    return b\n"
+            ),
+            "core/b.py": (
+                '"""B."""\n'
+                "\n"
+                "from . import a\n"
+                "\n"
+                "\n"
+                "def fb():\n"
+                "    return a\n"
+            ),
+        },
+        clean={
+            "core/a.py": (
+                '"""A."""\n'
+                "\n"
+                "from . import b\n"
+                "\n"
+                "\n"
+                "def fa():\n"
+                "    return b\n"
+            ),
+            "core/b.py": (
+                '"""B."""\n'
+                "\n"
+                "\n"
+                "def fb():\n"
+                "    from . import a\n"
+                "    return a\n"
+            ),
+        },
+    ),
+    FlowCase(
+        code="ISE102",
+        hit={
+            "app/serve.py": (
+                '"""Serve."""\n'
+                "\n"
+                "COUNTER = 0\n"
+                "\n"
+                "\n"
+                "def bump():\n"
+                "    global COUNTER\n"
+                "    COUNTER += 1\n"
+            ),
+        },
+        suppressed={
+            "app/serve.py": (
+                '"""Serve."""\n'
+                "\n"
+                "COUNTER = 0\n"
+                "\n"
+                "\n"
+                "def bump():\n"
+                "    global COUNTER\n"
+                "    COUNTER += 1  # repro-lint: disable=ISE102\n"
+            ),
+        },
+        clean={
+            "app/serve.py": (
+                '"""Serve."""\n'
+                "\n"
+                "import threading\n"
+                "\n"
+                "COUNTER = 0\n"
+                "_LOCK = threading.Lock()\n"
+                "\n"
+                "\n"
+                "def bump():\n"
+                "    global COUNTER\n"
+                "    with _LOCK:\n"
+                "        COUNTER += 1\n"
+            ),
+        },
+    ),
+    FlowCase(
+        code="ISE103",
+        hit={
+            "app/work.py": (
+                '"""Work."""\n'
+                "\n"
+                "from concurrent.futures import ProcessPoolExecutor\n"
+                "\n"
+                "\n"
+                "def fan_out(items):\n"
+                "    with ProcessPoolExecutor(max_workers=2) as pool:\n"
+                "        return list(pool.map(str, items))\n"
+            ),
+        },
+        suppressed={
+            "app/work.py": (
+                '"""Work."""\n'
+                "\n"
+                "from concurrent.futures import ProcessPoolExecutor\n"
+                "\n"
+                "\n"
+                "def fan_out(items):\n"
+                "    with ProcessPoolExecutor(max_workers=2) as pool:  # repro-lint: disable=ISE103\n"
+                "        return list(pool.map(str, items))\n"
+            ),
+        },
+        clean={
+            "core/pool.py": (
+                '"""Sanctioned pool wrapper."""\n'
+                "\n"
+                "from concurrent.futures import ProcessPoolExecutor\n"
+                "\n"
+                "\n"
+                "def fan_out(items):\n"
+                "    with ProcessPoolExecutor(max_workers=2) as pool:\n"
+                "        return list(pool.map(str, items))\n"
+            ),
+            "app/work.py": (
+                '"""Work."""\n'
+                "\n"
+                "from ..core.pool import fan_out\n"
+                "\n"
+                "\n"
+                "def run(items):\n"
+                "    return fan_out(items)\n"
+            ),
+        },
+    ),
+    FlowCase(
+        code="ISE104",
+        hit={
+            "core/budget.py": BUDGET_MODULE,
+            "core/engine.py": (
+                '"""Engine."""\n'
+                "\n"
+                "from .budget import check_budget\n"
+                "\n"
+                "\n"
+                "def solve_loop(items):\n"
+                "    for item in items:\n"
+                "        check_budget()\n"
+                "    return items\n"
+            ),
+            "app/main.py": (
+                '"""Main."""\n'
+                "\n"
+                "from ..core.engine import solve_loop\n"
+                "\n"
+                "\n"
+                "def run(items):\n"
+                "    return solve_loop(items)\n"
+            ),
+        },
+        suppressed={
+            "core/budget.py": BUDGET_MODULE,
+            "core/engine.py": (
+                '"""Engine."""\n'
+                "\n"
+                "from .budget import check_budget\n"
+                "\n"
+                "\n"
+                "def solve_loop(items):\n"
+                "    for item in items:\n"
+                "        check_budget()\n"
+                "    return items\n"
+            ),
+            "app/main.py": (
+                '"""Main."""\n'
+                "\n"
+                "from ..core.engine import solve_loop\n"
+                "\n"
+                "\n"
+                "def run(items):\n"
+                "    return solve_loop(items)  # repro-lint: disable=ISE104\n"
+            ),
+        },
+        clean={
+            "core/budget.py": BUDGET_MODULE,
+            "core/engine.py": (
+                '"""Engine."""\n'
+                "\n"
+                "from .budget import check_budget\n"
+                "\n"
+                "\n"
+                "def solve_loop(items):\n"
+                "    for item in items:\n"
+                "        check_budget()\n"
+                "    return items\n"
+            ),
+            "app/main.py": (
+                '"""Main."""\n'
+                "\n"
+                "from ..core.budget import SolveBudget, budget_scope\n"
+                "from ..core.engine import solve_loop\n"
+                "\n"
+                "\n"
+                "def run(items):\n"
+                "    with budget_scope(SolveBudget()):\n"
+                "        return solve_loop(items)\n"
+            ),
+        },
+    ),
+    FlowCase(
+        code="ISE105",
+        hit={
+            "core/engine.py": (
+                '"""Engine."""\n'
+                "\n"
+                "\n"
+                "def compute():\n"
+                '    raise RuntimeError("boom")\n'
+            ),
+            "app/main.py": (
+                '"""Main."""\n'
+                "\n"
+                "from ..core.engine import compute\n"
+                "\n"
+                "\n"
+                "def run():\n"
+                "    return compute()\n"
+            ),
+        },
+        suppressed={
+            "core/engine.py": (
+                '"""Engine."""\n'
+                "\n"
+                "\n"
+                "def compute():\n"
+                '    raise RuntimeError("boom")  # repro-lint: disable=ISE105\n'
+            ),
+            "app/main.py": (
+                '"""Main."""\n'
+                "\n"
+                "from ..core.engine import compute\n"
+                "\n"
+                "\n"
+                "def run():\n"
+                "    return compute()\n"
+            ),
+        },
+        clean={
+            "core/engine.py": (
+                '"""Engine."""\n'
+                "\n"
+                "\n"
+                "class CoreError(Exception):\n"
+                '    """Typed core failure."""\n'
+                "\n"
+                "\n"
+                "def compute():\n"
+                '    raise CoreError("boom")\n'
+            ),
+            "app/main.py": (
+                '"""Main."""\n'
+                "\n"
+                "from ..core.engine import compute\n"
+                "\n"
+                "\n"
+                "def run():\n"
+                "    return compute()\n"
+            ),
+        },
+    ),
+]
+
+CASE_IDS = [case.code for case in CASES]
+
+
+@pytest.mark.parametrize("case", CASES, ids=CASE_IDS)
+def test_hit_fixture_triggers_rule(analyze, case: FlowCase) -> None:
+    result = analyze(case.hit, select=(case.code,))
+    codes = [diag.code for diag in result.diagnostics]
+    assert codes == [case.code], (
+        f"expected exactly one {case.code}, got {[d.format() for d in result.diagnostics]}"
+    )
+
+
+@pytest.mark.parametrize("case", CASES, ids=CASE_IDS)
+def test_suppression_on_edge_source_line_silences(analyze, case: FlowCase) -> None:
+    result = analyze(case.suppressed, select=(case.code,))
+    assert not result.diagnostics, [d.format() for d in result.diagnostics]
+    assert [diag.code for diag in result.suppressed] == [case.code]
+
+
+@pytest.mark.parametrize("case", CASES, ids=CASE_IDS)
+def test_clean_fixture_passes_without_suppressions(analyze, case: FlowCase) -> None:
+    result = analyze(case.clean, select=(case.code,))
+    assert not result.diagnostics, [d.format() for d in result.diagnostics]
+    assert not result.suppressed
+
+
+def test_every_flow_rule_has_a_fixture_triple() -> None:
+    assert sorted(FLOW_RULES) == sorted(CASE_IDS)
+
+
+def test_finding_messages_carry_the_offending_chain(analyze) -> None:
+    """ISE100 findings name the full import chain, not just the edge."""
+    case = CASES[0]
+    result = analyze(case.hit, select=("ISE100",))
+    (diag,) = result.diagnostics
+    assert "pkg.core.util -> pkg.app.handlers" in diag.message
+    assert "layer 'core'" in diag.message and "layer 'app'" in diag.message
+
+
+def test_dropped_budget_call_site_is_flagged(analyze) -> None:
+    """ISE104's dropped-budget sub-check: optional budget param not forwarded."""
+    result = analyze(
+        {
+            "core/budget.py": BUDGET_MODULE,
+            "core/engine.py": (
+                '"""Engine."""\n'
+                "\n"
+                "\n"
+                "def helper(budget=None):\n"
+                "    return budget\n"
+                "\n"
+                "\n"
+                "def outer(budget):\n"
+                "    return helper()\n"
+            ),
+        },
+        select=("ISE104",),
+    )
+    (diag,) = result.diagnostics
+    assert "dropped budget" in diag.message
+    assert diag.path.endswith("engine.py")
+
+
+def test_recreated_budget_is_flagged(analyze) -> None:
+    """ISE104's recreated-budget sub-check: fresh SolveBudget mid-path."""
+    result = analyze(
+        {
+            "core/budget.py": BUDGET_MODULE,
+            "core/engine.py": (
+                '"""Engine."""\n'
+                "\n"
+                "from .budget import SolveBudget\n"
+                "\n"
+                "\n"
+                "def refine(budget):\n"
+                "    fresh = SolveBudget()\n"
+                "    return fresh\n"
+            ),
+        },
+        select=("ISE104",),
+    )
+    (diag,) = result.diagnostics
+    assert "recreated budget" in diag.message
+
+
+def test_forwarding_budget_keyword_is_clean(analyze) -> None:
+    """Explicit budget= forwarding satisfies the dropped-budget check."""
+    result = analyze(
+        {
+            "core/budget.py": BUDGET_MODULE,
+            "core/engine.py": (
+                '"""Engine."""\n'
+                "\n"
+                "\n"
+                "def helper(budget=None):\n"
+                "    return budget\n"
+                "\n"
+                "\n"
+                "def outer(budget):\n"
+                "    return helper(budget=budget.subbudget())\n"
+            ),
+        },
+        select=("ISE104",),
+    )
+    assert not result.diagnostics

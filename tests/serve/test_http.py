@@ -175,20 +175,26 @@ def test_overload_maps_to_429_with_retry_after(instance) -> None:
     thread.start()
     try:
         body = instance_to_dict(instance)
-        # Saturate: one in flight + one queued, sent on background threads.
-        pending = [
-            threading.Thread(
+        # Saturate deterministically: admit one request and wait for the
+        # worker to pick it up, THEN queue a second.  Sending both at once
+        # races the worker's dequeue — under load the second request can
+        # arrive while the first still occupies the depth-1 queue and be
+        # 429-rejected, so saturation would never reach two.
+        pending = []
+        for occupied, filled in (
+            ("in-flight slot", lambda: service.in_flight == 1),
+            ("queue slot", lambda: service.queue.depth == 1),
+        ):
+            worker = threading.Thread(
                 target=_request, args=(httpd, "/solve", {"instance": body})
             )
-            for _ in range(2)
-        ]
-        for worker in pending:
             worker.start()
-        deadline = 600  # poll (up to 30 s) until both slots are taken
-        while (service.in_flight + service.queue.depth) < 2 and deadline:
-            threading.Event().wait(0.05)
-            deadline -= 1
-        assert service.in_flight + service.queue.depth == 2, "never saturated"
+            pending.append(worker)
+            deadline = 600  # poll (up to 30 s) for this slot to fill
+            while not filled() and deadline:
+                threading.Event().wait(0.05)
+                deadline -= 1
+            assert filled(), f"never saturated: {occupied} not taken"
         status, payload, headers = _request(httpd, "/solve", {"instance": body})
         assert status == 429
         assert payload["error_type"] == "OverloadError"
