@@ -232,7 +232,16 @@ def bench_perf_parallel_short(report, perf_json):
     report(table, "perf_parallel_short")
     perf_json(
         "short_parallel",
-        {"workers": WORKERS, "cpu_count": CPU_COUNT, "mm_algorithm": "exact", "sizes": rows},
+        {
+            "workers": WORKERS,
+            "cpu_count": CPU_COUNT,
+            # Honest flag for starved runners: with fewer cores than
+            # workers the speedup number measures pool overhead, not
+            # parallelism, and the baseline gate must not regress on it.
+            "under_provisioned": CPU_COUNT < WORKERS,
+            "mm_algorithm": "exact",
+            "sizes": rows,
+        },
     )
 
 
@@ -279,6 +288,7 @@ def bench_perf_parallel_sweep(report, perf_json):
         {
             "workers": WORKERS,
             "cpu_count": CPU_COUNT,
+            "under_provisioned": CPU_COUNT < WORKERS,
             "cases": len(cases),
             "serial_wall_ms": round(serial_wall * 1e3, 3),
             "parallel_wall_ms": round(pool_wall * 1e3, 3),

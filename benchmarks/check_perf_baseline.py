@@ -1,14 +1,25 @@
-"""Gate the compressed-LP model size against the recorded baseline.
+"""Gate the perf artifact against the recorded baseline.
 
 Usage:  python benchmarks/check_perf_baseline.py
 
-Reads the ``lp_compression`` section of ``BENCH_perf.json`` (produced by
-``pytest benchmarks/bench_perf_scaling.py``) and compares the compressed
-formulation's structural counters per instance size against
-``benchmarks/results/perf_baseline.json``.  Model structure is fully
-deterministic, so *any* growth in constraint nonzeros over the baseline is
-a formulation regression and fails the check (exit 1).  Sizes the current
-run did not measure (e.g. under ``PERF_SMOKE=1``) are skipped.
+Reads ``BENCH_perf.json`` (produced by the perf benches) and compares it
+against ``benchmarks/results/perf_baseline.json``:
+
+* ``lp_compression`` — the compressed formulation's structural counters
+  per instance size.  Model structure is fully deterministic, so *any*
+  growth in constraint nonzeros over the baseline is a formulation
+  regression and fails the check (exit 1).
+* ``lp_solver`` — the revised simplex must hold its cold speedup over the
+  retired tableau at the gate size, and a warm restart must stay a small
+  fraction of the cold wall.  Timing-based, so the thresholds carry slack.
+* ``short_parallel`` / ``sweep_parallel`` — measured pool speedups must
+  stay at or above ``parallel.min_speedup``.  Sections flagged
+  ``under_provisioned`` (host has fewer cores than the pool has workers)
+  are *skipped*: on a starved runner the number measures pool overhead,
+  not parallelism, and failing on it would just punish small CI boxes.
+
+Sizes the current run did not measure (e.g. under ``PERF_SMOKE=1``) are
+skipped.
 """
 
 from __future__ import annotations
@@ -25,41 +36,116 @@ ARTIFACT_PATH = ROOT / "BENCH_perf.json"
 GATED = ("nnz", "machine_nnz")
 
 
-def main() -> int:
-    if not ARTIFACT_PATH.exists():
-        print(f"error: {ARTIFACT_PATH} not found — run the perf benches first")
-        return 2
-    baseline = json.loads(BASELINE_PATH.read_text())["compressed"]
-    artifact = json.loads(ARTIFACT_PATH.read_text())
-    section = artifact.get("sections", {}).get("lp_compression")
+def check_lp_compression(sections, baseline, failures) -> int:
+    """Deterministic model-structure counters; returns sizes checked."""
+    section = sections.get("lp_compression")
     if section is None:
         print("error: BENCH_perf.json has no lp_compression section — "
               "run benchmarks/bench_perf_scaling.py first")
-        return 2
-
-    failures = []
+        return -1
+    recorded_sizes = baseline["compressed"]
     checked = 0
     for row in section["sizes"]:
         n = str(row["n"])
-        if n not in baseline:
-            print(f"n={n}: not in baseline, skipped")
+        if n not in recorded_sizes:
+            print(f"lp_compression n={n}: not in baseline, skipped")
             continue
         checked += 1
         for key in GATED:
             measured = row["compressed"][key]
-            recorded = baseline[n][key]
+            recorded = recorded_sizes[n][key]
             status = "ok" if measured <= recorded else "REGRESSION"
-            print(f"n={n} {key}: measured {measured} vs baseline {recorded} [{status}]")
+            print(f"lp_compression n={n} {key}: measured {measured} "
+                  f"vs baseline {recorded} [{status}]")
             if measured > recorded:
-                failures.append((n, key, measured, recorded))
+                failures.append(("lp_compression", n, key, measured, recorded))
+    return checked
+
+
+def check_lp_solver(sections, baseline, failures) -> None:
+    """Revised-simplex speedup gate at the recorded gate size."""
+    gate = baseline.get("lp_solver")
+    section = sections.get("lp_solver")
+    if gate is None:
+        return
+    if section is None:
+        print("lp_solver: section missing from BENCH_perf.json, skipped "
+              "(run benchmarks/bench_lp_solver.py to measure it)")
+        return
+    gate_n = int(gate["gate_n"])
+    row = next((r for r in section["sizes"] if int(r["n"]) == gate_n), None)
+    if row is None:
+        print(f"lp_solver: gate size n={gate_n} not measured "
+              "(PERF_SMOKE run?), skipped")
+        return
+    cold = float(row["cold_speedup"])
+    floor = float(gate["min_cold_speedup"])
+    status = "ok" if cold >= floor else "REGRESSION"
+    print(f"lp_solver n={gate_n} cold_speedup: measured {cold} "
+          f"vs floor {floor} [{status}]")
+    if cold < floor:
+        failures.append(("lp_solver", gate_n, "cold_speedup", cold, floor))
+    warm = float(row["warm_cold_ratio"])
+    ceiling = float(gate["max_warm_cold_ratio"])
+    status = "ok" if warm <= ceiling else "REGRESSION"
+    print(f"lp_solver n={gate_n} warm_cold_ratio: measured {warm} "
+          f"vs ceiling {ceiling} [{status}]")
+    if warm > ceiling:
+        failures.append(("lp_solver", gate_n, "warm_cold_ratio", warm, ceiling))
+
+
+def check_parallel(sections, baseline, failures) -> None:
+    """Pool speedups, skipped wholesale on under-provisioned hosts."""
+    gate = baseline.get("parallel")
+    if gate is None:
+        return
+    floor = float(gate["min_speedup"])
+    for name in ("short_parallel", "sweep_parallel"):
+        section = sections.get(name)
+        if section is None:
+            print(f"{name}: section missing from BENCH_perf.json, skipped")
+            continue
+        if section.get("under_provisioned"):
+            print(f"{name}: host under-provisioned "
+                  f"(cpu_count={section.get('cpu_count')} < "
+                  f"workers={section.get('workers')}), speedup checks skipped")
+            continue
+        speedups = (
+            [(str(r["n"]), float(r["speedup"])) for r in section["sizes"]]
+            if "sizes" in section
+            else [("all", float(section["speedup"]))]
+        )
+        for label, speedup in speedups:
+            status = "ok" if speedup >= floor else "REGRESSION"
+            print(f"{name} n={label} speedup: measured {speedup} "
+                  f"vs floor {floor} [{status}]")
+            if speedup < floor:
+                failures.append((name, label, "speedup", speedup, floor))
+
+
+def main() -> int:
+    if not ARTIFACT_PATH.exists():
+        print(f"error: {ARTIFACT_PATH} not found — run the perf benches first")
+        return 2
+    baseline = json.loads(BASELINE_PATH.read_text())
+    artifact = json.loads(ARTIFACT_PATH.read_text())
+    sections = artifact.get("sections", {})
+
+    failures: list[tuple] = []
+    checked = check_lp_compression(sections, baseline, failures)
+    if checked < 0:
+        return 2
+    check_lp_solver(sections, baseline, failures)
+    check_parallel(sections, baseline, failures)
 
     if not checked:
         print("error: no measured size overlaps the baseline")
         return 2
     if failures:
-        print(f"\nFAIL: {len(failures)} compressed-LP counter(s) grew past the baseline")
+        print(f"\nFAIL: {len(failures)} gated value(s) regressed past the baseline")
         return 1
-    print(f"\nOK: all gated counters within baseline across {checked} size(s)")
+    print(f"\nOK: all gated values within baseline "
+          f"({checked} lp_compression size(s) checked)")
     return 0
 
 

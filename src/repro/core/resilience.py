@@ -374,7 +374,14 @@ class ResiliencePolicy:
 
 @dataclass(frozen=True)
 class StageAttempt:
-    """One attempt at one stage with one backend."""
+    """One attempt at one stage with one backend.
+
+    ``detail`` carries backend-reported numeric telemetry for successful
+    attempts (e.g. LP ``iterations`` / ``refactorizations`` / ``solve_ms``
+    / ``warm_started``), populated through the ``telemetry`` hook of
+    :func:`run_with_fallbacks`.  It round-trips losslessly through
+    ``to_dict``/``from_dict`` so checkpointed shards keep it.
+    """
 
     stage: str
     backend: str
@@ -382,6 +389,7 @@ class StageAttempt:
     attempt: int = 1
     elapsed: float = 0.0
     error: str = ""
+    detail: dict[str, float] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -474,6 +482,7 @@ class ResilienceReport:
                     "attempt": a.attempt,
                     "elapsed": a.elapsed,
                     "error": a.error,
+                    "detail": dict(a.detail),
                 }
                 for a in self.attempts
             ],
@@ -499,6 +508,12 @@ class ResilienceReport:
                 attempt=int(str(a.get("attempt", 1))),
                 elapsed=float(str(a.get("elapsed", 0.0))),
                 error=str(a.get("error", "")),
+                detail={
+                    str(k): float(str(v))
+                    for k, v in a.get("detail", {}).items()
+                }
+                if isinstance(a.get("detail"), dict)
+                else {},
             )
             for a in as_list(payload.get("attempts"))
             if isinstance(a, dict)
@@ -542,6 +557,7 @@ def run_with_fallbacks(
     budget: SolveBudget | None = None,
     validate: Callable[[T], None] | None = None,
     gate: FallbackGate | None = None,
+    telemetry: Callable[[T], Mapping[str, float]] | None = None,
 ) -> T:
     """Try ``candidates`` in order until one returns a validated result.
 
@@ -556,6 +572,12 @@ def run_with_fallbacks(
     candidate: a vetoed candidate is recorded as a ``"skipped"`` attempt
     and the chain moves on without spending budget on it.  Every real
     attempt's outcome is reported back to the gate so it can trip or reset.
+
+    ``telemetry`` extracts backend counters from a *successful* result
+    (e.g. ``LPSolution.telemetry``); its mapping is attached to the "ok"
+    attempt's ``detail`` so solver behavior shows up in serve ``/stats``
+    and benches without profiling.  A telemetry hook that raises is
+    ignored — observability must never fail a solve.
 
     Raises:
         The original error, when there was a single candidate and a single
@@ -680,6 +702,14 @@ def run_with_fallbacks(
                             raise
                         raise last_error from exc
                     continue
+            detail: dict[str, float] = {}
+            if telemetry is not None:
+                try:
+                    detail = {
+                        str(k): float(v) for k, v in telemetry(result).items()
+                    }
+                except Exception:  # noqa: BLE001 — observability is best-effort
+                    detail = {}
             report.record(
                 StageAttempt(
                     stage=stage,
@@ -687,6 +717,7 @@ def run_with_fallbacks(
                     outcome="ok",
                     attempt=attempt,
                     elapsed=elapsed,
+                    detail=detail,
                 )
             )
             if gate is not None:

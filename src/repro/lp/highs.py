@@ -8,11 +8,14 @@ as an independently-implemented substrate and cross-check.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 from scipy.optimize import linprog
 
 from ..core.errors import SolverError, StageTimeoutError
 from .model import LinearProgram, LPSolution, LPStatus
+from .warmstart import Basis
 
 __all__ = ["HighsBackend", "solve_highs"]
 
@@ -27,13 +30,20 @@ _TIME_LIMIT_STATUS = 1  # scipy: "iteration or time limit reached"
 
 
 def solve_highs(
-    model: LinearProgram, *, time_limit: float | None = None
+    model: LinearProgram,
+    *,
+    time_limit: float | None = None,
+    warm_basis: Basis | None = None,
 ) -> LPSolution:
     """Solve ``model`` with HiGHS; never raises on infeasibility/unboundedness.
 
     ``time_limit`` (seconds) is forwarded to HiGHS; exceeding it raises
     :class:`StageTimeoutError` so the resilience layer can fall back.
+    ``warm_basis`` is accepted for backend interface parity but ignored —
+    SciPy's linprog interface offers no basis injection.
     """
+    del warm_basis
+    tic = time.perf_counter()
     c, a_ub, b_ub, a_eq, b_eq, lb, ub = model.to_standard_arrays()
     if model.num_variables == 0:
         return LPSolution(status=LPStatus.OPTIMAL, objective=0.0, x=np.empty(0))
@@ -92,6 +102,8 @@ def solve_highs(
             message=result.message,
             dual_ineq=dual_ineq,
             dual_eq=dual_eq,
+            iterations=int(getattr(result, "nit", 0)),
+            solve_ms=(time.perf_counter() - tic) * 1e3,
         )
     return LPSolution(status=status, objective=None, x=None, message=result.message)
 
@@ -102,9 +114,13 @@ class HighsBackend:
     name = "highs"
 
     def __call__(
-        self, model: LinearProgram, *, time_limit: float | None = None
+        self,
+        model: LinearProgram,
+        *,
+        time_limit: float | None = None,
+        warm_basis: Basis | None = None,
     ) -> LPSolution:
-        return solve_highs(model, time_limit=time_limit)
+        return solve_highs(model, time_limit=time_limit, warm_basis=warm_basis)
 
     def __repr__(self) -> str:  # pragma: no cover
         return "HighsBackend()"

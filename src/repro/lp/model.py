@@ -23,6 +23,7 @@ import numpy as np
 from scipy import sparse
 
 from ..core.errors import SolverError
+from .warmstart import Basis
 
 __all__ = [
     "Sense",
@@ -64,6 +65,19 @@ class LPSolution:
     ``objective == b_ub . dual_ineq + b_eq . dual_eq`` — an independently
     checkable certificate of the reported optimum (and hence of every lower
     bound derived from it).
+
+    The telemetry tail (``compare=False`` — two solves of the same model
+    are "equal" regardless of how fast they ran):
+
+    * ``basis`` — the optimal :class:`~repro.lp.warmstart.Basis` when the
+      backend can express one (the revised simplex does), reusable as the
+      ``warm_basis`` of a later solve;
+    * ``iterations`` — pivot/bound-flip count (HiGHS: its ``nit``);
+    * ``refactorizations`` — basis factorizations beyond the free identity
+      start (simplex only);
+    * ``solve_ms`` — wall-clock milliseconds inside the backend;
+    * ``warm_started`` — True when a supplied warm basis was actually used
+      (False also covers the crossover-to-phase-1 fallback on stale bases).
     """
 
     status: LPStatus
@@ -72,6 +86,20 @@ class LPSolution:
     message: str = ""
     dual_ineq: np.ndarray | None = None
     dual_eq: np.ndarray | None = None
+    basis: Basis | None = field(default=None, compare=False)
+    iterations: int = field(default=0, compare=False)
+    refactorizations: int = field(default=0, compare=False)
+    solve_ms: float = field(default=0.0, compare=False)
+    warm_started: bool = field(default=False, compare=False)
+
+    def telemetry(self) -> dict[str, float]:
+        """The numeric solver counters as a flat JSON-ready mapping."""
+        return {
+            "iterations": float(self.iterations),
+            "refactorizations": float(self.refactorizations),
+            "solve_ms": float(self.solve_ms),
+            "warm_started": 1.0 if self.warm_started else 0.0,
+        }
 
     def dual_objective(
         self, b_ub: np.ndarray | None, b_eq: np.ndarray | None

@@ -1,0 +1,308 @@
+"""The legacy dense full-tableau two-phase simplex, kept as a yardstick.
+
+The production in-repo solver is the bounded-variable *revised* simplex in
+:mod:`repro.lp.simplex`; this module preserves its predecessor — a textbook
+full-tableau two-phase simplex with Bland's anti-cycling rule and per-pivot
+``O(rows x cols)`` tableau updates — so benchmarks (``bench_lp_solver``)
+can measure the revised solver against the exact algorithm it replaced, and
+so a third independent implementation remains available for differential
+testing.  Finite upper bounds are modeled the old way, as extra ``<=``
+rows, which is precisely the blow-up the revised solver's native bound
+flips remove.
+
+Two historical defects are fixed rather than preserved:
+
+* standard-form assembly is vectorized and sparse-aware (no
+  ``todense()`` + per-row Python appends, no quadratic free-variable
+  column copies) — the tableau itself is inherently dense, but it is now
+  materialized once;
+* artificial columns are genuinely retired after phase 1 — pivoted out of
+  the basis, redundant rows dropped, and the columns *deleted* — instead
+  of being priced at a magic ``1e18`` cost in phase 2, which could poison
+  reduced-cost comparisons.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..core.errors import StageTimeoutError
+from ..core.resilience import check_budget
+from ..core.tolerance import EPS
+from .model import LinearProgram, LPSolution, LPStatus
+from .warmstart import Basis
+
+__all__ = ["TableauBackend", "solve_tableau"]
+
+_TOL = EPS
+_PHASE1_TOL = 100 * EPS  # phase-1 objective accumulates m pivots of error
+_MAX_ITERS_FACTOR = 200
+_BUDGET_POLL_ITERS = 64  # pivot iterations between wall-clock checks
+
+
+def _pivot(tableau: np.ndarray, basis: np.ndarray, row: int, col: int) -> None:
+    """In-place pivot on ``tableau[row, col]``."""
+    tableau[row] /= tableau[row, col]
+    pivot_col = tableau[:, col].copy()
+    pivot_col[row] = 0.0
+    tableau -= np.outer(pivot_col, tableau[row])
+    basis[row] = col
+
+
+def _run_simplex(
+    tableau: np.ndarray,
+    basis: np.ndarray,
+    cost: np.ndarray,
+    max_iters: int,
+    deadline: float | None = None,
+    context: str = "",
+) -> LPStatus:
+    """Optimize ``min cost.x`` over the tableau in place; returns status.
+
+    ``tableau`` is ``(m, n+1)`` with the rhs in the last column; ``basis``
+    holds the basic column of each row.  Uses Bland's rule with the
+    historical per-column/per-row Python loops (deliberately unchanged —
+    this per-pivot cost is what ``bench_lp_solver`` measures).  Every
+    ``_BUDGET_POLL_ITERS`` pivots the loop polls the ambient solve budget
+    and the explicit ``deadline`` (monotonic seconds), raising
+    :class:`StageTimeoutError` when either is exhausted.
+    """
+    m, _ = tableau.shape
+    n = tableau.shape[1] - 1
+    for iteration in range(max_iters):
+        if iteration % _BUDGET_POLL_ITERS == 0:
+            check_budget("lp", "tableau")
+            if deadline is not None and time.monotonic() > deadline:
+                raise StageTimeoutError(
+                    f"simplex exceeded its time limit{context}",
+                    stage="lp",
+                    backend="tableau",
+                )
+        c_b = cost[basis]
+        reduced = cost[:n] - c_b @ tableau[:, :n]
+        entering = -1
+        for j in range(n):  # Bland: smallest index with negative reduced cost
+            if reduced[j] < -_TOL:
+                entering = j
+                break
+        if entering < 0:
+            return LPStatus.OPTIMAL
+        col = tableau[:, entering]
+        rhs = tableau[:, n]
+        best_ratio = np.inf
+        leaving = -1
+        for i in range(m):
+            if col[i] > _TOL:
+                ratio = rhs[i] / col[i]
+                if ratio < best_ratio - _TOL or (
+                    abs(ratio - best_ratio) <= _TOL
+                    and (leaving < 0 or basis[i] < basis[leaving])
+                ):
+                    best_ratio = ratio
+                    leaving = i
+        if leaving < 0:
+            return LPStatus.UNBOUNDED
+        _pivot(tableau, basis, leaving, entering)
+    return LPStatus.ERROR  # iteration limit: numerical trouble
+
+
+def solve_tableau(
+    model: LinearProgram,
+    *,
+    time_limit: float | None = None,
+    warm_basis: Basis | None = None,
+) -> LPSolution:
+    """Solve ``model`` with the legacy full-tableau two-phase simplex.
+
+    ``time_limit`` (seconds, across both phases) raises
+    :class:`StageTimeoutError` when exceeded; the ambient solve budget is
+    honored either way.  ``warm_basis`` is accepted for backend interface
+    parity but ignored: the full tableau carries no factorized basis to
+    restore, so every solve is cold.
+    """
+    del warm_basis
+    tic = time.perf_counter()
+    deadline = time.monotonic() + time_limit if time_limit is not None else None
+    context = f" on LP {model.name or '<unnamed>'} [{model.dims()}]"
+    c, a_ub, b_ub, a_eq, b_eq, lb, ub = model.to_standard_arrays()
+    nvar = model.num_variables
+    if nvar == 0:
+        return LPSolution(status=LPStatus.OPTIMAL, objective=0.0, x=np.empty(0))
+
+    # ------------------------------------------------------------------
+    # Variable transformation to x' >= 0 (vectorized, one dense copy).
+    # x_i = lb_i + x'_i                        when lb_i finite
+    # x_i = x'_pos - x'_neg                    when lb_i = -inf
+    # ------------------------------------------------------------------
+    free = ~np.isfinite(lb)
+    free_idx = np.flatnonzero(free)
+    shift = np.where(free, 0.0, lb)
+    n_std = nvar + free_idx.size
+    neg_col = np.full(nvar, -1, dtype=np.int64)
+    neg_col[free_idx] = nvar + np.arange(free_idx.size)
+
+    def expand(mat) -> tuple[np.ndarray, np.ndarray]:
+        """Dense standard-form block: append negated free columns in bulk."""
+        dense = mat.toarray()
+        if free_idx.size:
+            dense = np.hstack([dense, -dense[:, free_idx]])
+        return dense
+
+    a_blocks: list[np.ndarray] = []
+    b_parts: list[np.ndarray] = []
+    eq_parts: list[np.ndarray] = []
+    if a_ub is not None and b_ub is not None:
+        a_blocks.append(expand(a_ub))
+        b_parts.append(b_ub - a_ub @ shift)
+        eq_parts.append(np.zeros(b_ub.size, dtype=bool))
+    if a_eq is not None and b_eq is not None:
+        a_blocks.append(expand(a_eq))
+        b_parts.append(b_eq - a_eq @ shift)
+        eq_parts.append(np.ones(b_eq.size, dtype=bool))
+    # Finite upper bounds become rows  x'_i (- x'_neg) <= ub_i - lb_i.
+    fin = np.flatnonzero(np.isfinite(ub))
+    if fin.size:
+        ub_block = np.zeros((fin.size, n_std))
+        ub_block[np.arange(fin.size), fin] = 1.0
+        free_rows = np.flatnonzero(free[fin])
+        if free_rows.size:
+            ub_block[free_rows, neg_col[fin[free_rows]]] = -1.0
+        a_blocks.append(ub_block)
+        b_parts.append(ub[fin] - shift[fin])
+        eq_parts.append(np.zeros(fin.size, dtype=bool))
+
+    c_std = np.concatenate([c, -c[free_idx]])
+    const_term = float(c @ shift)
+
+    if not a_blocks:
+        # Unconstrained except x' >= 0: optimum sets x'_j = 0 unless c_j < 0.
+        if np.any(c_std < -_TOL):
+            return LPSolution(status=LPStatus.UNBOUNDED, objective=None, x=None)
+        return LPSolution(
+            status=LPStatus.OPTIMAL,
+            objective=const_term,
+            x=shift.copy(),
+            solve_ms=(time.perf_counter() - tic) * 1e3,
+        )
+
+    a = np.vstack(a_blocks)
+    b = np.concatenate(b_parts)
+    is_eq = np.concatenate(eq_parts)
+    m = b.size
+
+    # Normalize to b >= 0 (flipped LE rows become GE rows needing surplus).
+    flipped = b < 0.0
+    if flipped.any():
+        a[flipped] *= -1.0
+        b = np.abs(b)
+
+    # Slack / surplus / artificial columns (vectorized scatter).
+    ineq_rows = np.flatnonzero(~is_eq)
+    n_slack = ineq_rows.size
+    slack = np.zeros((m, n_slack))
+    slack[ineq_rows, np.arange(n_slack)] = np.where(
+        flipped[ineq_rows], -1.0, 1.0
+    )
+    slack_col_of_row = np.full(m, -1, dtype=np.int64)
+    plain_le = ineq_rows[~flipped[ineq_rows]]
+    slack_col_of_row[plain_le] = (
+        n_std + np.searchsorted(ineq_rows, plain_le)
+    )
+
+    art_rows = np.flatnonzero(is_eq | flipped)
+    art = np.zeros((m, art_rows.size))
+    art[art_rows, np.arange(art_rows.size)] = 1.0
+    art_start = n_std + n_slack
+    art_cols = art_start + np.arange(art_rows.size)
+
+    tableau = np.hstack([a, slack, art, b.reshape(-1, 1)])
+    total_cols = art_start + art_rows.size
+
+    basis = slack_col_of_row.copy()
+    basis[art_rows] = art_cols
+    max_iters = _MAX_ITERS_FACTOR * (m + total_cols)
+
+    # Phase 1: minimize sum of artificials.
+    if art_rows.size:
+        cost1 = np.zeros(total_cols)
+        cost1[art_cols] = 1.0
+        status = _run_simplex(tableau, basis, cost1, max_iters, deadline, context)
+        if status is LPStatus.ERROR:
+            return LPSolution(
+                status=LPStatus.ERROR, objective=None, x=None,
+                message="phase-1 iteration limit",
+            )
+        phase1_val = float(cost1[basis] @ tableau[:, -1])
+        if phase1_val > _PHASE1_TOL:
+            return LPSolution(status=LPStatus.INFEASIBLE, objective=None, x=None)
+        # Retire the artificials for real: pivot each one out of the basis
+        # if any structural/slack column can take its row; a row where none
+        # can is redundant and is dropped outright.  Afterwards the
+        # artificial columns are deleted, so phase 2 never prices them.
+        art_set = set(int(col) for col in art_cols)
+        redundant: list[int] = []
+        for i in range(m):
+            if int(basis[i]) not in art_set:
+                continue
+            pivoted = False
+            for j in range(art_start):
+                if abs(tableau[i, j]) > _TOL:
+                    _pivot(tableau, basis, i, j)
+                    pivoted = True
+                    break
+            if not pivoted:
+                redundant.append(i)
+        if redundant:
+            tableau = np.delete(tableau, redundant, axis=0)
+            basis = np.delete(basis, redundant)
+            m -= len(redundant)
+        tableau = np.delete(tableau, art_cols, axis=1)
+        total_cols = art_start
+
+    # Phase 2: original objective over the artificial-free tableau.
+    cost2 = np.zeros(total_cols)
+    cost2[:n_std] = c_std
+    status = _run_simplex(tableau, basis, cost2, max_iters, deadline, context)
+    if status is LPStatus.UNBOUNDED:
+        return LPSolution(status=LPStatus.UNBOUNDED, objective=None, x=None)
+    if status is LPStatus.ERROR:
+        return LPSolution(
+            status=LPStatus.ERROR, objective=None, x=None,
+            message="phase-2 iteration limit",
+        )
+
+    x_std = np.zeros(total_cols)
+    x_std[basis] = tableau[:, -1]
+    x = x_std[:nvar].copy()
+    if free_idx.size:
+        x[free_idx] -= x_std[neg_col[free_idx]]
+    x += shift
+    return LPSolution(
+        status=LPStatus.OPTIMAL,
+        objective=float(c @ x),
+        x=x,
+        solve_ms=(time.perf_counter() - tic) * 1e3,
+    )
+
+
+class TableauBackend:
+    """Callable-object form of :func:`solve_tableau` for the backend registry."""
+
+    name = "tableau"
+
+    def __call__(
+        self,
+        model: LinearProgram,
+        *,
+        time_limit: float | None = None,
+        warm_basis: Basis | None = None,
+    ) -> LPSolution:
+        check_budget("lp", "tableau")
+        return solve_tableau(
+            model, time_limit=time_limit, warm_basis=warm_basis
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "TableauBackend()"

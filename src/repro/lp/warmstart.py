@@ -1,0 +1,159 @@
+"""Reusable simplex bases and the stash that carries them between solves.
+
+The revised simplex (:mod:`repro.lp.simplex`) describes an optimal vertex by
+its *basis*: which standard-form columns are basic (one per row) and which
+nonbasic columns are parked at their finite upper bound.  That description
+is tiny — two integer tuples — and is exactly what a later solve of the same
+(or a near-identical) LP needs to restart from: re-factorize ``B = A[:,
+basic]``, check the implied point is still feasible, and resume phase 2.  A
+solve warm-started from its *own* optimal basis prices once, pivots zero
+times, and returns the bit-identical solution.
+
+:class:`BasisStash` is the carrier: a small, thread-safe LRU keyed by an
+*exact content fingerprint* of the instance (see :func:`content_key`).  The
+exact-key discipline is what keeps warm starts bit-identical to cold
+solves at the pipeline level — a hit means the very same LP is being
+re-solved, so the restart is a zero-pivot replay; a miss falls through to a
+cold solve.  A *stale* basis (dimensions match but the point it implies is
+infeasible for the new data) is handled one level down: the solver falls
+back to phase 1, so correctness never depends on the stash's keying.
+
+Stashes hold a :class:`threading.Lock`, so they are per-process objects and
+deliberately **not** picklable state: sweeps build one per worker process,
+the serve layer one per worker thread.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+__all__ = ["Basis", "BasisStash", "content_key", "default_stash"]
+
+
+@dataclass(frozen=True)
+class Basis:
+    """A reusable simplex basis handle for one standard-form LP shape.
+
+    Attributes:
+        m: number of standard-form rows the basis belongs to.
+        n: number of structural + slack columns (artificials excluded —
+            a finished solve never records an artificial as basic).
+        basic: the basic column of each row, in row order.
+        at_upper: nonbasic columns parked at their finite upper bound.
+    """
+
+    m: int
+    n: int
+    basic: tuple[int, ...]
+    at_upper: tuple[int, ...] = ()
+
+    def matches(self, m: int, n: int) -> bool:
+        """True when this basis is shaped for an ``m x n`` standard form."""
+        return (
+            self.m == m
+            and self.n == n
+            and len(self.basic) == m
+            and all(0 <= col < n for col in self.basic)
+            and all(0 <= col < n for col in self.at_upper)
+        )
+
+
+def content_key(*parts: object) -> str:
+    """A stable fingerprint of ``parts`` for exact-content stash keys.
+
+    Builds the key from ``repr`` of each part (callers pass primitives and
+    tuples of primitives only), so equal content always produces equal keys
+    across processes and sessions — unlike ``hash()``, which is salted.
+    """
+    digest = hashlib.blake2b(digest_size=16)
+    for part in parts:
+        digest.update(repr(part).encode("utf-8"))
+        digest.update(b"\x1f")
+    return digest.hexdigest()
+
+
+class BasisStash:
+    """A small thread-safe LRU of :class:`Basis` handles, keyed by content.
+
+    ``get`` counts hits/misses and refreshes recency; ``put`` evicts the
+    least-recently-used entry beyond ``maxsize``.  The repr is stable (no
+    object identity) so configs holding a stash keep reproducible
+    fingerprints (sweep checkpoint journals hash ``repr(config)``).
+    """
+
+    def __init__(self, maxsize: int = 8) -> None:
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[str, Basis] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+
+    def get(self, key: str) -> Basis | None:
+        """The stashed basis for ``key`` (refreshing recency), or None."""
+        with self._lock:
+            basis = self._entries.get(key)
+            if basis is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return basis
+
+    def put(self, key: str, basis: Basis) -> None:
+        """Stash ``basis`` under ``key``, evicting the LRU entry if full."""
+        with self._lock:
+            self._entries[key] = basis
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def hits(self) -> int:
+        with self._lock:
+            return self._hits
+
+    @property
+    def misses(self) -> int:
+        with self._lock:
+            return self._misses
+
+    def snapshot(self) -> dict[str, int]:
+        """Counter snapshot for ``/stats`` and benches."""
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "maxsize": self.maxsize,
+                "hits": self._hits,
+                "misses": self._misses,
+            }
+
+    def __repr__(self) -> str:
+        return f"BasisStash(maxsize={self.maxsize})"
+
+
+_DEFAULT_STASH_LOCK = threading.Lock()
+_DEFAULT_STASH: BasisStash | None = None
+
+
+def default_stash() -> BasisStash:
+    """The process-local shared stash (created on first use).
+
+    Sweeps enable warm starting with a boolean config flag rather than a
+    stash object (configs must stay picklable across process pools); each
+    worker process then lazily materializes this per-process stash, which
+    is how "the previous shard's basis" is carried forward within a worker.
+    """
+    global _DEFAULT_STASH
+    with _DEFAULT_STASH_LOCK:
+        if _DEFAULT_STASH is None:
+            _DEFAULT_STASH = BasisStash()
+        return _DEFAULT_STASH

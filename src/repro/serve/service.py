@@ -47,6 +47,7 @@ from ..core.errors import (
 from ..core.job import Instance
 from ..core.resilience import ResiliencePolicy, RetryPolicy, SolveBudget
 from ..core.solver import ISEConfig, solve_ise
+from ..lp import BasisStash
 from .breaker import BreakerBoard
 from .queue import AdmissionQueue, SolveRequest
 
@@ -85,6 +86,11 @@ class ServiceConfig:
         breaker_half_open_trials: circuit-breaker tuning, shared by every
             per-backend breaker on the board.
         retry: per-candidate retry/backoff policy for fallback chains.
+        lp_warm_start: give each worker thread its own small LP basis
+            stash, so a client re-solving the same instance (retries,
+            idempotent replays, polling dashboards) warm-starts the LP
+            stage.  Exact-content keys keep warm results bit-identical to
+            cold ones; stale bases fall back to phase 1 in the solver.
     """
 
     workers: int = 2
@@ -100,6 +106,7 @@ class ServiceConfig:
     breaker_reset_timeout: float = 30.0
     breaker_half_open_trials: int = 1
     retry: RetryPolicy = field(default_factory=RetryPolicy)
+    lp_warm_start: bool = True
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -118,7 +125,13 @@ class ServeOutcome:
 
 
 class ServiceStats:
-    """Thread-safe service counters (the numbers behind ``/stats``)."""
+    """Thread-safe service counters (the numbers behind ``/stats``).
+
+    The ``lp_*`` counters aggregate the LP telemetry that successful solves
+    carry in their resilience attempt records (``detail`` of "ok" LP
+    attempts): total LP solves observed, how many of them warm-started,
+    and the cumulative simplex iteration count.
+    """
 
     _FIELDS = (
         "submitted",
@@ -129,6 +142,9 @@ class ServiceStats:
         "timed_out",
         "shed_solves",
         "abandoned",
+        "lp_solves",
+        "lp_warm_solves",
+        "lp_iterations",
     )
 
     def __init__(self) -> None:
@@ -216,6 +232,11 @@ class SolveService:
         self._state_lock = threading.Lock()
         self._in_flight: dict[str, SolveRequest] = {}
         self._idle = threading.Condition(self._state_lock)
+        # Per-worker-thread LP basis stashes: thread-local to stay
+        # contention-free on the hot path, registered centrally so
+        # stats_snapshot() can aggregate hit/miss counters.
+        self._stash_local = threading.local()
+        self._stashes: list[BasisStash] = []
 
     # -- Lifecycle ----------------------------------------------------------
 
@@ -350,6 +371,16 @@ class SolveService:
                     self._in_flight.pop(request.request_id, None)
                     self._idle.notify_all()
 
+    def _worker_stash(self) -> BasisStash:
+        """This worker thread's LP basis stash (created and registered once)."""
+        stash = getattr(self._stash_local, "stash", None)
+        if stash is None:
+            stash = BasisStash()
+            self._stash_local.stash = stash
+            with self._state_lock:
+                self._stashes.append(stash)
+        return stash
+
     def _request_config(self, request: SolveRequest, shed: bool) -> ISEConfig:
         """The per-request solver config: base template + deadline + gate."""
         base = self.config.solver
@@ -365,12 +396,15 @@ class SolveService:
             pipeline_fallback=base_policy.pipeline_fallback,
             gate=self.breakers,
         )
+        warm = self.config.lp_warm_start
         return dataclasses.replace(
             base,
             strict=strict_effective,
             mm_algorithm=self.config.shed_mm if shed else base.mm_algorithm,
             timeout=None,
             resilience=policy,
+            lp_warm_start=warm or base.lp_warm_start,
+            lp_warm_stash=self._worker_stash() if warm else base.lp_warm_stash,
         )
 
     def _handle(self, request: SolveRequest) -> None:
@@ -412,6 +446,7 @@ class SolveService:
             self.stats.bump("completed")
             if shed:
                 self.stats.bump("shed_solves")
+            self._record_lp_telemetry(result)
             request.future.set_result(
                 ServeOutcome(
                     result=result,
@@ -421,6 +456,24 @@ class SolveService:
                     solve_seconds=max(0.0, self.clock() - tic),
                 )
             )
+
+    def _record_lp_telemetry(self, result: Any) -> None:
+        """Fold a solve's LP attempt telemetry into the service counters.
+
+        Tolerates arbitrary ``solve_fn`` results (chaos tests inject fakes
+        with no resilience report) — missing telemetry simply counts
+        nothing.
+        """
+        report = getattr(result, "resilience", None)
+        attempts = getattr(report, "attempts", None) or ()
+        for attempt in attempts:
+            if attempt.stage != "lp" or not attempt.ok:
+                continue
+            self.stats.bump("lp_solves")
+            detail = attempt.detail or {}
+            if detail.get("warm_started"):
+                self.stats.bump("lp_warm_solves")
+            self.stats.bump("lp_iterations", int(detail.get("iterations", 0)))
 
     # -- Drain ---------------------------------------------------------------
 
@@ -500,4 +553,17 @@ class SolveService:
             "draining": self.draining,
             "ready": self.ready,
             "breakers": self.breakers.snapshot(),
+            "lp_basis_stash": self._stash_summary(),
         }
+
+    def _stash_summary(self) -> dict[str, int]:
+        """Aggregated per-worker basis-stash counters for ``/stats``."""
+        with self._state_lock:
+            stashes = list(self._stashes)
+        summary = {"stashes": len(stashes), "entries": 0, "hits": 0, "misses": 0}
+        for stash in stashes:
+            snap = stash.snapshot()
+            summary["entries"] += snap["entries"]
+            summary["hits"] += snap["hits"]
+            summary["misses"] += snap["misses"]
+        return summary

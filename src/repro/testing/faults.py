@@ -48,7 +48,7 @@ import numpy as np
 from ..core.errors import SolverError, StageTimeoutError
 from ..core.job import Job
 from ..core.schedule import ScheduledJob
-from ..lp import BACKENDS, LinearProgram, LPSolution, LPStatus, get_backend
+from ..lp import BACKENDS, Basis, LinearProgram, LPSolution, LPStatus, get_backend
 from ..mm.base import MMAlgorithm, MMSchedule
 from ..mm.registry import MM_ALGORITHMS, get_mm_algorithm
 
@@ -130,7 +130,11 @@ class FaultyLPBackend:
         self.name = name
 
     def __call__(
-        self, model: LinearProgram, *, time_limit: float | None = None
+        self,
+        model: LinearProgram,
+        *,
+        time_limit: float | None = None,
+        warm_basis: Basis | None = None,
     ) -> LPSolution:
         if self.plan.should_fault():
             if self.plan.kind == "fail":
@@ -151,7 +155,7 @@ class FaultyLPBackend:
                 x=np.zeros(model.num_variables),
                 message="injected garbage",
             )
-        return self.inner(model, time_limit=time_limit)
+        return self.inner(model, time_limit=time_limit, warm_basis=warm_basis)
 
 
 @dataclass

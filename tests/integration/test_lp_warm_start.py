@@ -1,0 +1,133 @@
+"""Warm-started LP solves through the pipeline, sweep, and solver layers.
+
+The invariant everywhere: warm starting is a pure wall-clock optimization.
+Stash keys are exact content fingerprints of the LP inputs, so a hit
+replays the *identical* model from its optimal basis (zero pivots) and
+every schedule must be bit-identical to what a cold solve produces — even
+when the stash is deliberately poisoned with a stale or corrupt basis
+(fault injection), because the solver falls back to a cold phase-1 start.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.sweep import SweepCase, run_sweep
+from repro.core.solver import ISEConfig, solve_ise
+from repro.instances import long_window_instance
+from repro.longwindow import LongWindowConfig, LongWindowSolver
+from repro.lp import Basis, BasisStash
+
+
+def _instance(seed: int = 3):
+    return long_window_instance(n=8, machines=2, calibration_length=10.0, seed=seed)
+
+
+def _lp_attempts(result):
+    report = result.resilience
+    assert report is not None
+    return [a for a in report.attempts if a.stage == "lp" and a.outcome == "ok"]
+
+
+class TestPipelineWarmStart:
+    def test_repeat_solve_hits_the_stash_and_matches_cold(self):
+        gen = _instance()
+        stash = BasisStash()
+        warm_cfg = LongWindowConfig(lp_backend="simplex", lp_warm_stash=stash)
+        cold = LongWindowSolver(LongWindowConfig(lp_backend="simplex")).solve(
+            gen.instance
+        )
+        first = LongWindowSolver(warm_cfg).solve(gen.instance)
+        second = LongWindowSolver(warm_cfg).solve(gen.instance)
+        assert first.schedule == cold.schedule
+        assert second.schedule == cold.schedule
+        snap = stash.snapshot()
+        assert snap["hits"] == 1 and snap["misses"] == 1
+
+    def test_warm_attempt_records_telemetry(self):
+        gen = _instance()
+        stash = BasisStash()
+        cfg = LongWindowConfig(lp_backend="simplex", lp_warm_stash=stash)
+        LongWindowSolver(cfg).solve(gen.instance)
+        second = LongWindowSolver(cfg).solve(gen.instance)
+        (attempt,) = _lp_attempts(second)
+        assert attempt.detail.get("warm_started") == 1.0
+        assert attempt.detail.get("iterations") == 0.0
+
+    def test_different_instances_do_not_share_bases(self):
+        stash = BasisStash()
+        cfg = LongWindowConfig(lp_backend="simplex", lp_warm_stash=stash)
+        LongWindowSolver(cfg).solve(_instance(seed=3).instance)
+        LongWindowSolver(cfg).solve(_instance(seed=4).instance)
+        snap = stash.snapshot()
+        assert snap["hits"] == 0 and snap["misses"] == 2
+
+    def test_poisoned_stash_still_yields_cold_schedule(self):
+        """Fault injection: every stash lookup returns a corrupt basis; the
+        solver must fall back to a cold start and the schedule must not
+        change."""
+
+        class PoisonedStash(BasisStash):
+            def get(self, key):
+                super().get(key)  # keep the counters honest
+                return Basis(m=2, n=3, basic=(0, 0))
+
+        gen = _instance()
+        cold = LongWindowSolver(LongWindowConfig(lp_backend="simplex")).solve(
+            gen.instance
+        )
+        poisoned = LongWindowSolver(
+            LongWindowConfig(lp_backend="simplex", lp_warm_stash=PoisonedStash())
+        ).solve(gen.instance)
+        assert poisoned.schedule == cold.schedule
+        (attempt,) = _lp_attempts(poisoned)
+        assert attempt.detail.get("warm_started") == 0.0
+
+
+class TestISEConfigFlag:
+    def test_flag_resolves_to_shared_default_stash(self):
+        gen = _instance(seed=7)
+        warm_cfg = ISEConfig(lp_backend="simplex", lp_warm_start=True)
+        cold_cfg = ISEConfig(lp_backend="simplex")
+        warm_first = solve_ise(gen.instance, warm_cfg)
+        warm_second = solve_ise(gen.instance, warm_cfg)
+        cold = solve_ise(gen.instance, cold_cfg)
+        assert warm_first.schedule == cold.schedule
+        assert warm_second.schedule == cold.schedule
+
+    def test_flagged_config_stays_picklable(self):
+        import pickle
+
+        cfg = ISEConfig(lp_backend="simplex", lp_warm_start=True)
+        restored = pickle.loads(pickle.dumps(cfg))
+        assert restored.lp_warm_start is True
+        assert restored.lp_warm_stash is None
+
+
+class TestSweepWarmStart:
+    def test_warm_sweep_outcomes_match_cold(self):
+        # Repeat each case so the per-process stash gets genuine hits.
+        base = [
+            SweepCase(
+                family="long",
+                n=6,
+                machines=2,
+                calibration_length=10.0,
+                seed=seed,
+            )
+            for seed in range(2)
+        ]
+        cases = base + base
+        cold = run_sweep(cases, config=ISEConfig(lp_backend="simplex"))
+        warm = run_sweep(
+            cases, config=ISEConfig(lp_backend="simplex", lp_warm_start=True)
+        )
+
+        def strip(outcome):
+            return (
+                outcome.case,
+                outcome.calibrations,
+                outcome.lower_bound,
+                outcome.machines_used,
+                outcome.valid,
+            )
+
+        assert [strip(a) for a in cold] == [strip(b) for b in warm]

@@ -1,8 +1,9 @@
-"""Cross-checked tests for the HiGHS backend and the in-repo simplex.
+"""Cross-checked tests for the HiGHS backend and the in-repo solvers.
 
-The central property: on any random bounded-feasible LP, both solvers return
-the same optimal objective (the simplex is the independently implemented
-substrate, HiGHS the reference).
+The central property: on any random bounded-feasible LP, every solver —
+the revised simplex, the preserved full-tableau reference, and HiGHS —
+returns the same optimal objective (the in-repo solvers are independently
+implemented substrates, HiGHS the reference).
 """
 
 from __future__ import annotations
@@ -19,6 +20,7 @@ from repro.lp import (
     get_backend,
     solve_highs,
     solve_simplex,
+    solve_tableau,
 )
 
 
@@ -31,7 +33,7 @@ def _knapsack_lp():
     return lp
 
 
-@pytest.mark.parametrize("solve", [solve_highs, solve_simplex])
+@pytest.mark.parametrize("solve", [solve_highs, solve_simplex, solve_tableau])
 class TestBothBackends:
     def test_simple_min(self, solve):
         lp = LinearProgram()
@@ -101,6 +103,7 @@ class TestBackendRegistry:
     def test_lookup(self):
         assert get_backend("highs") is not None
         assert get_backend("simplex") is not None
+        assert get_backend("tableau") is not None
         with pytest.raises(KeyError):
             get_backend("cplex")
 
@@ -128,8 +131,11 @@ def test_simplex_matches_highs_on_random_bounded_lps(data, nvar, ncon):
         lp.add_constraint(terms, Sense.LE, rhs)
     h = solve_highs(lp)
     s = solve_simplex(lp)
-    assert h.ok and s.ok
+    t = solve_tableau(lp)
+    assert h.ok and s.ok and t.ok
     assert s.objective == pytest.approx(h.objective, abs=1e-6)
-    # Both solutions satisfy the constraints independently.
+    assert t.objective == pytest.approx(h.objective, abs=1e-6)
+    # All solutions satisfy the constraints independently.
     assert lp.constraint_violation(h.x) < 1e-6
     assert lp.constraint_violation(s.x) < 1e-6
+    assert lp.constraint_violation(t.x) < 1e-6

@@ -1,0 +1,184 @@
+"""Warm-started revised-simplex solves: basis reuse, fallback, telemetry.
+
+The contract under test: passing ``warm_basis`` can only ever *speed up* a
+solve — re-solving an unchanged model restarts at the old vertex with zero
+pivots, a basis from a mutated model resumes phase 2 from that vertex, and
+a stale basis (wrong shape, duplicated columns, infeasible point) silently
+falls back to an ordinary cold phase-1 start.  Results must be identical
+to cold solves in every case.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import StageTimeoutError
+from repro.core.resilience import SolveBudget, budget_scope
+from repro.lp import (
+    Basis,
+    BasisStash,
+    LinearProgram,
+    Sense,
+    content_key,
+    default_stash,
+    solve_highs,
+    solve_simplex,
+)
+from repro.testing import FakeClock
+
+
+def _knapsack_lp(capacity: float = 4.0) -> LinearProgram:
+    lp = LinearProgram("knap")
+    x = lp.add_variable(objective=-3.0, upper=1.0)
+    y = lp.add_variable(objective=-2.0, upper=1.0)
+    z = lp.add_variable(objective=-4.0, upper=1.0)
+    lp.add_constraint([(x, 2.0), (y, 1.0), (z, 3.0)], Sense.LE, capacity)
+    return lp
+
+
+def _mixed_lp(rhs: float = 4.0) -> LinearProgram:
+    """EQ + GE rows so phase 1 genuinely runs on a cold start."""
+    lp = LinearProgram("mixed")
+    x = lp.add_variable(objective=1.0)
+    y = lp.add_variable(objective=2.0)
+    z = lp.add_variable(objective=0.5, upper=3.0)
+    lp.add_constraint([(x, 1.0), (y, 1.0), (z, 1.0)], Sense.EQ, rhs)
+    lp.add_constraint([(x, 1.0), (y, -1.0)], Sense.GE, 1.0)
+    return lp
+
+
+class TestBasis:
+    def test_matches_shape(self):
+        basis = Basis(m=2, n=5, basic=(0, 3))
+        assert basis.matches(2, 5)
+        assert not basis.matches(3, 5)
+        assert not basis.matches(2, 6)
+
+    def test_solution_basis_round_trips(self):
+        sol = solve_simplex(_mixed_lp())
+        assert sol.ok and sol.basis is not None
+        assert sol.basis.matches(sol.basis.m, sol.basis.n)
+        assert len(sol.basis.basic) == sol.basis.m
+
+
+class TestContentKey:
+    def test_deterministic_and_input_sensitive(self):
+        a = content_key("tise-lp", (1, 2.0), 10.0)
+        assert a == content_key("tise-lp", (1, 2.0), 10.0)
+        assert a != content_key("tise-lp", (1, 2.5), 10.0)
+        assert a != content_key("other", (1, 2.0), 10.0)
+
+
+class TestBasisStash:
+    def test_lru_eviction_and_counters(self):
+        stash = BasisStash(maxsize=2)
+        b = Basis(m=1, n=2, basic=(0,))
+        stash.put("a", b)
+        stash.put("b", b)
+        assert stash.get("a") is b  # refreshes "a"
+        stash.put("c", b)  # evicts "b", the least recently used
+        assert stash.get("b") is None
+        assert stash.get("a") is b and stash.get("c") is b
+        snap = stash.snapshot()
+        assert snap["entries"] == 2
+        assert snap["hits"] == 3 and snap["misses"] == 1
+
+    def test_default_stash_is_a_singleton(self):
+        assert default_stash() is default_stash()
+
+
+class TestWarmRestart:
+    def test_unchanged_model_restarts_with_zero_pivots(self):
+        lp = _mixed_lp()
+        cold = solve_simplex(lp)
+        warm = solve_simplex(lp, warm_basis=cold.basis)
+        assert warm.ok and warm.warm_started
+        assert warm.iterations == 0
+        assert warm.objective == cold.objective
+        assert np.array_equal(warm.x, cold.x)
+
+    def test_cold_solves_are_not_marked_warm(self):
+        sol = solve_simplex(_mixed_lp())
+        assert not sol.warm_started
+
+    def test_mutated_sequence_matches_cold_solves(self):
+        """Carrying the previous basis across a drifting RHS must give the
+        same optimum as solving each instance cold (and as HiGHS)."""
+        basis = None
+        for rhs in (4.0, 4.5, 5.0, 3.0, 6.5):
+            lp = _mixed_lp(rhs)
+            warm = solve_simplex(lp, warm_basis=basis)
+            cold = solve_simplex(lp)
+            reference = solve_highs(lp)
+            assert warm.ok and cold.ok
+            assert warm.objective == pytest.approx(cold.objective, abs=1e-9)
+            assert warm.objective == pytest.approx(reference.objective, abs=1e-6)
+            assert lp.constraint_violation(warm.x) < 1e-7
+            basis = warm.basis
+
+    def test_stale_shape_falls_back_to_cold(self):
+        donor = solve_simplex(_knapsack_lp())  # 1 row; _mixed_lp has 2
+        sol = solve_simplex(_mixed_lp(), warm_basis=donor.basis)
+        assert sol.ok and not sol.warm_started
+        assert sol.objective == pytest.approx(solve_simplex(_mixed_lp()).objective)
+
+    def test_corrupt_basis_falls_back_to_cold(self):
+        cold = solve_simplex(_mixed_lp())
+        assert cold.basis is not None
+        m, n = cold.basis.m, cold.basis.n
+        corrupt = Basis(m=m, n=n, basic=(0,) * m)  # duplicated column
+        sol = solve_simplex(_mixed_lp(), warm_basis=corrupt)
+        assert sol.ok and not sol.warm_started
+        assert sol.objective == pytest.approx(cold.objective)
+
+    def test_infeasible_stale_point_falls_back_to_cold(self):
+        """A basis whose vertex is no longer feasible for the new data must
+        trigger the crossover-to-phase-1 path, not a wrong answer."""
+        donor = solve_simplex(_mixed_lp(4.0))
+        lp = _mixed_lp(-1.0)  # EQ rhs now negative: old vertex infeasible
+        warm = solve_simplex(lp, warm_basis=donor.basis)
+        cold = solve_simplex(lp)
+        assert warm.status is cold.status
+        if cold.ok:
+            assert warm.objective == pytest.approx(cold.objective)
+
+
+class TestSolverTelemetry:
+    def test_solution_carries_counters(self):
+        sol = solve_simplex(_mixed_lp())
+        assert sol.iterations > 0
+        assert sol.refactorizations >= 0
+        assert sol.solve_ms > 0.0
+
+    def test_telemetry_dict_is_flat_floats(self):
+        cold = solve_simplex(_mixed_lp())
+        warm = solve_simplex(_mixed_lp(), warm_basis=cold.basis)
+        tele = warm.telemetry()
+        assert set(tele) >= {"iterations", "refactorizations", "solve_ms", "warm_started"}
+        assert all(isinstance(v, float) for v in tele.values())
+        assert tele["warm_started"] == 1.0
+        assert cold.telemetry()["warm_started"] == 0.0
+
+
+class TestBudgetStillPolled:
+    """The rewritten pivot loop must keep the legacy timeout contract."""
+
+    def test_expired_time_limit_raises_stage_timeout(self):
+        with pytest.raises(StageTimeoutError) as exc_info:
+            solve_simplex(_mixed_lp(), time_limit=-1.0)
+        err = exc_info.value
+        assert err.stage == "lp"
+        assert err.backend == "simplex"
+        assert "simplex exceeded its time limit" in str(err)
+
+    def test_ambient_budget_raises_stage_timeout(self):
+        clock = FakeClock(step=10.0)
+        with budget_scope(SolveBudget(wall_clock=5.0, clock=clock)):
+            with pytest.raises(StageTimeoutError):
+                solve_simplex(_mixed_lp())
+
+    def test_warm_restart_also_polls(self):
+        cold = solve_simplex(_mixed_lp())
+        with pytest.raises(StageTimeoutError):
+            solve_simplex(_mixed_lp(), warm_basis=cold.basis, time_limit=-1.0)

@@ -1,0 +1,102 @@
+"""Per-attempt backend telemetry: the ``detail`` field on StageAttempt.
+
+``run_with_fallbacks(..., telemetry=...)`` extracts solver counters (LP
+iterations, warm-start flags, ...) from a successful result and attaches
+them to the ``ok`` attempt record, where the serve layer and benches read
+them back.  Telemetry is observability, never control flow: a hook that
+raises must be swallowed, and the counters must survive the report's
+dict round-trip losslessly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.resilience import (
+    ResilienceReport,
+    StageAttempt,
+    run_with_fallbacks,
+)
+
+
+class TestDetailRoundTrip:
+    def test_to_dict_from_dict_is_lossless(self):
+        report = ResilienceReport()
+        report.record(
+            StageAttempt(
+                "lp",
+                "simplex",
+                "ok",
+                attempt=1,
+                elapsed=0.25,
+                detail={"iterations": 42.0, "warm_started": 1.0},
+            )
+        )
+        restored = ResilienceReport.from_dict(report.to_dict())
+        assert restored.attempts[0].detail == {
+            "iterations": 42.0,
+            "warm_started": 1.0,
+        }
+        assert restored.to_dict() == report.to_dict()
+
+    def test_missing_detail_parses_as_empty(self):
+        payload = ResilienceReport().to_dict()
+        payload["attempts"] = [
+            {"stage": "lp", "backend": "highs", "outcome": "ok", "attempt": 1}
+        ]
+        restored = ResilienceReport.from_dict(payload)
+        assert restored.attempts[0].detail == {}
+
+
+class TestTelemetryHook:
+    def test_counters_attach_to_the_ok_attempt(self):
+        report = ResilienceReport()
+        result = run_with_fallbacks(
+            "lp",
+            [("simplex", lambda: "answer")],
+            report=report,
+            telemetry=lambda r: {"iterations": 7, "solve_ms": 1.5},
+        )
+        assert result == "answer"
+        (attempt,) = report.attempts
+        assert attempt.outcome == "ok"
+        assert attempt.detail == {"iterations": 7.0, "solve_ms": 1.5}
+
+    def test_failed_attempts_carry_no_detail(self):
+        report = ResilienceReport()
+
+        def boom():
+            raise RuntimeError("no")
+
+        result = run_with_fallbacks(
+            "lp",
+            [("highs", boom), ("simplex", lambda: "fallback")],
+            report=report,
+            telemetry=lambda r: {"iterations": 3},
+        )
+        assert result == "fallback"
+        failed, ok = report.attempts
+        assert failed.outcome == "failed" and failed.detail == {}
+        assert ok.outcome == "ok" and ok.detail == {"iterations": 3.0}
+
+    def test_raising_hook_is_swallowed(self):
+        report = ResilienceReport()
+
+        def bad_hook(result):
+            raise TypeError("not a solution object")
+
+        result = run_with_fallbacks(
+            "lp",
+            [("simplex", lambda: object())],
+            report=report,
+            telemetry=bad_hook,
+        )
+        assert result is not None
+        (attempt,) = report.attempts
+        assert attempt.outcome == "ok"
+        assert attempt.detail == {}
+
+    def test_no_hook_means_empty_detail(self):
+        report = ResilienceReport()
+        run_with_fallbacks("lp", [("simplex", lambda: 1)], report=report)
+        assert report.attempts[0].detail == {}

@@ -1,0 +1,76 @@
+"""Serve-layer LP telemetry: warm-start stashes and /stats counters.
+
+Each worker thread owns a private :class:`~repro.lp.BasisStash` (no
+cross-thread lock contention on the solve path); repeat solves of the same
+instance on the same worker hit that stash and must return the identical
+schedule.  ``stats_snapshot`` surfaces the aggregate counters the HTTP
+``/stats`` endpoint serves.
+"""
+
+from __future__ import annotations
+
+from repro.core.solver import ISEConfig
+from repro.instances import long_window_instance
+from repro.serve import ServiceConfig, SolveService
+
+
+def _instance(seed: int = 5):
+    return long_window_instance(n=8, machines=2, calibration_length=10.0, seed=seed).instance
+
+
+def _service(**overrides) -> SolveService:
+    config = ServiceConfig(
+        workers=1,
+        queue_capacity=4,
+        solver=ISEConfig(lp_backend="simplex"),
+        **overrides,
+    )
+    return SolveService(config)
+
+
+def test_repeat_solves_hit_the_worker_stash() -> None:
+    instance = _instance()
+    service = _service().start()
+    try:
+        first = service.solve(instance, timeout=30.0)
+        second = service.solve(instance, timeout=30.0)
+        assert first.result.schedule == second.result.schedule
+        snap = service.stats_snapshot()
+        assert snap["counters"]["lp_solves"] == 2
+        assert snap["counters"]["lp_warm_solves"] == 1
+        assert snap["counters"]["lp_iterations"] > 0
+        stash = snap["lp_basis_stash"]
+        assert stash["stashes"] == 1
+        assert stash["entries"] >= 1
+        assert stash["hits"] == 1
+    finally:
+        service.shutdown()
+
+
+def test_warm_start_disabled_keeps_counters_but_no_stash() -> None:
+    instance = _instance()
+    service = _service(lp_warm_start=False).start()
+    try:
+        service.solve(instance, timeout=30.0)
+        service.solve(instance, timeout=30.0)
+        snap = service.stats_snapshot()
+        assert snap["counters"]["lp_solves"] == 2
+        assert snap["counters"]["lp_warm_solves"] == 0
+        assert snap["lp_basis_stash"]["stashes"] == 0
+    finally:
+        service.shutdown()
+
+
+def test_fake_solve_fn_results_do_not_break_telemetry() -> None:
+    """Chaos tests inject arbitrary solve_fn results; the telemetry scan
+    must tolerate objects with no resilience report."""
+    config = ServiceConfig(workers=1, queue_capacity=4)
+    service = SolveService(config, solve_fn=lambda inst, cfg: "answer").start()
+    try:
+        outcome = service.solve(_instance(), timeout=30.0)
+        assert outcome.result == "answer"
+        snap = service.stats_snapshot()
+        assert snap["counters"]["lp_solves"] == 0
+        assert snap["counters"]["completed"] == 1
+    finally:
+        service.shutdown()
