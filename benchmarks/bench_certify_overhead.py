@@ -1,0 +1,90 @@
+"""CRT — end-to-end overhead of verified mode (solve certificates).
+
+Verified mode (``ISEConfig(verify=True)``) runs an independent
+re-validation pass on the merged result and issues a checksummed
+:class:`SolveCertificate` before the result escapes.  That pass is one
+``validate_ise`` sweep plus two digests — it must stay a small fraction
+of the solve itself: the acceptance bar is <5% end-to-end overhead on
+instances where the solve dominates.
+
+Measured here: best-of-N wall time for ``solve_ise(instance, config)``
+with ``verify=False`` vs the identical config with ``verify=True``.
+Everything else — strictness, backends, budgets — is held fixed, so the
+verified path pays exactly the certification delta.  ``PERF_SMOKE=1``
+shrinks sizes and repeats for CI.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import statistics
+import time
+
+from repro.analysis import Table
+from repro.core.solver import ISEConfig, solve_ise
+from repro.instances import mixed_instance
+
+PERF_SMOKE = bool(os.environ.get("PERF_SMOKE"))
+
+SIZES = [12, 24] if PERF_SMOKE else [12, 24, 40, 60]
+REPEATS = 3 if PERF_SMOKE else 7
+
+_PLAIN = ISEConfig(strict=False)
+_VERIFIED = dataclasses.replace(_PLAIN, verify=True)
+
+
+def _best_ms(instance, config: ISEConfig) -> float:
+    samples = []
+    for _ in range(REPEATS):
+        tic = time.perf_counter()
+        solve_ise(instance, config)
+        samples.append((time.perf_counter() - tic) * 1e3)
+    return min(samples)
+
+
+def bench_certify_overhead(benchmark, report, perf_json):
+    table = Table(
+        title="CRT: end-to-end overhead of verified mode",
+        columns=["n", "plain ms", "verified ms", "overhead %"],
+    )
+    rows = []
+    overheads = []
+    for n in SIZES:
+        instance = mixed_instance(n, 2, 10.0, seed=n).instance
+        solve_ise(instance, _VERIFIED)  # warm every code path once
+        plain = _best_ms(instance, _PLAIN)
+        verified = _best_ms(instance, _VERIFIED)
+        overhead = (verified - plain) / plain * 100.0
+        overheads.append(overhead)
+        rows.append(
+            {
+                "n": n,
+                "plain_ms": round(plain, 3),
+                "verified_ms": round(verified, 3),
+                "overhead_pct": round(overhead, 3),
+            }
+        )
+        table.add_row(n, plain, verified, overhead)
+    table.add_note(
+        "overhead = (verified - plain) / plain on best-of-"
+        f"{REPEATS} solves; verified = same config with verify=True "
+        "(independent validate_ise + certificate digests)"
+    )
+    table.add_note(
+        f"mean overhead {statistics.mean(overheads):+.2f}% "
+        "(acceptance bar: < 5%)"
+    )
+    report(table, "certify_overhead")
+    perf_json(
+        "certify_overhead",
+        {
+            "repeats": REPEATS,
+            "smoke": PERF_SMOKE,
+            "mean_overhead_pct": round(statistics.mean(overheads), 3),
+            "cases": rows,
+        },
+    )
+
+    instance = mixed_instance(SIZES[-1], 2, 10.0, seed=SIZES[-1]).instance
+    benchmark(lambda: solve_ise(instance, _VERIFIED))

@@ -123,6 +123,27 @@ def check_parallel(sections, baseline, failures) -> None:
                 failures.append((name, label, "speedup", speedup, floor))
 
 
+def check_certify_overhead(sections, baseline, failures) -> None:
+    """Verified-mode (solve certificate) overhead ceiling."""
+    gate = baseline.get("certify")
+    if gate is None:
+        return
+    section = sections.get("certify_overhead")
+    if section is None:
+        print("certify_overhead: section missing from BENCH_perf.json, "
+              "skipped (run benchmarks/bench_certify_overhead.py to measure it)")
+        return
+    measured = float(section["mean_overhead_pct"])
+    ceiling = float(gate["max_overhead_pct"])
+    status = "ok" if measured <= ceiling else "REGRESSION"
+    print(f"certify_overhead mean_overhead_pct: measured {measured} "
+          f"vs ceiling {ceiling} [{status}]")
+    if measured > ceiling:
+        failures.append(
+            ("certify_overhead", "all", "mean_overhead_pct", measured, ceiling)
+        )
+
+
 def main() -> int:
     if not ARTIFACT_PATH.exists():
         print(f"error: {ARTIFACT_PATH} not found — run the perf benches first")
@@ -137,6 +158,7 @@ def main() -> int:
         return 2
     check_lp_solver(sections, baseline, failures)
     check_parallel(sections, baseline, failures)
+    check_certify_overhead(sections, baseline, failures)
 
     if not checked:
         print("error: no measured size overlaps the baseline")

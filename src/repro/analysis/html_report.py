@@ -47,13 +47,24 @@ def _table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
     return f"<table><tr>{head}</tr>{body}</table>"
 
 
+#: Violations shown inline before the report truncates with an honest count.
+_VIOLATION_LIMIT = 20
+
+
 def render_html_report(
     instance: Instance,
     result: "ISEResult",
     simulation: SimulationResult | None = None,
     title: str = "ISE solve report",
+    stash: "dict[str, int] | None" = None,
 ) -> str:
-    """Render the report as an HTML document string."""
+    """Render the report as an HTML document string.
+
+    ``stash`` is an optional LP basis-stash counter snapshot
+    (:meth:`repro.lp.BasisStash.snapshot`) rendered as its own section, so
+    warm-start behavior (hits, misses, sentinel-driven evictions) is
+    visible alongside the solve it served.
+    """
     schedule = result.schedule
     metrics = summarize_schedule(instance, schedule)
     lb = result.lower_bound
@@ -92,12 +103,47 @@ def render_html_report(
         ),
     ]
 
+    certificate = getattr(result, "certificate", None)
+    if certificate is not None:
+        verdict = (
+            "<span class='ok'>VALID</span>"
+            if certificate.valid
+            else f"<span class='bad'>INVALID ({certificate.violations} violations)</span>"
+        )
+        parts.append("<h2>Solve certificate</h2>")
+        parts.append(f"<p>verdict: {verdict}</p>")
+        parts.append(
+            _table(
+                ["field", "value"],
+                [
+                    ("instance fingerprint", certificate.instance),
+                    ("lower bound", f"{certificate.lower_bound:.3f}"),
+                    ("approximation ratio", f"{certificate.approximation_ratio:.3f}"),
+                    (
+                        f"within {certificate.guarantee_factor:g}x guarantee",
+                        certificate.within_guarantee,
+                    ),
+                    ("degraded", certificate.degraded),
+                    ("checksum", certificate.checksum),
+                ],
+            )
+        )
+
     if result.wall_times:
         parts.append("<h2>Stage timings</h2>")
         parts.append(
             _table(
                 ["stage", "seconds"],
                 [(k, f"{v:.4f}") for k, v in sorted(result.wall_times.items())],
+            )
+        )
+
+    if stash is not None:
+        parts.append("<h2>LP basis stash</h2>")
+        parts.append(
+            _table(
+                ["counter", "value"],
+                [(k, stash[k]) for k in sorted(stash)],
             )
         )
 
@@ -120,8 +166,11 @@ def render_html_report(
         parts.append(
             _table(["machine", "busy", "calibrated", "utilization"], rows)
         )
-        for violation in simulation.violations[:20]:
+        for violation in simulation.violations[:_VIOLATION_LIMIT]:
             parts.append(f"<p class='bad'>{html.escape(violation)}</p>")
+        hidden = len(simulation.violations) - _VIOLATION_LIMIT
+        if hidden > 0:
+            parts.append(f"<p class='bad'>... and {hidden} more</p>")
 
     parts.append("<h2>Schedule</h2><figure>")
     parts.append(schedule_to_svg(instance, schedule, width=1040))
@@ -135,8 +184,11 @@ def save_html_report(
     path: str | Path,
     simulation: SimulationResult | None = None,
     title: str = "ISE solve report",
+    stash: "dict[str, int] | None" = None,
 ) -> Path:
     """Write the HTML report to ``path``; returns the path."""
     path = Path(path)
-    atomic_write_text(path, render_html_report(instance, result, simulation, title))
+    atomic_write_text(
+        path, render_html_report(instance, result, simulation, title, stash)
+    )
     return path

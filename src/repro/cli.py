@@ -110,6 +110,11 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument("--workers", type=int, default=None, metavar="N",
                        help="fan independent sub-solves out over N workers "
                             "(output is identical to the serial run)")
+    solve.add_argument("--verify", action="store_true",
+                       help="certify the result before returning it: an "
+                            "independent re-validation pass issues a "
+                            "checksummed certificate; a failed certificate "
+                            "quarantines the result (exit code 6)")
 
     val = sub.add_parser("validate", help="independently validate a schedule")
     val.add_argument("instance")
@@ -215,6 +220,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--strict", action="store_true",
                        help="propagate solve failures instead of degrading "
                             "through fallback chains")
+    serve.add_argument("--verify", action="store_true",
+                       help="certify every result before returning it; a "
+                            "failed certificate triggers one cold re-solve "
+                            "and, failing that, a typed quarantine error")
 
     return parser
 
@@ -253,12 +262,16 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         strict=not args.no_strict,
         timeout=args.timeout,
         max_workers=args.workers,
+        verify=args.verify,
     )
     result = solve_ise(instance, config)
     schedule = result.schedule
     if result.degraded:
         print("DEGRADED     : " + "; ".join(result.resilience.fallbacks))
         print(f"resilience   : {result.resilience.summary()}")
+    if result.certificate is not None:
+        print(f"certificate  : {result.certificate.describe()}")
+        print(f"checksum     : {result.certificate.checksum}")
     if args.consolidate:
         improved = consolidate(instance, schedule)
         schedule = improved.schedule
@@ -279,7 +292,11 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         f"{result.partition.n_short} short"
     )
     if args.out:
-        save_schedule(schedule, args.out)
+        # A certificate attests to the exact schedule it was issued for;
+        # consolidation rewrites the schedule, so the certificate stays
+        # attached only when the saved schedule is the certified one.
+        certificate = None if args.consolidate else result.certificate
+        save_schedule(schedule, args.out, certificate=certificate)
         print(f"wrote schedule to {args.out}")
     return 0
 
@@ -487,6 +504,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_deadline=args.max_deadline,
         drain_deadline=args.drain_deadline,
         solver=solver,
+        verify_results=args.verify,
     )
     service = SolveService(config)
     server = make_server(service, host=args.host, port=args.port)
@@ -546,11 +564,17 @@ def main(argv: Sequence[str] | None = None) -> int:
     Exit codes: 0 success, 1 check failed (invalid/infeasible/falsified),
     2 usage or input error (missing file, malformed JSON, bad instance),
     3 solve budget exceeded (``--timeout``), 4 solver/backend failure,
-    5 unclean service drain (``serve`` abandoned requests at shutdown).
-    Codes 3 and 4 are retryable from an operator's point of view (more
-    time, another backend); code 2 is not.
+    5 unclean service drain (``serve`` abandoned requests at shutdown),
+    6 result quarantined (``--verify`` certification failed).
+    Codes 3, 4, and 6 are retryable from an operator's point of view
+    (more time, another backend, another replica); code 2 is not.
     """
-    from .core.errors import LimitExceededError, ReproError, SolverError
+    from .core.errors import (
+        CertificationError,
+        LimitExceededError,
+        ReproError,
+        SolverError,
+    )
 
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -559,6 +583,11 @@ def main(argv: Sequence[str] | None = None) -> int:
     except FileNotFoundError as exc:
         print(f"error: file not found: {exc.filename or exc}", file=sys.stderr)
         return 2
+    except CertificationError as exc:
+        print(f"error: result quarantined: {exc}", file=sys.stderr)
+        if exc.certificate is not None:
+            print(f"  {exc.certificate.describe()}", file=sys.stderr)
+        return 6
     except LimitExceededError as exc:
         print(f"error: budget exceeded: {exc}", file=sys.stderr)
         return 3

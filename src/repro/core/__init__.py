@@ -14,6 +14,7 @@ Submodules:
 * :mod:`repro.core.parallel` — deterministic worker-pool execution.
 * :mod:`repro.core.atomicio` — atomic, checksummed artifact writes.
 * :mod:`repro.core.checkpoint` — resumable shard journals + recovery.
+* :mod:`repro.core.certify` — end-to-end solve certificates (verified mode).
 """
 
 from .atomicio import (
@@ -24,6 +25,12 @@ from .atomicio import (
     load_artifact,
 )
 from .calibration import Calibration, CalibrationSchedule, pack_round_robin
+from .certify import (
+    GUARANTEE_FACTOR,
+    SolveCertificate,
+    certify_result,
+    instance_fingerprint,
+)
 from .checkpoint import (
     CheckpointedRun,
     JournalState,
@@ -34,8 +41,10 @@ from .checkpoint import (
 )
 from .errors import (
     ArtifactError,
+    CertificationError,
     CorruptArtifactError,
     FallbacksExhaustedError,
+    NumericalDriftError,
     InfeasibleInstanceError,
     InfeasibleScheduleError,
     InvalidArtifactError,
@@ -107,6 +116,8 @@ __all__ = [
     "InfeasibleScheduleError",
     "InfeasibleInstanceError",
     "SolverError",
+    "NumericalDriftError",
+    "CertificationError",
     "LimitExceededError",
     "StageTimeoutError",
     "FallbacksExhaustedError",
@@ -120,6 +131,10 @@ __all__ = [
     "checksum",
     "dump_artifact",
     "load_artifact",
+    "GUARANTEE_FACTOR",
+    "SolveCertificate",
+    "certify_result",
+    "instance_fingerprint",
     "CheckpointedRun",
     "JournalState",
     "ShardJournal",

@@ -42,6 +42,7 @@ __all__ = [
     "atomic_write_bytes",
     "atomic_write_text",
     "checksum",
+    "content_key",
     "dump_artifact",
     "is_envelope",
     "load_artifact",
@@ -56,6 +57,22 @@ _ENVELOPE_KEYS = frozenset({"envelope", "checksum", "payload"})
 def checksum(text: str) -> str:
     """``sha256:<hex>`` content checksum of ``text`` (UTF-8)."""
     return "sha256:" + hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def content_key(*parts: object) -> str:
+    """A stable fingerprint of ``parts`` for exact-content cache keys.
+
+    Builds the key from ``repr`` of each part (callers pass primitives and
+    tuples of primitives only), so equal content always produces equal keys
+    across processes and sessions — unlike ``hash()``, which is salted.
+    Used by the LP warm-start stash and by solve-certificate instance
+    fingerprints.
+    """
+    digest = hashlib.blake2b(digest_size=16)
+    for part in parts:
+        digest.update(repr(part).encode("utf-8"))
+        digest.update(b"\x1f")
+    return digest.hexdigest()
 
 
 def _fsync_directory(directory: Path) -> None:

@@ -21,6 +21,8 @@ __all__ = [
     "InfeasibleScheduleError",
     "InfeasibleInstanceError",
     "SolverError",
+    "NumericalDriftError",
+    "CertificationError",
     "LimitExceededError",
     "StageTimeoutError",
     "FallbacksExhaustedError",
@@ -121,6 +123,60 @@ class InfeasibleInstanceError(ReproError):
 
 class SolverError(ReproError, RuntimeError):
     """An underlying numeric solver (LP / MILP / flow) failed unexpectedly."""
+
+
+class NumericalDriftError(SolverError):
+    """An LP backend's answer failed its numerical sentinels beyond repair.
+
+    Raised by the revised simplex when the post-solve residual checks
+    (primal feasibility, basis consistency ``B (B^-1 b) = b``, the
+    objective-vs-duals identity) stay above tolerance after the full
+    escalation ladder — iterative refinement, forced refactorization, and
+    a cold re-solve — has been exhausted.  Subclasses :class:`SolverError`
+    so the resilience layer treats it as a retryable backend failure: the
+    fallback chain moves on to the next LP backend, and the warm-start
+    stash entry that seeded the drifting solve is evicted by the caller.
+
+    ``residuals`` maps sentinel names to their final (scaled) values;
+    ``escalations`` records the repair steps that were attempted.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        residuals: dict[str, float] | None = None,
+        escalations: tuple[str, ...] = (),
+        stage: str | None = None,
+        backend: str | None = None,
+        elapsed: float | None = None,
+    ) -> None:
+        super().__init__(message, stage=stage, backend=backend, elapsed=elapsed)
+        self.residuals = dict(residuals or {})
+        self.escalations = tuple(escalations)
+
+
+class CertificationError(ReproError):
+    """A solve result failed its end-to-end certificate in verified mode.
+
+    The result has already been produced — and quarantined: callers
+    running with ``verify=True`` never see the offending schedule, only
+    this error (or a repaired result from a clean re-solve).  The failed
+    :class:`~repro.core.certify.SolveCertificate` rides along as
+    ``certificate`` so logs and clients can report the violation verdict.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        certificate: object | None = None,
+        stage: str | None = None,
+        backend: str | None = None,
+        elapsed: float | None = None,
+    ) -> None:
+        super().__init__(message, stage=stage, backend=backend, elapsed=elapsed)
+        self.certificate = certificate
 
 
 class LimitExceededError(ReproError, RuntimeError):

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import time
 from contextlib import ExitStack
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, TypeVar, cast
 
 from ..analysis.lower_bounds import (
@@ -40,7 +40,9 @@ from ..shortwindow.pipeline import (
     ShortWindowResult,
     ShortWindowSolver,
 )
+from .certify import SolveCertificate, certify_result
 from .errors import (
+    CertificationError,
     InfeasibleInstanceError,
     InvalidInstanceError,
     ReproError,
@@ -136,6 +138,13 @@ class ISEConfig:
             instead of the process default (the serve layer passes a
             per-worker stash).  Implies warm starting when set.  Not
             picklable — leave None for configs that cross process pools.
+        verify: verified mode — issue a :class:`~repro.core.certify.
+            SolveCertificate` for every result via an independent
+            re-validation pass and attach it to ``ISEResult.certificate``.
+            A result whose certificate fails is *quarantined*: the solver
+            raises :class:`~repro.core.errors.CertificationError` instead
+            of returning the schedule.  Orthogonal to ``validate`` — the
+            certificate does not trust the solve path's own checks.
     """
 
     mm_algorithm: str | MMAlgorithm = "best_greedy"
@@ -154,6 +163,7 @@ class ISEConfig:
     parallel_mode: str = "auto"
     lp_warm_start: bool = False
     lp_warm_stash: BasisStash | None = None
+    verify: bool = False
 
     def resilience_policy(self) -> ResiliencePolicy:
         """The effective policy (explicit one, or built from strict/timeout)."""
@@ -204,6 +214,7 @@ class ISEResult:
     lower_bound: LowerBoundBreakdown
     wall_times: dict[str, float] = field(default_factory=dict, compare=False)
     resilience: ResilienceReport | None = field(default=None, compare=False)
+    certificate: SolveCertificate | None = field(default=None, compare=False)
 
     @property
     def degraded(self) -> bool:
@@ -283,14 +294,46 @@ class ISESolver:
                 else 0.0
             ),
         )
-        return ISEResult(
-            schedule=schedule,
-            partition=split,
-            long_result=None,
-            short_result=None,
-            lower_bound=lower,
-            wall_times=times,
+        return self._certified(
+            instance,
+            ISEResult(
+                schedule=schedule,
+                partition=split,
+                long_result=None,
+                short_result=None,
+                lower_bound=lower,
+                wall_times=times,
+            ),
         )
+
+    def _certified(self, instance: Instance, result: ISEResult) -> ISEResult:
+        """Verified mode: attach a certificate or quarantine the result.
+
+        No-op unless ``verify`` is on.  The certificate comes from an
+        independent re-validation pass (:func:`~repro.core.certify.
+        certify_result`); a failing one means the result must never reach
+        the caller, so the quarantined schedule leaves this method only
+        inside the raised :class:`CertificationError`'s certificate — not
+        as a return value.
+        """
+        cfg = self.config
+        if not cfg.verify:
+            return result
+        tic = time.perf_counter()
+        certificate = certify_result(
+            instance,
+            result,
+            overlapping_calibrations=cfg.overlapping_calibrations,
+        )
+        result.wall_times["certify"] = time.perf_counter() - tic
+        if not certificate.ok:
+            raise CertificationError(
+                "solve result failed certification and was quarantined: "
+                + certificate.violation_detail,
+                certificate=certificate,
+                stage="certify",
+            )
+        return replace(result, certificate=certificate)
 
     def _degrade(
         self,
@@ -515,14 +558,17 @@ class ISESolver:
             ),
         )
         report.record_times(times)
-        return ISEResult(
-            schedule=merged,
-            partition=split,
-            long_result=long_result,
-            short_result=short_result,
-            lower_bound=lower,
-            wall_times=times,
-            resilience=report,
+        return self._certified(
+            instance,
+            ISEResult(
+                schedule=merged,
+                partition=split,
+                long_result=long_result,
+                short_result=short_result,
+                lower_bound=lower,
+                wall_times=times,
+                resilience=report,
+            ),
         )
 
 

@@ -17,6 +17,7 @@ from .io import (
     instance_to_dict,
     load_instance,
     load_schedule,
+    load_schedule_certificate,
     save_instance,
     save_schedule,
     schedule_from_dict,
@@ -49,6 +50,7 @@ __all__ = [
     "load_instance",
     "save_schedule",
     "load_schedule",
+    "load_schedule_certificate",
     "FIGURE_T",
     "figure1_instance",
     "figure2_fractional_calibrations",

@@ -22,6 +22,7 @@ from typing import Any
 
 from ..core.atomicio import dump_artifact, load_artifact
 from ..core.calibration import Calibration, CalibrationSchedule
+from ..core.certify import SolveCertificate
 from ..core.errors import InvalidArtifactError, ReproError
 from ..core.job import Instance, Job
 from ..core.schedule import Schedule, ScheduledJob
@@ -35,6 +36,7 @@ __all__ = [
     "load_instance",
     "save_schedule",
     "load_schedule",
+    "load_schedule_certificate",
 ]
 
 FORMAT_VERSION = 1
@@ -233,9 +235,24 @@ def load_instance(path: str | Path) -> Instance:
         raise
 
 
-def save_schedule(schedule: Schedule, path: str | Path) -> None:
-    """Atomically write a schedule to ``path`` in a checksummed envelope."""
-    dump_artifact(schedule_to_dict(schedule), path)
+def save_schedule(
+    schedule: Schedule,
+    path: str | Path,
+    *,
+    certificate: SolveCertificate | None = None,
+) -> None:
+    """Atomically write a schedule to ``path`` in a checksummed envelope.
+
+    When a :class:`~repro.core.certify.SolveCertificate` is supplied (a
+    verified solve), it rides inside the payload under ``"certificate"`` —
+    the certificate carries its own sha256 self-checksum on top of the
+    envelope's, so a schedule file can prove it was certified long after
+    the solve that produced it is gone.
+    """
+    payload = schedule_to_dict(schedule)
+    if certificate is not None:
+        payload["certificate"] = certificate.to_dict()
+    dump_artifact(payload, path)
 
 
 def load_schedule(path: str | Path) -> Schedule:
@@ -245,6 +262,24 @@ def load_schedule(path: str | Path) -> Schedule:
     """
     try:
         return schedule_from_dict(load_artifact(path))
+    except InvalidArtifactError as exc:
+        if exc.path is None:
+            exc.path = str(path)
+        raise
+
+
+def load_schedule_certificate(path: str | Path) -> SolveCertificate | None:
+    """The certificate embedded in a schedule file, or None if it has none.
+
+    Verifies the certificate's self-checksum; tampering raises
+    :class:`~repro.core.errors.InvalidArtifactError` naming the path.
+    """
+    payload = load_artifact(path)
+    raw = payload.get("certificate")
+    if raw is None:
+        return None
+    try:
+        return SolveCertificate.from_dict(raw)
     except InvalidArtifactError as exc:
         if exc.path is None:
             exc.path = str(path)

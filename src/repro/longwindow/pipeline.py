@@ -30,7 +30,7 @@ import time
 from contextlib import ExitStack
 from dataclasses import dataclass, field
 
-from ..core.errors import InvalidInstanceError, SolverError
+from ..core.errors import InvalidInstanceError, NumericalDriftError, SolverError
 from ..core.job import Instance
 from ..core.resilience import (
     ResiliencePolicy,
@@ -245,17 +245,29 @@ class LongWindowSolver:
                         if stash is not None and warm_key is not None
                         else None
                     )
-                    return solve_tise_lp(
-                        instance.jobs,
-                        T,
-                        m_prime,
-                        backend=backend,
-                        points=points,
-                        time_limit=limit,
-                        formulation=cfg.lp_formulation,
-                        names=cfg.lp_names,
-                        warm_basis=warm,
-                    )
+                    try:
+                        return solve_tise_lp(
+                            instance.jobs,
+                            T,
+                            m_prime,
+                            backend=backend,
+                            points=points,
+                            time_limit=limit,
+                            formulation=cfg.lp_formulation,
+                            names=cfg.lp_names,
+                            warm_basis=warm,
+                        )
+                    except NumericalDriftError:
+                        # The sentinel ladder gave up on this solve; the
+                        # basis that seeded it has earned distrust, so it
+                        # must never warm-start another attempt.
+                        if stash is not None and warm_key is not None:
+                            if stash.discard(warm_key):
+                                report.record_note(
+                                    "evicted drifting warm-start basis "
+                                    f"{warm_key} from the stash"
+                                )
+                        raise
 
                 return run
 

@@ -8,6 +8,9 @@
   the benchmark yardstick the revised solver is measured against.
 * :mod:`repro.lp.warmstart` — reusable :class:`Basis` handles and the
   :class:`BasisStash` that carries them between solves.
+* :mod:`repro.lp.sentinel` — independent post-solve residual checks
+  (primal/dual/basis drift detection) behind the revised simplex's
+  escalation ladder.
 """
 
 from __future__ import annotations
@@ -16,6 +19,7 @@ from typing import Protocol
 
 from .highs import HighsBackend, solve_highs
 from .model import LinearProgram, LPSolution, LPStatus, Sense
+from .sentinel import SENTINEL_TOL, SentinelReport, check_solution
 from .simplex import SimplexBackend, solve_simplex
 from .tableau import TableauBackend, solve_tableau
 from .warmstart import Basis, BasisStash, content_key, default_stash
@@ -27,6 +31,9 @@ __all__ = [
     "Sense",
     "Basis",
     "BasisStash",
+    "SENTINEL_TOL",
+    "SentinelReport",
+    "check_solution",
     "content_key",
     "default_stash",
     "solve_highs",

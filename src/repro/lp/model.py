@@ -17,13 +17,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 import numpy as np
 from scipy import sparse
 
 from ..core.errors import SolverError
 from .warmstart import Basis
+
+if TYPE_CHECKING:  # annotation only: sentinel imports this module
+    from .sentinel import SentinelReport
 
 __all__ = [
     "Sense",
@@ -77,7 +80,10 @@ class LPSolution:
       start (simplex only);
     * ``solve_ms`` — wall-clock milliseconds inside the backend;
     * ``warm_started`` — True when a supplied warm basis was actually used
-      (False also covers the crossover-to-phase-1 fallback on stale bases).
+      (False also covers the crossover-to-phase-1 fallback on stale bases);
+    * ``sentinel`` — the post-solve numerical-sentinel verdict
+      (:class:`~repro.lp.sentinel.SentinelReport`) for backends that run
+      the residual checks (the revised simplex does); None otherwise.
     """
 
     status: LPStatus
@@ -91,15 +97,19 @@ class LPSolution:
     refactorizations: int = field(default=0, compare=False)
     solve_ms: float = field(default=0.0, compare=False)
     warm_started: bool = field(default=False, compare=False)
+    sentinel: "SentinelReport | None" = field(default=None, compare=False)
 
     def telemetry(self) -> dict[str, float]:
         """The numeric solver counters as a flat JSON-ready mapping."""
-        return {
+        data = {
             "iterations": float(self.iterations),
             "refactorizations": float(self.refactorizations),
             "solve_ms": float(self.solve_ms),
             "warm_started": 1.0 if self.warm_started else 0.0,
         }
+        if self.sentinel is not None:
+            data.update(self.sentinel.telemetry())
+        return data
 
     def dual_objective(
         self, b_ub: np.ndarray | None, b_eq: np.ndarray | None

@@ -40,21 +40,34 @@ phase 2 directly.  Re-solving an unchanged model this way prices once and
 pivots zero times.  A stale basis — wrong shape, singular, or no longer
 feasible — falls back to an ordinary cold phase-1 start ("crossover to
 phase 1"), so a warm hint can cost nothing but never break correctness.
+
+Numerical sentinels: every OPTIMAL return (cold or warm) is re-checked
+against the model data — primal residual, basis consistency
+``max |B x_B - b|`` (one extra sparse matvec), and the bounded-variable
+objective-vs-duals identity (see :mod:`repro.lp.sentinel`).  Drift beyond
+tolerance triggers the escalation ladder: one step of iterative refinement
+of ``x_B``, then a forced refactorization with a re-priced phase 2, then —
+for warm-started solves — a full cold re-solve.  A solve that still fails
+its sentinels raises :class:`~repro.core.errors.NumericalDriftError`, a
+:class:`~repro.core.errors.SolverError` the resilience layer routes to the
+next LP backend.  The verdict rides the solution's ``sentinel`` field into
+``LPSolution.telemetry()``.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 from scipy import sparse
 from scipy.linalg.blas import dger as _dger
 
-from ..core.errors import StageTimeoutError
+from ..core.errors import NumericalDriftError, StageTimeoutError
 from ..core.resilience import check_budget
 from ..core.tolerance import EPS
 from .model import LinearProgram, LPSolution, LPStatus
+from .sentinel import SENTINEL_TOL, SentinelReport, solution_residuals
 from .warmstart import Basis
 
 __all__ = ["SimplexBackend", "solve_simplex"]
@@ -518,8 +531,54 @@ class _RevisedSimplex:
 
     def phase2(self) -> LPStatus:
         """Minimize the true objective from the current feasible basis."""
-        cost2 = np.concatenate([self.form.c, np.zeros(self.art_cols.size)])
-        return self.run_phase(cost2, phase=2)
+        return self.run_phase(self.phase2_cost(), phase=2)
+
+    def phase2_cost(self) -> np.ndarray:
+        """The true objective extended with zero cost on artificials."""
+        return np.concatenate([self.form.c, np.zeros(self.art_cols.size)])
+
+    # -- numerical sentinels -------------------------------------------------
+
+    def refine(self) -> None:
+        """One step of iterative refinement of ``x_B`` against the basis.
+
+        Corrects accumulated product-form drift in ``x_B`` without touching
+        ``B^-1`` itself: ``x_B += B^-1 (rhs - B x_B)``.  One sparse matvec
+        plus one dense matvec — the cheapest rung of the escalation ladder.
+        """
+        rhs = self._rhs_adjusted()
+        residual = rhs - self.a[:, self.basic] @ self.x_b
+        self.x_b += self.binv @ residual
+
+    def sentinel_residuals(self, cost: np.ndarray) -> tuple[float, float]:
+        """Scaled ``(basis_residual, dual_gap)`` of the current basis state.
+
+        The basis residual is ``max |B x_B - rhs|`` via one extra sparse
+        matvec — it catches a drifted ``x_B``.  The dual gap checks the
+        bounded-variable strong-duality identity ``c.x = y.b + sum_U d_j
+        u_j`` with ``y = c_B B^-1`` and ``U`` the nonbasic-at-upper set;
+        it catches a drifted ``B^-1`` (a corrupt inverse skews ``y`` and
+        ``x_B`` in inconsistent directions).  Both are exact identities in
+        exact arithmetic, so their size measures drift directly.
+        """
+        rhs = self._rhs_adjusted()
+        scale = 1.0 + float(np.abs(self.b).max(initial=0.0))
+        basis_residual = float(
+            np.max(np.abs(self.a[:, self.basic] @ self.x_b - rhs), initial=0.0)
+        ) / scale
+        y = cost[self.basic] @ self.binv
+        reduced = cost - self.at.dot(y)
+        x_full = np.where(self.at_upper & np.isfinite(self.u), self.u, 0.0)
+        x_full[self.basic] = self.x_b
+        primal_obj = float(cost @ x_full)
+        upper_cols = np.flatnonzero(
+            self.at_upper & ~self.in_basis & np.isfinite(self.u)
+        )
+        dual_obj = float(y @ self.b)
+        if upper_cols.size:
+            dual_obj += float(reduced[upper_cols] @ self.u[upper_cols])
+        dual_gap = abs(primal_obj - dual_obj) / (1.0 + abs(primal_obj))
+        return basis_residual, dual_gap
 
     # -- extraction ----------------------------------------------------------
 
@@ -570,6 +629,40 @@ def _solve_unconstrained(
     )
 
 
+def _sentinel_report(
+    model: LinearProgram, solver: _RevisedSimplex, x: np.ndarray
+) -> SentinelReport:
+    """Run all sentinel checks on an extracted solution (scaled residuals).
+
+    The primal residual is re-derived from the *model* data, independent of
+    every standard-form transform; the basis residual and dual gap come
+    from the solver state (see :meth:`_RevisedSimplex.sentinel_residuals`).
+    The objective gap is definitionally zero here — the returned objective
+    is recomputed from ``x`` at extraction — so it is recorded as such.
+    """
+    primal, _ = solution_residuals(model, x, None)
+    basis_residual, dual_gap = solver.sentinel_residuals(solver.phase2_cost())
+    return SentinelReport(
+        primal_residual=primal,
+        objective_gap=0.0,
+        dual_gap=dual_gap,
+        basis_residual=basis_residual,
+        tol=SENTINEL_TOL,
+    )
+
+
+def _run_cold(
+    form: _StandardForm, deadline: float | None, context: str
+) -> tuple[_RevisedSimplex, LPStatus]:
+    """A fresh cold two-phase run over ``form`` (the ladder's last rung)."""
+    solver = _RevisedSimplex(form, deadline, context)
+    solver.cold_start()
+    status1 = solver.phase1()
+    if status1 is not LPStatus.OPTIMAL:
+        return solver, status1
+    return solver, solver.phase2()
+
+
 def solve_simplex(
     model: LinearProgram,
     *,
@@ -584,6 +677,11 @@ def solve_simplex(
     ``basis``) skips phase 1 when it still describes a feasible vertex of
     this model; a stale or mismatched basis silently falls back to a cold
     phase-1 start.
+
+    Every OPTIMAL answer passes the numerical sentinels before it is
+    returned; unrepairable drift raises
+    :class:`~repro.core.errors.NumericalDriftError` instead of handing
+    back a corrupted solution (see the module docstring for the ladder).
     """
     tic = time.perf_counter()
     deadline = time.monotonic() + time_limit if time_limit is not None else None
@@ -649,15 +747,65 @@ def solve_simplex(
         )
 
     x, handle = solver.extract()
+    sentinel = _sentinel_report(model, solver, x)
+    escalations: list[str] = []
+    iterations = solver.iterations
+    refactorizations = solver.refactorizations
+
+    if not sentinel.ok:
+        # Rung 1: iterative refinement of x_B against the current basis.
+        escalations.append("refine")
+        solver.refine()
+        x, handle = solver.extract()
+        sentinel = _sentinel_report(model, solver, x)
+    if not sentinel.ok:
+        # Rung 2: rebuild B^-1 from scratch and re-price phase 2.
+        escalations.append("refactorize")
+        try:
+            solver._refactor()
+            if solver.phase2() is LPStatus.OPTIMAL:
+                x, handle = solver.extract()
+                sentinel = _sentinel_report(model, solver, x)
+        except _SingularBasisError:
+            pass
+        iterations = solver.iterations
+        refactorizations = solver.refactorizations
+    if not sentinel.ok and warm_ok:
+        # Rung 3: the warm start itself is suspect — cold re-solve.
+        escalations.append("cold")
+        cold_solver, cold_status = _run_cold(form, deadline, context)
+        iterations += cold_solver.iterations
+        refactorizations += cold_solver.refactorizations
+        if cold_status is LPStatus.OPTIMAL:
+            cold_x, cold_handle = cold_solver.extract()
+            cold_sentinel = _sentinel_report(model, cold_solver, cold_x)
+            if cold_sentinel.ok:
+                x, handle, sentinel = cold_x, cold_handle, cold_sentinel
+                warm_ok = False
+    if not sentinel.ok:
+        raise NumericalDriftError(
+            f"simplex result failed its numerical sentinels{context}: "
+            + sentinel.describe(),
+            residuals=sentinel.residuals(),
+            escalations=tuple(escalations),
+            stage="lp",
+            backend="simplex",
+            elapsed=time.perf_counter() - tic,
+        )
+    sentinel = replace(
+        sentinel, repairs=len(escalations), escalations=tuple(escalations)
+    )
+
     return LPSolution(
         status=LPStatus.OPTIMAL,
         objective=float(model.objective_value(x)),
         x=x,
         basis=handle,
-        iterations=solver.iterations,
-        refactorizations=solver.refactorizations,
+        iterations=iterations,
+        refactorizations=refactorizations,
         solve_ms=(time.perf_counter() - tic) * 1e3,
         warm_started=warm_ok,
+        sentinel=sentinel,
     )
 
 

@@ -25,10 +25,11 @@ the serve layer one per worker thread.
 
 from __future__ import annotations
 
-import hashlib
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
+
+from ..core.atomicio import content_key
 
 __all__ = ["Basis", "BasisStash", "content_key", "default_stash"]
 
@@ -61,27 +62,17 @@ class Basis:
         )
 
 
-def content_key(*parts: object) -> str:
-    """A stable fingerprint of ``parts`` for exact-content stash keys.
-
-    Builds the key from ``repr`` of each part (callers pass primitives and
-    tuples of primitives only), so equal content always produces equal keys
-    across processes and sessions — unlike ``hash()``, which is salted.
-    """
-    digest = hashlib.blake2b(digest_size=16)
-    for part in parts:
-        digest.update(repr(part).encode("utf-8"))
-        digest.update(b"\x1f")
-    return digest.hexdigest()
-
-
 class BasisStash:
     """A small thread-safe LRU of :class:`Basis` handles, keyed by content.
 
     ``get`` counts hits/misses and refreshes recency; ``put`` evicts the
-    least-recently-used entry beyond ``maxsize``.  The repr is stable (no
-    object identity) so configs holding a stash keep reproducible
-    fingerprints (sweep checkpoint journals hash ``repr(config)``).
+    least-recently-used entry beyond ``maxsize``; ``discard`` evicts one
+    key on demand — the numerical-sentinel layer calls it when a
+    warm-started solve drifts, so a poisoned basis never seeds a second
+    solve.  Both eviction paths bump the ``evictions`` counter.  The repr
+    is stable (no object identity) so configs holding a stash keep
+    reproducible fingerprints (sweep checkpoint journals hash
+    ``repr(config)``).
     """
 
     def __init__(self, maxsize: int = 8) -> None:
@@ -92,6 +83,7 @@ class BasisStash:
         self._entries: OrderedDict[str, Basis] = OrderedDict()
         self._hits = 0
         self._misses = 0
+        self._evictions = 0
 
     def get(self, key: str) -> Basis | None:
         """The stashed basis for ``key`` (refreshing recency), or None."""
@@ -111,6 +103,27 @@ class BasisStash:
             self._entries.move_to_end(key)
             while len(self._entries) > self.maxsize:
                 self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def discard(self, key: str) -> bool:
+        """Evict ``key`` (a basis that earned distrust); True if present."""
+        with self._lock:
+            if key not in self._entries:
+                return False
+            del self._entries[key]
+            self._evictions += 1
+            return True
+
+    def clear(self) -> int:
+        """Evict everything (a failed certificate indicts the whole stash).
+
+        Returns the number of entries evicted; each counts as an eviction.
+        """
+        with self._lock:
+            evicted = len(self._entries)
+            self._entries.clear()
+            self._evictions += evicted
+            return evicted
 
     def __len__(self) -> int:
         with self._lock:
@@ -126,14 +139,20 @@ class BasisStash:
         with self._lock:
             return self._misses
 
+    @property
+    def evictions(self) -> int:
+        with self._lock:
+            return self._evictions
+
     def snapshot(self) -> dict[str, int]:
-        """Counter snapshot for ``/stats`` and benches."""
+        """Counter snapshot for ``/stats``, sweep reports, and benches."""
         with self._lock:
             return {
                 "entries": len(self._entries),
                 "maxsize": self.maxsize,
                 "hits": self._hits,
                 "misses": self._misses,
+                "evictions": self._evictions,
             }
 
     def __repr__(self) -> str:

@@ -5,8 +5,9 @@ Endpoints:
 * ``POST /solve`` — body ``{"instance": <ise-instance JSON>, "deadline":
   seconds?, "include_schedule": bool?}``; the instance may be the raw wire
   dict or a checksummed artifact envelope as written by ``repro-ise
-  generate``; replies with solve metrics (and
-  the full schedule when asked).  Failures map to honest status codes:
+  generate``; replies with solve metrics (and the full schedule when
+  asked), plus a certificate summary when the service runs in verified
+  mode.  Failures map to honest status codes:
   400 malformed payload, 422 infeasible/invalid instance, 429 overloaded
   (with ``Retry-After``), 503 draining, 504 deadline exceeded, 500 solver
   failure.
@@ -29,6 +30,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
 
 from ..core.errors import (
+    CertificationError,
     InfeasibleInstanceError,
     InfeasibleScheduleError,
     InvalidInstanceError,
@@ -69,6 +71,11 @@ def _error_status(exc: BaseException) -> int:
         return 503
     if isinstance(exc, (StageTimeoutError, LimitExceededError)):
         return 504
+    if isinstance(exc, CertificationError):
+        # The solver produced an answer but it failed certification and
+        # was quarantined — a server-side integrity failure, not a client
+        # problem, and retryable against a healthy replica.
+        return 500
     if isinstance(
         exc,
         (InvalidInstanceError, InfeasibleInstanceError, InfeasibleScheduleError),
@@ -92,6 +99,9 @@ def _outcome_payload(outcome: ServeOutcome, include_schedule: bool) -> dict[str,
     }
     if result.resilience is not None:
         payload["resilience"] = result.resilience.to_dict()
+    certificate = getattr(result, "certificate", None)
+    if certificate is not None:
+        payload["certificate"] = certificate.summary()
     if include_schedule:
         payload["schedule"] = schedule_to_dict(result.schedule)
     return payload
@@ -180,11 +190,12 @@ class _Handler(BaseHTTPRequestHandler):
         except ReproError as exc:
             status = _error_status(exc)
             headers = {"Retry-After": _RETRY_AFTER} if status == 429 else None
-            self._send_json(
-                status,
-                {"error": str(exc), "error_type": type(exc).__name__},
-                headers=headers,
-            )
+            body = {"error": str(exc), "error_type": type(exc).__name__}
+            if isinstance(exc, CertificationError) and exc.certificate is not None:
+                # The quarantined schedule stays quarantined, but the failed
+                # certificate itself is safe (and useful) to show clients.
+                body["certificate"] = exc.certificate.summary()
+            self._send_json(status, body, headers=headers)
             return
         self._send_json(
             200,

@@ -38,6 +38,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from ..core.errors import (
+    CertificationError,
     OverloadError,
     ReproError,
     ServiceShutdownError,
@@ -91,6 +92,12 @@ class ServiceConfig:
             idempotent replays, polling dashboards) warm-starts the LP
             stage.  Exact-content keys keep warm results bit-identical to
             cold ones; stale bases fall back to phase 1 in the solver.
+        verify_results: certify every result before it escapes a worker
+            (see :mod:`repro.core.certify`).  A failed certificate dumps
+            the worker's basis stash and re-solves once, cold and still
+            verified; if that repair also fails, the request resolves
+            with a typed :class:`CertificationError` — a corrupted
+            schedule is never handed to a client.
     """
 
     workers: int = 2
@@ -107,6 +114,7 @@ class ServiceConfig:
     breaker_half_open_trials: int = 1
     retry: RetryPolicy = field(default_factory=RetryPolicy)
     lp_warm_start: bool = True
+    verify_results: bool = False
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -131,6 +139,12 @@ class ServiceStats:
     carry in their resilience attempt records (``detail`` of "ok" LP
     attempts): total LP solves observed, how many of them warm-started,
     and the cumulative simplex iteration count.
+
+    Verified mode adds three more: ``verified`` results that carried a
+    passing certificate out the door, ``repaired`` results whose first
+    solve failed certification but whose cold re-solve passed, and
+    ``quarantined`` requests whose repair also failed — those resolve with
+    a typed error instead of a result.
     """
 
     _FIELDS = (
@@ -145,6 +159,9 @@ class ServiceStats:
         "lp_solves",
         "lp_warm_solves",
         "lp_iterations",
+        "verified",
+        "repaired",
+        "quarantined",
     )
 
     def __init__(self) -> None:
@@ -405,6 +422,7 @@ class SolveService:
             resilience=policy,
             lp_warm_start=warm or base.lp_warm_start,
             lp_warm_stash=self._worker_stash() if warm else base.lp_warm_stash,
+            verify=self.config.verify_results or base.verify,
         )
 
     def _handle(self, request: SolveRequest) -> None:
@@ -426,7 +444,10 @@ class SolveService:
         cfg = self._request_config(request, shed)
         tic = self.clock()
         try:
-            result = self.solve_fn(request.instance, cfg)
+            try:
+                result = self.solve_fn(request.instance, cfg)
+            except CertificationError as exc:
+                result = self._repair_or_quarantine(request, cfg, exc)
         except ReproError as exc:
             if isinstance(exc, StageTimeoutError):
                 self.stats.bump("timed_out")
@@ -446,6 +467,8 @@ class SolveService:
             self.stats.bump("completed")
             if shed:
                 self.stats.bump("shed_solves")
+            if getattr(result, "certificate", None) is not None:
+                self.stats.bump("verified")
             self._record_lp_telemetry(result)
             request.future.set_result(
                 ServeOutcome(
@@ -456,6 +479,43 @@ class SolveService:
                     solve_seconds=max(0.0, self.clock() - tic),
                 )
             )
+
+    def _repair_or_quarantine(
+        self, request: SolveRequest, cfg: ISEConfig, failure: CertificationError
+    ) -> Any:
+        """One certified cold re-solve after a failed certificate.
+
+        The likeliest corruption vector for a bad result is shared mutable
+        state — above all a poisoned warm-start basis — so the repair dumps
+        this worker's entire stash, disables warm starting for the retry,
+        and re-solves under whatever deadline budget the request has left,
+        still in verified mode.  A passing repair is returned (and counted
+        as ``repaired``); any failure quarantines the request — the
+        original :class:`CertificationError` propagates and the caller
+        never sees the uncertified schedule.
+        """
+        if self.config.lp_warm_start:
+            self._worker_stash().clear()
+        policy = cfg.resilience
+        if policy is not None:
+            policy = dataclasses.replace(
+                policy, budget=request.budget.subbudget()
+            )
+        cold_cfg = dataclasses.replace(
+            cfg,
+            lp_warm_start=False,
+            lp_warm_stash=None,
+            resilience=policy,
+        )
+        try:
+            result = self.solve_fn(request.instance, cold_cfg)
+        except ReproError as exc:
+            self.stats.bump("quarantined")
+            if isinstance(exc, CertificationError):
+                raise
+            raise failure from exc
+        self.stats.bump("repaired")
+        return result
 
     def _record_lp_telemetry(self, result: Any) -> None:
         """Fold a solve's LP attempt telemetry into the service counters.
@@ -560,10 +620,17 @@ class SolveService:
         """Aggregated per-worker basis-stash counters for ``/stats``."""
         with self._state_lock:
             stashes = list(self._stashes)
-        summary = {"stashes": len(stashes), "entries": 0, "hits": 0, "misses": 0}
+        summary = {
+            "stashes": len(stashes),
+            "entries": 0,
+            "hits": 0,
+            "misses": 0,
+            "evictions": 0,
+        }
         for stash in stashes:
             snap = stash.snapshot()
             summary["entries"] += snap["entries"]
             summary["hits"] += snap["hits"]
             summary["misses"] += snap["misses"]
+            summary["evictions"] += snap["evictions"]
         return summary

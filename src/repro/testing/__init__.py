@@ -4,7 +4,8 @@
   LP backends and MM algorithms so they fail, return garbage, or time out
   on chosen calls, plus a fake clock for deterministic deadline tests and
   crash injectors (process kills, torn writes) for the checkpoint layer's
-  chaos suite.
+  chaos suite, and result/stash corruptors (bit-flipped schedules,
+  poisoned warm-start bases) for the certification layer's chaos suite.
 """
 
 from .faults import (
@@ -16,8 +17,11 @@ from .faults import (
     KillWorkerOnce,
     SimulatedProcessKill,
     corrupt_journal_tail,
+    inject_ise_corruption,
     inject_lp_fault,
     inject_mm_fault,
+    poison_stash,
+    scrambled_basis,
     tear_file,
 )
 
@@ -30,7 +34,10 @@ __all__ = [
     "KillWorkerOnce",
     "SimulatedProcessKill",
     "corrupt_journal_tail",
+    "inject_ise_corruption",
     "inject_lp_fault",
     "inject_mm_fault",
+    "poison_stash",
+    "scrambled_basis",
     "tear_file",
 ]

@@ -37,6 +37,7 @@ additionally needs *process-death* and *torn-write* faults:
 
 from __future__ import annotations
 
+import dataclasses
 import os
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -48,7 +49,15 @@ import numpy as np
 from ..core.errors import SolverError, StageTimeoutError
 from ..core.job import Job
 from ..core.schedule import ScheduledJob
-from ..lp import BACKENDS, Basis, LinearProgram, LPSolution, LPStatus, get_backend
+from ..lp import (
+    BACKENDS,
+    Basis,
+    BasisStash,
+    LinearProgram,
+    LPSolution,
+    LPStatus,
+    get_backend,
+)
 from ..mm.base import MMAlgorithm, MMSchedule
 from ..mm.registry import MM_ALGORITHMS, get_mm_algorithm
 
@@ -61,8 +70,11 @@ __all__ = [
     "KillWorkerOnce",
     "SimulatedProcessKill",
     "corrupt_journal_tail",
+    "inject_ise_corruption",
     "inject_lp_fault",
     "inject_mm_fault",
+    "poison_stash",
+    "scrambled_basis",
     "tear_file",
 ]
 
@@ -291,3 +303,73 @@ def inject_mm_fault(name: str, plan: FaultPlan) -> Iterator[FaultPlan]:
         yield plan
     finally:
         MM_ALGORITHMS[name] = original
+
+
+def _corrupt_result(result: Any) -> Any:
+    """A bit-flipped copy of an ISEResult: its first placement is torn off.
+
+    Dropping one placement leaves a structurally well-formed schedule whose
+    job coverage is wrong — precisely the damage the independent
+    certification pass exists to catch.  Results with no placements (empty
+    instances) are returned untouched.
+    """
+    schedule = result.schedule
+    if not schedule.placements:
+        return result
+    torn = dataclasses.replace(schedule, placements=schedule.placements[1:])
+    return dataclasses.replace(result, schedule=torn)
+
+
+@contextmanager
+def inject_ise_corruption(plan: FaultPlan) -> Iterator[FaultPlan]:
+    """Corrupt solve results at the last instant before certification.
+
+    Wraps :meth:`ISESolver._certified` so faulting calls (per
+    ``plan.at_calls``; the plan's ``kind`` is irrelevant here) hand a
+    *corrupted* result to the certification gate — modeling a bit flip
+    between the pipeline's own validation and the caller's hands.  With
+    ``verify`` on, certification must catch it (raising
+    :class:`~repro.core.errors.CertificationError`); with ``verify`` off,
+    the corruption escapes — which is the contrast chaos tests assert.
+    """
+    from ..core.solver import ISESolver
+
+    original = ISESolver._certified
+
+    def corrupting(self: Any, instance: Any, result: Any) -> Any:
+        if plan.should_fault():
+            result = _corrupt_result(result)
+        return original(self, instance, result)
+
+    ISESolver._certified = corrupting  # type: ignore[method-assign]
+    try:
+        yield plan
+    finally:
+        ISESolver._certified = original  # type: ignore[method-assign]
+
+
+def scrambled_basis(basis: Basis) -> Basis:
+    """A shape-compatible but wrong basis (poisoned warm-start seed).
+
+    Rotating every basic column by one (mod ``n``) keeps the columns
+    distinct and in range — :meth:`Basis.matches` still passes — but the
+    vertex the basis describes is garbage, so a warm start from it must be
+    caught (singular factorization, infeasible point, or a sentinel
+    firing) and routed around, never silently trusted.
+    """
+    basic = tuple((col + 1) % basis.n for col in basis.basic)
+    return Basis(m=basis.m, n=basis.n, basic=basic, at_upper=basis.at_upper)
+
+
+def poison_stash(stash: BasisStash) -> int:
+    """Replace every stashed basis with a scrambled one; returns the count.
+
+    Models in-memory corruption of shared warm-start state.  Reaches into
+    the stash's internals deliberately: corruption does not go through
+    public APIs.
+    """
+    with stash._lock:
+        keys = list(stash._entries)
+        for key in keys:
+            stash._entries[key] = scrambled_basis(stash._entries[key])
+    return len(keys)

@@ -6,6 +6,7 @@ import pytest
 
 from repro import solve_ise
 from repro.analysis import render_html_report, save_html_report
+from repro.core import Schedule
 from repro.instances import mixed_instance
 from repro.sim import simulate
 
@@ -50,6 +51,56 @@ class TestRenderHtmlReport:
         doc = render_html_report(instance, result, simulation=run)
         assert "violations" in doc
         assert "never completed" in doc
+
+    def test_violation_list_truncates_honestly(self, solved):
+        instance, result = solved
+        empty = Schedule(
+            calibrations=result.schedule.calibrations,
+            placements=(),
+            speed=result.schedule.speed,
+        )
+        # Every job goes unplaced; a 10-job instance stays under the limit.
+        run = simulate(instance, empty)
+        if len(run.violations) <= 20:
+            doc = render_html_report(instance, result, simulation=run)
+            assert "more</p>" not in doc
+        big = mixed_instance(30, 2, 10.0, seed=7).instance
+        big_result = solve_ise(big)
+        big_empty = Schedule(
+            calibrations=big_result.schedule.calibrations,
+            placements=(),
+            speed=big_result.schedule.speed,
+        )
+        big_run = simulate(big, big_empty)
+        assert len(big_run.violations) > 20
+        doc = render_html_report(big, big_result, simulation=big_run)
+        hidden = len(big_run.violations) - 20
+        assert f"... and {hidden} more" in doc
+
+    def test_certificate_section_when_verified(self, solved):
+        from repro.core.solver import ISEConfig
+
+        instance, _ = solved
+        verified = solve_ise(instance, ISEConfig(verify=True))
+        doc = render_html_report(instance, verified)
+        assert "Solve certificate" in doc
+        assert verified.certificate.checksum in doc
+
+    def test_no_certificate_section_by_default(self, solved):
+        instance, result = solved
+        assert "Solve certificate" not in render_html_report(instance, result)
+
+    def test_stash_section(self, solved, tmp_path):
+        from repro.lp import BasisStash
+
+        instance, result = solved
+        stash = BasisStash()
+        doc = render_html_report(instance, result, stash=stash.snapshot())
+        assert "LP basis stash" in doc
+        path = save_html_report(
+            instance, result, tmp_path / "s.html", stash=stash.snapshot()
+        )
+        assert "LP basis stash" in path.read_text()
 
     def test_title_escaped(self, solved):
         instance, result = solved

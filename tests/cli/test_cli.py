@@ -147,3 +147,64 @@ class TestFrontier:
         out = capsys.readouterr().out
         assert "augmentation frontier" in out
         assert "machines" in out
+
+
+class TestVerify:
+    def test_solve_verify_prints_and_saves_certificate(
+        self, instance_path, tmp_path, capsys
+    ):
+        from repro.instances import load_schedule_certificate
+
+        sched_path = tmp_path / "sched.json"
+        code = main([
+            "solve", str(instance_path), "--verify", "--out", str(sched_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "certificate" in out and "VALID" in out
+        assert "checksum" in out
+        certificate = load_schedule_certificate(sched_path)
+        assert certificate is not None and certificate.ok
+        assert certificate.checksum in out
+
+    def test_consolidated_schedule_drops_the_certificate(
+        self, instance_path, tmp_path
+    ):
+        from repro.instances import load_schedule_certificate
+
+        sched_path = tmp_path / "sched.json"
+        code = main([
+            "solve", str(instance_path), "--verify", "--consolidate",
+            "--out", str(sched_path),
+        ])
+        assert code == 0
+        # Consolidation rewrites the schedule the certificate attested to.
+        assert load_schedule_certificate(sched_path) is None
+
+    def test_quarantine_exits_6_with_verdict(
+        self, instance_path, tmp_path, capsys
+    ):
+        from repro.testing import FaultPlan, inject_ise_corruption
+
+        sched_path = tmp_path / "sched.json"
+        with inject_ise_corruption(FaultPlan("garbage")):
+            code = main([
+                "solve", str(instance_path), "--verify",
+                "--out", str(sched_path),
+            ])
+        assert code == 6
+        err = capsys.readouterr().err
+        assert "quarantined" in err
+        assert "INVALID" in err
+        assert not sched_path.exists()  # nothing invalid was persisted
+
+    def test_without_verify_no_certificate_is_saved(
+        self, instance_path, tmp_path
+    ):
+        from repro.instances import load_schedule_certificate
+
+        sched_path = tmp_path / "sched.json"
+        assert main([
+            "solve", str(instance_path), "--out", str(sched_path),
+        ]) == 0
+        assert load_schedule_certificate(sched_path) is None

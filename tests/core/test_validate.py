@@ -230,3 +230,32 @@ class TestReportFormatting:
 
     def test_feasible_summary(self, instance, good_schedule):
         assert validate_ise(instance, good_schedule).summary() == "feasible"
+
+    def test_detail_names_violations(self, instance, t10):
+        sched = Schedule(
+            calibrations=CalibrationSchedule((), 0, t10),
+            placements=(),
+        )
+        report = validate_ise(instance, sched)
+        detail = report.detail()
+        assert "[missing_job]" in detail
+        assert "more" not in detail  # both violations fit the default limit
+
+    def test_detail_truncates_honestly(self, t10):
+        jobs = tuple(
+            Job(job_id=i, release=0.0, deadline=25.0, processing=1.0)
+            for i in range(8)
+        )
+        inst = Instance(jobs=jobs, machines=1, calibration_length=t10)
+        sched = Schedule(
+            calibrations=CalibrationSchedule((), 0, t10),
+            placements=(),
+        )
+        report = validate_ise(inst, sched)
+        assert len(report.violations) == 8
+        detail = report.detail(limit=5)
+        assert detail.count("[missing_job]") == 5
+        assert "... and 3 more" in detail
+
+    def test_detail_feasible(self, instance, good_schedule):
+        assert validate_ise(instance, good_schedule).detail() == "feasible"

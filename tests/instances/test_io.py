@@ -85,6 +85,52 @@ class TestScheduleRoundTrip:
             schedule_from_dict(payload)
 
 
+class TestScheduleCertificate:
+    @pytest.fixture
+    def certified(self, generated):
+        from repro.core import certify_result
+        from repro.core.solver import ISEConfig, solve_ise
+
+        result = solve_ise(generated.instance, ISEConfig(verify=True))
+        return result, certify_result(generated.instance, result)
+
+    def test_round_trip_through_envelope(self, certified, tmp_path):
+        from repro.instances import load_schedule_certificate
+
+        result, cert = certified
+        path = tmp_path / "sched.json"
+        save_schedule(result.schedule, path, certificate=cert)
+        assert load_schedule(path).placements == result.schedule.placements
+        assert load_schedule_certificate(path) == cert
+
+    def test_no_certificate_loads_none(self, generated, tmp_path):
+        from repro.instances import load_schedule_certificate
+
+        path = tmp_path / "plain.json"
+        save_schedule(generated.witness, path)
+        assert load_schedule_certificate(path) is None
+
+    def test_tampered_certificate_rejected(self, certified, tmp_path):
+        from repro.instances import load_schedule_certificate
+
+        result, cert = certified
+        path = tmp_path / "sched.json"
+        save_schedule(result.schedule, path, certificate=cert)
+        envelope = json.loads(path.read_text())
+        envelope["payload"]["certificate"]["valid"] = not cert.valid
+        # Keep the *envelope* checksum honest so only the certificate's
+        # own self-checksum stands between the tamper and the caller.
+        import repro.core.atomicio as atomicio
+
+        canonical = json.dumps(
+            envelope["payload"], sort_keys=True, separators=(",", ":")
+        )
+        envelope["checksum"] = atomicio.checksum(canonical)
+        path.write_text(json.dumps(envelope))
+        with pytest.raises(InvalidArtifactError, match="checksum"):
+            load_schedule_certificate(path)
+
+
 class TestTypedArtifactErrors:
     """Malformed payloads raise :class:`InvalidArtifactError` carrying the
     offending path and field — never a raw ``KeyError`` or

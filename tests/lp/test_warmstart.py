@@ -84,6 +84,29 @@ class TestBasisStash:
         assert snap["entries"] == 2
         assert snap["hits"] == 3 and snap["misses"] == 1
 
+    def test_clear_evicts_everything_and_counts(self):
+        stash = BasisStash(maxsize=4)
+        b = Basis(m=1, n=2, basic=(0,))
+        stash.put("a", b)
+        stash.put("b", b)
+        assert stash.clear() == 2
+        assert len(stash) == 0
+        assert stash.get("a") is None
+        snap = stash.snapshot()
+        assert snap["evictions"] == 2
+
+    def test_clear_empty_is_a_noop(self):
+        stash = BasisStash()
+        assert stash.clear() == 0
+        assert stash.snapshot()["evictions"] == 0
+
+    def test_discard_counts_as_eviction(self):
+        stash = BasisStash()
+        stash.put("a", Basis(m=1, n=2, basic=(0,)))
+        assert stash.discard("a") is True
+        assert stash.discard("a") is False
+        assert stash.snapshot()["evictions"] == 1
+
     def test_default_stash_is_a_singleton(self):
         assert default_stash() is default_stash()
 

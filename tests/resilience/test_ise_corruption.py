@@ -1,0 +1,70 @@
+"""The result-corruption injectors: seam, restore semantics, helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.solver import ISEConfig, ISESolver, solve_ise
+from repro.core.validate import check_ise
+from repro.instances import mixed_instance
+from repro.lp import Basis, BasisStash
+from repro.testing import (
+    FaultPlan,
+    inject_ise_corruption,
+    poison_stash,
+    scrambled_basis,
+)
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return mixed_instance(10, 2, 10.0, seed=1).instance
+
+
+class TestInjectIseCorruption:
+    def test_corrupts_selected_calls_only(self, instance) -> None:
+        with inject_ise_corruption(FaultPlan("garbage", at_calls=(1,))) as plan:
+            first = solve_ise(instance, ISEConfig())
+            second = solve_ise(instance, ISEConfig())
+        assert plan.calls == 2
+        assert len(first.schedule.placements) < len(second.schedule.placements)
+        check_ise(instance, second.schedule, context="untouched call")
+
+    def test_restores_the_seam_on_exit(self, instance) -> None:
+        original = ISESolver._certified
+        with inject_ise_corruption(FaultPlan("garbage")):
+            assert ISESolver._certified is not original
+        assert ISESolver._certified is original
+        check_ise(
+            instance, solve_ise(instance, ISEConfig()).schedule, context="after"
+        )
+
+    def test_restores_on_error_inside_the_block(self, instance) -> None:
+        original = ISESolver._certified
+        with pytest.raises(RuntimeError):
+            with inject_ise_corruption(FaultPlan("garbage")):
+                raise RuntimeError("boom")
+        assert ISESolver._certified is original
+
+
+class TestScrambledBasis:
+    def test_rotation_keeps_shape_but_moves_every_column(self) -> None:
+        basis = Basis(m=3, n=6, basic=(0, 2, 4), at_upper=(5,))
+        bad = scrambled_basis(basis)
+        assert bad.matches(3, 6)  # still shaped right: the dangerous kind
+        assert bad.basic != basis.basic
+        assert len(set(bad.basic)) == len(bad.basic)  # still a valid tuple
+
+
+class TestPoisonStash:
+    def test_replaces_every_entry_in_place(self) -> None:
+        stash = BasisStash()
+        basis = Basis(m=2, n=4, basic=(0, 1))
+        stash.put("a", basis)
+        stash.put("b", basis)
+        assert poison_stash(stash) == 2
+        assert stash.get("a") != basis
+        assert stash.get("a").matches(2, 4)
+
+    def test_empty_stash_poisons_nothing(self) -> None:
+        assert poison_stash(BasisStash()) == 0

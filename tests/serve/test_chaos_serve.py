@@ -211,3 +211,142 @@ def test_cli_serve_drains_cleanly_on_sigterm() -> None:
         if process.poll() is None:
             process.kill()
             process.communicate(timeout=10)
+
+
+# ---------------------------------------------------------------------------
+# Verified mode: corrupted results are repaired or quarantined, never served
+# ---------------------------------------------------------------------------
+
+
+def test_transient_corruption_is_repaired() -> None:
+    """One corrupted solve: the cold re-solve passes and the client never sees it."""
+    from repro.testing import inject_ise_corruption
+
+    instance = mixed_instance(10, 2, 10.0, 0).instance
+    service = SolveService(ServiceConfig(workers=1, verify_results=True)).start()
+    try:
+        with inject_ise_corruption(FaultPlan("garbage", at_calls=(1,))):
+            outcome = service.solve(instance, timeout=60.0)
+        check_ise(instance, outcome.result.schedule, context="repair")
+        certificate = outcome.result.certificate
+        assert certificate is not None and certificate.ok
+        stats = service.stats.to_dict()
+        assert stats["repaired"] == 1
+        assert stats["verified"] == 1
+        assert stats["quarantined"] == 0
+    finally:
+        service.shutdown()
+
+
+def test_persistent_corruption_is_quarantined() -> None:
+    """Every solve corrupted: typed error out, nothing invalid returned."""
+    from repro.core import CertificationError
+    from repro.testing import inject_ise_corruption
+
+    instance = mixed_instance(10, 2, 10.0, 0).instance
+    service = SolveService(ServiceConfig(workers=1, verify_results=True)).start()
+    try:
+        with inject_ise_corruption(FaultPlan("garbage")):
+            with pytest.raises(CertificationError) as excinfo:
+                service.solve(instance, timeout=60.0)
+        assert excinfo.value.certificate is not None
+        assert not excinfo.value.certificate.valid
+        stats = service.stats.to_dict()
+        assert stats["quarantined"] == 1
+        assert stats["failed"] == 1
+        assert stats["repaired"] == 0
+        # The fault cleared; the service is healthy again.
+        outcome = service.solve(instance, timeout=60.0)
+        assert outcome.result.certificate.ok
+        assert service.stats.get("verified") == 1
+    finally:
+        service.shutdown()
+
+
+def test_http_client_never_receives_an_invalid_schedule() -> None:
+    """End-to-end over HTTP: corruption turns into a 500 with the verdict,
+    a clean request carries a passing certificate — never a bad schedule."""
+    import urllib.error
+
+    from repro.instances import schedule_from_dict
+    from repro.serve import make_server
+    from repro.testing import inject_ise_corruption
+
+    instance = mixed_instance(10, 2, 10.0, 0).instance
+    service = SolveService(ServiceConfig(workers=1, verify_results=True))
+    httpd = make_server(service, port=0)
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    try:
+        body = json.dumps(
+            {"instance": instance_to_dict(instance), "include_schedule": True}
+        ).encode()
+
+        def post() -> tuple[int, dict]:
+            request = urllib.request.Request(
+                f"http://127.0.0.1:{httpd.port}/solve",
+                data=body,
+                headers={"Content-Type": "application/json"},
+            )
+            try:
+                with urllib.request.urlopen(request, timeout=60) as response:
+                    return response.status, json.loads(response.read())
+            except urllib.error.HTTPError as error:
+                return error.code, json.loads(error.read())
+
+        with inject_ise_corruption(FaultPlan("garbage")):
+            status, payload = post()
+        assert status == 500
+        assert "schedule" not in payload
+        assert payload["certificate"]["valid"] is False
+
+        status, payload = post()
+        assert status == 200
+        assert payload["certificate"]["valid"] is True
+        check_ise(
+            instance, schedule_from_dict(payload["schedule"]), context="http"
+        )
+    finally:
+        httpd.shutdown()
+        service.shutdown(drain_deadline=5.0)
+        httpd.server_close()
+
+
+def test_poisoned_stash_is_routed_around() -> None:
+    """Scrambled bases in the warm-start stash cost repairs, not correctness."""
+    from repro.lp import BasisStash
+    from repro.testing import poison_stash
+
+    from repro.instances import long_window_instance
+
+    instance = long_window_instance(
+        n=10, machines=2, calibration_length=10.0, seed=0
+    ).instance
+    stash = BasisStash()
+    config = ISEConfig(
+        lp_backend="simplex",
+        lp_warm_start=True,
+        lp_warm_stash=stash,
+        verify=True,
+    )
+
+    first = ISEConfig(
+        lp_backend="simplex", lp_warm_start=True, lp_warm_stash=stash
+    )
+    from repro.core.solver import solve_ise
+
+    baseline = solve_ise(instance, first)
+    assert len(stash) > 0
+    poisoned = poison_stash(stash)
+    assert poisoned > 0
+
+    result = solve_ise(instance, config)
+    check_ise(instance, result.schedule, context="poisoned-stash")
+    assert result.certificate is not None and result.certificate.ok
+    assert result.num_calibrations == baseline.num_calibrations
+    # The poisoned bases were routed around (stale-point phase-1 fallback
+    # or sentinel eviction) and overwritten with fresh ones: a further warm
+    # solve replays cleanly and still certifies.
+    again = solve_ise(instance, config)
+    assert again.certificate is not None and again.certificate.ok
+    assert again.num_calibrations == baseline.num_calibrations
