@@ -224,6 +224,40 @@ def build_parser() -> argparse.ArgumentParser:
                        help="certify every result before returning it; a "
                             "failed certificate triggers one cold re-solve "
                             "and, failing that, a typed quarantine error")
+    serve.add_argument("--session-dir", default=None, metavar="DIR",
+                       help="enable the /sessions routes, with per-session "
+                            "durable journals under DIR; restarting the "
+                            "server against the same DIR recovers every "
+                            "session and fences out stale writers")
+    serve.add_argument("--session-ttl", type=float, default=600.0,
+                       metavar="SECONDS",
+                       help="evict sessions idle this long from memory "
+                            "(journals persist; they recover lazily)")
+
+    session = sub.add_parser(
+        "session",
+        help="drive a durable online session (streaming arrivals) locally",
+    )
+    session.add_argument("dir", help="directory holding session journals")
+    session.add_argument("id", help="session id")
+    saction = session.add_subparsers(dest="action", required=True)
+    screate = saction.add_parser("create", help="start a fresh session")
+    screate.add_argument("--machines", type=int, required=True)
+    screate.add_argument("--T", type=float, required=True,
+                         help="calibration length")
+    screate.add_argument("--horizon", type=float, default=0.0,
+                         help="commit horizon: calibrations starting within "
+                              "now+horizon become immutable")
+    ssubmit = saction.add_parser("submit", help="stream one job in")
+    ssubmit.add_argument("--job", type=int, required=True, help="client job id")
+    ssubmit.add_argument("--release", type=float, required=True)
+    ssubmit.add_argument("--deadline", type=float, required=True)
+    ssubmit.add_argument("--processing", type=float, required=True)
+    ssubmit.add_argument("--at", type=float, default=None,
+                         help="arrival time (default: the session clock)")
+    sadvance = saction.add_parser("advance", help="move the session clock")
+    sadvance.add_argument("--to", type=float, required=True)
+    saction.add_parser("show", help="print the session's current state")
 
     return parser
 
@@ -507,7 +541,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         verify_results=args.verify,
     )
     service = SolveService(config)
-    server = make_server(service, host=args.host, port=args.port)
+    sessions = None
+    if args.session_dir is not None:
+        from .serve import SessionManager
+
+        sessions = SessionManager(
+            args.session_dir, config=solver, ttl=args.session_ttl
+        )
+    server = make_server(service, host=args.host, port=args.port,
+                         sessions=sessions)
 
     def _on_signal(signum: int, frame: object) -> None:
         # serve_forever() must be stopped from another thread; shutdown()
@@ -533,6 +575,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     print("repro-ise serve: draining ...", flush=True)
     report = service.shutdown(args.drain_deadline)
     server.server_close()
+    if sessions is not None:
+        persisted = sessions.drain()
+        print(f"repro-ise serve: persisted {persisted} session(s)", flush=True)
     abandoned = report.abandoned_queued + report.abandoned_in_flight
     print(
         f"repro-ise serve: drained {report.drained} request(s), "
@@ -541,6 +586,83 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         flush=True,
     )
     return 0 if report.clean else 5
+
+
+def _cmd_session(args: argparse.Namespace) -> int:
+    """Drive a durable online session from the shell, one action at a time.
+
+    Every invocation reopens the journal (bumping the fencing epoch) and
+    prints a JSON document, so shell pipelines can chain ``create`` /
+    ``submit`` / ``advance`` / ``show`` across process restarts — each
+    restart is itself a recovery exercise of the journal.
+    """
+    import json
+
+    from .online import ISESession
+
+    if args.action == "create":
+        session = ISESession.create(
+            args.dir,
+            args.id,
+            machines=args.machines,
+            calibration_length=args.T,
+            commit_horizon=args.horizon,
+        )
+    else:
+        session = ISESession.open(args.dir, args.id)
+
+    payload: dict[str, object]
+    if args.action == "submit":
+        receipt = session.submit_job(
+            args.job,
+            release=args.release,
+            deadline=args.deadline,
+            processing=args.processing,
+            at=args.at,
+        )
+        payload = {
+            "action": "submit",
+            "job_id": receipt.job_id,
+            "replayed": receipt.replayed,
+            "repaired": receipt.repaired,
+            "start": receipt.start,
+            "machine": receipt.machine,
+            "locked": receipt.locked,
+            "newly_committed": [list(key) for key in receipt.newly_committed],
+        }
+    elif args.action == "advance":
+        outcome = session.advance(args.to)
+        payload = {
+            "action": "advance",
+            "now": outcome.now,
+            "newly_committed": [list(key) for key in outcome.newly_committed],
+        }
+    else:  # create / show share the snapshot shape
+        payload = {"action": args.action}
+    payload.update(
+        session_id=session.session_id,
+        fence=session.fence,
+        now=session.now,
+        job_count=session.job_count,
+        committed=[
+            [cal.start, cal.machine] for cal in session.committed_calibrations
+        ],
+        replans=session.replans,
+        repairs=session.repairs,
+        digest=session.state_digest(),
+    )
+    if args.action == "show":
+        payload["schedule"] = [
+            {
+                "job": placement.job_id,
+                "start": placement.start,
+                "machine": placement.machine,
+            }
+            for placement in session.schedule.placements
+        ]
+    session.close()
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0
 
 
 _DISPATCH = {
@@ -555,6 +677,7 @@ _DISPATCH = {
     "frontier": _cmd_frontier,
     "fuzz": _cmd_fuzz,
     "serve": _cmd_serve,
+    "session": _cmd_session,
 }
 
 

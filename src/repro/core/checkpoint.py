@@ -57,7 +57,12 @@ __all__ = [
     "ShardJournal",
     "ShardOutcome",
     "TornTailWarning",
+    "append_journal_line",
+    "append_journal_lines",
+    "line_checksum",
+    "journal_payload",
     "shard_error_context",
+    "verify_journal_line",
 ]
 
 ItemT = TypeVar("ItemT")
@@ -78,14 +83,19 @@ class TornTailWarning(UserWarning):
     """
 
 
-def _line_checksum(record: dict[str, Any]) -> str:
-    """Checksum of a journal record's content (everything except ``sha``)."""
+def line_checksum(record: dict[str, Any]) -> str:
+    """Checksum of a journal record's content (everything except ``sha``).
+
+    Public: the online session journal (:mod:`repro.online.journal`) reuses
+    the exact same per-line format so both journal families share one
+    torn-tail / mid-file-corruption story.
+    """
     body = {k: v for k, v in record.items() if k != "sha"}
     canonical = json.dumps(body, sort_keys=True, separators=(",", ":"))
     return "sha256:" + hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
-def _valid_line(line: str) -> dict[str, Any] | None:
+def verify_journal_line(line: str) -> dict[str, Any] | None:
     """Parse and checksum-verify one journal line; None when invalid."""
     try:
         record = json.loads(line)
@@ -93,9 +103,84 @@ def _valid_line(line: str) -> dict[str, Any] | None:
         return None
     if not isinstance(record, dict) or not isinstance(record.get("sha"), str):
         return None
-    if _line_checksum(record) != record["sha"]:
+    if line_checksum(record) != record["sha"]:
         return None
     return record
+
+
+def append_journal_line(
+    path: Path, record: dict[str, Any], *, append: bool = True
+) -> None:
+    """Stamp ``record`` with its ``sha`` and durably append it to ``path``.
+
+    The write is flushed and fdatasynced before returning, so the record is
+    durable the moment this returns — the property every crash-recovery
+    proof in both journal families rests on.
+    """
+    append_journal_lines(path, [record], append=append)
+
+
+def append_journal_lines(
+    path: Path,
+    records: Sequence[dict[str, Any]],
+    *,
+    append: bool = True,
+    sync: bool = True,
+) -> None:
+    """Stamp and durably append a batch of records with ONE fsync.
+
+    Identical line format to :func:`append_journal_line`; the batch shares
+    a single write + flush + fdatasync, so an N-record mutation pays one
+    durability round-trip instead of N.  Crash-wise this is the same
+    contract as N sequential appends: the kernel may persist any prefix of
+    the batch, and a torn final line is truncated on replay — exactly the
+    torn-tail story both journal families already recover from.
+
+    ``sync=False`` skips the fdatasync: the batch is flushed to the kernel
+    (so it survives the *process* dying, SIGKILL included) but a machine
+    crash may lose it.  Callers choose per their failure model; replay
+    consistency is unaffected either way because recovery trusts only the
+    verifiable journal prefix.
+    """
+    if not records:
+        return
+    payload = journal_payload(records)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "ab" if append else "wb") as handle:
+        handle.write(payload)
+        handle.flush()
+        if sync:
+            # fdatasync: the appended bytes (and the size change needed to
+            # read them) reach disk; skipping the remaining metadata sync
+            # roughly halves the per-record durability cost.
+            os.fdatasync(handle.fileno())
+
+
+def journal_payload(records: Sequence[dict[str, Any]]) -> bytes:
+    """Stamp each record with its ``sha`` and encode the JSONL batch.
+
+    The checksum is spliced into the already-serialized canonical body
+    rather than re-serializing the whole record: verification
+    (:func:`verify_journal_line`) re-canonicalizes the *parsed* record, so
+    on-disk key order is immaterial — and one ``json.dumps`` per record
+    instead of two matters to the online session journal, whose
+    per-mutation write cost sits directly on the serving latency path.
+    """
+    lines = []
+    for record in records:
+        body = {k: v for k, v in record.items() if k != "sha"}
+        canonical = json.dumps(body, sort_keys=True, separators=(",", ":"))
+        digest = hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+        comma = "," if canonical != "{}" else ""
+        lines.append(
+            canonical[:-1] + comma + '"sha":"sha256:' + digest + '"}'
+        )
+    return ("\n".join(lines) + "\n").encode("utf-8")
+
+
+# Backwards-compatible private aliases (pre-existing internal callers).
+_line_checksum = line_checksum
+_valid_line = verify_journal_line
 
 
 def shard_error_context(error: BaseException) -> dict[str, Any]:
@@ -162,17 +247,7 @@ class ShardJournal:
         return self.path.exists()
 
     def _write_line(self, record: dict[str, Any], *, append: bool) -> None:
-        record = dict(record)
-        record["sha"] = _line_checksum(record)
-        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        with open(self.path, "a" if append else "w", encoding="utf-8") as handle:
-            handle.write(line + "\n")
-            handle.flush()
-            # fdatasync: the appended bytes (and the size change needed to
-            # read them) reach disk; skipping the remaining metadata sync
-            # roughly halves the per-shard durability cost.
-            os.fdatasync(handle.fileno())
+        append_journal_line(self.path, record, append=append)
 
     def create(self, fingerprint: str, total_shards: int) -> None:
         """Start a fresh journal (truncating any existing file)."""

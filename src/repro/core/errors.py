@@ -31,6 +31,9 @@ __all__ = [
     "CorruptArtifactError",
     "OverloadError",
     "ServiceShutdownError",
+    "CommitRetractionError",
+    "StaleFenceError",
+    "SessionConflictError",
 ]
 
 
@@ -283,6 +286,83 @@ class ServiceShutdownError(ReproError):
     of queued requests abandoned when a graceful drain ran out of its drain
     deadline.  Distinct from :class:`OverloadError` so clients can tell
     "back off and retry here" from "this server is going away".
+    """
+
+
+class CommitRetractionError(ReproError):
+    """An online session tried to retract a committed calibration.
+
+    A calibration whose start time has passed the session's commit horizon
+    is physically underway: the machine is warming up or running, and no
+    software rollback can un-spend it.  The incremental solver therefore
+    treats the committed set as append-only; every mutation re-validates
+    that invariant and raises this error instead of installing a state
+    that drops, moves, or re-machines a committed calibration.
+
+    Reaching this error in *recovery* (journal replay) would mean the
+    durable record itself witnessed a retraction — the chaos suite asserts
+    that is unreachable.  ``retracted`` lists the ``(start, machine)``
+    pairs that would have been lost.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        retracted: tuple[tuple[float, int], ...] = (),
+        stage: str | None = None,
+        backend: str | None = None,
+        elapsed: float | None = None,
+    ) -> None:
+        super().__init__(message, stage=stage, backend=backend, elapsed=elapsed)
+        self.retracted = tuple(retracted)
+
+
+class StaleFenceError(ReproError):
+    """A session write carried an out-of-date fencing token.
+
+    Every (re)open of a session journal bumps an integer fence epoch and
+    records it durably.  A writer holding an older token is, by
+    definition, operating on a view of the session that a recovery (or
+    another server) has superseded — its writes must be rejected, not
+    merged, or a half-dead server could silently corrupt a session it no
+    longer owns (split brain).  ``presented`` / ``current`` make the
+    rejection auditable; clients re-fetch the current token via a read.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        presented: int | None = None,
+        current: int | None = None,
+        stage: str | None = None,
+        backend: str | None = None,
+        elapsed: float | None = None,
+    ) -> None:
+        super().__init__(message, stage=stage, backend=backend, elapsed=elapsed)
+        self.presented = presented
+        self.current = current
+
+    def context_suffix(self) -> str:
+        parts = []
+        if self.presented is not None:
+            parts.append(f"presented={self.presented}")
+        if self.current is not None:
+            parts.append(f"current={self.current}")
+        tail = super().context_suffix()
+        return (f" [{' '.join(parts)}]" if parts else "") + tail
+
+
+class SessionConflictError(ReproError, ValueError):
+    """A session operation conflicts with what the session already knows.
+
+    Examples: re-submitting a client job id with *different* fields (the
+    idempotent-replay contract covers only identical payloads), an arrival
+    timestamp behind the session clock, or a job whose deadline can no
+    longer be met at its arrival time.  Distinct from
+    :class:`InvalidInstanceError` so serving layers can map it to a
+    conflict status rather than a generic bad-request.
     """
 
 

@@ -36,6 +36,7 @@ failure into the best feasible answer the chain can still produce.
 from __future__ import annotations
 
 import math
+import random
 import time
 from contextlib import contextmanager
 from contextvars import ContextVar
@@ -265,12 +266,39 @@ class RetryPolicy:
             through to the next candidate after the retries.
         backoff: base sleep in seconds between retries of one candidate,
             doubling per retry.  0.0 (default) sleeps not at all.
+        jitter: fraction of each backoff delay that is randomized (bounded
+            full jitter): the actual sleep is uniform in
+            ``[delay * (1 - jitter), delay]``.  0.0 (default) keeps the
+            historical deterministic behavior; values near 1.0 approach
+            classic full jitter.  Jitter de-synchronizes retry herds — a
+            fleet of clients whose first attempts failed together would
+            otherwise all come back on the same doubling schedule.
         sleep: injectable sleeper (tests pass a no-op).
+        rng: injectable uniform source in ``[0, 1)`` (the library's RNG
+            convention: tests pass a deterministic stub).
     """
 
     attempts: int = 1
     backoff: float = 0.0
+    jitter: float = 0.0
     sleep: Callable[[float], None] = time.sleep
+    rng: Callable[[], float] = random.random
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(
+                f"jitter must be within [0, 1], got {self.jitter}"
+            )
+
+    def backoff_delay(self, attempt: int) -> float:
+        """The (possibly jittered) delay before retry number ``attempt``."""
+        if attempt <= 1 or self.backoff <= 0.0:
+            return 0.0
+        delay = self.backoff * (2 ** (attempt - 2))
+        if self.jitter > 0.0:
+            low = delay * (1.0 - self.jitter)
+            delay = low + (delay - low) * self.rng()
+        return delay
 
     def pause_before(
         self, attempt: int, budget: SolveBudget | None = None
@@ -283,9 +311,9 @@ class RetryPolicy:
         remains (the caller's next ``ensure()`` then raises instead of
         this method burning real time first).
         """
-        if attempt <= 1 or self.backoff <= 0.0:
+        delay = self.backoff_delay(attempt)
+        if delay <= 0.0:
             return
-        delay = self.backoff * (2 ** (attempt - 2))
         if budget is not None:
             remaining = budget.remaining()
             if remaining <= 0.0:

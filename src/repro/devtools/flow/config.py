@@ -173,6 +173,11 @@ class FlowConfig:
                 ("foundation", "lp", "mm", "algorithms", "bounds"),
             ),
             LayerSpec(
+                "online",
+                ("repro.online", "repro.online.*"),
+                ("foundation", "lp", "mm", "algorithms", "bounds", "solver"),
+            ),
+            LayerSpec(
                 "toolkit",
                 (
                     "repro.analysis",
@@ -188,12 +193,20 @@ class FlowConfig:
                     "repro.testing",
                     "repro.testing.*",
                 ),
-                ("foundation", "lp", "mm", "algorithms", "bounds", "solver"),
+                (
+                    "foundation",
+                    "lp",
+                    "mm",
+                    "algorithms",
+                    "bounds",
+                    "solver",
+                    "online",
+                ),
             ),
             LayerSpec(
                 "serve",
                 ("repro.serve", "repro.serve.*"),
-                ("foundation", "solver", "toolkit"),
+                ("foundation", "solver", "online", "toolkit"),
             ),
             LayerSpec(
                 "app",
@@ -205,6 +218,7 @@ class FlowConfig:
                     "algorithms",
                     "bounds",
                     "solver",
+                    "online",
                     "toolkit",
                     "serve",
                 ),
@@ -216,6 +230,8 @@ class FlowConfig:
             forbid=(
                 ("foundation", "serve"),
                 ("solver", "serve"),
+                ("online", "serve"),
+                ("online", "devtools"),
                 ("toolkit", "devtools"),
                 ("serve", "devtools"),
                 ("app", "devtools"),

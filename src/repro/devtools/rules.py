@@ -1,4 +1,4 @@
-"""The project rule set: codes ``ISE001``–``ISE015``.
+"""The project rule set: codes ``ISE001``–``ISE016``.
 
 Every rule encodes one convention the paper's guarantees or the PR-1
 resilience layer depend on.  Rules are pure functions from a parsed
@@ -978,4 +978,102 @@ def _check_result_mutation(source: SourceFile) -> Iterator[Diagnostic]:
                     f"object.__setattr__ on solver result "
                     f"`{node.args[0].id}` bypasses frozen-dataclass "
                     "protection; use dataclasses.replace",
+                )
+
+
+# ---------------------------------------------------------------------------
+# ISE016 — mutation of committed online-session state
+# ---------------------------------------------------------------------------
+
+#: The online-session type whose committed state is append-only evidence.
+_SESSION_TYPES = frozenset({"ISESession"})
+
+#: The one module allowed to write session attributes: the file that
+#: defines the type and enforces the never-retract invariant on every
+#: mutation path.
+_SESSION_HOME = ("online", "session.py")
+
+
+def _tracked_session_names(tree: ast.Module) -> set[str]:
+    """Names bound to online sessions, flow-insensitively.
+
+    A name is tracked when it is assigned from ``ISESession(...)`` or one
+    of its factory classmethods (``ISESession.create`` /
+    ``ISESession.open``), or annotated as :class:`ISESession`.
+    """
+    tracked: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+            callee = _dotted_name(node.value.func) or ""
+            if _SESSION_TYPES & set(callee.split(".")):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        tracked.add(target.id)
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            if _annotation_types(node.annotation) & _SESSION_TYPES:
+                tracked.add(node.target.id)
+        elif isinstance(node, ast.arg) and node.annotation is not None:
+            if _annotation_types(node.annotation) & _SESSION_TYPES:
+                tracked.add(node.arg)
+    return tracked
+
+
+@register(
+    "ISE016",
+    "session-state-mutation",
+    "ISESession attributes written outside repro/online/session.py; "
+    "committed session state is never-retract evidence — use the "
+    "submit_job/advance API",
+)
+def _check_session_mutation(source: SourceFile) -> Iterator[Diagnostic]:
+    """Flag attribute writes to :class:`ISESession` outside its home module.
+
+    The durability story rests on one invariant: every mutation of session
+    state flows through ``submit_job``/``advance``, which journal first,
+    machine-check the never-retract property, and only then install.  An
+    attribute write from anywhere else — serve handlers, tests poking
+    ``session._committed``, benchmarks resetting counters — bypasses the
+    journal, so a crash after it silently forks the durable history from
+    the in-memory one.  Only ``repro/online/session.py`` (which defines
+    the type and owns the invariant checks) may write attributes; both
+    plain assignment and the ``object.__setattr__`` escape hatch are
+    caught everywhere else.
+    """
+    parts = _path_parts(source)
+    if len(parts) >= 2 and (parts[-2], parts[-1]) == _SESSION_HOME:
+        return
+    tracked = _tracked_session_names(source.tree)
+    if not tracked:
+        return
+    for node in ast.walk(source.tree):
+        if isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id in tracked
+                ):
+                    yield source.diagnostic(
+                        node,
+                        "ISE016",
+                        f"writes session state `{target.value.id}."
+                        f"{target.attr}` outside repro/online/session.py; "
+                        "committed calibrations never retract — go through "
+                        "submit_job/advance so the journal and invariant "
+                        "checks see the mutation",
+                    )
+        elif isinstance(node, ast.Call):
+            if (
+                _dotted_name(node.func) == "object.__setattr__"
+                and node.args
+                and isinstance(node.args[0], ast.Name)
+                and node.args[0].id in tracked
+            ):
+                yield source.diagnostic(
+                    node,
+                    "ISE016",
+                    f"object.__setattr__ on session `{node.args[0].id}` "
+                    "bypasses the journaled mutation API; go through "
+                    "submit_job/advance",
                 )

@@ -1,0 +1,24 @@
+"""Online / streaming ISE: durable incremental sessions.
+
+The offline pipelines solve one frozen instance; this package makes the
+reproduction *temporal*.  An :class:`~repro.online.session.ISESession`
+accepts jobs as they arrive, extends or locally repairs the schedule per
+arrival, and — the robustness core — never retracts a calibration once
+its start time passes the commit horizon.  Every mutation is journaled
+(:class:`~repro.online.journal.SessionJournal`, the checkpoint layer's
+checksummed JSONL) before it is installed, so a SIGKILL at any instant
+rehydrates the session byte-identically; the serve layer wraps sessions
+in fencing epochs so a recovered server rejects stale writers.
+"""
+
+from .journal import SESSION_JOURNAL_VERSION, SessionJournal, SessionJournalState
+from .session import AdvanceResult, ISESession, SubmitReceipt
+
+__all__ = [
+    "SESSION_JOURNAL_VERSION",
+    "SessionJournal",
+    "SessionJournalState",
+    "ISESession",
+    "SubmitReceipt",
+    "AdvanceResult",
+]

@@ -5,8 +5,10 @@ one-shot solver: bounded admission with typed overload rejection
 (:mod:`repro.serve.queue`), per-backend circuit breakers
 (:mod:`repro.serve.breaker`), the worker-pool supervisor with deadline
 propagation, load shedding, and graceful drain
-(:mod:`repro.serve.service`), and a stdlib JSON/HTTP frontend
-(:mod:`repro.serve.http`), wired into the CLI as ``repro-ise serve``.
+(:mod:`repro.serve.service`), the fenced session manager fronting durable
+online sessions (:mod:`repro.serve.sessions`), and a stdlib JSON/HTTP
+frontend (:mod:`repro.serve.http`), wired into the CLI as ``repro-ise
+serve``.
 
 The dependency points one way: this package imports :mod:`repro.core`;
 the core never imports this package (the breaker board plugs into the
@@ -24,6 +26,7 @@ from .service import (
     ServiceStats,
     SolveService,
 )
+from .sessions import SessionManager, SessionSnapshot
 
 __all__ = [
     "AdmissionQueue",
@@ -35,6 +38,8 @@ __all__ = [
     "ServiceStats",
     "DrainReport",
     "SolveService",
+    "SessionManager",
+    "SessionSnapshot",
     "SolveHTTPServer",
     "make_server",
 ]

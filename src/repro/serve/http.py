@@ -3,20 +3,39 @@
 Endpoints:
 
 * ``POST /solve`` — body ``{"instance": <ise-instance JSON>, "deadline":
-  seconds?, "include_schedule": bool?}``; the instance may be the raw wire
-  dict or a checksummed artifact envelope as written by ``repro-ise
-  generate``; replies with solve metrics (and the full schedule when
-  asked), plus a certificate summary when the service runs in verified
-  mode.  Failures map to honest status codes:
-  400 malformed payload, 422 infeasible/invalid instance, 429 overloaded
-  (with ``Retry-After``), 503 draining, 504 deadline exceeded, 500 solver
+  seconds?, "include_schedule": bool?, "request_id": str?}``; the instance
+  may be the raw wire dict or a checksummed artifact envelope as written
+  by ``repro-ise generate``; replies with solve metrics (and the full
+  schedule when asked), plus a certificate summary when the service runs
+  in verified mode.  A ``request_id`` makes the POST idempotent: a
+  duplicate within the service's LRU window returns the original result
+  with ``"idempotent_replay": true``.  Failures map to honest status
+  codes: 400 malformed payload, 422 infeasible/invalid instance, 429
+  overloaded (with a ``Retry-After`` computed from the live backlog and
+  observed solve times), 503 draining, 504 deadline exceeded, 500 solver
   failure.
+* ``POST /sessions`` — create a durable online session; body
+  ``{"session_id": str?, "machines": int, "calibration_length": number,
+  "commit_horizon": number?}``; replies 201 with the session's snapshot
+  including its fencing token.
+* ``POST /sessions/{id}/jobs`` — stream one job in; body ``{"fence": int,
+  "job": {"id", "release", "deadline", "processing"}, "at": number?}``.
+* ``POST /sessions/{id}/advance`` — move the session clock; body
+  ``{"fence": int, "to": number}``; replies with newly committed
+  calibrations.
+* ``GET /sessions/{id}/schedule`` — the session's full current schedule,
+  committed set, state digest, and current fence (how a displaced writer
+  re-fences).
+* ``DELETE /sessions/{id}`` — close the session and delete its journal.
+  Session conflicts and stale fencing tokens map to 409; unknown session
+  ids to 404.
 * ``GET /healthz`` — liveness: 200 whenever the process can answer at all.
 * ``GET /readyz`` — readiness: 503 (with a reason) while the service is
   draining or its breaker board is dark, so load balancers stop routing
   new work here before it would be wasted.
-* ``GET /stats`` — the service's counters, queue state, and per-backend
-  breaker states as JSON.
+* ``GET /stats`` — the service's counters, queue state, per-backend
+  breaker states, and (when sessions are enabled) session counters as
+  JSON.
 
 Built on :class:`http.server.ThreadingHTTPServer` — no framework, no new
 dependencies — which is plenty for an internal solve service whose unit of
@@ -31,6 +50,7 @@ from typing import Any
 
 from ..core.errors import (
     CertificationError,
+    CommitRetractionError,
     InfeasibleInstanceError,
     InfeasibleScheduleError,
     InvalidInstanceError,
@@ -38,25 +58,53 @@ from ..core.errors import (
     OverloadError,
     ReproError,
     ServiceShutdownError,
+    SessionConflictError,
     StageTimeoutError,
+    StaleFenceError,
 )
 from ..instances import instance_from_dict, schedule_to_dict
 from .service import ServeOutcome, SolveService
+from .sessions import SessionManager, SessionSnapshot
 
 __all__ = ["SolveHTTPServer", "make_server"]
 
-#: Suggested client back-off (seconds) sent with 429 responses.
-_RETRY_AFTER = "1"
+
+class _BadSessionPayload(ValueError):
+    """A session request body is malformed (maps to 400, not 404/409)."""
+
+
+def _field(payload: dict[str, Any], name: str, cast: Any, default: Any = None) -> Any:
+    """Pull and coerce one body field; raises :class:`_BadSessionPayload`."""
+    value = payload.get(name, default)
+    if value is None:
+        raise _BadSessionPayload(f'missing required field "{name}"')
+    try:
+        return cast(value)
+    except (TypeError, ValueError) as exc:
+        raise _BadSessionPayload(
+            f'field "{name}" must be a {cast.__name__}: {exc}'
+        ) from exc
 
 
 class SolveHTTPServer(ThreadingHTTPServer):
-    """A ThreadingHTTPServer that owns the :class:`SolveService` it fronts."""
+    """A ThreadingHTTPServer that owns the :class:`SolveService` it fronts.
+
+    ``sessions`` is the optional :class:`SessionManager` behind the
+    ``/sessions`` routes; without one those routes answer 404 with a hint
+    to start the server with a session directory.
+    """
 
     daemon_threads = True
 
-    def __init__(self, address: tuple[str, int], service: SolveService) -> None:
+    def __init__(
+        self,
+        address: tuple[str, int],
+        service: SolveService,
+        sessions: SessionManager | None = None,
+    ) -> None:
         super().__init__(address, _Handler)
         self.service = service
+        self.sessions = sessions
 
     @property
     def port(self) -> int:
@@ -71,10 +119,16 @@ def _error_status(exc: BaseException) -> int:
         return 503
     if isinstance(exc, (StageTimeoutError, LimitExceededError)):
         return 504
-    if isinstance(exc, CertificationError):
+    if isinstance(exc, (StaleFenceError, SessionConflictError)):
+        # The request is well-formed but clashes with the session's
+        # current state or ownership epoch — a conflict, not a bad
+        # request: re-reading the session resolves it.
+        return 409
+    if isinstance(exc, (CertificationError, CommitRetractionError)):
         # The solver produced an answer but it failed certification and
-        # was quarantined — a server-side integrity failure, not a client
-        # problem, and retryable against a healthy replica.
+        # was quarantined (or a session mutation would have retracted a
+        # committed calibration and was refused) — a server-side
+        # integrity failure, not a client problem.
         return 500
     if isinstance(
         exc,
@@ -82,6 +136,25 @@ def _error_status(exc: BaseException) -> int:
     ):
         return 422
     return 500
+
+
+def _snapshot_payload(
+    snap: SessionSnapshot, include_schedule: bool = True
+) -> dict[str, Any]:
+    """JSON-ready view of one session snapshot."""
+    payload: dict[str, Any] = {
+        "session_id": snap.session_id,
+        "fence": snap.fence,
+        "now": snap.now,
+        "job_count": snap.job_count,
+        "committed": [list(key) for key in snap.committed],
+        "replans": snap.replans,
+        "repairs": snap.repairs,
+        "digest": snap.digest,
+    }
+    if include_schedule:
+        payload["schedule"] = schedule_to_dict(snap.schedule)
+    return payload
 
 
 def _outcome_payload(outcome: ServeOutcome, include_schedule: bool) -> dict[str, Any]:
@@ -127,6 +200,67 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _send_error(self, exc: ReproError) -> None:
+        """One typed-failure -> HTTP response mapping for every route."""
+        status = _error_status(exc)
+        headers: dict[str, str] | None = None
+        if status == 429:
+            headers = {
+                "Retry-After": str(self.server.service.retry_after_estimate())
+            }
+        body: dict[str, Any] = {
+            "error": str(exc),
+            "error_type": type(exc).__name__,
+        }
+        if isinstance(exc, StaleFenceError):
+            body["presented"] = exc.presented
+            body["current"] = exc.current
+        if isinstance(exc, CertificationError) and exc.certificate is not None:
+            # The quarantined schedule stays quarantined, but the failed
+            # certificate itself is safe (and useful) to show clients.
+            body["certificate"] = exc.certificate.summary()
+        self._send_json(status, body, headers=headers)
+
+    def _read_body(self) -> dict[str, Any] | None:
+        """Parse the JSON request body; answers 400 and returns None on junk."""
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+            payload = json.loads(self.rfile.read(length) or b"{}")
+        except (ValueError, json.JSONDecodeError) as exc:
+            self._send_json(400, {"error": f"malformed JSON body: {exc}"})
+            return None
+        if not isinstance(payload, dict):
+            self._send_json(400, {"error": "body must be a JSON object"})
+            return None
+        return payload
+
+    def _session_manager(self) -> SessionManager | None:
+        sessions = self.server.sessions
+        if sessions is None:
+            self._send_json(
+                404,
+                {
+                    "error": "session routes are disabled; start the server "
+                    "with a session directory (repro-ise serve "
+                    "--session-dir ...)"
+                },
+            )
+        return sessions
+
+    @staticmethod
+    def _session_route(path: str) -> tuple[str, str] | None:
+        """Split ``/sessions/{id}[/verb]`` into (id, verb)."""
+        parts = [p for p in path.split("/") if p]
+        if not parts or parts[0] != "sessions":
+            return None
+        if len(parts) == 1:
+            return "", ""
+        if len(parts) == 2:
+            return parts[1], ""
+        if len(parts) == 3:
+            return parts[1], parts[2]
+        return None
+
     # -- GET -----------------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 — http.server naming
@@ -145,23 +279,50 @@ class _Handler(BaseHTTPRequestHandler):
                     reason = "all solver backends dark (circuit breakers open)"
                 self._send_json(503, {"status": "not ready", "reason": reason})
         elif self.path == "/stats":
-            self._send_json(200, service.stats_snapshot())
+            snapshot = service.stats_snapshot()
+            if self.server.sessions is not None:
+                snapshot["sessions"] = self.server.sessions.stats_snapshot()
+            self._send_json(200, snapshot)
+        elif (route := self._session_route(self.path)) is not None:
+            self._get_session(route)
         else:
             self._send_json(404, {"error": f"no such path: {self.path}"})
+
+    def _get_session(self, route: tuple[str, str]) -> None:
+        sessions = self._session_manager()
+        if sessions is None:
+            return
+        session_id, verb = route
+        if not session_id or verb not in ("", "schedule"):
+            self._send_json(404, {"error": f"no such path: {self.path}"})
+            return
+        try:
+            snap = sessions.snapshot(session_id)
+        except KeyError as exc:
+            self._send_json(404, {"error": str(exc)})
+            return
+        except ReproError as exc:
+            self._send_error(exc)
+            return
+        self._send_json(200, _snapshot_payload(snap))
 
     # -- POST ----------------------------------------------------------------
 
     def do_POST(self) -> None:  # noqa: N802 — http.server naming
-        if self.path != "/solve":
-            self._send_json(404, {"error": f"no such path: {self.path}"})
+        if self.path == "/solve":
+            self._post_solve()
             return
-        try:
-            length = int(self.headers.get("Content-Length", "0"))
-            payload = json.loads(self.rfile.read(length) or b"{}")
-        except (ValueError, json.JSONDecodeError) as exc:
-            self._send_json(400, {"error": f"malformed JSON body: {exc}"})
+        route = self._session_route(self.path)
+        if route is not None:
+            self._post_session(route)
             return
-        if not isinstance(payload, dict) or "instance" not in payload:
+        self._send_json(404, {"error": f"no such path: {self.path}"})
+
+    def _post_solve(self) -> None:
+        payload = self._read_body()
+        if payload is None:
+            return
+        if "instance" not in payload:
             self._send_json(
                 400, {"error": 'body must be a JSON object with an "instance" key'}
             )
@@ -169,6 +330,10 @@ class _Handler(BaseHTTPRequestHandler):
         deadline = payload.get("deadline")
         if deadline is not None and not isinstance(deadline, (int, float)):
             self._send_json(400, {"error": '"deadline" must be a number of seconds'})
+            return
+        request_id = payload.get("request_id")
+        if request_id is not None and not isinstance(request_id, str):
+            self._send_json(400, {"error": '"request_id" must be a string'})
             return
         instance_payload = payload["instance"]
         if isinstance(instance_payload, dict) and "envelope" in instance_payload:
@@ -183,36 +348,143 @@ class _Handler(BaseHTTPRequestHandler):
 
         service = self.server.service
         try:
-            outcome = service.solve(instance, deadline=deadline)
+            request, replayed = service.submit_idempotent(
+                instance, deadline=deadline, request_id=request_id
+            )
+            outcome = request.future.result()
         except ValueError as exc:  # e.g. non-positive deadline
             self._send_json(400, {"error": str(exc)})
             return
         except ReproError as exc:
-            status = _error_status(exc)
-            headers = {"Retry-After": _RETRY_AFTER} if status == 429 else None
-            body = {"error": str(exc), "error_type": type(exc).__name__}
-            if isinstance(exc, CertificationError) and exc.certificate is not None:
-                # The quarantined schedule stays quarantined, but the failed
-                # certificate itself is safe (and useful) to show clients.
-                body["certificate"] = exc.certificate.summary()
-            self._send_json(status, body, headers=headers)
+            self._send_error(exc)
             return
+        body = _outcome_payload(
+            outcome, include_schedule=bool(payload.get("include_schedule"))
+        )
+        body["idempotent_replay"] = replayed
+        self._send_json(200, body)
+
+    def _post_session(self, route: tuple[str, str]) -> None:
+        sessions = self._session_manager()
+        if sessions is None:
+            return
+        session_id, verb = route
+        payload = self._read_body()
+        if payload is None:
+            return
+        try:
+            if not session_id and not verb:
+                self._create_session(sessions, payload)
+            elif session_id and verb == "jobs":
+                self._submit_session_job(sessions, session_id, payload)
+            elif session_id and verb == "advance":
+                self._advance_session(sessions, session_id, payload)
+            else:
+                self._send_json(404, {"error": f"no such path: {self.path}"})
+        except _BadSessionPayload as exc:
+            self._send_json(400, {"error": str(exc)})
+        except KeyError as exc:
+            # Only the manager raises KeyError here: unknown session id.
+            self._send_json(404, {"error": str(exc)})
+        except ReproError as exc:
+            self._send_error(exc)
+
+    def _create_session(
+        self, sessions: SessionManager, payload: dict[str, Any]
+    ) -> None:
+        machines = _field(payload, "machines", int)
+        length = _field(payload, "calibration_length", float)
+        horizon = _field(payload, "commit_horizon", float, default=0.0)
+        snap = sessions.create(
+            payload.get("session_id"),
+            machines=machines,
+            calibration_length=length,
+            commit_horizon=horizon,
+        )
+        self._send_json(201, _snapshot_payload(snap, include_schedule=False))
+
+    def _submit_session_job(
+        self, sessions: SessionManager, session_id: str, payload: dict[str, Any]
+    ) -> None:
+        fence = _field(payload, "fence", int)
+        job = payload.get("job")
+        if not isinstance(job, dict):
+            raise _BadSessionPayload('"job" must be a JSON object')
+        at = payload.get("at")
+        receipt, current = sessions.submit_job(
+            session_id,
+            fence,
+            job_id=_field(job, "id", int),
+            release=_field(job, "release", float),
+            deadline=_field(job, "deadline", float),
+            processing=_field(job, "processing", float),
+            at=None if at is None else _field(payload, "at", float),
+        )
         self._send_json(
             200,
-            _outcome_payload(
-                outcome, include_schedule=bool(payload.get("include_schedule"))
-            ),
+            {
+                "session_id": session_id,
+                "fence": current,
+                "job_id": receipt.job_id,
+                "replayed": receipt.replayed,
+                "repaired": receipt.repaired,
+                "start": receipt.start,
+                "machine": receipt.machine,
+                "locked": receipt.locked,
+                "newly_committed": [list(k) for k in receipt.newly_committed],
+            },
         )
+
+    def _advance_session(
+        self, sessions: SessionManager, session_id: str, payload: dict[str, Any]
+    ) -> None:
+        fence = _field(payload, "fence", int)
+        to = _field(payload, "to", float)
+        result, current = sessions.advance(session_id, fence, to=to)
+        self._send_json(
+            200,
+            {
+                "session_id": session_id,
+                "fence": current,
+                "now": result.now,
+                "newly_committed": [list(k) for k in result.newly_committed],
+            },
+        )
+
+    # -- DELETE --------------------------------------------------------------
+
+    def do_DELETE(self) -> None:  # noqa: N802 — http.server naming
+        route = self._session_route(self.path)
+        if route is None or not route[0] or route[1]:
+            self._send_json(404, {"error": f"no such path: {self.path}"})
+            return
+        sessions = self._session_manager()
+        if sessions is None:
+            return
+        try:
+            sessions.delete(route[0])
+        except KeyError as exc:
+            self._send_json(404, {"error": str(exc)})
+            return
+        except ReproError as exc:
+            self._send_error(exc)
+            return
+        self._send_json(200, {"session_id": route[0], "deleted": True})
 
 
 def make_server(
-    service: SolveService, host: str = "127.0.0.1", port: int = 8080
+    service: SolveService,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    *,
+    sessions: SessionManager | None = None,
 ) -> SolveHTTPServer:
     """Bind a :class:`SolveHTTPServer` (``port=0`` picks a free port).
 
     Starts the service's worker pool; the caller owns ``serve_forever`` /
     ``shutdown`` so tests can run the server on a thread and the CLI can
-    install signal handlers around it.
+    install signal handlers around it.  Pass a :class:`SessionManager` to
+    enable the ``/sessions`` routes.
     """
     service.start()
-    return SolveHTTPServer((host, port), service)
+    return SolveHTTPServer((host, port), service, sessions)

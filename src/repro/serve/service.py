@@ -32,8 +32,10 @@ poisoned request costs quality, never availability.
 from __future__ import annotations
 
 import dataclasses
+import math
 import threading
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
@@ -87,6 +89,9 @@ class ServiceConfig:
         breaker_half_open_trials: circuit-breaker tuning, shared by every
             per-backend breaker on the board.
         retry: per-candidate retry/backoff policy for fallback chains.
+        idempotency_capacity: how many recent client ``request_id``s the
+            service remembers for duplicate-submission dedupe (bounded
+            LRU; 0 disables the cache entirely).
         lp_warm_start: give each worker thread its own small LP basis
             stash, so a client re-solving the same instance (retries,
             idempotent replays, polling dashboards) warm-starts the LP
@@ -113,6 +118,7 @@ class ServiceConfig:
     breaker_reset_timeout: float = 30.0
     breaker_half_open_trials: int = 1
     retry: RetryPolicy = field(default_factory=RetryPolicy)
+    idempotency_capacity: int = 128
     lp_warm_start: bool = True
     verify_results: bool = False
 
@@ -162,6 +168,7 @@ class ServiceStats:
         "verified",
         "repaired",
         "quarantined",
+        "idempotent_replays",
     )
 
     def __init__(self) -> None:
@@ -254,6 +261,12 @@ class SolveService:
         # stats_snapshot() can aggregate hit/miss counters.
         self._stash_local = threading.local()
         self._stashes: list[BasisStash] = []
+        # Bounded LRU of recent client request_ids -> their SolveRequest,
+        # so a duplicate POST (client retry, proxy replay) reuses the
+        # original future instead of burning a second solve.
+        self._idempotency: OrderedDict[str, SolveRequest] = OrderedDict()
+        # EWMA of observed solve seconds, feeding retry_after_estimate().
+        self._avg_solve_seconds: float | None = None
 
     # -- Lifecycle ----------------------------------------------------------
 
@@ -359,6 +372,41 @@ class SolveService:
         self.stats.bump("submitted")
         return request
 
+    def submit_idempotent(
+        self,
+        instance: Instance,
+        deadline: float | None = None,
+        *,
+        request_id: str | None = None,
+    ) -> tuple[SolveRequest, bool]:
+        """Admit a request, deduping by client ``request_id``.
+
+        A duplicate of a remembered id returns the *original* request (its
+        future may already hold the result) with ``replayed=True`` — the
+        client gets the first answer, and no second solve runs.  The
+        memory is a bounded LRU (``ServiceConfig.idempotency_capacity``),
+        so dedupe covers retries-in-the-window, not forever; with no
+        ``request_id`` this degrades to a plain :meth:`submit`.
+        """
+        if request_id is None or self.config.idempotency_capacity <= 0:
+            return self.submit(instance, deadline=deadline), False
+        with self._state_lock:
+            cached = self._idempotency.get(request_id)
+            if cached is not None:
+                self._idempotency.move_to_end(request_id)
+                self.stats.bump("idempotent_replays")
+                return cached, True
+        # Admission happens outside the lock (it takes queue locks and may
+        # raise typed rejections); a racing duplicate may double-solve,
+        # which is the documented best-effort contract of the LRU.
+        request = self.submit(instance, deadline=deadline)
+        with self._state_lock:
+            self._idempotency[request_id] = request
+            self._idempotency.move_to_end(request_id)
+            while len(self._idempotency) > self.config.idempotency_capacity:
+                self._idempotency.popitem(last=False)
+        return request, False
+
     def solve(
         self,
         instance: Instance,
@@ -369,6 +417,24 @@ class SolveService:
         """Blocking convenience: submit and wait for the outcome."""
         request = self.submit(instance, deadline=deadline)
         return request.future.result(timeout=timeout)
+
+    def retry_after_estimate(self) -> int:
+        """Honest 429 ``Retry-After``: seconds until the backlog drains.
+
+        Backlog (queued + in-flight) divided by worker parallelism, scaled
+        by the observed average solve time (EWMA).  Before any solve has
+        completed the estimate falls back to 1 second — the historical
+        constant — and the result is always a positive whole number of
+        seconds, as the HTTP header requires.
+        """
+        with self._state_lock:
+            avg = self._avg_solve_seconds
+            backlog = len(self._in_flight)
+        backlog += self.queue.depth
+        if avg is None or backlog == 0:
+            return 1
+        estimate = (backlog / self.config.workers) * avg
+        return max(1, math.ceil(estimate))
 
     # -- The worker loop -----------------------------------------------------
 
@@ -470,13 +536,21 @@ class SolveService:
             if getattr(result, "certificate", None) is not None:
                 self.stats.bump("verified")
             self._record_lp_telemetry(result)
+            solve_seconds = max(0.0, self.clock() - tic)
+            with self._state_lock:
+                if self._avg_solve_seconds is None:
+                    self._avg_solve_seconds = solve_seconds
+                else:
+                    self._avg_solve_seconds = (
+                        0.8 * self._avg_solve_seconds + 0.2 * solve_seconds
+                    )
             request.future.set_result(
                 ServeOutcome(
                     result=result,
                     request_id=request.request_id,
                     shed=shed,
                     queue_wait=request.queue_wait(tic),
-                    solve_seconds=max(0.0, self.clock() - tic),
+                    solve_seconds=solve_seconds,
                 )
             )
 
@@ -612,6 +686,7 @@ class SolveService:
             "workers": self.config.workers,
             "draining": self.draining,
             "ready": self.ready,
+            "retry_after": self.retry_after_estimate(),
             "breakers": self.breakers.snapshot(),
             "lp_basis_stash": self._stash_summary(),
         }

@@ -1,0 +1,329 @@
+"""Session manager: fenced, lock-striped, TTL-evicted online sessions.
+
+One :class:`SessionManager` owns every live
+:class:`~repro.online.session.ISESession` a server is fronting.  Its job
+is the concurrency and lifecycle story the session object itself refuses
+to have:
+
+* **Per-session locks** — sessions are single-writer; the manager
+  serializes all access to one session behind its own lock while letting
+  distinct sessions proceed in parallel (lock striping by session id).
+* **Fencing tokens** — every mutation must present the session's current
+  fence epoch.  The epoch bumps (durably) on every create *and* every
+  recovery, so a server that lost a session and got it back — or a
+  zombie process that never noticed it was superseded — presents an old
+  epoch and is rejected with a typed
+  :class:`~repro.core.errors.StaleFenceError` instead of silently
+  interleaving writes with the new owner (split-brain safety).  Reads
+  return the current epoch so displaced clients can re-fence.
+* **TTL persist-then-evict** — idle sessions are dropped from memory.
+  There is nothing to flush at eviction time because every accepted
+  mutation was already fsynced by the session journal; eviction is
+  purely a memory-bound guard.  A later request lazily recovers the
+  session from its journal — which bumps the fence, so writers that
+  slept through an eviction re-fence like everyone else.
+* **Graceful drain** — :meth:`drain` closes every in-memory session so a
+  terminating server stops accepting session mutations; the journals are
+  already durable, so drain loses nothing.
+
+The manager keeps all mutable state on the instance (no module globals)
+and takes its table lock only for table operations — never across a
+solve — so one slow re-plan cannot stall unrelated sessions.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable
+
+from ..core.errors import SessionConflictError, StaleFenceError
+from ..core.solver import ISEConfig
+from ..online.session import AdvanceResult, ISESession, SubmitReceipt
+
+__all__ = ["SessionManager", "SessionSnapshot"]
+
+
+@dataclass(frozen=True)
+class SessionSnapshot:
+    """A read-only view of one session, taken under its lock."""
+
+    session_id: str
+    fence: int
+    now: float
+    job_count: int
+    committed: tuple[tuple[float, int], ...]
+    replans: int
+    repairs: int
+    schedule: Any  # repro.core.schedule.Schedule
+    digest: str
+
+
+@dataclass
+class _Entry:
+    session: ISESession
+    lock: threading.Lock = field(default_factory=threading.Lock)
+    last_used: float = 0.0
+
+
+class SessionManager:
+    """Front N durable sessions with locks, fences, and TTL eviction."""
+
+    def __init__(
+        self,
+        directory: str | Path,
+        *,
+        config: ISEConfig | None = None,
+        ttl: float | None = 600.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.config = config
+        self.ttl = ttl
+        self.clock = clock
+        self._table_lock = threading.Lock()
+        self._entries: dict[str, _Entry] = {}
+        self._next_id = 1
+        self._draining = False
+        self._counters = {
+            "sessions_created": 0,
+            "sessions_recovered": 0,
+            "sessions_evicted": 0,
+            "sessions_deleted": 0,
+            "session_jobs_accepted": 0,
+            "session_jobs_replayed": 0,
+            "session_commits": 0,
+            "session_repairs": 0,
+            "session_replans": 0,
+            "stale_fence_rejections": 0,
+        }
+
+    # -- Lifecycle -----------------------------------------------------------
+
+    def create(
+        self,
+        session_id: str | None = None,
+        *,
+        machines: int,
+        calibration_length: float,
+        commit_horizon: float = 0.0,
+    ) -> SessionSnapshot:
+        """Create (and journal) a fresh session; returns its first snapshot."""
+        self._require_serving()
+        with self._table_lock:
+            if session_id is None:
+                while True:
+                    candidate = f"session-{self._next_id}"
+                    self._next_id += 1
+                    if (
+                        candidate not in self._entries
+                        and not ISESession.journal_path(
+                            self.directory, candidate
+                        ).exists()
+                    ):
+                        session_id = candidate
+                        break
+            elif (
+                session_id in self._entries
+                or ISESession.journal_path(self.directory, session_id).exists()
+            ):
+                raise SessionConflictError(
+                    f"session {session_id!r} already exists"
+                )
+            session = ISESession.create(
+                self.directory,
+                session_id,
+                machines=machines,
+                calibration_length=calibration_length,
+                commit_horizon=commit_horizon,
+                config=self.config,
+            )
+            entry = _Entry(session=session, last_used=self.clock())
+            self._entries[session_id] = entry
+            self._bump("sessions_created", locked=True)
+        with entry.lock:
+            return self._snapshot(session)
+
+    def delete(self, session_id: str) -> None:
+        """Close the session, evict it, and delete its journal.
+
+        This is the one deliberately destructive operation: the client is
+        declaring the session's durable history disposable.  Everything
+        else (eviction, drain, crash) keeps the journal.
+        """
+        entry = self._entry(session_id)
+        with entry.lock:
+            entry.session.close()
+            path = ISESession.journal_path(self.directory, session_id)
+            path.unlink(missing_ok=True)
+        with self._table_lock:
+            self._entries.pop(session_id, None)
+            self._bump("sessions_deleted", locked=True)
+
+    def drain(self) -> int:
+        """Stop serving sessions; close all in-memory ones.  Returns count.
+
+        Journals are fsynced per-append, so there is nothing to flush —
+        closing just makes late mutations fail typed instead of racing
+        process teardown.
+        """
+        with self._table_lock:
+            self._draining = True
+            entries = list(self._entries.values())
+        for entry in entries:
+            with entry.lock:
+                entry.session.close()
+        return len(entries)
+
+    def evict_idle(self) -> int:
+        """Drop sessions idle past the TTL from memory (journals remain)."""
+        if self.ttl is None:
+            return 0
+        horizon = self.clock() - self.ttl
+        evicted = 0
+        with self._table_lock:
+            for session_id in list(self._entries):
+                entry = self._entries[session_id]
+                if entry.last_used < horizon and not entry.lock.locked():
+                    del self._entries[session_id]
+                    self._bump("sessions_evicted", locked=True)
+                    evicted += 1
+        return evicted
+
+    # -- Operations ----------------------------------------------------------
+
+    def submit_job(
+        self,
+        session_id: str,
+        fence: int,
+        *,
+        job_id: int,
+        release: float,
+        deadline: float,
+        processing: float,
+        at: float | None = None,
+    ) -> tuple[SubmitReceipt, int]:
+        """Submit one job under a fencing token; returns (receipt, fence)."""
+        self._require_serving()
+        entry = self._entry(session_id)
+        with entry.lock:
+            self._check_fence(entry.session, fence)
+            receipt = entry.session.submit_job(
+                job_id,
+                release=release,
+                deadline=deadline,
+                processing=processing,
+                at=at,
+            )
+            current = entry.session.fence
+        entry.last_used = self.clock()
+        self._bump(
+            "session_jobs_replayed" if receipt.replayed else "session_jobs_accepted"
+        )
+        if receipt.repaired:
+            self._bump("session_repairs")
+        elif not receipt.replayed:
+            self._bump("session_replans")
+        if receipt.newly_committed:
+            self._bump("session_commits", by=len(receipt.newly_committed))
+        self.evict_idle()
+        return receipt, current
+
+    def advance(
+        self, session_id: str, fence: int, *, to: float
+    ) -> tuple[AdvanceResult, int]:
+        """Advance one session's clock under a fencing token."""
+        self._require_serving()
+        entry = self._entry(session_id)
+        with entry.lock:
+            self._check_fence(entry.session, fence)
+            result = entry.session.advance(to)
+            current = entry.session.fence
+        entry.last_used = self.clock()
+        if result.newly_committed:
+            self._bump("session_commits", by=len(result.newly_committed))
+        self.evict_idle()
+        return result, current
+
+    def snapshot(self, session_id: str) -> SessionSnapshot:
+        """Read one session's current state (no fence needed for reads —
+        the snapshot carries the current epoch so clients can re-fence)."""
+        entry = self._entry(session_id)
+        with entry.lock:
+            snap = self._snapshot(entry.session)
+        entry.last_used = self.clock()
+        return snap
+
+    # -- Observability -------------------------------------------------------
+
+    def stats_snapshot(self) -> dict[str, Any]:
+        """JSON-ready counters for the service's ``/stats``."""
+        with self._table_lock:
+            payload = dict(self._counters)
+            payload["sessions_active"] = len(self._entries)
+            payload["draining"] = self._draining
+        return payload
+
+    # -- Internals -----------------------------------------------------------
+
+    def _require_serving(self) -> None:
+        with self._table_lock:
+            if self._draining:
+                raise SessionConflictError(
+                    "session manager is draining; no new session mutations"
+                )
+
+    def _entry(self, session_id: str) -> _Entry:
+        with self._table_lock:
+            entry = self._entries.get(session_id)
+            if entry is not None:
+                return entry
+            if not ISESession.journal_path(self.directory, session_id).exists():
+                raise KeyError(f"no such session: {session_id!r}")
+            # Lazy recovery after an eviction or a restart.  open() bumps
+            # the fence, so any writer fenced before the eviction is now
+            # stale — by design.
+            session = ISESession.open(
+                self.directory, session_id, config=self.config
+            )
+            entry = _Entry(session=session, last_used=self.clock())
+            self._entries[session_id] = entry
+            self._bump("sessions_recovered", locked=True)
+            return entry
+
+    def _check_fence(self, session: ISESession, fence: int) -> None:
+        if fence != session.fence:
+            self._bump("stale_fence_rejections")
+            raise StaleFenceError(
+                f"stale fencing token for session {session.session_id!r}; "
+                "the session was recovered or re-owned since this token "
+                "was issued — re-read the session to obtain the current "
+                "epoch",
+                presented=fence,
+                current=session.fence,
+            )
+
+    def _snapshot(self, session: ISESession) -> SessionSnapshot:
+        return SessionSnapshot(
+            session_id=session.session_id,
+            fence=session.fence,
+            now=session.now,
+            job_count=session.job_count,
+            committed=tuple(
+                (c.start, c.machine) for c in session.committed_calibrations
+            ),
+            replans=session.replans,
+            repairs=session.repairs,
+            schedule=session.schedule,
+            digest=session.state_digest(),
+        )
+
+    def _bump(self, name: str, by: int = 1, *, locked: bool = False) -> None:
+        if locked:
+            self._counters[name] += by
+            return
+        with self._table_lock:
+            self._counters[name] += by

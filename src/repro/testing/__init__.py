@@ -20,6 +20,7 @@ from .faults import (
     inject_ise_corruption,
     inject_lp_fault,
     inject_mm_fault,
+    inject_session_crash,
     poison_stash,
     scrambled_basis,
     tear_file,
@@ -37,6 +38,7 @@ __all__ = [
     "inject_ise_corruption",
     "inject_lp_fault",
     "inject_mm_fault",
+    "inject_session_crash",
     "poison_stash",
     "scrambled_basis",
     "tear_file",

@@ -73,6 +73,7 @@ __all__ = [
     "inject_ise_corruption",
     "inject_lp_fault",
     "inject_mm_fault",
+    "inject_session_crash",
     "poison_stash",
     "scrambled_basis",
     "tear_file",
@@ -346,6 +347,54 @@ def inject_ise_corruption(plan: FaultPlan) -> Iterator[FaultPlan]:
         yield plan
     finally:
         ISESolver._certified = original  # type: ignore[method-assign]
+
+
+@contextmanager
+def inject_session_crash(
+    kill_at: int, *, torn_bytes: bytes | None = None
+) -> Iterator[dict[str, int]]:
+    """SIGKILL an online session at its ``kill_at``-th journal record.
+
+    Wraps :meth:`~repro.online.journal.SessionJournal.append_records` — the
+    single choke point every durable session mutation flows through — and
+    counts *records*, not batches (1-based, across every session in the
+    block): the records before ``kill_at`` in a batch are persisted one by
+    one, then the kill raises :class:`SimulatedProcessKill` *instead of*
+    writing record ``kill_at``.  That models the kernel persisting an
+    arbitrary prefix of a single batched ``write(2)`` — the exact torn
+    state real batched appends can leave.  With ``torn_bytes``, the crash
+    additionally leaves those raw bytes on the journal tail first,
+    modeling a kill mid-line; recovery must truncate them as a torn tail.
+
+    The kill strikes between the durability point of record ``kill_at-1``
+    and that of record ``kill_at``, so chaos tests can place it exactly:
+    before a session's first commit, between an operation record and its
+    commit witnesses (mid-commit), or after N commits.  Yields a mutable
+    ``{"calls": n}`` so tests can see how far the session got.
+    """
+    from ..online.journal import SessionJournal
+
+    original = SessionJournal.append_records
+    state = {"calls": 0}
+
+    def crashing(self: Any, records: Any) -> None:
+        for record in records:
+            state["calls"] += 1
+            if state["calls"] == kill_at:
+                if torn_bytes is not None:
+                    with open(self.path, "ab") as handle:
+                        handle.write(torn_bytes)
+                raise SimulatedProcessKill(
+                    f"simulated process kill at session journal record "
+                    f"{state['calls']}"
+                )
+            original(self, [record])
+
+    SessionJournal.append_records = crashing  # type: ignore[method-assign]
+    try:
+        yield state
+    finally:
+        SessionJournal.append_records = original  # type: ignore[method-assign]
 
 
 def scrambled_basis(basis: Basis) -> Basis:

@@ -1,0 +1,84 @@
+"""The ``repro-ise session`` subcommand: shell-driven durable sessions."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+
+def _run(capsys, *argv: str) -> dict:
+    code = main(["session", *argv])
+    assert code == 0
+    return json.loads(capsys.readouterr().out)
+
+
+def test_session_lifecycle_from_the_shell(tmp_path: Path, capsys) -> None:
+    directory = str(tmp_path)
+    created = _run(
+        capsys, directory, "s1", "create",
+        "--machines", "2", "--T", "6", "--horizon", "1.0",
+    )
+    assert created["session_id"] == "s1"
+    assert created["fence"] == 1
+
+    submitted = _run(
+        capsys, directory, "s1", "submit",
+        "--job", "1", "--release", "0", "--deadline", "12",
+        "--processing", "4",
+    )
+    assert submitted["job_id"] == 1
+    assert not submitted["replayed"]
+    assert submitted["committed"]  # horizon 1.0 commits the first cal
+    assert submitted["fence"] == 2  # every invocation reopens = re-fences
+
+    advanced = _run(capsys, directory, "s1", "advance", "--to", "5")
+    assert advanced["now"] == 5.0
+
+    shown = _run(capsys, directory, "s1", "show")
+    assert shown["job_count"] == 1
+    assert shown["schedule"] and shown["schedule"][0]["job"] == 1
+    # the digest is stable across pure reads (fence is excluded from it)
+    assert shown["digest"] == advanced["digest"]
+
+
+def test_duplicate_submit_across_processes_is_noop(
+    tmp_path: Path, capsys
+) -> None:
+    directory = str(tmp_path)
+    _run(capsys, directory, "s", "create", "--machines", "1", "--T", "5")
+    first = _run(
+        capsys, directory, "s", "submit",
+        "--job", "7", "--release", "0", "--deadline", "10",
+        "--processing", "2",
+    )
+    again = _run(
+        capsys, directory, "s", "submit",
+        "--job", "7", "--release", "0", "--deadline", "10",
+        "--processing", "2",
+    )
+    assert again["replayed"]
+    assert again["digest"] == first["digest"]
+
+
+def test_conflicting_resubmit_exits_2(tmp_path: Path, capsys) -> None:
+    directory = str(tmp_path)
+    _run(capsys, directory, "s", "create", "--machines", "1", "--T", "5")
+    _run(
+        capsys, directory, "s", "submit",
+        "--job", "7", "--release", "0", "--deadline", "10",
+        "--processing", "2",
+    )
+    code = main([
+        "session", directory, "s", "submit",
+        "--job", "7", "--release", "0", "--deadline", "10",
+        "--processing", "3",
+    ])
+    assert code == 2
+
+
+def test_open_of_missing_session_exits_2(tmp_path: Path) -> None:
+    assert main(["session", str(tmp_path), "ghost", "show"]) == 2

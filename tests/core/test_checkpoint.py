@@ -10,7 +10,11 @@ from repro.core.checkpoint import (
     CheckpointedRun,
     ShardJournal,
     TornTailWarning,
+    append_journal_line,
+    append_journal_lines,
+    journal_payload,
     shard_error_context,
+    verify_journal_line,
 )
 from repro.core.errors import (
     CorruptArtifactError,
@@ -25,6 +29,56 @@ def _double(x: int) -> int:
 
 def _identity(value):
     return value
+
+
+class TestJournalPayload:
+    """The batched line writer: spliced checksums must verify like any line."""
+
+    def test_every_payload_line_passes_verification(self):
+        records = [
+            {"seq": 1, "kind": "job", "release": 0.0, "at": -0.0},
+            {"seq": 2, "kind": "commit", "jobs": [[7, 2.0]], "note": 'q"}{'},
+        ]
+        lines = journal_payload(records).decode().splitlines()
+        assert len(lines) == 2
+        for line, original in zip(lines, records):
+            parsed = verify_journal_line(line)
+            assert parsed is not None
+            assert {k: v for k, v in parsed.items() if k != "sha"} == original
+
+    def test_caller_supplied_sha_is_replaced_not_trusted(self):
+        line = journal_payload([{"seq": 1, "sha": "sha256:bogus"}]).decode()
+        parsed = verify_journal_line(line.strip())
+        assert parsed is not None
+        assert parsed["sha"] != "sha256:bogus"
+
+    def test_empty_record_still_round_trips(self):
+        parsed = verify_journal_line(journal_payload([{}]).decode().strip())
+        assert parsed is not None
+
+    def test_batched_and_single_appends_interleave(self, tmp_path):
+        path = tmp_path / "mixed.jsonl"
+        append_journal_line(path, {"seq": 0, "kind": "header"}, append=False)
+        append_journal_lines(
+            path, [{"seq": 1, "kind": "a"}, {"seq": 2, "kind": "b"}]
+        )
+        append_journal_line(path, {"seq": 3, "kind": "c"})
+        parsed = [
+            verify_journal_line(line)
+            for line in path.read_text().splitlines()
+        ]
+        assert all(record is not None for record in parsed)
+        assert [record["seq"] for record in parsed] == [0, 1, 2, 3]
+
+    def test_unsynced_batch_is_still_readable(self, tmp_path):
+        path = tmp_path / "os.jsonl"
+        append_journal_lines(path, [{"seq": 0, "kind": "x"}], sync=False)
+        assert verify_journal_line(path.read_text().strip()) is not None
+
+    def test_empty_batch_is_a_noop(self, tmp_path):
+        path = tmp_path / "none.jsonl"
+        append_journal_lines(path, [])
+        assert not path.exists()
 
 
 class TestShardJournal:

@@ -404,6 +404,27 @@ CASES = [
             "    return replace(result, certificate=cert)\n"
         ),
     ),
+    RuleCase(
+        code="ISE016",
+        hit=(
+            "from repro.online import ISESession\n"
+            "\n"
+            "def tamper(session: ISESession) -> None:\n"
+            "    session._now = 0.0\n"
+        ),
+        suppressed=(
+            "from repro.online import ISESession\n"
+            "\n"
+            "def tamper(session: ISESession) -> None:\n"
+            "    session._now = 0.0  # repro-lint: disable=ISE016\n"
+        ),
+        clean=(
+            "from repro.online import ISESession\n"
+            "\n"
+            "def rewind_is_forbidden(session: ISESession, to: float) -> None:\n"
+            "    session.advance(to)\n"
+        ),
+    ),
 ]
 
 CASE_IDS = [case.code for case in CASES]
@@ -461,6 +482,36 @@ def test_ise012_exempts_the_atomicio_module(tmp_path: Path) -> None:
         "    path.write_text(text)\n"
     )
     assert lint_paths([target], select=["ISE012"]).ok
+
+
+def test_ise016_exempts_the_session_module(tmp_path: Path) -> None:
+    # online/session.py defines ISESession and owns the never-retract
+    # invariant checks — it is the one place allowed to write attributes.
+    target = tmp_path / "online" / "session.py"
+    target.parent.mkdir(parents=True)
+    target.write_text(
+        "class ISESession:\n"
+        "    def _install(self, now: float) -> None:\n"
+        "        self._now = now\n"
+        "\n"
+        "def helper(session: ISESession, now: float) -> None:\n"
+        "    session._now = now\n"
+    )
+    assert lint_paths([target], select=["ISE016"]).ok
+
+
+def test_ise016_catches_factory_bound_names(tmp_path: Path) -> None:
+    target = tmp_path / "module.py"
+    target.write_text(
+        "from repro.online import ISESession\n"
+        "\n"
+        "def poke(tmp: str) -> None:\n"
+        "    session = ISESession.open(tmp, 'demo')\n"
+        "    object.__setattr__(session, '_fence', 0)\n"
+    )
+    report = lint_paths([target], select=["ISE016"])
+    assert not report.ok
+    assert all(d.code == "ISE016" for d in report.diagnostics)
 
 
 def test_ise013_reraise_counts_as_recorded(tmp_path: Path) -> None:

@@ -1,0 +1,143 @@
+"""Process-level session chaos: boot, stream, SIGKILL -9, restart, re-fence.
+
+This is the CI ``session-chaos`` job's workload: a real ``repro-ise serve
+--session-dir`` subprocess is killed with an honest SIGKILL (no atexit, no
+flush) mid-session, restarted over the same directory, and must serve the
+exact pre-kill state digest while rejecting the dead writer's fencing
+token with a typed 409.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+_REPO = Path(__file__).resolve().parents[2]
+
+
+def _spawn_server(session_dir: Path, port: int) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(_REPO / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--port", str(port), "--workers", "1",
+            "--session-dir", str(session_dir),
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+    )
+
+
+def _wait_ready(port: int, process: subprocess.Popen, timeout: float = 30.0) -> None:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if process.poll() is not None:
+            out = process.stdout.read().decode() if process.stdout else ""
+            raise AssertionError(f"server died during startup:\n{out}")
+        try:
+            with urllib.request.urlopen(
+                f"http://127.0.0.1:{port}/healthz", timeout=2
+            ):
+                return
+        except (urllib.error.URLError, OSError):
+            time.sleep(0.1)
+    raise AssertionError("server never became healthy")
+
+
+def _request(port: int, path: str, body: dict | None = None):
+    data = json.dumps(body).encode() if body is not None else None
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}{path}", data=data,
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def _free_port() -> int:
+    import socket
+
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def test_sigkill_restart_rehydrates_and_fences(tmp_path: Path) -> None:
+    session_dir = tmp_path / "sessions"
+    port = _free_port()
+    server = _spawn_server(session_dir, port)
+    try:
+        _wait_ready(port, server)
+        status, created = _request(
+            port, "/sessions",
+            {"session_id": "e2e", "machines": 2, "calibration_length": 6.0,
+             "commit_horizon": 1.0},
+        )
+        assert status == 201
+        fence = created["fence"]
+        for job_id, (release, deadline, processing) in enumerate(
+            [(0.0, 12.0, 4.0), (0.0, 10.0, 2.0), (3.0, 20.0, 5.0)], start=1
+        ):
+            status, receipt = _request(
+                port, "/sessions/e2e/jobs",
+                {"fence": fence,
+                 "job": {"id": job_id, "release": release,
+                         "deadline": deadline, "processing": processing}},
+            )
+            assert status == 200, receipt
+        status, advanced = _request(
+            port, "/sessions/e2e/advance", {"fence": fence, "to": 4.0}
+        )
+        assert status == 200
+        status, before = _request(port, "/sessions/e2e/schedule")
+        assert status == 200
+        assert before["committed"]  # something is already irrevocable
+    finally:
+        # An honest crash: SIGKILL, no drain, no flush.
+        server.kill()
+        server.wait(timeout=30)
+
+    restarted = _spawn_server(session_dir, port)
+    try:
+        _wait_ready(port, restarted)
+        status, after = _request(port, "/sessions/e2e/schedule")
+        assert status == 200, after
+        # Byte-identical rehydration of the scheduling state...
+        assert after["digest"] == before["digest"]
+        assert after["committed"] == before["committed"]
+        assert after["job_count"] == before["job_count"]
+        # ...with a bumped fence: the dead process's token is now stale.
+        assert after["fence"] > before["fence"]
+        status, rejected = _request(
+            port, "/sessions/e2e/jobs",
+            {"fence": before["fence"],
+             "job": {"id": 9, "release": 4.0, "deadline": 30.0,
+                     "processing": 1.0}},
+        )
+        assert status == 409
+        assert rejected["error_type"] == "StaleFenceError"
+        assert rejected["current"] == after["fence"]
+        # Duplicate submission of a pre-kill job is an idempotent no-op.
+        status, replay = _request(
+            port, "/sessions/e2e/jobs",
+            {"fence": after["fence"],
+             "job": {"id": 1, "release": 0.0, "deadline": 12.0,
+                     "processing": 4.0}},
+        )
+        assert status == 200
+        assert replay["replayed"]
+    finally:
+        restarted.send_signal(signal.SIGTERM)
+        assert restarted.wait(timeout=60) == 0  # clean drain exit

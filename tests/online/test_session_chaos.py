@@ -1,0 +1,144 @@
+"""Crash-injection chaos for durable sessions.
+
+The contract under test: a process kill at *any* journal append — before
+the first commit, mid-commit (between an operation record and its
+witness records), or after N commits — recovers to a byte-identical
+state digest, never raises :class:`CommitRetractionError`, never loses a
+committed calibration, and keeps duplicate submission a no-op.  The
+sweep below kills at every append index the workload generates, so all
+three named crash classes are covered by construction.
+"""
+
+from __future__ import annotations
+
+import warnings
+from pathlib import Path
+
+import pytest
+
+from repro.core.checkpoint import TornTailWarning
+from repro.online import ISESession
+from repro.testing import SimulatedProcessKill, inject_session_crash
+
+# (kind, *payload); advances are re-applied with max(to, now) so a client
+# can blindly re-run its script after a crash (idempotent recovery).
+_WORKLOAD = [
+    ("job", 1, 0.0, 12.0, 4.0, 0.0),
+    ("job", 2, 0.0, 10.0, 2.0, 0.0),
+    ("advance", 3.0),
+    ("job", 3, 3.0, 20.0, 5.0, 3.0),
+    ("advance", 8.0),
+    ("job", 4, 8.0, 30.0, 3.0, 8.0),
+    ("advance", 40.0),
+]
+
+
+def _new_session(directory: Path) -> ISESession:
+    return ISESession.create(
+        directory, "chaos", machines=2, calibration_length=6.0,
+        commit_horizon=1.5,
+    )
+
+
+def _apply(session: ISESession, op: tuple) -> None:
+    if op[0] == "job":
+        _, job_id, release, deadline, processing, at = op
+        session.submit_job(
+            job_id, release=release, deadline=deadline,
+            processing=processing, at=at,
+        )
+    else:
+        session.advance(max(op[1], session.now))
+
+
+def _reference(tmp_path: Path) -> tuple[str, int]:
+    """Final digest of an uninterrupted run, plus its total append count."""
+    directory = tmp_path / "reference"
+    session = _new_session(directory)
+    with inject_session_crash(10**9) as probe:
+        for op in _WORKLOAD:
+            _apply(session, op)
+    assert session.committed_calibrations  # the workload does commit
+    return session.state_digest(), probe["calls"]
+
+
+def test_kill_at_every_append_recovers_byte_identically(tmp_path: Path) -> None:
+    expected_digest, total_appends = _reference(tmp_path)
+    assert total_appends > len(_WORKLOAD)  # commits generate extra appends
+
+    for kill_at in range(1, total_appends + 1):
+        directory = tmp_path / f"kill-{kill_at}"
+        crashed_committed: set[tuple[float, int]] = set()
+        session: ISESession | None = None
+        failed_index = 0  # kill_at=1 dies inside create() itself
+        try:
+            with inject_session_crash(kill_at):
+                session = _new_session(directory)
+                for index, op in enumerate(_WORKLOAD):
+                    failed_index = index
+                    _apply(session, op)
+                failed_index = len(_WORKLOAD)
+        except SimulatedProcessKill:
+            if session is not None:
+                crashed_committed = {
+                    (c.start, c.machine)
+                    for c in session.committed_calibrations
+                }
+
+        # Recovery must never see a retraction, for any kill point.
+        recovered = ISESession.open(directory, "chaos")
+        recovered_committed = {
+            (c.start, c.machine) for c in recovered.committed_calibrations
+        }
+        # Everything the dying process had committed was journaled first.
+        assert crashed_committed <= recovered_committed, f"kill_at={kill_at}"
+
+        # Byte-identical rehydration: a second recovery from the healed
+        # journal reproduces the exact same digest.
+        digest = recovered.state_digest()
+        recovered.close()
+        assert ISESession.open(directory, "chaos").state_digest() == digest
+
+        # Blind client re-run from the failed operation converges on the
+        # uninterrupted run's digest (submission is idempotent).
+        finishing = ISESession.open(directory, "chaos")
+        for op in _WORKLOAD[failed_index:]:
+            _apply(finishing, op)
+        assert finishing.state_digest() == expected_digest, f"kill_at={kill_at}"
+
+
+def test_duplicate_submit_is_noop_after_recovery(tmp_path: Path) -> None:
+    directory = tmp_path / "dup"
+    with pytest.raises(SimulatedProcessKill):
+        with inject_session_crash(4):  # dies inside the second submit
+            session = _new_session(directory)
+            session.submit_job(1, release=0.0, deadline=12.0, processing=4.0)
+            session.submit_job(2, release=0.0, deadline=10.0, processing=2.0)
+    recovered = ISESession.open(directory, "chaos")
+    digest = recovered.state_digest()
+    receipt = recovered.submit_job(
+        1, release=0.0, deadline=12.0, processing=4.0
+    )
+    assert receipt.replayed
+    assert recovered.state_digest() == digest
+
+
+def test_torn_tail_is_truncated_and_recovery_proceeds(tmp_path: Path) -> None:
+    directory = tmp_path / "torn"
+    torn = b'{"kind": "job", "job": 99, "release": 0'  # no newline, no sha
+    with pytest.raises(SimulatedProcessKill):
+        with inject_session_crash(3, torn_bytes=torn):
+            session = _new_session(directory)
+            session.submit_job(1, release=0.0, deadline=12.0, processing=4.0)
+            session.advance(3.0)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        recovered = ISESession.open(directory, "chaos")
+    assert any(issubclass(w.category, TornTailWarning) for w in caught)
+    # The torn operation never became durable: job 99 does not exist, and
+    # the journal was truncated so the next recovery is warning-free.
+    assert recovered.job_count == 1
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("error")
+        again = ISESession.open(directory, "chaos")
+    assert again.state_digest() == recovered.state_digest()

@@ -1,0 +1,75 @@
+"""Bounded full jitter on RetryPolicy backoff: bounds, determinism, clamps."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.resilience import RetryPolicy, SolveBudget
+
+
+def test_jitter_zero_preserves_deterministic_doubling() -> None:
+    policy = RetryPolicy(attempts=4, backoff=0.5, sleep=lambda _s: None)
+    assert policy.backoff_delay(1) == 0.0
+    assert policy.backoff_delay(2) == 0.5
+    assert policy.backoff_delay(3) == 1.0
+    assert policy.backoff_delay(4) == 2.0
+
+
+def test_jitter_is_bounded_below_and_above() -> None:
+    # rng pinned to the extremes maps to the interval's endpoints.
+    low = RetryPolicy(attempts=3, backoff=1.0, jitter=0.5, rng=lambda: 0.0,
+                      sleep=lambda _s: None)
+    high = RetryPolicy(attempts=3, backoff=1.0, jitter=0.5, rng=lambda: 1.0,
+                       sleep=lambda _s: None)
+    assert low.backoff_delay(3) == pytest.approx(1.0)  # 2.0 * (1 - 0.5)
+    assert high.backoff_delay(3) == pytest.approx(2.0)
+    mid = RetryPolicy(attempts=3, backoff=1.0, jitter=0.5, rng=lambda: 0.5,
+                      sleep=lambda _s: None)
+    assert mid.backoff_delay(3) == pytest.approx(1.5)
+
+
+def test_injected_rng_makes_jitter_deterministic() -> None:
+    values = iter([0.25, 0.75])
+    policy = RetryPolicy(
+        attempts=3, backoff=1.0, jitter=1.0, rng=lambda: next(values),
+        sleep=lambda _s: None,
+    )
+    # full jitter: uniform in [0, delay]
+    assert policy.backoff_delay(2) == pytest.approx(0.25)
+    assert policy.backoff_delay(2) == pytest.approx(0.75)
+
+
+def test_jitter_out_of_range_is_rejected() -> None:
+    with pytest.raises(ValueError):
+        RetryPolicy(jitter=1.5)
+    with pytest.raises(ValueError):
+        RetryPolicy(jitter=-0.1)
+
+
+def test_pause_before_sleeps_the_jittered_delay() -> None:
+    slept: list[float] = []
+    policy = RetryPolicy(
+        attempts=3, backoff=2.0, jitter=0.5, rng=lambda: 0.0,
+        sleep=slept.append,
+    )
+    policy.pause_before(2)
+    assert slept == [pytest.approx(1.0)]  # 2.0 * (1 - 0.5)
+
+
+def test_budget_clamp_applies_after_jitter() -> None:
+    slept: list[float] = []
+    policy = RetryPolicy(
+        attempts=3, backoff=10.0, jitter=0.5, rng=lambda: 1.0,
+        sleep=slept.append,
+    )
+    budget = SolveBudget(wall_clock=0.75, clock=lambda: 0.0).start()
+    policy.pause_before(2, budget)
+    assert slept == [pytest.approx(0.75)]  # 10s jittered delay, 0.75s left
+
+
+def test_first_attempt_never_sleeps_even_with_jitter() -> None:
+    slept: list[float] = []
+    policy = RetryPolicy(attempts=2, backoff=5.0, jitter=1.0,
+                         rng=lambda: 1.0, sleep=slept.append)
+    policy.pause_before(1)
+    assert slept == []

@@ -1,0 +1,198 @@
+"""The ``/sessions`` routes: lifecycle, fencing, recovery across restarts."""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+from pathlib import Path
+from typing import Any, Iterator
+
+import pytest
+
+from repro.serve import ServiceConfig, SessionManager, SolveService, make_server
+
+
+@pytest.fixture
+def server(tmp_path: Path) -> Iterator[Any]:
+    service = SolveService(ServiceConfig(workers=1, queue_capacity=4))
+    sessions = SessionManager(tmp_path / "sessions")
+    httpd = make_server(service, port=0, sessions=sessions)
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield httpd
+    finally:
+        httpd.shutdown()
+        service.shutdown(drain_deadline=5.0)
+        httpd.server_close()
+
+
+def _request(
+    httpd: Any,
+    path: str,
+    body: dict[str, Any] | None = None,
+    method: str | None = None,
+) -> tuple[int, dict[str, Any]]:
+    url = f"http://127.0.0.1:{httpd.port}{path}"
+    data = json.dumps(body).encode() if body is not None else None
+    request = urllib.request.Request(
+        url, data=data, method=method,
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+_CREATE = {"machines": 2, "calibration_length": 6.0, "commit_horizon": 1.0}
+
+
+def test_session_lifecycle_over_http(server) -> None:
+    status, created = _request(server, "/sessions", _CREATE)
+    assert status == 201
+    sid, fence = created["session_id"], created["fence"]
+    assert fence >= 1
+
+    status, receipt = _request(
+        server,
+        f"/sessions/{sid}/jobs",
+        {
+            "fence": fence,
+            "job": {"id": 1, "release": 0.0, "deadline": 12.0, "processing": 4.0},
+        },
+    )
+    assert status == 200
+    assert receipt["job_id"] == 1 and not receipt["replayed"]
+    assert receipt["newly_committed"]  # horizon 1.0 commits the first cal
+
+    status, advanced = _request(
+        server, f"/sessions/{sid}/advance", {"fence": fence, "to": 5.0}
+    )
+    assert status == 200
+    assert advanced["now"] == 5.0
+
+    status, snap = _request(server, f"/sessions/{sid}/schedule")
+    assert status == 200
+    assert snap["job_count"] == 1
+    assert snap["committed"]
+    assert snap["fence"] == fence
+    assert "schedule" in snap and "digest" in snap
+
+    status, deleted = _request(server, f"/sessions/{sid}", method="DELETE")
+    assert status == 200 and deleted["deleted"]
+    status, _ = _request(server, f"/sessions/{sid}/schedule")
+    assert status == 404
+
+
+def test_stale_fence_is_rejected_with_409(server) -> None:
+    _, created = _request(server, "/sessions", _CREATE)
+    sid, fence = created["session_id"], created["fence"]
+    status, body = _request(
+        server,
+        f"/sessions/{sid}/jobs",
+        {
+            "fence": fence - 1,
+            "job": {"id": 1, "release": 0.0, "deadline": 12.0, "processing": 4.0},
+        },
+    )
+    assert status == 409
+    assert body["error_type"] == "StaleFenceError"
+    assert (body["presented"], body["current"]) == (fence - 1, fence)
+    # re-fencing via a read recovers the writer
+    _, snap = _request(server, f"/sessions/{sid}/schedule")
+    status, _ = _request(
+        server,
+        f"/sessions/{sid}/jobs",
+        {
+            "fence": snap["fence"],
+            "job": {"id": 1, "release": 0.0, "deadline": 12.0, "processing": 4.0},
+        },
+    )
+    assert status == 200
+
+
+def test_duplicate_create_conflicts(server) -> None:
+    body = dict(_CREATE, session_id="twice")
+    assert _request(server, "/sessions", body)[0] == 201
+    status, payload = _request(server, "/sessions", body)
+    assert status == 409
+    assert payload["error_type"] == "SessionConflictError"
+
+
+def test_unknown_session_is_404(server) -> None:
+    assert _request(server, "/sessions/ghost/schedule")[0] == 404
+    status, _ = _request(
+        server, "/sessions/ghost/advance", {"fence": 1, "to": 1.0}
+    )
+    assert status == 404
+
+
+def test_malformed_session_bodies_are_400(server) -> None:
+    # missing machines
+    status, _ = _request(server, "/sessions", {"calibration_length": 6.0})
+    assert status == 400
+    _, created = _request(server, "/sessions", _CREATE)
+    sid, fence = created["session_id"], created["fence"]
+    # job must be an object
+    status, _ = _request(
+        server, f"/sessions/{sid}/jobs", {"fence": fence, "job": [1, 2, 3]}
+    )
+    assert status == 400
+    # missing "to"
+    status, _ = _request(server, f"/sessions/{sid}/advance", {"fence": fence})
+    assert status == 400
+
+
+def test_stats_includes_session_counters(server) -> None:
+    _request(server, "/sessions", _CREATE)
+    status, stats = _request(server, "/stats")
+    assert status == 200
+    assert stats["sessions"]["sessions_created"] == 1
+    assert stats["sessions"]["sessions_active"] == 1
+
+
+def test_routes_404_without_a_session_manager() -> None:
+    service = SolveService(ServiceConfig(workers=1, queue_capacity=4))
+    httpd = make_server(service, port=0)  # no sessions=
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    try:
+        status, body = _request(httpd, "/sessions", _CREATE)
+        assert status == 404
+        assert "--session-dir" in body["error"]
+    finally:
+        httpd.shutdown()
+        service.shutdown(drain_deadline=5.0)
+        httpd.server_close()
+
+
+def test_manager_restart_recovers_sessions_and_bumps_fence(
+    tmp_path: Path,
+) -> None:
+    """A new manager over the same directory = a server restart."""
+    directory = tmp_path / "sessions"
+    first = SessionManager(directory)
+    snap = first.create("durable", machines=2, calibration_length=6.0,
+                        commit_horizon=1.0)
+    receipt, fence = first.submit_job(
+        "durable", snap.fence, job_id=1, release=0.0, deadline=12.0,
+        processing=4.0,
+    )
+    assert receipt.newly_committed
+    digest = first.snapshot("durable").digest
+    first.drain()
+
+    second = SessionManager(directory)
+    recovered = second.snapshot("durable")  # lazy recovery from journal
+    assert recovered.digest == digest
+    assert recovered.fence == fence + 1
+    assert second.stats_snapshot()["sessions_recovered"] == 1
+    # The old owner's fence is now stale — split-brain writers bounce.
+    from repro.core.errors import StaleFenceError
+
+    with pytest.raises(StaleFenceError):
+        second.advance("durable", fence, to=1.0)
